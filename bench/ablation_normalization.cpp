@@ -1,0 +1,77 @@
+/// \file ablation_normalization.cpp
+/// Reproduces the Section V-B normalization-scheme comparison: simulating the
+/// three benchmarks under both algebraic normalization schemes —
+/// Q[omega]-inverse (Algorithm 2) and D[omega]-GCD (Algorithm 3) — and
+/// reporting run-time plus the fraction of trivial (0/1) edge weights each
+/// scheme produces.  Expected shape (paper): the inverse scheme always wins;
+/// it keeps at least half the weights trivial, while GCD normalization mostly
+/// factors out trivial GCDs and leaves large coefficients behind.
+///
+///   ./ablation_normalization
+#include "algorithms/bwt.hpp"
+#include "algorithms/grover.hpp"
+#include "algorithms/gse.hpp"
+#include "eval/trace.hpp"
+#include "qc/simulator.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+namespace {
+
+using namespace qadd;
+
+struct Row {
+  std::string benchmark;
+  std::string scheme;
+  double seconds;
+  std::size_t nodes;
+  double trivialFraction;
+  std::size_t maxBits;
+};
+
+Row runOne(const std::string& name, const qc::Circuit& circuit,
+           dd::AlgebraicSystem::Normalization normalization) {
+  qc::Simulator<dd::AlgebraicSystem> simulator(circuit, {normalization});
+  const auto start = std::chrono::steady_clock::now();
+  simulator.run();
+  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return {name,
+          simulator.package().system().describe(),
+          seconds,
+          simulator.stateNodes(),
+          simulator.package().system().trivialWeightFraction(),
+          simulator.package().system().maxBits()};
+}
+
+} // namespace
+
+int main() {
+  std::vector<Row> rows;
+  const auto runBoth = [&rows](const std::string& name, const qc::Circuit& circuit) {
+    rows.push_back(runOne(name, circuit, dd::AlgebraicSystem::Normalization::QOmegaInverse));
+    rows.push_back(runOne(name, circuit, dd::AlgebraicSystem::Normalization::GcdDOmega));
+    // Experimental future-work scheme (see algebraic_system.hpp): cheap unit
+    // extraction, not canonical across non-unit scalars -> watch the nodes.
+    rows.push_back(runOne(name, circuit, dd::AlgebraicSystem::Normalization::UnitPart));
+  };
+
+  runBoth("grover-8", algos::grover({8, 100, 0}));
+  runBoth("bwt-d3", algos::bwt({3, 4}));
+  runBoth("gse-2x3", algos::gse({2, 3, 1.0, 0}, {4, 1}));
+
+  std::cout << "== Section V-B ablation: algebraic normalization schemes ==\n";
+  std::cout << std::left << std::setw(12) << "benchmark" << std::setw(26) << "scheme"
+            << std::right << std::setw(12) << "time [s]" << std::setw(10) << "nodes"
+            << std::setw(16) << "trivial w" << std::setw(10) << "maxbits" << "\n";
+  for (const Row& row : rows) {
+    std::cout << std::left << std::setw(12) << row.benchmark << std::setw(26) << row.scheme
+              << std::right << std::setw(12) << std::fixed << std::setprecision(3) << row.seconds
+              << std::setw(10) << row.nodes << std::setw(15) << std::setprecision(1)
+              << row.trivialFraction * 100.0 << "%" << std::setw(10) << row.maxBits << "\n";
+  }
+  std::cout << "\nExpected: Q[w]-inverse outperforms the GCD scheme on every benchmark\n"
+               "and keeps >= 50% of the produced edge weights trivial (paper, Sec. V-B).\n";
+  return 0;
+}

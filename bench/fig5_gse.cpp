@@ -1,0 +1,55 @@
+/// \file fig5_gse.cpp
+/// Regenerates Fig. 5 of the paper: the GSE benchmark under the epsilon sweep
+/// and the algebraic representation; size / accuracy / run-time, plus the
+/// coefficient-bit-width series that explains the algebraic run-time blow-up
+/// (Section V-B: GSE's Clifford+T approximation produces "generic" values
+/// whose exact representation grows, while the numeric QMDD is insensitive
+/// to the particular complex numbers involved).
+/// Expected shape: the algebraic DD size tracks the tight-eps numeric sizes
+/// (little redundancy to find), but its run-time grows disproportionally.
+///
+///   ./fig5_gse [systemQubits] [precisionQubits]    (default 3 / 4)
+/// Writes fig5_gse.csv.
+#include "algorithms/gse.hpp"
+#include "eval/report.hpp"
+#include "eval/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace qadd;
+
+  algos::GseOptions options;
+  options.systemQubits = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3;
+  options.precisionQubits = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+  const qc::Circuit circuit = algos::gse(options, {4, 1});
+  std::cout << "== Fig. 5: GSE (Clifford+T approximated), "
+            << options.systemQubits + options.precisionQubits << " qubits, " << circuit.size()
+            << " gates, T-count " << circuit.tCount() << " ==\n";
+
+  eval::TraceOptions traceOptions;
+  traceOptions.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+
+  std::vector<eval::SimulationTrace> traces;
+  eval::ReferenceTrajectory reference;
+  traces.push_back(eval::traceAlgebraic(circuit, traceOptions, {}, &reference));
+  for (const double epsilon : {0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3}) {
+    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference, traceOptions));
+  }
+
+  eval::printSummaryTable(std::cout, traces);
+  eval::printAsciiChart(std::cout, "Fig. 5a: QMDD size (nodes)", traces, eval::Series::Nodes,
+                        false);
+  eval::printAsciiChart(std::cout, "Fig. 5b: accuracy error", traces, eval::Series::Error, true);
+  eval::printAsciiChart(std::cout, "Fig. 5c: run-time [s]", traces, eval::Series::Seconds,
+                        false);
+  eval::printAsciiChart(std::cout, "coefficient bit width (the algebraic cost driver)",
+                        {traces.front()}, eval::Series::MaxBits, false);
+
+  std::ofstream csv("fig5_gse.csv");
+  eval::writeCsv(csv, traces);
+  std::cout << "\nseries written to fig5_gse.csv\n";
+  return 0;
+}

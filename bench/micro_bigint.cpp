@@ -1,0 +1,76 @@
+/// \file micro_bigint.cpp
+/// Micro-benchmarks of the BigInt substrate (the GMP replacement): the
+/// primitive operations whose cost drives the algebraic QMDD's overhead.
+#include "bigint/bigint.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using qadd::BigInt;
+
+BigInt randomBigInt(std::mt19937_64& rng, int limbs) {
+  BigInt value{static_cast<std::int64_t>(rng() | 1)};
+  for (int i = 1; i < limbs; ++i) {
+    value = value * BigInt{static_cast<std::int64_t>(rng() | 1)} +
+            BigInt{static_cast<std::int64_t>(rng() % 1000)};
+  }
+  return value;
+}
+
+void BM_BigIntAdd(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
+  const BigInt b = randomBigInt(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_BigIntAdd)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_BigIntMul(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
+  const BigInt b = randomBigInt(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(1)->Arg(8)->Arg(32)->Arg(128); // crosses Karatsuba threshold
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
+  const BigInt b = randomBigInt(rng, static_cast<int>(state.range(0)) / 2 + 1);
+  BigInt q;
+  BigInt r;
+  for (auto _ : state) {
+    BigInt::divMod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_BigIntGcd(benchmark::State& state) {
+  std::mt19937_64 rng(9);
+  const BigInt g = randomBigInt(rng, 2);
+  const BigInt a = g * randomBigInt(rng, static_cast<int>(state.range(0)));
+  const BigInt b = g * randomBigInt(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::gcd(a, b));
+  }
+}
+BENCHMARK(BM_BigIntGcd)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_BigIntToString(benchmark::State& state) {
+  std::mt19937_64 rng(11);
+  const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.toString());
+  }
+}
+BENCHMARK(BM_BigIntToString)->Arg(4)->Arg(32);
+
+} // namespace

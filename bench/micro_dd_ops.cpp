@@ -1,0 +1,79 @@
+/// \file micro_dd_ops.cpp
+/// Micro-benchmarks of QMDD primitives under both weight systems: gate DD
+/// construction, matrix-vector multiplication, addition and node creation —
+/// quantifying the per-operation overhead of exact arithmetic that the paper
+/// discusses in Section V-B.
+#include "algorithms/common.hpp"
+#include "core/algebraic_system.hpp"
+#include "core/numeric_system.hpp"
+#include "core/package.hpp"
+#include "qc/simulator.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace qadd;
+
+template <class System> typename System::Config defaultConfig();
+template <> dd::NumericSystem::Config defaultConfig<dd::NumericSystem>() {
+  return {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero};
+}
+template <> dd::AlgebraicSystem::Config defaultConfig<dd::AlgebraicSystem>() { return {}; }
+
+template <class System> void BM_MakeGateDD(benchmark::State& state) {
+  dd::Package<System> package(static_cast<dd::Qubit>(state.range(0)),
+                              defaultConfig<System>());
+  const qc::Operation h{qc::GateKind::H, 0.0, static_cast<qc::Qubit>(state.range(0) / 2), {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc::makeOperationDD(package, h));
+  }
+}
+BENCHMARK_TEMPLATE(BM_MakeGateDD, dd::NumericSystem)->Arg(8)->Arg(16);
+BENCHMARK_TEMPLATE(BM_MakeGateDD, dd::AlgebraicSystem)->Arg(8)->Arg(16);
+
+template <class System> void BM_GhzSimulation(benchmark::State& state) {
+  const qc::Circuit circuit = algos::ghz(static_cast<qc::Qubit>(state.range(0)));
+  for (auto _ : state) {
+    qc::Simulator<System> simulator(circuit, defaultConfig<System>());
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.state());
+  }
+}
+BENCHMARK_TEMPLATE(BM_GhzSimulation, dd::NumericSystem)->Arg(10)->Arg(20);
+BENCHMARK_TEMPLATE(BM_GhzSimulation, dd::AlgebraicSystem)->Arg(10)->Arg(20);
+
+template <class System> void BM_HtLayerMultiply(benchmark::State& state) {
+  // One H+T layer applied to an evolving state: a dense-ish workload.
+  const auto n = static_cast<dd::Qubit>(state.range(0));
+  qc::Circuit circuit(n);
+  for (dd::Qubit q = 0; q < n; ++q) {
+    circuit.h(q);
+    circuit.t(q);
+  }
+  for (dd::Qubit q = 0; q + 1 < n; ++q) {
+    circuit.cx(q, q + 1);
+  }
+  for (auto _ : state) {
+    qc::Simulator<System> simulator(circuit, defaultConfig<System>());
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.state());
+  }
+}
+BENCHMARK_TEMPLATE(BM_HtLayerMultiply, dd::NumericSystem)->Arg(6)->Arg(10);
+BENCHMARK_TEMPLATE(BM_HtLayerMultiply, dd::AlgebraicSystem)->Arg(6)->Arg(10);
+
+template <class System> void BM_InnerProduct(benchmark::State& state) {
+  const qc::Circuit circuit = algos::ghz(static_cast<qc::Qubit>(state.range(0)));
+  qc::Simulator<System> simulator(circuit, defaultConfig<System>());
+  simulator.run();
+  auto& package = simulator.package();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(package.innerProduct(simulator.state(), simulator.state()));
+    package.clearCaches(); // measure the computation, not the cache hit
+  }
+}
+BENCHMARK_TEMPLATE(BM_InnerProduct, dd::NumericSystem)->Arg(12);
+BENCHMARK_TEMPLATE(BM_InnerProduct, dd::AlgebraicSystem)->Arg(12);
+
+} // namespace

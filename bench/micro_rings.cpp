@@ -1,0 +1,108 @@
+/// \file micro_rings.cpp
+/// Micro-benchmarks of the algebraic number tower: Z[omega] / Q[omega]
+/// arithmetic, canonicalization (Algorithm 1), inversion (Algorithm 2's
+/// workhorse) and GCD computation (Algorithm 3's workhorse) — against the
+/// interned numeric complex table for context.
+#include "algebraic/euclidean.hpp"
+#include "algebraic/qomega.hpp"
+#include "numeric/complex_table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using namespace qadd;
+using alg::QOmega;
+using alg::ZOmega;
+
+ZOmega randomZOmega(std::mt19937_64& rng, int bound) {
+  std::uniform_int_distribution<std::int64_t> d(-bound, bound);
+  return {BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}};
+}
+
+void BM_ZOmegaMul(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  const ZOmega a = randomZOmega(rng, static_cast<int>(state.range(0)));
+  const ZOmega b = randomZOmega(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_ZOmegaMul)->Arg(100)->Arg(1000000);
+
+void BM_QOmegaMulCanonicalize(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  const QOmega a{randomZOmega(rng, 1000), 3, BigInt{9}};
+  const QOmega b{randomZOmega(rng, 1000), -2, BigInt{15}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_QOmegaMulCanonicalize);
+
+void BM_QOmegaAdd(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const QOmega a{randomZOmega(rng, 1000), 3, BigInt{9}};
+  const QOmega b{randomZOmega(rng, 1000), -2, BigInt{15}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_QOmegaAdd);
+
+void BM_QOmegaInverse(benchmark::State& state) {
+  std::mt19937_64 rng(9);
+  const QOmega a{randomZOmega(rng, static_cast<int>(state.range(0))), 2, BigInt{7}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inverse());
+  }
+}
+BENCHMARK(BM_QOmegaInverse)->Arg(100)->Arg(100000);
+
+void BM_ZOmegaGcd(benchmark::State& state) {
+  std::mt19937_64 rng(11);
+  const ZOmega common = randomZOmega(rng, 50);
+  const ZOmega a = common * randomZOmega(rng, static_cast<int>(state.range(0)));
+  const ZOmega b = common * randomZOmega(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg::gcdZOmega(a, b));
+  }
+}
+BENCHMARK(BM_ZOmegaGcd)->Arg(10)->Arg(1000);
+
+void BM_CanonicalAssociate(benchmark::State& state) {
+  std::mt19937_64 rng(13);
+  const QOmega a{randomZOmega(rng, 1000), 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg::canonicalAssociate(a));
+  }
+}
+BENCHMARK(BM_CanonicalAssociate);
+
+void BM_QOmegaToComplex(benchmark::State& state) {
+  std::mt19937_64 rng(15);
+  const QOmega a{randomZOmega(rng, 1000000), 11, BigInt{12345}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.toComplex());
+  }
+}
+BENCHMARK(BM_QOmegaToComplex);
+
+void BM_ComplexTableLookup(benchmark::State& state) {
+  num::ComplexTable table(1e-10);
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<num::ComplexValue> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back({d(rng), d(rng)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(values[i++ % values.size()]));
+  }
+}
+BENCHMARK(BM_ComplexTableLookup);
+
+} // namespace

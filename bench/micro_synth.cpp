@@ -1,0 +1,79 @@
+/// \file micro_synth.cpp
+/// Micro-benchmarks of the synthesis substrates: Solovay-Kitaev net
+/// construction, approximation at various depths, and reversible
+/// permutation synthesis (the Quipper-replacement layer).
+#include "synth/reversible.hpp"
+#include "synth/solovay_kitaev.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using namespace qadd;
+using synth::SolovayKitaev;
+using synth::SU2;
+
+void BM_SkNetConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    SolovayKitaev sk({static_cast<int>(state.range(0)), 0});
+    benchmark::DoNotOptimize(sk.netSize());
+  }
+}
+BENCHMARK(BM_SkNetConstruction)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SkApproximate(benchmark::State& state) {
+  static const SolovayKitaev sk({4, 3});
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> angle(-3.0, 3.0);
+  for (auto _ : state) {
+    const SU2 target = SU2::fromAxisAngle(0, 0, 1, angle(rng));
+    benchmark::DoNotOptimize(sk.approximate(target, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SkApproximate)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_SimplifySequence(benchmark::State& state) {
+  static const SolovayKitaev sk({4, 2});
+  const auto approx = sk.approximateRz(1.2345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::simplifySequence(approx.gates));
+  }
+}
+BENCHMARK(BM_SimplifySequence);
+
+void BM_TranspositionSynthesis(benchmark::State& state) {
+  const auto width = static_cast<qc::Qubit>(state.range(0));
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    qc::Circuit circuit(width);
+    const std::uint64_t a = rng() % (1ULL << width);
+    std::uint64_t b = rng() % (1ULL << width);
+    if (a == b) {
+      b = a ^ 1ULL;
+    }
+    synth::appendTransposition(circuit, 0, width, {a, b});
+    benchmark::DoNotOptimize(circuit.size());
+  }
+}
+BENCHMARK(BM_TranspositionSynthesis)->Arg(4)->Arg(8);
+
+void BM_PermutationSynthesis(benchmark::State& state) {
+  const auto width = static_cast<qc::Qubit>(state.range(0));
+  const std::uint64_t size = 1ULL << width;
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> image(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    image[i] = i;
+  }
+  std::shuffle(image.begin(), image.end(), rng);
+  for (auto _ : state) {
+    qc::Circuit circuit(width);
+    synth::appendPermutation(circuit, 0, width, image);
+    benchmark::DoNotOptimize(circuit.size());
+  }
+}
+BENCHMARK(BM_PermutationSynthesis)->Arg(4)->Arg(6);
+
+} // namespace

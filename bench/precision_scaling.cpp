@@ -1,0 +1,77 @@
+/// \file precision_scaling.cpp
+/// Makes Section V-A's closing observation runnable: "even when scaling up
+/// the precision/bitwidth of the floating-point numbers … the limited
+/// precision of the floating-point arithmetic will never allow for perfect
+/// accuracy".  The same Grover simulation is run at eps = 0 with
+///  - IEEE-754 double (53-bit mantissa, the paper's setup),
+///  - x87 long double (64-bit mantissa),
+///  - the exact algebraic representation.
+/// Expected shape: the wider mantissa lowers the error floor by roughly the
+/// mantissa-width ratio and costs extra run-time, but the error never
+/// reaches zero — only the algebraic representation does.
+///
+///   ./precision_scaling [nqubits]     (default 8)
+#include "algorithms/grover.hpp"
+#include "eval/accuracy.hpp"
+#include "qc/simulator.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+namespace {
+
+using namespace qadd;
+using Clock = std::chrono::steady_clock;
+
+template <class System>
+std::pair<std::vector<std::complex<double>>, double>
+simulate(const qc::Circuit& circuit, typename System::Config config) {
+  const auto start = Clock::now();
+  qc::Simulator<System> simulator(circuit, config);
+  simulator.run();
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return {simulator.package().amplitudes(simulator.state()), seconds};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto nqubits = static_cast<qc::Qubit>(argc > 1 ? std::atoi(argv[1]) : 8);
+  const qc::Circuit circuit = algos::grover({nqubits, (1ULL << nqubits) - 5, 0});
+  std::cout << "== Precision scaling (Sec. V-A): Grover, " << nqubits << " qubits, "
+            << circuit.size() << " gates, eps = 0 ==\n";
+
+  const auto [exact, exactSeconds] = simulate<dd::AlgebraicSystem>(circuit, {});
+  const auto [dbl, dblSeconds] = simulate<dd::NumericSystem>(
+      circuit, {0.0, dd::NumericSystem::Normalization::LeftmostNonzero});
+  const auto [ext, extSeconds] = simulate<dd::ExtendedNumericSystem>(
+      circuit, {0.0, dd::ExtendedNumericSystem::Normalization::LeftmostNonzero});
+
+  const double dblError = eval::accuracyError(dbl, exact);
+  const double extError = eval::accuracyError(ext, exact);
+
+  std::cout << std::left << std::setw(28) << "representation" << std::right << std::setw(14)
+            << "mantissa" << std::setw(16) << "error" << std::setw(12) << "time [s]" << "\n";
+  std::cout << std::left << std::setw(28) << "numeric double" << std::right << std::setw(14)
+            << "53 bits" << std::setw(16) << std::scientific << std::setprecision(2) << dblError
+            << std::setw(12) << std::fixed << std::setprecision(3) << dblSeconds << "\n";
+  std::cout << std::left << std::setw(28) << "numeric long double" << std::right << std::setw(14)
+            << (sizeof(long double) > 8 ? "64 bits" : "53 bits") << std::setw(16)
+            << std::scientific << std::setprecision(2) << extError << std::setw(12) << std::fixed
+            << std::setprecision(3) << extSeconds << "\n";
+  std::cout << std::left << std::setw(28) << "algebraic (exact)" << std::right << std::setw(14)
+            << "unbounded" << std::setw(16) << std::scientific << std::setprecision(2) << 0.0
+            << std::setw(12) << std::fixed << std::setprecision(3) << exactSeconds << "\n";
+
+  std::cout << "\nExpected: the 64-bit mantissa lowers the error floor but does not\n"
+               "eliminate it; only the algebraic representation reaches zero.  (The\n"
+               "measured improvement is conservative: amplitudes are read out as\n"
+               "doubles, which re-introduces a 2^-53 floor at the measurement step.)\n";
+  if (extError > 0.0 && extError < dblError) {
+    std::cout << "observed floor improvement: " << std::setprecision(1) << std::scientific
+              << dblError / extError << "x, error still non-zero -> claim reproduced\n";
+  }
+  return 0;
+}

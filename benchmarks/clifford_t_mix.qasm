@@ -1,0 +1,15 @@
+// A generic Clifford+T word on 3 qubits (exactly representable)
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+t q[0];
+cx q[0], q[1];
+tdg q[1];
+h q[1];
+s q[2];
+cx q[1], q[2];
+t q[2];
+h q[2];
+cz q[0], q[2];
+sdg q[0];

@@ -1,0 +1,9 @@
+// Toffoli cascade: computes the AND-prefixes of the top three lines
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+x q[0];
+x q[1];
+ccx q[0], q[1], q[3];
+x q[2];
+ccx q[2], q[3], q[4];

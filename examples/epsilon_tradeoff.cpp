@@ -1,0 +1,41 @@
+/// \file epsilon_tradeoff.cpp
+/// Interactive version of the paper's core experiment: sweep the tolerance
+/// epsilon of the numerical QMDD over a Grover simulation and print, for each
+/// value, the final diagram size and accuracy — side by side with the
+/// algebraic representation, which needs no such knob.
+///
+///   ./epsilon_tradeoff [nqubits]
+#include "algorithms/grover.hpp"
+#include "eval/report.hpp"
+#include "eval/trace.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace qadd;
+
+  const auto nqubits = static_cast<qc::Qubit>(argc > 1 ? std::atoi(argv[1]) : 8);
+  const qc::Circuit circuit = algos::grover({nqubits, (1ULL << nqubits) - 2, 0});
+  std::cout << "Grover, " << nqubits << " qubits, " << circuit.size() << " gates\n";
+
+  eval::TraceOptions options;
+  options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 40);
+
+  std::vector<eval::SimulationTrace> traces;
+  eval::ReferenceTrajectory reference;
+  traces.push_back(eval::traceAlgebraic(circuit, options, {}, &reference));
+  for (const double epsilon : {0.0, 1e-15, 1e-10, 1e-5, 1e-2}) {
+    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference, options));
+  }
+
+  eval::printSummaryTable(std::cout, traces);
+  eval::printAsciiChart(std::cout, "state DD size over the simulation", traces,
+                        eval::Series::Nodes, false);
+  eval::printAsciiChart(std::cout, "accuracy error (numeric flavors)", traces,
+                        eval::Series::Error, true);
+  std::cout << "\nReading the table: eps = 0 is accurate but bloated; large eps is\n"
+               "compact but wrong (down to a zero vector); the algebraic diagram is\n"
+               "compact AND exact — the trade-off is gone (paper, Sections III & V).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file equivalence_checking.cpp
+/// Domain example: circuit equivalence checking (a core design-automation
+/// task, [20]-[23] in the paper).  With the exact algebraic QMDD, checking
+/// whether two circuits implement the same unitary reduces to comparing two
+/// canonical root edges — an O(1) operation after diagram construction — and
+/// the verdict is mathematically certain.  A numerical package must instead
+/// decide how large a deviation still counts as "equal".
+///
+///   ./equivalence_checking
+#include "qc/simulator.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace qadd;
+
+template <class System>
+bool equivalent(const qc::Circuit& a, const qc::Circuit& b,
+                typename System::Config config = {}) {
+  dd::Package<System> package(a.qubits(), config);
+  return qc::buildUnitary(package, a) == qc::buildUnitary(package, b);
+}
+
+} // namespace
+
+int main() {
+  // Two realizations of the same operation: a SWAP as three CNOTs versus a
+  // relabeling-free "textbook" construction via H/CZ — plus a T-gate pair
+  // that cancels.
+  qc::Circuit direct(2, "swap_direct");
+  direct.cx(0, 1).cx(1, 0).cx(0, 1);
+
+  qc::Circuit viaCz(2, "swap_via_cz");
+  // CNOT(1,0) = H(0) CZ(0,1) H(0): rebuild the middle CNOT that way and
+  // slip in T * Tdg, which must cancel exactly.
+  viaCz.cx(0, 1);
+  viaCz.h(0).t(0).tdg(0).cz(1, 0).h(0);
+  viaCz.cx(0, 1);
+
+  qc::Circuit wrong(2, "swap_wrong");
+  wrong.cx(0, 1).cx(1, 0); // forgot the last CNOT
+
+  std::cout << "algebraic QMDD equivalence (exact, O(1) root comparison):\n";
+  std::cout << "  swap_direct == swap_via_cz : "
+            << (equivalent<dd::AlgebraicSystem>(direct, viaCz) ? "EQUIVALENT" : "DIFFERENT")
+            << "\n";
+  std::cout << "  swap_direct == swap_wrong  : "
+            << (equivalent<dd::AlgebraicSystem>(direct, wrong) ? "EQUIVALENT" : "DIFFERENT")
+            << "\n\n";
+
+  // The numerical package answers the same question only relative to a
+  // tolerance: with eps = 0 even true equivalences can be missed once
+  // rounding enters (here H introduces 1/sqrt2).
+  std::cout << "numerical QMDD (canonical form depends on eps):\n";
+  for (const double epsilon : {0.0, 1e-10}) {
+    const bool same = equivalent<dd::NumericSystem>(
+        direct, viaCz, {epsilon, dd::NumericSystem::Normalization::LeftmostNonzero});
+    std::cout << "  eps = " << epsilon << " : swap_direct == swap_via_cz : "
+              << (same ? "EQUIVALENT" : "DIFFERENT (missed due to rounding)") << "\n";
+  }
+  std::cout << "\nThe algebraic representation needs no tolerance: equal unitaries\n"
+               "always produce identical canonical diagrams (Section V-B of the paper).\n";
+  return 0;
+}

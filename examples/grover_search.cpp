@@ -1,0 +1,61 @@
+/// \file grover_search.cpp
+/// Domain example: run Grover's database search (the paper's Section V
+/// benchmark) with the exact algebraic QMDD and watch the amplitude of the
+/// marked element get amplified — with perfect accuracy and a DD that stays
+/// linear in the number of qubits.
+///
+///   ./grover_search [nqubits] [marked]
+#include "algorithms/grover.hpp"
+#include "qc/simulator.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace qadd;
+
+  algos::GroverOptions options;
+  options.nqubits = argc > 1 ? static_cast<qc::Qubit>(std::atoi(argv[1])) : 9;
+  options.marked = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                            : (1ULL << (options.nqubits - 1)) - 3;
+
+  const qc::Circuit circuit = algos::grover(options);
+  const std::size_t iterations = algos::groverOptimalIterations(options.nqubits);
+  std::cout << "Grover search: " << options.nqubits << " qubits, marked element "
+            << options.marked << ", " << iterations << " iterations, " << circuit.size()
+            << " gates\n\n";
+
+  std::array<bool, 64> markedBits{};
+  for (qc::Qubit q = 0; q < options.nqubits; ++q) {
+    markedBits[q] = ((options.marked >> q) & 1ULL) != 0;
+  }
+
+  qc::Simulator<dd::AlgebraicSystem> simulator(circuit);
+  const std::size_t gatesPerIteration = (circuit.size() - options.nqubits) / iterations;
+  std::size_t nextReport = options.nqubits; // after the initial Hadamards
+  std::cout << std::left << std::setw(12) << "iteration" << std::setw(16) << "P(marked)"
+            << std::setw(10) << "nodes" << "\n";
+  std::size_t iteration = 0;
+  while (simulator.step()) {
+    if (simulator.gateIndex() != nextReport) {
+      continue;
+    }
+    const double probability =
+        simulator.probability(std::span<const bool>(markedBits.data(), options.nqubits));
+    std::cout << std::left << std::setw(12) << iteration << std::setw(16) << std::fixed
+              << std::setprecision(8) << probability << std::setw(10) << simulator.stateNodes()
+              << "\n";
+    ++iteration;
+    nextReport += gatesPerIteration * std::max<std::size_t>(1, iterations / 8);
+  }
+  const double final =
+      simulator.probability(std::span<const bool>(markedBits.data(), options.nqubits));
+  std::cout << "\nfinal P(marked) = " << std::setprecision(10) << final
+            << "   (closed form: "
+            << algos::groverSuccessProbability(options.nqubits, iterations) << ")\n";
+  std::cout << "final DD size   = " << simulator.stateNodes() << " nodes for a state space of "
+            << (1ULL << options.nqubits) << " amplitudes\n";
+  return 0;
+}

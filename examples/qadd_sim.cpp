@@ -1,0 +1,161 @@
+/// \file qadd_sim.cpp
+/// Command-line simulator: read a circuit (OpenQASM 2.0 or the native text
+/// format), simulate it with the chosen backend, and print amplitudes,
+/// measurement samples, per-qubit marginals or the diagram statistics.
+///
+///   ./qadd_sim <file> [--backend alg|num] [--eps E] [--samples N]
+///              [--marginals] [--dot] [--amplitudes]
+///
+/// Files ending in .qasm are parsed as OpenQASM; anything else as the native
+/// "qubits N" text format (see qc/circuit.hpp).
+#include "core/export.hpp"
+#include "qc/measure.hpp"
+#include "qc/qasm.hpp"
+#include "qc/simulator.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using namespace qadd;
+
+struct CliOptions {
+  std::string file;
+  std::string backend = "alg";
+  double epsilon = 1e-12;
+  int samples = 0;
+  bool marginals = false;
+  bool dot = false;
+  bool amplitudes = true;
+};
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: qadd_sim <file> [--backend alg|num] [--eps E] [--samples N]\n"
+               "                [--marginals] [--dot] [--no-amplitudes]\n";
+  std::exit(2);
+}
+
+CliOptions parseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      options.backend = argv[++i];
+    } else if (arg == "--eps" && i + 1 < argc) {
+      options.epsilon = std::stod(argv[++i]);
+    } else if (arg == "--samples" && i + 1 < argc) {
+      options.samples = std::atoi(argv[++i]);
+    } else if (arg == "--marginals") {
+      options.marginals = true;
+    } else if (arg == "--dot") {
+      options.dot = true;
+    } else if (arg == "--no-amplitudes") {
+      options.amplitudes = false;
+    } else if (!arg.starts_with("--") && options.file.empty()) {
+      options.file = arg;
+    } else {
+      usage();
+    }
+  }
+  if (options.file.empty()) {
+    usage();
+  }
+  return options;
+}
+
+template <class System>
+int runBackend(const qc::Circuit& circuit, const CliOptions& options,
+               typename System::Config config) {
+  qc::Simulator<System> simulator(circuit, config);
+  simulator.run();
+  auto& package = simulator.package();
+  std::cout << "backend : " << package.system().describe() << "\n";
+  std::cout << "qubits  : " << circuit.qubits() << ", gates: " << circuit.size() << "\n";
+  std::cout << "dd nodes: " << simulator.stateNodes() << " (of up to "
+            << ((1ULL << circuit.qubits()) - 1) << ")\n";
+
+  if (options.amplitudes && circuit.qubits() <= 12) {
+    const auto amplitudes = package.amplitudes(simulator.state());
+    std::cout << "\namplitudes (nonzero):\n";
+    for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+      if (std::abs(amplitudes[i]) < 1e-12) {
+        continue;
+      }
+      std::cout << "  |";
+      for (qc::Qubit q = 0; q < circuit.qubits(); ++q) {
+        std::cout << ((i >> (circuit.qubits() - 1 - q)) & 1ULL);
+      }
+      std::cout << ">  " << amplitudes[i].real();
+      if (std::abs(amplitudes[i].imag()) >= 1e-12) {
+        std::cout << (amplitudes[i].imag() < 0 ? " - " : " + ")
+                  << std::abs(amplitudes[i].imag()) << "i";
+      }
+      std::cout << "\n";
+    }
+  }
+  if (options.marginals) {
+    std::cout << "\nper-qubit P(1):\n";
+    for (qc::Qubit q = 0; q < circuit.qubits(); ++q) {
+      std::cout << "  q" << q << " : " << qc::probabilityOfOne(package, simulator.state(), q)
+                << "\n";
+    }
+  }
+  if (options.samples > 0) {
+    std::mt19937_64 rng(std::random_device{}());
+    std::map<std::uint64_t, int> histogram;
+    for (int i = 0; i < options.samples; ++i) {
+      ++histogram[qc::sampleOutcome(package, simulator.state(), rng)];
+    }
+    std::cout << "\nsamples (" << options.samples << "):\n";
+    for (const auto& [outcome, count] : histogram) {
+      std::cout << "  ";
+      for (qc::Qubit q = 0; q < circuit.qubits(); ++q) {
+        std::cout << ((outcome >> (circuit.qubits() - 1 - q)) & 1ULL);
+      }
+      std::cout << " : " << count << "\n";
+    }
+  }
+  if (options.dot) {
+    std::cout << "\n" << toDot(package, simulator.state());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parseArgs(argc, argv);
+  std::ifstream in(options.file);
+  if (!in) {
+    std::cerr << "qadd_sim: cannot open " << options.file << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const qc::Circuit circuit = options.file.ends_with(".qasm")
+                                    ? qc::fromQasm(buffer.str())
+                                    : qc::Circuit::fromText(buffer.str());
+    if (options.backend == "alg") {
+      if (!circuit.isCliffordTOnly()) {
+        std::cerr << "qadd_sim: circuit contains rotations; use --backend num or compile to "
+                     "Clifford+T first\n";
+        return 1;
+      }
+      return runBackend<dd::AlgebraicSystem>(circuit, options, {});
+    }
+    if (options.backend == "num") {
+      return runBackend<dd::NumericSystem>(
+          circuit, options,
+          {options.epsilon, dd::NumericSystem::Normalization::LeftmostNonzero});
+    }
+    usage();
+  } catch (const std::exception& error) {
+    std::cerr << "qadd_sim: " << error.what() << "\n";
+    return 1;
+  }
+}

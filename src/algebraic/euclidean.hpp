@@ -1,0 +1,58 @@
+/// \file euclidean.hpp
+/// Euclidean structure of Z[omega] and the canonical-associate machinery that
+/// the paper's GCD normalization scheme (Algorithm 3) relies on.
+///
+/// Z[omega] is a Euclidean ring under E(z) = |N_{Q[omega]/Q}(z)| (Section
+/// IV-B): division with nearest-integer rounding of each coordinate yields a
+/// remainder with E(r) <= (9/16) E(z2), so the classic Euclidean algorithm
+/// terminates and GCDs exist.  GCDs are unique only up to units; the
+/// `canonicalAssociate*` helpers implement the paper's properties (a)-(c)
+/// (k = 0, minimal norm pair, lexicographically minimal coefficient rotation)
+/// to pin down one representative deterministically.
+#pragma once
+
+#include "algebraic/qomega.hpp"
+#include "algebraic/zomega.hpp"
+
+#include <span>
+
+namespace qadd::alg {
+
+/// Nearest-integer quotient of z1/z2 in Q[omega], rounded coordinate-wise.
+/// \pre z2 != 0
+[[nodiscard]] ZOmega euclideanQuotient(const ZOmega& z1, const ZOmega& z2);
+
+/// Remainder z1 - euclideanQuotient(z1,z2) * z2; satisfies
+/// E(rem) <= (9/16) E(z2) < E(z2).
+[[nodiscard]] ZOmega euclideanRemainder(const ZOmega& z1, const ZOmega& z2);
+
+/// GCD in Z[omega] via the Euclidean algorithm (up to units; deterministic for
+/// given inputs).  gcd(0,0) = 0.
+[[nodiscard]] ZOmega gcdZOmega(ZOmega z1, ZOmega z2);
+
+/// Exact division in Z[omega]; returns false when z2 does not divide z1.
+/// \pre z2 != 0
+[[nodiscard]] bool tryExactDivide(const ZOmega& z1, const ZOmega& z2, ZOmega& quotient);
+
+/// The canonical associate of a non-zero Q[omega] value z: the unique
+/// z' = z * mu (mu a unit of D[omega]) satisfying the paper's properties
+///  (a) z' in Z[omega] with minimal denominator exponent (k = 0, not
+///      divisible by sqrt 2),
+///  (b) minimal norm pair among associates: with N(z') = u + v sqrt2, one of
+///      the derived pairs (|u|,|v|), (|2v|,|u|) is lexicographically minimal
+///      after factoring out powers of two,
+///  (c) (|a|,|b|,|c|,|d|) lexicographically minimal over the eight rotations
+///      z' * omega^j, preferring positive d.
+/// \pre z != 0
+[[nodiscard]] ZOmega canonicalAssociate(const QOmega& z);
+
+/// The unit mu with canonicalAssociate(z) == z * mu (exact in Q[omega]).
+/// \pre z != 0
+[[nodiscard]] QOmega canonicalAssociateUnit(const QOmega& z);
+
+/// GCD of a set of D[omega] values, returned as the canonical associate
+/// (so the result is deterministic and unique).  Zero entries are ignored;
+/// all-zero input yields zero.
+[[nodiscard]] ZOmega gcdDyadic(std::span<const QOmega> values);
+
+} // namespace qadd::alg

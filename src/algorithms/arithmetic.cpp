@@ -1,0 +1,69 @@
+#include "algorithms/arithmetic.hpp"
+
+#include <stdexcept>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::Qubit;
+
+namespace {
+
+/// MAJ (majority) block of the CDKM adder on (c, b, a).
+void maj(Circuit& circuit, Qubit c, Qubit b, Qubit a) {
+  circuit.cx(a, b);
+  circuit.cx(a, c);
+  circuit.ccx(c, b, a);
+}
+
+/// UMA (un-majority and add) block, the inverse of MAJ plus the sum write.
+void uma(Circuit& circuit, Qubit c, Qubit b, Qubit a) {
+  circuit.ccx(c, b, a);
+  circuit.cx(a, c);
+  circuit.cx(c, b);
+}
+
+} // namespace
+
+Circuit rippleCarryAdder(Qubit nbits) {
+  if (nbits == 0 || nbits > 20) {
+    throw std::invalid_argument("rippleCarryAdder: width out of range");
+  }
+  const AdderLayout layout{nbits};
+  Circuit circuit(layout.width(), "cdkm_adder");
+  // Ripple the majority up.
+  maj(circuit, layout.carryIn(), layout.b(0), layout.a(0));
+  for (Qubit bit = 1; bit < nbits; ++bit) {
+    maj(circuit, layout.a(bit - 1), layout.b(bit), layout.a(bit));
+  }
+  // Copy the top carry out.
+  circuit.cx(layout.a(nbits - 1), layout.carryOut());
+  // Unwind with UMA, writing the sum bits.
+  for (Qubit bit = nbits; bit-- > 1;) {
+    uma(circuit, layout.a(bit - 1), layout.b(bit), layout.a(bit));
+  }
+  uma(circuit, layout.carryIn(), layout.b(0), layout.a(0));
+  return circuit;
+}
+
+Circuit prepareAdderInputs(Qubit nbits, std::uint64_t a, std::uint64_t b, bool carryIn) {
+  const AdderLayout layout{nbits};
+  if ((nbits < 64 && ((a >> nbits) != 0 || (b >> nbits) != 0))) {
+    throw std::invalid_argument("prepareAdderInputs: operand out of range");
+  }
+  Circuit circuit(layout.width(), "adder_inputs");
+  if (carryIn) {
+    circuit.x(layout.carryIn());
+  }
+  for (Qubit bit = 0; bit < nbits; ++bit) {
+    if ((a >> bit) & 1ULL) {
+      circuit.x(layout.a(bit));
+    }
+    if ((b >> bit) & 1ULL) {
+      circuit.x(layout.b(bit));
+    }
+  }
+  return circuit;
+}
+
+} // namespace qadd::algos

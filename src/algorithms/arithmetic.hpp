@@ -1,0 +1,38 @@
+/// \file arithmetic.hpp
+/// Reversible integer arithmetic: the Cuccaro-Draper-Kutin-Moulton (CDKM)
+/// in-place ripple-carry adder, built from CNOT and Toffoli gates only —
+/// exactly representable and a classic decision-diagram stress test
+/// (arithmetic functions are where BDDs/BMDs historically diverge, cf. the
+/// paper's conventional-domain references [11], [28]).
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+
+namespace qadd::algos {
+
+/// Register layout of the adder circuit (width = 2n + 2):
+///   qubit 0            : carry-in (usually |0>)
+///   qubits 1 .. n      : a_0 (LSB) .. a_{n-1}
+///   qubits n+1 .. 2n   : b_0 (LSB) .. b_{n-1}
+///   qubit 2n+1         : carry-out (usually |0>)
+/// After the circuit: b <- a + b + cin (mod 2^n), carry-out <- top carry,
+/// a and cin restored.
+struct AdderLayout {
+  qc::Qubit n = 0;
+  [[nodiscard]] qc::Qubit carryIn() const { return 0; }
+  [[nodiscard]] qc::Qubit a(qc::Qubit bit) const { return 1 + bit; }
+  [[nodiscard]] qc::Qubit b(qc::Qubit bit) const { return 1 + n + bit; }
+  [[nodiscard]] qc::Qubit carryOut() const { return 2 * n + 1; }
+  [[nodiscard]] qc::Qubit width() const { return 2 * n + 2; }
+};
+
+/// The n-bit CDKM ripple-carry adder.
+[[nodiscard]] qc::Circuit rippleCarryAdder(qc::Qubit nbits);
+
+/// X-gate preparation of the adder's input registers (test/demo helper).
+[[nodiscard]] qc::Circuit prepareAdderInputs(qc::Qubit nbits, std::uint64_t a, std::uint64_t b,
+                                             bool carryIn = false);
+
+} // namespace qadd::algos

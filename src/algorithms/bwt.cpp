@@ -1,0 +1,103 @@
+#include "algorithms/bwt.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::ControlSpec;
+using qc::Qubit;
+using synth::Transposition;
+
+std::uint64_t WeldedTree::neighbor(unsigned color, std::uint64_t label) const {
+  return synth::applyInvolution(matchings[color], label);
+}
+
+std::size_t WeldedTree::edgeCount() const {
+  std::size_t count = 0;
+  for (const auto& matching : matchings) {
+    count += matching.size();
+  }
+  return count;
+}
+
+WeldedTree makeWeldedTree(unsigned depth) {
+  if (depth < 1 || depth > 20) {
+    throw std::invalid_argument("makeWeldedTree: depth out of range");
+  }
+  WeldedTree tree;
+  tree.depth = depth;
+  // Left tree: heap labels 1 .. 2^(depth+1)-1 (root 1, children 2v, 2v+1).
+  // Right tree: the same heap labels with the top bit `offset` set.
+  const std::uint64_t heapSize = (1ULL << (depth + 1)); // exclusive bound
+  const std::uint64_t offset = heapSize;
+  tree.labelBits = depth + 2;
+  tree.entrance = 1;
+  tree.exit = offset + 1;
+
+  // Tree edges: child edges at even depths use colors {0, 1}, odd depths
+  // {2, 3}; a node's parent edge therefore never clashes with its child
+  // edges, giving a proper coloring.
+  for (unsigned level = 0; level < depth; ++level) {
+    const unsigned colorBase = (level % 2 == 0) ? 0 : 2;
+    for (std::uint64_t v = (1ULL << level); v < (1ULL << (level + 1)); ++v) {
+      tree.matchings[colorBase].push_back({v, 2 * v});
+      tree.matchings[colorBase + 1].push_back({v, 2 * v + 1});
+      tree.matchings[colorBase].push_back({offset + v, offset + 2 * v});
+      tree.matchings[colorBase + 1].push_back({offset + v, offset + 2 * v + 1});
+    }
+  }
+
+  // Weld: leaves are at depth `depth`; their free color pair is the one that
+  // would color their (non-existent) child edges.
+  const unsigned weldBase = (depth % 2 == 0) ? 0 : 2;
+  const std::uint64_t firstLeaf = 1ULL << depth;
+  const std::uint64_t leafCount = 1ULL << depth;
+  for (std::uint64_t i = 0; i < leafCount; ++i) {
+    const std::uint64_t left = firstLeaf + i;
+    const std::uint64_t rightSame = offset + firstLeaf + i;
+    const std::uint64_t rightNext = offset + firstLeaf + ((i + 1) % leafCount);
+    tree.matchings[weldBase].push_back({left, rightSame});
+    tree.matchings[weldBase + 1].push_back({left, rightNext});
+  }
+  return tree;
+}
+
+unsigned bwtQubits(unsigned depth) { return 2 + depth + 2; }
+
+qc::Circuit bwt(const BwtOptions& options) {
+  const WeldedTree tree = makeWeldedTree(options.depth);
+  const Qubit coinBits = 2;
+  const Qubit labelOffset = coinBits; // coin on top, label register below
+  const Qubit width = coinBits + tree.labelBits;
+  Circuit circuit(width, "bwt");
+
+  // Start at the entrance with a uniform coin.
+  for (unsigned bit = 0; bit < tree.labelBits; ++bit) {
+    if ((tree.entrance >> bit) & 1ULL) {
+      circuit.x(labelOffset + bit);
+    }
+  }
+  circuit.h(0).h(1);
+
+  for (unsigned step = 0; step < options.steps; ++step) {
+    // Phased Grover coin on the 2 coin qubits: the plain Grover coin
+    // (H^2 X^2 CZ X^2 H^2) has entries +-1/2, which doubles represent
+    // *exactly* — no numerical error would ever accrue.  The T/S phases make
+    // the coin entries generic elements of D[omega] (still exactly
+    // representable algebraically, like the paper's BWT), so the numeric
+    // representation actually has to approximate sqrt(2)'s.
+    circuit.h(0).h(1).t(0).s(1).x(0).x(1).cz(0, 1).x(0).x(1).h(0).tdg(1).h(1);
+    // Colored shifts: each matching conditioned on its coin value.
+    for (unsigned color = 0; color < 4; ++color) {
+      const std::vector<ControlSpec> coinControls{{0, (color & 2U) != 0},
+                                                  {1, (color & 1U) != 0}};
+      synth::appendInvolution(circuit, labelOffset, tree.labelBits, tree.matchings[color],
+                              coinControls);
+    }
+  }
+  return circuit;
+}
+
+} // namespace qadd::algos

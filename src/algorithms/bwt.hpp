@@ -1,0 +1,59 @@
+/// \file bwt.hpp
+/// Binary-Welded-Tree quantum walk (Childs et al. [38]) — the paper's
+/// graph-exploration benchmark whose gates are all exactly representable in
+/// D[omega] (Section V).
+///
+/// Construction (see DESIGN.md, substitution 2): the welded-tree graph of two
+/// depth-d binary trees, their leaves joined by two cyclic perfect matchings,
+/// is properly edge-colored with 4 colors.  A discrete-time coined quantum
+/// walk is run on it: a 2-qubit coin register selects the color, the Grover
+/// coin mixes it, and the color-c shift (an involution: each color class is a
+/// matching) is synthesized as a multi-controlled-X netlist via
+/// qadd::synth::appendInvolution.  All gates are {H, X, Z, MCX, CZ} — exact
+/// in the algebraic representation, as the paper requires for this benchmark.
+#pragma once
+
+#include "qc/circuit.hpp"
+#include "synth/reversible.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qadd::algos {
+
+/// The welded-tree graph with its 4-coloring.
+struct WeldedTree {
+  unsigned depth = 3;       ///< depth of each binary tree (root = depth 0)
+  unsigned labelBits = 0;   ///< qubits needed for a node label
+  std::uint64_t entrance = 0; ///< label of the left root
+  std::uint64_t exit = 0;     ///< label of the right root
+  /// Per color: the matching as basis-state transpositions on labels.
+  std::array<std::vector<synth::Transposition>, 4> matchings;
+
+  /// Neighbor of `label` along `color` (label itself if no such edge).
+  [[nodiscard]] std::uint64_t neighbor(unsigned color, std::uint64_t label) const;
+  /// Total number of edges.
+  [[nodiscard]] std::size_t edgeCount() const;
+};
+
+/// Build the welded-tree graph of the given depth with a proper 4-coloring:
+/// tree child edges use colors {0,1} at even depths, {2,3} at odd depths; the
+/// two weld matchings (leaf i <-> leaf i, leaf i <-> leaf i+1 cyclically) use
+/// the color pair that is free at the leaves.
+[[nodiscard]] WeldedTree makeWeldedTree(unsigned depth);
+
+struct BwtOptions {
+  unsigned depth = 3;  ///< tree depth
+  unsigned steps = 6;  ///< walk steps (each: coin + 4 colored shifts)
+};
+
+/// The full walk circuit.  Register layout: [coin (2 qubits) | label
+/// (labelBits qubits)]; the initial position (entrance) is prepared with X
+/// gates, the coin starts in uniform superposition.
+[[nodiscard]] qc::Circuit bwt(const BwtOptions& options = {});
+
+/// Qubit count of the walk circuit for a given depth.
+[[nodiscard]] unsigned bwtQubits(unsigned depth);
+
+} // namespace qadd::algos

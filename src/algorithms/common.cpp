@@ -1,0 +1,58 @@
+#include "algorithms/common.hpp"
+
+#include <cmath>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::Qubit;
+
+Circuit ghz(Qubit nqubits) {
+  Circuit circuit(nqubits, "ghz");
+  circuit.h(0);
+  for (Qubit q = 0; q + 1 < nqubits; ++q) {
+    circuit.cx(q, q + 1);
+  }
+  return circuit;
+}
+
+Circuit qft(Qubit nqubits) {
+  Circuit circuit(nqubits, "qft");
+  for (Qubit q = 0; q < nqubits; ++q) {
+    circuit.h(q);
+    for (Qubit k = q + 1; k < nqubits; ++k) {
+      const double angle = M_PI / static_cast<double>(1ULL << (k - q));
+      circuit.controlled(qc::GateKind::Phase, q, {{k, true}}, angle);
+    }
+  }
+  // Final bit-reversal swaps: without them the circuit computes the QFT with
+  // reversed output order (and phase-estimation readout would be scrambled).
+  for (Qubit q = 0; q < nqubits / 2; ++q) {
+    circuit.swap(q, nqubits - 1 - q);
+  }
+  return circuit;
+}
+
+Circuit inverseQft(Qubit nqubits) { return qft(nqubits).inverse(); }
+
+Circuit teleport() {
+  Circuit circuit(3, "teleport");
+  // Entangle qubits 1 and 2, Bell-measure 0 and 1 (deferred), correct on 2.
+  circuit.h(1).cx(1, 2);
+  circuit.cx(0, 1).h(0);
+  circuit.cx(1, 2);
+  circuit.cz(0, 2);
+  return circuit;
+}
+
+Circuit prepareBasisState(Qubit nqubits, std::uint64_t bits) {
+  Circuit circuit(nqubits, "basis");
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if ((bits >> q) & 1ULL) {
+      circuit.x(q);
+    }
+  }
+  return circuit;
+}
+
+} // namespace qadd::algos

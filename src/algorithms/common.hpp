@@ -1,0 +1,29 @@
+/// \file common.hpp
+/// Small standard circuits used across tests, examples and benchmarks.
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+
+namespace qadd::algos {
+
+/// GHZ state preparation: H on qubit 0 followed by a CNOT ladder.
+[[nodiscard]] qc::Circuit ghz(qc::Qubit nqubits);
+
+/// Quantum Fourier transform on all qubits (standard H + controlled-phase
+/// network, including the final bit-reversal swaps).
+[[nodiscard]] qc::Circuit qft(qc::Qubit nqubits);
+
+/// Inverse QFT.
+[[nodiscard]] qc::Circuit inverseQft(qc::Qubit nqubits);
+
+/// Quantum teleportation of qubit 0's state to qubit 2, with the two
+/// measurements deferred (coherent version: CNOT/CZ corrections).
+[[nodiscard]] qc::Circuit teleport();
+
+/// X gates preparing the computational basis state `bits` (bit i of the
+/// integer addresses qubit i counted from the top).
+[[nodiscard]] qc::Circuit prepareBasisState(qc::Qubit nqubits, std::uint64_t bits);
+
+} // namespace qadd::algos

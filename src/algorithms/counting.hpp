@@ -1,0 +1,40 @@
+/// \file counting.hpp
+/// Quantum counting (Brassard-Hoyer-Tapp): phase estimation over the Grover
+/// iterate G estimates the rotation angle theta with sin^2(theta/2) = M/N,
+/// i.e. the *number* M of marked elements among N = 2^n.  Exercises the
+/// controlled-subcircuit machinery: every gate of G gains an ancilla
+/// control (controlled Clifford+T gates stay exactly representable).
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qadd::algos {
+
+struct CountingOptions {
+  qc::Qubit searchQubits = 4;     ///< n: search space of N = 2^n elements
+  qc::Qubit precisionQubits = 5;  ///< phase-estimation ancillas
+  std::vector<std::uint64_t> marked{3, 5, 6, 12}; ///< the oracle's marked set
+};
+
+/// The counting circuit: [ancillas | search register]; ancillas in
+/// superposition, controlled G^(2^k), inverse QFT.  The search register is
+/// prepared in the uniform superposition (G's invariant subspace).
+[[nodiscard]] qc::Circuit quantumCounting(const CountingOptions& options = {});
+
+/// One Grover iteration (multi-marked oracle + diffusion) on `searchQubits`
+/// qubits — the operator whose eigenphase counting estimates.
+[[nodiscard]] qc::Circuit groverIterate(qc::Qubit searchQubits,
+                                        const std::vector<std::uint64_t>& marked);
+
+/// The exact eigenphase theta / (2 pi) that counting should concentrate on:
+/// theta = 2 arcsin(sqrt(M / N)).
+[[nodiscard]] double countingExpectedPhase(qc::Qubit searchQubits, std::size_t markedCount);
+
+/// Translate a measured ancilla value back into an estimated marked count.
+[[nodiscard]] double estimatedCount(qc::Qubit searchQubits, qc::Qubit precisionQubits,
+                                    std::uint64_t ancillaValue);
+
+} // namespace qadd::algos

@@ -1,0 +1,84 @@
+#include "algorithms/grover.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::ControlSpec;
+using qc::GateKind;
+using qc::Qubit;
+
+std::size_t groverOptimalIterations(Qubit nqubits) {
+  const double dimension = std::ldexp(1.0, static_cast<int>(nqubits));
+  return static_cast<std::size_t>(std::floor(M_PI / 4.0 * std::sqrt(dimension)));
+}
+
+Circuit grover(const GroverOptions& options) {
+  const Qubit n = options.nqubits;
+  if (n < 2) {
+    throw std::invalid_argument("grover: need at least 2 qubits");
+  }
+  if (n < 64 && (options.marked >> n) != 0) {
+    throw std::invalid_argument("grover: marked element out of range");
+  }
+  const std::size_t iterations =
+      options.iterations != 0 ? options.iterations : groverOptimalIterations(n);
+
+  Circuit circuit(n, "grover");
+  for (Qubit q = 0; q < n; ++q) {
+    circuit.h(q);
+  }
+
+  // Phase oracle: Z on the last qubit controlled by all others with
+  // polarities encoding the marked element (qubit q corresponds to bit q of
+  // `marked`, counted from the top line).
+  std::vector<ControlSpec> oracleControls;
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    oracleControls.push_back({q, ((options.marked >> q) & 1ULL) != 0});
+  }
+  const bool lastBit = ((options.marked >> (n - 1)) & 1ULL) != 0;
+
+  // Diffusion operator: H^n X^n (multi-controlled Z) X^n H^n.
+  std::vector<ControlSpec> diffusionControls;
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    diffusionControls.push_back({q, true});
+  }
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    // Oracle: if the marked element has a 0 on the target line, conjugate
+    // the controlled-Z with X to flip the active value.
+    if (!lastBit) {
+      circuit.x(n - 1);
+    }
+    circuit.controlled(GateKind::Z, n - 1, oracleControls);
+    if (!lastBit) {
+      circuit.x(n - 1);
+    }
+    // Diffusion.
+    for (Qubit q = 0; q < n; ++q) {
+      circuit.h(q);
+    }
+    for (Qubit q = 0; q < n; ++q) {
+      circuit.x(q);
+    }
+    circuit.controlled(GateKind::Z, n - 1, diffusionControls);
+    for (Qubit q = 0; q < n; ++q) {
+      circuit.x(q);
+    }
+    for (Qubit q = 0; q < n; ++q) {
+      circuit.h(q);
+    }
+  }
+  return circuit;
+}
+
+double groverSuccessProbability(Qubit nqubits, std::size_t iterations) {
+  const double dimension = std::ldexp(1.0, static_cast<int>(nqubits));
+  const double theta = std::asin(1.0 / std::sqrt(dimension));
+  const double amplitude = std::sin((2.0 * static_cast<double>(iterations) + 1.0) * theta);
+  return amplitude * amplitude;
+}
+
+} // namespace qadd::algos

@@ -1,0 +1,32 @@
+/// \file grover.hpp
+/// Grover's database-search algorithm [2] — the paper's computer-science
+/// benchmark whose gates are all exactly representable in D[omega]
+/// (Section V): H, X, and multi-controlled Z only.
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+
+namespace qadd::algos {
+
+struct GroverOptions {
+  qc::Qubit nqubits = 11;          ///< search register width
+  std::uint64_t marked = 0x2AA;    ///< element the oracle marks
+  /// 0 = use the optimal floor(pi/4 * sqrt(2^n)) iteration count.
+  std::size_t iterations = 0;
+};
+
+/// Number of iterations Grover's algorithm uses for an n-qubit search.
+[[nodiscard]] std::size_t groverOptimalIterations(qc::Qubit nqubits);
+
+/// The full circuit: uniform superposition, then `iterations` rounds of
+/// (phase oracle; diffusion).  The oracle is a multi-controlled Z whose
+/// control polarities encode the marked element.
+[[nodiscard]] qc::Circuit grover(const GroverOptions& options = {});
+
+/// Success probability of measuring `marked` after the optimal number of
+/// iterations (closed form; used by tests).
+[[nodiscard]] double groverSuccessProbability(qc::Qubit nqubits, std::size_t iterations);
+
+} // namespace qadd::algos

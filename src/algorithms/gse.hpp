@@ -1,0 +1,62 @@
+/// \file gse.hpp
+/// Ground State Estimation (GSE, Whitfield et al. [33]) — the paper's
+/// quantum-physics benchmark: quantum phase estimation of a molecular-style
+/// Hamiltonian.  Its time-evolution operator requires rotations by arbitrary
+/// angles, so (as in the paper, which used Quipper for this step) the circuit
+/// is compiled to Clifford+T by qadd::synth::CliffordTCompiler before the
+/// algebraic QMDD can simulate it — and both representations then simulate
+/// the *same* approximated circuit.
+#pragma once
+
+#include "qc/circuit.hpp"
+#include "synth/compile.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qadd::algos {
+
+/// A diagonal Ising-type Hamiltonian H = sum_j h_j Z_j + sum_{j<k} J_jk Z_j Z_k
+/// (the Jordan-Wigner image of the diagonal part of an electronic-structure
+/// Hamiltonian).  Diagonal terms commute, so exp(-iHt) is an exact product of
+/// z-rotations — all the phase-estimation structure of GSE with none of the
+/// Trotter bookkeeping.
+struct IsingHamiltonian {
+  unsigned systemQubits = 3;
+  std::vector<double> fields;                          ///< h_j, size systemQubits
+  std::vector<std::array<double, 3>> couplings;        ///< {j, k, J_jk} triples (j,k as doubles)
+
+  /// Eigenvalue on the computational basis state `bits` (bit j = qubit j).
+  [[nodiscard]] double eigenvalue(std::uint64_t bits) const;
+};
+
+/// A small H2-inspired instance with irrational coefficients (so none of the
+/// rotation angles are exactly representable — the regime the paper's GSE
+/// evaluation targets).
+[[nodiscard]] IsingHamiltonian makeMolecularInstance(unsigned systemQubits);
+
+struct GseOptions {
+  unsigned systemQubits = 3;    ///< Hamiltonian register width
+  unsigned precisionQubits = 4; ///< phase-estimation ancillas
+  double evolutionTime = 1.0;   ///< tau in U = exp(-i H tau)
+  std::uint64_t eigenstate = 0; ///< basis eigenstate whose energy is estimated
+};
+
+/// Rotation-level GSE circuit: ancilla Hadamards, controlled powers
+/// U^(2^k) of the (diagonal) time evolution as controlled-phase networks,
+/// inverse QFT on the ancillas.  Register layout: [ancillas | system].
+[[nodiscard]] qc::Circuit gseRotationCircuit(const GseOptions& options = {},
+                                             const IsingHamiltonian* hamiltonian = nullptr);
+
+/// Clifford+T GSE: the rotation circuit compiled by Solovay-Kitaev.  This is
+/// the exactly-representable benchmark simulated in Figures 2 and 5.
+[[nodiscard]] qc::Circuit gse(const GseOptions& options = {},
+                              synth::SolovayKitaev::Options skOptions = {4, 1});
+
+/// Phase (in [0,1)) that ideal phase estimation would concentrate on, for
+/// the configured eigenstate (test helper).
+[[nodiscard]] double gseExpectedPhase(const GseOptions& options,
+                                      const IsingHamiltonian& hamiltonian);
+
+} // namespace qadd::algos

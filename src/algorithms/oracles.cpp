@@ -1,0 +1,50 @@
+#include "algorithms/oracles.hpp"
+
+#include <stdexcept>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::Qubit;
+
+namespace {
+
+/// The shared Deutsch-Jozsa / Bernstein-Vazirani skeleton with the phase
+/// oracle f(x) = mask.x implemented as CNOTs into the bottom ancilla.
+Circuit phaseKickback(Qubit nqubits, std::uint64_t mask, const char* name) {
+  if (nqubits < 1 || (nqubits < 64 && (mask >> nqubits) != 0)) {
+    throw std::invalid_argument("phase oracle: mask out of range");
+  }
+  const Qubit ancilla = nqubits;
+  Circuit circuit(nqubits + 1, name);
+  // Ancilla in |->, data in uniform superposition.
+  circuit.x(ancilla).h(ancilla);
+  for (Qubit q = 0; q < nqubits; ++q) {
+    circuit.h(q);
+  }
+  // Oracle: f(x) = mask.x as CNOTs onto the ancilla (phase kickback).
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if ((mask >> q) & 1ULL) {
+      circuit.cx(q, ancilla);
+    }
+  }
+  // Final Hadamards on the data register.
+  for (Qubit q = 0; q < nqubits; ++q) {
+    circuit.h(q);
+  }
+  // Uncompute the ancilla back to |0> so the result is a clean basis state.
+  circuit.h(ancilla).x(ancilla);
+  return circuit;
+}
+
+} // namespace
+
+Circuit bernsteinVazirani(Qubit nqubits, std::uint64_t secret) {
+  return phaseKickback(nqubits, secret, "bernstein_vazirani");
+}
+
+Circuit deutschJozsa(Qubit nqubits, std::uint64_t mask) {
+  return phaseKickback(nqubits, mask, "deutsch_jozsa");
+}
+
+} // namespace qadd::algos

@@ -1,0 +1,26 @@
+/// \file oracles.hpp
+/// Oracle-based textbook algorithms whose circuits are exactly representable
+/// (H / X / CNOT / multi-controlled X only): Deutsch-Jozsa and
+/// Bernstein-Vazirani.  They complement Grover as Clifford+T-exact
+/// benchmarks and serve as additional correctness fixtures for both QMDD
+/// flavors (the final state is a known basis state).
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+
+namespace qadd::algos {
+
+/// Bernstein-Vazirani: recover the hidden string s of f(x) = s.x (mod 2) in
+/// one query.  Layout: n data qubits on top, one phase ancilla at the
+/// bottom; after the circuit the data register holds |s> exactly (bit q of
+/// `secret` on qubit q).
+[[nodiscard]] qc::Circuit bernsteinVazirani(qc::Qubit nqubits, std::uint64_t secret);
+
+/// Deutsch-Jozsa with a balanced oracle f(x) = mask.x (mod 2), mask != 0, or
+/// the constant oracle when mask == 0.  After the circuit the data register
+/// is |0...0> iff the oracle is constant.
+[[nodiscard]] qc::Circuit deutschJozsa(qc::Qubit nqubits, std::uint64_t mask);
+
+} // namespace qadd::algos

@@ -1,0 +1,87 @@
+#include "algorithms/shor.hpp"
+
+#include "algorithms/common.hpp"
+#include "synth/reversible.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::Qubit;
+
+std::uint64_t multiplicativeOrder(std::uint64_t base, std::uint64_t modulus) {
+  if (modulus < 2 || std::gcd(base, modulus) != 1) {
+    throw std::invalid_argument("multiplicativeOrder: base must be coprime to modulus >= 2");
+  }
+  std::uint64_t power = base % modulus;
+  std::uint64_t order = 1;
+  while (power != 1) {
+    power = power * base % modulus;
+    ++order;
+  }
+  return order;
+}
+
+unsigned workRegisterWidth(std::uint64_t modulus) {
+  unsigned width = 0;
+  while ((1ULL << width) < modulus) {
+    ++width;
+  }
+  return width;
+}
+
+std::vector<std::uint64_t> modularMultiplicationTable(std::uint64_t base, std::uint64_t modulus,
+                                                      unsigned width) {
+  if ((1ULL << width) < modulus) {
+    throw std::invalid_argument("modularMultiplicationTable: register too narrow");
+  }
+  if (std::gcd(base, modulus) != 1) {
+    throw std::invalid_argument("modularMultiplicationTable: base not coprime to modulus");
+  }
+  const std::uint64_t size = 1ULL << width;
+  std::vector<std::uint64_t> image(size);
+  for (std::uint64_t x = 0; x < size; ++x) {
+    image[x] = x < modulus ? (base * x % modulus) : x;
+  }
+  return image;
+}
+
+Circuit orderFinding(const OrderFindingOptions& options) {
+  const unsigned m = options.precisionQubits;
+  const unsigned w = workRegisterWidth(options.modulus);
+  if (m == 0) {
+    throw std::invalid_argument("orderFinding: need at least one ancilla");
+  }
+  Circuit circuit(m + w, "order_finding");
+
+  // Work register in |1> (an equal superposition of all of U_a's eigenstates
+  // whose phases are multiples of 1/r).  appendPermutation addresses value
+  // bit b at qubit offset + b, so bit 0 of the register value lives on
+  // qubit m.
+  circuit.x(m);
+
+  // Ancillas in superposition.
+  for (unsigned k = 0; k < m; ++k) {
+    circuit.h(k);
+  }
+  // Controlled U_a^(2^(m-1-k)) controlled by ancilla k: a^(2^j) mod N is
+  // itself a modular multiplication, so each power is one permutation.
+  for (unsigned k = 0; k < m; ++k) {
+    std::uint64_t power = options.base % options.modulus;
+    for (unsigned j = 0; j < m - 1 - k; ++j) {
+      power = power * power % options.modulus;
+    }
+    const auto image = modularMultiplicationTable(power, options.modulus, w);
+    synth::appendPermutation(circuit, m, w, image, {{static_cast<Qubit>(k), true}});
+  }
+  // Inverse QFT on the ancillas.
+  const Circuit iqft = inverseQft(m);
+  for (const qc::Operation& operation : iqft.operations()) {
+    circuit.append(operation);
+  }
+  return circuit;
+}
+
+} // namespace qadd::algos

@@ -1,0 +1,41 @@
+/// \file shor.hpp
+/// Shor-style order finding: quantum phase estimation over the
+/// modular-multiplication unitary U_a : |x> -> |a x mod N>, realized exactly
+/// as a basis-state permutation circuit (qadd::synth::appendPermutation).
+/// All gates are H / multi-controlled X / controlled phases, so the circuit
+/// is exactly representable once the inverse QFT is compiled (or simulable
+/// numerically with the rotation-level QFT).
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qadd::algos {
+
+struct OrderFindingOptions {
+  std::uint64_t modulus = 15;   ///< N (the number to factor)
+  std::uint64_t base = 7;       ///< a, coprime to N
+  unsigned precisionQubits = 5; ///< phase-estimation ancillas
+};
+
+/// Multiplicative order of a modulo N (classical reference for tests).
+[[nodiscard]] std::uint64_t multiplicativeOrder(std::uint64_t base, std::uint64_t modulus);
+
+/// The image table of |x> -> |a x mod N> on `width` bits (identity for
+/// x >= N, making the map a permutation of the full register space).
+[[nodiscard]] std::vector<std::uint64_t> modularMultiplicationTable(std::uint64_t base,
+                                                                    std::uint64_t modulus,
+                                                                    unsigned width);
+
+/// The order-finding circuit: [ancillas | work register], work prepared in
+/// |1>, controlled-U_a^(2^j) as controlled permutations, inverse QFT on the
+/// ancillas.  Measuring the ancillas yields s/r-approximations (r = order of
+/// a mod N), from which Shor's algorithm extracts factors classically.
+[[nodiscard]] qc::Circuit orderFinding(const OrderFindingOptions& options = {});
+
+/// Width of the work register for a given modulus.
+[[nodiscard]] unsigned workRegisterWidth(std::uint64_t modulus);
+
+} // namespace qadd::algos

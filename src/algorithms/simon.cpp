@@ -1,0 +1,42 @@
+#include "algorithms/simon.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace qadd::algos {
+
+using qc::Circuit;
+using qc::Qubit;
+
+std::uint64_t simonOracle(std::uint64_t secret, std::uint64_t x) {
+  const auto pivot = static_cast<unsigned>(std::countr_zero(secret));
+  return ((x >> pivot) & 1ULL) != 0 ? (x ^ secret) : x;
+}
+
+Circuit simon(Qubit nqubits, std::uint64_t secret) {
+  if (secret == 0 || (nqubits < 64 && (secret >> nqubits) != 0)) {
+    throw std::invalid_argument("simon: secret must be non-zero and fit the register");
+  }
+  Circuit circuit(2 * nqubits, "simon");
+  // Input qubit q carries bit q of x; output qubit nqubits + q carries bit q
+  // of f(x).
+  for (Qubit q = 0; q < nqubits; ++q) {
+    circuit.h(q);
+  }
+  // Oracle: copy x, then XOR s conditioned on the pivot bit.
+  for (Qubit q = 0; q < nqubits; ++q) {
+    circuit.cx(q, nqubits + q);
+  }
+  const auto pivot = static_cast<Qubit>(std::countr_zero(secret));
+  for (Qubit q = 0; q < nqubits; ++q) {
+    if ((secret >> q) & 1ULL) {
+      circuit.cx(pivot, nqubits + q);
+    }
+  }
+  for (Qubit q = 0; q < nqubits; ++q) {
+    circuit.h(q);
+  }
+  return circuit;
+}
+
+} // namespace qadd::algos

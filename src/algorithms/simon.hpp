@@ -1,0 +1,26 @@
+/// \file simon.hpp
+/// Simon's hidden-period problem: f(x) = f(x XOR s) for a secret s != 0.
+/// The standard one-query quantum routine leaves the input register in a
+/// uniform superposition over { y : y . s = 0 (mod 2) } — collecting n-1
+/// independent such y determines s classically.
+///
+/// The oracle used here is f(x) = x XOR (x_j ? s : 0) with j the lowest set
+/// bit of s: a CNOT-copy plus controlled XOR network, so the whole circuit
+/// is exactly representable (Clifford only).
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+
+namespace qadd::algos {
+
+/// The full circuit: n input qubits on top, n output qubits below.
+/// H^n, oracle, H^n on the inputs (outputs left unmeasured/entangled).
+/// \pre secret != 0 and secret < 2^n
+[[nodiscard]] qc::Circuit simon(qc::Qubit nqubits, std::uint64_t secret);
+
+/// The classical oracle the circuit implements (test helper).
+[[nodiscard]] std::uint64_t simonOracle(std::uint64_t secret, std::uint64_t x);
+
+} // namespace qadd::algos

@@ -1,0 +1,623 @@
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace qadd {
+
+namespace {
+
+// Number of leading zero bits of a non-zero 32-bit limb.
+int leadingZeros(std::uint32_t x) noexcept {
+  assert(x != 0);
+  return __builtin_clz(x);
+}
+
+int trailingZeros(std::uint32_t x) noexcept {
+  assert(x != 0);
+  return __builtin_ctz(x);
+}
+
+} // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  auto magnitude = negative_ ? ~static_cast<std::uint64_t>(value) + 1U
+                             : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffU));
+    magnitude >>= 32;
+  }
+}
+
+BigInt::BigInt(std::string_view decimal) {
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < decimal.size() && (decimal[pos] == '+' || decimal[pos] == '-')) {
+    negative = decimal[pos] == '-';
+    ++pos;
+  }
+  if (pos == decimal.size()) {
+    throw std::invalid_argument("BigInt: empty decimal string");
+  }
+  BigInt accumulator;
+  const BigInt ten{10};
+  for (; pos < decimal.size(); ++pos) {
+    const char c = decimal[pos];
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigInt: invalid decimal digit");
+    }
+    accumulator *= ten;
+    accumulator += BigInt{c - '0'};
+  }
+  limbs_ = std::move(accumulator.limbs_);
+  negative_ = negative && !limbs_.empty();
+}
+
+bool BigInt::isOne() const noexcept {
+  return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+}
+
+std::size_t BigInt::bitLength() const noexcept {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  return limbs_.size() * kLimbBits - static_cast<std::size_t>(leadingZeros(limbs_.back()));
+}
+
+bool BigInt::fitsInt64() const noexcept {
+  const std::size_t bits = bitLength();
+  if (bits < 64) {
+    return true;
+  }
+  if (bits > 64) {
+    return false;
+  }
+  // Exactly 64 bits of magnitude: only INT64_MIN fits.
+  return negative_ && limbs_[0] == 0 && limbs_[1] == 0x80000000U;
+}
+
+std::int64_t BigInt::toInt64() const {
+  assert(fitsInt64());
+  std::uint64_t magnitude = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    magnitude = (magnitude << 32) | limbs_[i];
+  }
+  return negative_ ? static_cast<std::int64_t>(~magnitude + 1U)
+                   : static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::toDouble() const noexcept {
+  long exponent = 0;
+  const double mantissa = toDoubleScaled(exponent);
+  return std::ldexp(mantissa, static_cast<int>(std::min<long>(exponent, 1 << 24)));
+}
+
+double BigInt::toDoubleScaled(long& exponent2) const noexcept {
+  exponent2 = 0;
+  if (limbs_.empty()) {
+    return 0.0;
+  }
+  const std::size_t bits = bitLength();
+  // Keep only the top (up to) 64 bits: value ~= top * 2^(bits - taken).
+  const std::size_t taken = std::min<std::size_t>(bits, 64);
+  const BigInt head = shiftRight(bits - taken);
+  std::uint64_t top = 0;
+  for (std::size_t i = head.limbs_.size(); i-- > 0;) {
+    top = (top << 32) | head.limbs_[i];
+  }
+  // top < 2^taken, top >= 2^(taken-1)  ->  mantissa in [0.5, 1).  (Rounding of
+  // a 64-bit `top` to double can land exactly on 1.0; renormalize then.)
+  double mantissa = std::ldexp(static_cast<double>(top), -static_cast<int>(taken));
+  exponent2 = static_cast<long>(bits);
+  if (mantissa >= 1.0) {
+    mantissa *= 0.5;
+    ++exponent2;
+  }
+  return negative_ ? -mantissa : mantissa;
+}
+
+std::string BigInt::toString() const {
+  if (isZero()) {
+    return "0";
+  }
+  // Repeated division by 10^9 to peel off 9 decimal digits at a time.
+  std::vector<Limb> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    DoubleLimb remainder = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const DoubleLimb current = (remainder << 32) | work[i];
+      work[i] = static_cast<Limb>(current / 1000000000U);
+      remainder = current % 1000000000U;
+    }
+    while (!work.empty() && work.back() == 0) {
+      work.pop_back();
+    }
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') {
+    digits.pop_back();
+  }
+  if (negative_) {
+    digits.push_back('-');
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.isZero()) {
+    result.negative_ = !result.negative_;
+  }
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+  if (limbs_.empty()) {
+    negative_ = false;
+  }
+}
+
+int BigInt::compareMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) {
+    return a.size() < b.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) {
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::addMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> result;
+  result.reserve(longer.size() + 1);
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    DoubleLimb sum = carry + longer[i];
+    if (i < shorter.size()) {
+      sum += shorter[i];
+    }
+    result.push_back(static_cast<Limb>(sum & 0xffffffffU));
+    carry = sum >> 32;
+  }
+  if (carry != 0) {
+    result.push_back(static_cast<Limb>(carry));
+  }
+  return result;
+}
+
+std::vector<BigInt::Limb> BigInt::subMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  assert(compareMagnitude(a, b) >= 0);
+  std::vector<Limb> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) {
+      diff -= b[i];
+    }
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(1) << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<Limb>(diff));
+  }
+  while (!result.empty() && result.back() == 0) {
+    result.pop_back();
+  }
+  return result;
+}
+
+std::vector<BigInt::Limb> BigInt::mulSchoolbook(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) {
+    return {};
+  }
+  std::vector<Limb> result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DoubleLimb carry = 0;
+    const DoubleLimb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const DoubleLimb current = ai * b[j] + result[i + j] + carry;
+      result[i + j] = static_cast<Limb>(current & 0xffffffffU);
+      carry = current >> 32;
+    }
+    result[i + b.size()] = static_cast<Limb>(carry);
+  }
+  while (!result.empty() && result.back() == 0) {
+    result.pop_back();
+  }
+  return result;
+}
+
+std::vector<BigInt::Limb> BigInt::mulMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return mulSchoolbook(a, b);
+  }
+  // Karatsuba: split at half of the longer operand.
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto split = [half](const std::vector<Limb>& v) {
+    std::vector<Limb> low(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())));
+    std::vector<Limb> high(v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())), v.end());
+    while (!low.empty() && low.back() == 0) {
+      low.pop_back();
+    }
+    return std::pair{std::move(low), std::move(high)};
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+  const auto z0 = mulMagnitude(a0, b0);
+  const auto z2 = mulMagnitude(a1, b1);
+  const auto sumA = addMagnitude(a0, a1);
+  const auto sumB = addMagnitude(b0, b1);
+  auto z1 = mulMagnitude(sumA, sumB);
+  z1 = subMagnitude(z1, z0);
+  z1 = subMagnitude(z1, z2);
+
+  // result = z0 + z1 << (32*half) + z2 << (64*half)
+  std::vector<Limb> result(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1, 0);
+  const auto accumulate = [&result](const std::vector<Limb>& part, std::size_t offset) {
+    DoubleLimb carry = 0;
+    std::size_t i = 0;
+    for (; i < part.size(); ++i) {
+      const DoubleLimb current = static_cast<DoubleLimb>(result[offset + i]) + part[i] + carry;
+      result[offset + i] = static_cast<Limb>(current & 0xffffffffU);
+      carry = current >> 32;
+    }
+    for (; carry != 0; ++i) {
+      const DoubleLimb current = static_cast<DoubleLimb>(result[offset + i]) + carry;
+      result[offset + i] = static_cast<Limb>(current & 0xffffffffU);
+      carry = current >> 32;
+    }
+  };
+  accumulate(z0, 0);
+  accumulate(z1, half);
+  accumulate(z2, 2 * half);
+  while (!result.empty() && result.back() == 0) {
+    result.pop_back();
+  }
+  return result;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = addMagnitude(limbs_, rhs.limbs_);
+  } else if (compareMagnitude(limbs_, rhs.limbs_) >= 0) {
+    limbs_ = subMagnitude(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = subMagnitude(rhs.limbs_, limbs_);
+    negative_ = rhs.negative_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (negative_ != rhs.negative_) {
+    limbs_ = addMagnitude(limbs_, rhs.limbs_);
+  } else if (compareMagnitude(limbs_, rhs.limbs_) >= 0) {
+    limbs_ = subMagnitude(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = subMagnitude(rhs.limbs_, limbs_);
+    negative_ = !negative_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mulMagnitude(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+void BigInt::divModMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b,
+                             std::vector<Limb>& quotient, std::vector<Limb>& remainder) {
+  assert(!b.empty());
+  quotient.clear();
+  remainder.clear();
+  if (compareMagnitude(a, b) < 0) {
+    remainder = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division.
+    quotient.assign(a.size(), 0);
+    DoubleLimb rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      const DoubleLimb current = (rem << 32) | a[i];
+      quotient[i] = static_cast<Limb>(current / b[0]);
+      rem = current % b[0];
+    }
+    while (!quotient.empty() && quotient.back() == 0) {
+      quotient.pop_back();
+    }
+    if (rem != 0) {
+      remainder.push_back(static_cast<Limb>(rem));
+    }
+    return;
+  }
+
+  // Knuth Algorithm D.  Normalize so the divisor's top limb has its high bit set.
+  const int shift = leadingZeros(b.back());
+  const std::size_t n = b.size();
+  const std::size_t m = a.size() - n;
+
+  // u = a << shift (with one extra limb), v = b << shift.
+  std::vector<Limb> u(a.size() + 1, 0);
+  std::vector<Limb> v(n, 0);
+  if (shift == 0) {
+    std::copy(a.begin(), a.end(), u.begin());
+    v = b;
+  } else {
+    const std::size_t inverseShift = kLimbBits - static_cast<std::size_t>(shift);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = (b[i] << shift) | (i > 0 ? (b[i - 1] >> inverseShift) : 0);
+    }
+    for (std::size_t i = 0; i <= a.size(); ++i) {
+      const Limb low = i < a.size() ? (a[i] << shift) : 0;
+      const Limb high = i > 0 ? (a[i - 1] >> inverseShift) : 0;
+      u[i] = low | high;
+    }
+  }
+
+  quotient.assign(m + 1, 0);
+  const DoubleLimb base = static_cast<DoubleLimb>(1) << 32;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (u[j+n]*base + u[j+n-1]) / v[n-1], then refine it with
+    // the second divisor limb so it is at most one too large.
+    const DoubleLimb numerator = (static_cast<DoubleLimb>(u[j + n]) << 32) | u[j + n - 1];
+    DoubleLimb qHat;
+    DoubleLimb rHat;
+    if (u[j + n] == v[n - 1]) {
+      qHat = base - 1;
+      rHat = static_cast<DoubleLimb>(u[j + n - 1]) + v[n - 1];
+    } else {
+      qHat = numerator / v[n - 1];
+      rHat = numerator % v[n - 1];
+    }
+    while (rHat < base &&
+           static_cast<unsigned __int128>(qHat) * v[n - 2] >
+               ((static_cast<unsigned __int128>(rHat) << 32) | u[j + n - 2])) {
+      --qHat;
+      rHat += v[n - 1];
+    }
+    // Multiply-and-subtract: u[j..j+n] -= qHat * v.
+    std::int64_t borrow = 0;
+    DoubleLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const DoubleLimb product = qHat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[j + i]) -
+                          static_cast<std::int64_t>(product & 0xffffffffU) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(base);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[j + i] = static_cast<Limb>(diff);
+    }
+    std::int64_t topDiff = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    if (topDiff < 0) {
+      // q_hat was one too large: add back.
+      topDiff += static_cast<std::int64_t>(base);
+      --qHat;
+      DoubleLimb addCarry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const DoubleLimb sum = static_cast<DoubleLimb>(u[j + i]) + v[i] + addCarry;
+        u[j + i] = static_cast<Limb>(sum & 0xffffffffU);
+        addCarry = sum >> 32;
+      }
+      topDiff += static_cast<std::int64_t>(addCarry);
+      topDiff &= static_cast<std::int64_t>(base) - 1;
+    }
+    u[j + n] = static_cast<Limb>(topDiff);
+    quotient[j] = static_cast<Limb>(qHat);
+  }
+  while (!quotient.empty() && quotient.back() == 0) {
+    quotient.pop_back();
+  }
+  // Remainder = u[0..n) >> shift.
+  remainder.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      remainder[i] = (remainder[i] >> shift) |
+                     (i + 1 < n ? (remainder[i + 1] << (kLimbBits - static_cast<std::size_t>(shift))) : 0);
+    }
+  }
+  while (!remainder.empty() && remainder.back() == 0) {
+    remainder.pop_back();
+  }
+}
+
+void BigInt::divMod(const BigInt& numerator, const BigInt& denominator,
+                    BigInt& quotient, BigInt& remainder) {
+  if (denominator.isZero()) {
+    throw std::domain_error("BigInt: division by zero");
+  }
+  std::vector<Limb> q;
+  std::vector<Limb> r;
+  divModMagnitude(numerator.limbs_, denominator.limbs_, q, r);
+  quotient.limbs_ = std::move(q);
+  quotient.negative_ = numerator.negative_ != denominator.negative_;
+  quotient.trim();
+  remainder.limbs_ = std::move(r);
+  remainder.negative_ = numerator.negative_;
+  remainder.trim();
+}
+
+BigInt BigInt::divRound(const BigInt& numerator, const BigInt& denominator) {
+  BigInt quotient;
+  BigInt remainder;
+  divMod(numerator, denominator, quotient, remainder);
+  if (remainder.isZero()) {
+    return quotient;
+  }
+  // |remainder| * 2 >= |denominator| -> round away from zero.
+  const BigInt twiceRemainder = remainder.abs().shiftLeft(1);
+  if (compareMagnitude(twiceRemainder.limbs_, denominator.limbs_) >= 0) {
+    const bool resultNegative = numerator.negative_ != denominator.negative_;
+    quotient += resultNegative ? BigInt{-1} : BigInt{1};
+  }
+  return quotient;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt quotient;
+  BigInt remainder;
+  divMod(*this, rhs, quotient, remainder);
+  *this = std::move(quotient);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt quotient;
+  BigInt remainder;
+  divMod(*this, rhs, quotient, remainder);
+  *this = std::move(remainder);
+  return *this;
+}
+
+BigInt BigInt::shiftLeft(std::size_t bits) const {
+  if (isZero() || bits == 0) {
+    return *this;
+  }
+  const std::size_t limbShift = bits / kLimbBits;
+  const std::size_t bitShift = bits % kLimbBits;
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.size() + limbShift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const DoubleLimb shifted = static_cast<DoubleLimb>(limbs_[i]) << bitShift;
+    result.limbs_[i + limbShift] |= static_cast<Limb>(shifted & 0xffffffffU);
+    result.limbs_[i + limbShift + 1] |= static_cast<Limb>(shifted >> 32);
+  }
+  result.trim();
+  return result;
+}
+
+BigInt BigInt::shiftRight(std::size_t bits) const {
+  const std::size_t limbShift = bits / kLimbBits;
+  if (limbShift >= limbs_.size()) {
+    return BigInt{};
+  }
+  const std::size_t bitShift = bits % kLimbBits;
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(limbShift), limbs_.end());
+  if (bitShift != 0) {
+    for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
+      result.limbs_[i] = (result.limbs_[i] >> bitShift) |
+                         (i + 1 < result.limbs_.size()
+                              ? (result.limbs_[i + 1] << (kLimbBits - bitShift))
+                              : 0);
+    }
+  }
+  result.trim();
+  return result;
+}
+
+std::size_t BigInt::countTrailingZeroBits() const {
+  assert(!isZero());
+  std::size_t count = 0;
+  for (const Limb limb : limbs_) {
+    if (limb == 0) {
+      count += kLimbBits;
+    } else {
+      count += static_cast<std::size_t>(trailingZeros(limb));
+      break;
+    }
+  }
+  return count;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  if (a.isZero()) {
+    return b;
+  }
+  if (b.isZero()) {
+    return a;
+  }
+  // Binary GCD: factor out common powers of two, then subtract-and-shift.
+  const std::size_t shiftA = a.countTrailingZeroBits();
+  const std::size_t shiftB = b.countTrailingZeroBits();
+  const std::size_t commonShift = std::min(shiftA, shiftB);
+  a = a.shiftRight(shiftA);
+  b = b.shiftRight(shiftB);
+  while (true) {
+    if (compareMagnitude(a.limbs_, b.limbs_) > 0) {
+      std::swap(a, b);
+    }
+    b -= a; // both odd -> difference even
+    if (b.isZero()) {
+      break;
+    }
+    b = b.shiftRight(b.countTrailingZeroBits());
+  }
+  return a.shiftLeft(commonShift);
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept {
+  if (lhs.negative_ != rhs.negative_) {
+    return lhs.negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  const int magnitude = BigInt::compareMagnitude(lhs.limbs_, rhs.limbs_);
+  const int signed_ = lhs.negative_ ? -magnitude : magnitude;
+  if (signed_ < 0) {
+    return std::strong_ordering::less;
+  }
+  if (signed_ > 0) {
+    return std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t BigInt::hash() const noexcept {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL;
+  for (const Limb limb : limbs_) {
+    h ^= limb + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.toString();
+}
+
+BigInt pow2(std::size_t exponent) {
+  return BigInt{1}.shiftLeft(exponent);
+}
+
+} // namespace qadd

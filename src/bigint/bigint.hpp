@@ -1,0 +1,154 @@
+/// \file bigint.hpp
+/// Arbitrary-precision signed integers.
+///
+/// This is the repository's replacement for GMP (which the paper uses for the
+/// integer coefficients of its algebraic number representation).  The design
+/// is a classic sign-magnitude big integer: the magnitude is a little-endian
+/// vector of 32-bit limbs, multiplication switches to Karatsuba above a
+/// threshold, and division implements Knuth's Algorithm D.
+///
+/// The class is a regular value type: copyable, movable, totally ordered,
+/// hashable, and streamable.  All operations are exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qadd {
+
+/// Arbitrary-precision signed integer (sign + magnitude, 32-bit limbs).
+///
+/// Invariants:
+///  - `limbs_` has no trailing (most-significant) zero limbs.
+///  - zero is represented as an empty limb vector with `negative_ == false`.
+class BigInt {
+public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Construct from a machine integer.
+  BigInt(std::int64_t value); // NOLINT(google-explicit-constructor): intended implicit
+
+  /// Construct from a decimal string, optionally signed ("-123", "+7", "0").
+  /// \throws std::invalid_argument on malformed input.
+  explicit BigInt(std::string_view decimal);
+
+  // -- observers ------------------------------------------------------------
+
+  [[nodiscard]] bool isZero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool isNegative() const noexcept { return negative_; }
+  [[nodiscard]] bool isOne() const noexcept;
+  [[nodiscard]] bool isOdd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1U) != 0; }
+  [[nodiscard]] bool isEven() const noexcept { return !isOdd(); }
+
+  /// Number of bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bitLength() const noexcept;
+
+  /// -1, 0, or +1.
+  [[nodiscard]] int sign() const noexcept {
+    return isZero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// True iff the value fits into int64_t.
+  [[nodiscard]] bool fitsInt64() const noexcept;
+
+  /// Value as int64_t. \pre fitsInt64()
+  [[nodiscard]] std::int64_t toInt64() const;
+
+  /// Closest double (may overflow to +-inf for huge magnitudes).
+  [[nodiscard]] double toDouble() const noexcept;
+
+  /// Decompose as m * 2^e with m in [0.5, 1) (or m == 0).  Never overflows,
+  /// which makes it suitable for forming ratios of huge integers.
+  [[nodiscard]] double toDoubleScaled(long& exponent2) const noexcept;
+
+  /// Decimal string ("-123", "0", ...).
+  [[nodiscard]] std::string toString() const;
+
+  // -- arithmetic -----------------------------------------------------------
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (rounds toward zero, like C++ integer division).
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder matching truncated division: (a/b)*b + a%b == a.
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  /// Quotient and remainder of truncated division in one pass.
+  /// \throws std::domain_error on division by zero.
+  static void divMod(const BigInt& numerator, const BigInt& denominator,
+                     BigInt& quotient, BigInt& remainder);
+
+  /// Quotient rounded to the *nearest* integer (ties away from zero).
+  /// Used by the Euclidean division in Z[omega].
+  [[nodiscard]] static BigInt divRound(const BigInt& numerator, const BigInt& denominator);
+
+  /// Left shift by `bits` (multiplication by 2^bits). \pre bits >= 0
+  [[nodiscard]] BigInt shiftLeft(std::size_t bits) const;
+  /// Arithmetic-magnitude right shift (divides magnitude by 2^bits, keeps sign;
+  /// truncates toward zero).
+  [[nodiscard]] BigInt shiftRight(std::size_t bits) const;
+
+  /// Greatest common divisor (always non-negative).
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// Largest e such that 2^e divides the value. \pre !isZero()
+  [[nodiscard]] std::size_t countTrailingZeroBits() const;
+
+  // -- comparison -----------------------------------------------------------
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) noexcept {
+    return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept;
+
+  /// FNV-style hash of the canonical representation.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+private:
+  using Limb = std::uint32_t;
+  using DoubleLimb = std::uint64_t;
+
+  static constexpr std::size_t kLimbBits = 32;
+  static constexpr std::size_t kKaratsubaThreshold = 32; // limbs
+
+  std::vector<Limb> limbs_; // little-endian magnitude
+  bool negative_ = false;
+
+  void trim() noexcept;
+
+  // magnitude helpers (ignore signs)
+  static int compareMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> addMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  /// \pre |a| >= |b|
+  static std::vector<Limb> subMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mulMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mulSchoolbook(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static void divModMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b,
+                              std::vector<Limb>& quotient, std::vector<Limb>& remainder);
+};
+
+/// Convenience literal-ish factory: 2^exponent.
+[[nodiscard]] BigInt pow2(std::size_t exponent);
+
+} // namespace qadd
+
+template <> struct std::hash<qadd::BigInt> {
+  std::size_t operator()(const qadd::BigInt& value) const noexcept { return value.hash(); }
+};

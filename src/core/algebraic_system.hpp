@@ -1,0 +1,106 @@
+/// \file algebraic_system.hpp
+/// The paper's contribution: an *algebraic* weight system for QMDDs.  Edge
+/// weights are exact elements of Q[omega] in canonical form, interned so that
+/// equality/hashing of weights is O(1) and every mathematically present
+/// redundancy is detected — perfect accuracy and perfect compactness at once
+/// (Section IV).
+///
+/// Two normalization schemes are provided, mirroring Section IV-B:
+///  - QOmegaInverse (Algorithm 2): divide by the leftmost non-zero weight
+///    using its exact multiplicative inverse in the field Q[omega];
+///  - GcdDOmega (Algorithm 3): stay in D[omega] and divide by the canonical
+///    GCD of the weights (adjusted by a unit to the canonical associate).
+#pragma once
+
+#include "algebraic/euclidean.hpp"
+#include "algebraic/qomega.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qadd::dd {
+
+class AlgebraicSystem {
+public:
+  using Weight = std::uint32_t;
+  static constexpr bool kExact = true;
+
+  /// Normalization schemes:
+  ///  - QOmegaInverse: Algorithm 2 (divide by the leftmost non-zero weight;
+  ///    exact inverses in the field Q[omega]).  Canonical.  Default.
+  ///  - GcdDOmega: Algorithm 3 (divide by the canonical GCD of the weights;
+  ///    stays in D[omega]).  Canonical.
+  ///  - UnitPart (EXPERIMENTAL, this repository's exploration of the paper's
+  ///    future-work direction): extract only the *unit part* of the leftmost
+  ///    non-zero weight (sqrt2/omega/(1+sqrt2) factors via the canonical
+  ///    associate).  Cheapest of the three and stays in D[omega], but
+  ///    canonical only up to non-unit common scalars: equal-up-to-scalar
+  ///    subdiagrams may fail to merge, so compactness can degrade and O(1)
+  ///    equivalence checking is lost.  Simulated values remain exact.
+  enum class Normalization { QOmegaInverse, GcdDOmega, UnitPart };
+
+  struct Config {
+    Normalization normalization = Normalization::QOmegaInverse;
+  };
+
+  AlgebraicSystem() : AlgebraicSystem(Config{}) {}
+  explicit AlgebraicSystem(Config config);
+
+  AlgebraicSystem(const AlgebraicSystem&) = delete;
+  AlgebraicSystem& operator=(const AlgebraicSystem&) = delete;
+
+  [[nodiscard]] Weight zero() const { return 0; }
+  [[nodiscard]] Weight one() const { return 1; }
+  [[nodiscard]] bool isZero(Weight w) const { return w == 0; }
+  [[nodiscard]] bool isOne(Weight w) const { return w == 1; }
+
+  [[nodiscard]] Weight add(Weight a, Weight b);
+  [[nodiscard]] Weight sub(Weight a, Weight b);
+  [[nodiscard]] Weight mul(Weight a, Weight b);
+  [[nodiscard]] Weight div(Weight a, Weight b);
+  [[nodiscard]] Weight neg(Weight a);
+  [[nodiscard]] Weight conj(Weight a);
+
+  /// Normalize the outgoing weights of a node in place and return the factor
+  /// to propagate (Algorithm 2 or 3).  \pre at least one weight is non-zero.
+  Weight normalize(std::span<Weight> weights);
+
+  [[nodiscard]] const alg::QOmega& value(Weight w) const { return *entries_[w]; }
+  [[nodiscard]] Weight intern(const alg::QOmega& value);
+
+  [[nodiscard]] std::complex<double> toComplex(Weight w) const {
+    return value(w).toComplex();
+  }
+
+  [[nodiscard]] std::size_t distinctValues() const { return entries_.size(); }
+  /// Largest coefficient/denominator bit width ever interned — the cost
+  /// driver the paper identifies for the GSE blow-up (Section V-B).
+  [[nodiscard]] std::size_t maxBits() const { return maxBits_; }
+  /// Fraction of normalizations whose produced weights were all 0 or 1
+  /// (trivial); the paper reports Q[omega]-inverse normalization keeps at
+  /// least half the weights trivial.
+  [[nodiscard]] double trivialWeightFraction() const {
+    return weightsProduced_ == 0
+               ? 1.0
+               : static_cast<double>(trivialWeightsProduced_) / static_cast<double>(weightsProduced_);
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::string describe() const;
+
+private:
+  Config config_;
+  // Intern pool: map owns the values; entries_ gives O(1) handle -> value.
+  std::unordered_map<alg::QOmega, Weight> pool_;
+  std::vector<const alg::QOmega*> entries_;
+  std::size_t maxBits_ = 0;
+  std::size_t weightsProduced_ = 0;
+  std::size_t trivialWeightsProduced_ = 0;
+};
+
+} // namespace qadd::dd

@@ -1,0 +1,114 @@
+/// \file export.hpp
+/// Inspection helpers for QMDDs: Graphviz DOT export (in the style of the
+/// paper's Fig. 1c, with weighted edges and zero stubs) and dense
+/// reconstruction of the represented vector/matrix for debugging and tests.
+#pragma once
+
+#include "core/package.hpp"
+#include "linalg/dense.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace qadd::dd {
+
+namespace detail {
+
+template <class System, class Node>
+void dotNodes(const Package<System>& package, const Node* node,
+              std::unordered_map<const Node*, std::size_t>& ids, std::ostream& os) {
+  if (node == nullptr || ids.contains(node)) {
+    return;
+  }
+  const std::size_t id = ids.size();
+  ids.emplace(node, id);
+  os << "  n" << id << " [label=\"q" << node->var << "\"];\n";
+  for (std::size_t i = 0; i < node->e.size(); ++i) {
+    const auto& child = node->e[i];
+    if (package.system().isZero(child.w)) {
+      // Zero stub, drawn as a point (like the stubs in the paper's figures).
+      os << "  z" << id << "_" << i << " [shape=point];\n";
+      os << "  n" << id << " -> z" << id << "_" << i << " [label=\"" << i << "\"];\n";
+      continue;
+    }
+    dotNodes(package, child.node, ids, os);
+    std::ostringstream weight;
+    const auto z = package.system().toComplex(child.w);
+    if (package.system().isOne(child.w)) {
+      weight << "";
+    } else {
+      weight << z.real() << (z.imag() < 0 ? "" : "+") << z.imag() << "i";
+    }
+    if (child.node == nullptr) {
+      os << "  t [shape=box,label=\"1\"];\n";
+      os << "  n" << id << " -> t [label=\"" << i << " " << weight.str() << "\"];\n";
+    } else {
+      os << "  n" << id << " -> n" << ids.at(child.node) << " [label=\"" << i << " "
+         << weight.str() << "\"];\n";
+    }
+  }
+}
+
+} // namespace detail
+
+/// Graphviz DOT text for a vector or matrix DD.
+template <class System, class Edge>
+[[nodiscard]] std::string toDot(const Package<System>& package, const Edge& root) {
+  std::ostringstream os;
+  os << "digraph qmdd {\n  node [shape=circle];\n";
+  const auto z = package.system().toComplex(root.w);
+  os << "  root [shape=none,label=\"" << z.real() << (z.imag() < 0 ? "" : "+") << z.imag()
+     << "i\"];\n";
+  std::unordered_map<const std::remove_pointer_t<decltype(root.node)>*, std::size_t> ids;
+  detail::dotNodes(package, root.node, ids, os);
+  if (root.node != nullptr) {
+    os << "  root -> n" << ids.at(root.node) << ";\n";
+  } else {
+    os << "  t [shape=box,label=\"1\"];\n  root -> t;\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+/// Dense state vector represented by a vector DD (2^n amplitudes).
+template <class System>
+[[nodiscard]] la::Vector toDenseVector(const Package<System>& package,
+                                       const typename Package<System>::VEdge& root) {
+  return la::Vector{package.amplitudes(root)};
+}
+
+/// Dense matrix represented by a matrix DD (for small qubit counts; used by
+/// the tests to compare against the linalg reference).
+template <class System>
+[[nodiscard]] la::Matrix toDenseMatrix(const Package<System>& package,
+                                       const typename Package<System>::MEdge& root) {
+  const std::size_t dimension = std::size_t{1} << package.qubits();
+  la::Matrix result(dimension);
+  const std::function<void(const typename Package<System>::MNode*, std::complex<double>,
+                           std::size_t, std::size_t, std::size_t)>
+      walk = [&](const auto* node, std::complex<double> acc, std::size_t row, std::size_t col,
+                 std::size_t half) {
+        if (acc == std::complex<double>{}) {
+          return;
+        }
+        if (node == nullptr) {
+          result.at(row, col) += acc;
+          return;
+        }
+        for (std::size_t i = 0; i < 4; ++i) {
+          const auto& child = node->e[i];
+          if (package.system().isZero(child.w)) {
+            continue;
+          }
+          const std::size_t r = row + ((i >> 1) != 0 ? half : 0);
+          const std::size_t c = col + ((i & 1) != 0 ? half : 0);
+          walk(child.node, acc * package.system().toComplex(child.w), r, c, half / 2);
+        }
+      };
+  walk(root.node, package.system().toComplex(root.w), 0, 0, dimension / 2);
+  return result;
+}
+
+} // namespace qadd::dd

@@ -1,0 +1,155 @@
+/// \file numeric_system.hpp
+/// The state-of-the-art *numerical* weight system for QMDDs (the baseline the
+/// paper evaluates): IEEE-754 floating-point complex numbers interned in a
+/// tolerance table, with the two normalization flavors from Section II-B
+/// (divide by the leftmost non-zero weight, or by the leftmost weight of
+/// maximal magnitude as proposed in [29]).
+///
+/// Templated on the float type: `NumericSystem` (double) is the paper's
+/// baseline; `ExtendedNumericSystem` (long double, 64-bit mantissa on x86)
+/// backs the precision-scaling experiment of Section V-A's closing remark —
+/// a wider mantissa lowers the error floor but can never reach zero.
+#pragma once
+
+#include "numeric/complex_table.hpp"
+#include "numeric/complex_value.hpp"
+
+#include <cassert>
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+
+namespace qadd::dd {
+
+template <class FloatT> class BasicNumericSystem {
+public:
+  using Weight = num::ComplexRef;
+  using Float = FloatT;
+  using Value = num::BasicComplexValue<FloatT>;
+  static constexpr bool kExact = false;
+
+  enum class Normalization { LeftmostNonzero, MaxMagnitude };
+
+  struct Config {
+    /// Tolerance epsilon for unifying weights (the paper's central knob).
+    double epsilon = 0.0;
+    Normalization normalization = Normalization::LeftmostNonzero;
+  };
+
+  explicit BasicNumericSystem(Config config)
+      : config_(config), table_(static_cast<FloatT>(config.epsilon)) {}
+
+  [[nodiscard]] Weight zero() const { return table_.zeroRef(); }
+  [[nodiscard]] Weight one() const { return table_.oneRef(); }
+  [[nodiscard]] bool isZero(Weight w) const { return w == table_.zeroRef(); }
+  [[nodiscard]] bool isOne(Weight w) const { return w == table_.oneRef(); }
+
+  [[nodiscard]] Weight add(Weight a, Weight b) {
+    return table_.lookup(table_.value(a) + table_.value(b));
+  }
+  [[nodiscard]] Weight sub(Weight a, Weight b) {
+    return table_.lookup(table_.value(a) - table_.value(b));
+  }
+  [[nodiscard]] Weight mul(Weight a, Weight b) {
+    if (isZero(a) || isZero(b)) {
+      return zero();
+    }
+    if (isOne(a)) {
+      return b;
+    }
+    if (isOne(b)) {
+      return a;
+    }
+    return table_.lookup(table_.value(a) * table_.value(b));
+  }
+  [[nodiscard]] Weight div(Weight a, Weight b) {
+    if (isZero(a)) {
+      return zero();
+    }
+    if (isOne(b)) {
+      return a;
+    }
+    return table_.lookup(table_.value(a) / table_.value(b));
+  }
+  [[nodiscard]] Weight neg(Weight a) {
+    const auto v = table_.value(a);
+    return table_.lookup({-v.re, -v.im});
+  }
+  [[nodiscard]] Weight conj(Weight a) { return table_.lookup(table_.value(a).conj()); }
+
+  /// Normalize the outgoing weights of a node in place and return the factor
+  /// to propagate to incoming edges.  \pre at least one weight is non-zero.
+  Weight normalize(std::span<Weight> weights) {
+    std::size_t pivot = weights.size();
+    if (config_.normalization == Normalization::LeftmostNonzero) {
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (!isZero(weights[i])) {
+          pivot = i;
+          break;
+        }
+      }
+    } else {
+      FloatT best = -1;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (isZero(weights[i])) {
+          continue;
+        }
+        const FloatT magnitude = table_.value(weights[i]).squaredMagnitude();
+        if (magnitude > best) { // strictly greater keeps the leftmost among equals
+          best = magnitude;
+          pivot = i;
+        }
+      }
+    }
+    assert(pivot < weights.size() && "normalize requires a non-zero weight");
+    const Weight factor = weights[pivot];
+    if (isOne(factor)) {
+      return factor;
+    }
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (isZero(weights[i])) {
+        continue;
+      }
+      // The pivot divides to exactly one by construction; forcing it avoids
+      // 0.999999... pivots from floating-point division.
+      weights[i] = i == pivot ? one() : div(weights[i], factor);
+    }
+    return factor;
+  }
+
+  [[nodiscard]] std::complex<double> toComplex(Weight w) const {
+    const auto v = table_.value(w);
+    return {static_cast<double>(v.re), static_cast<double>(v.im)};
+  }
+  [[nodiscard]] Weight fromComplex(std::complex<FloatT> z) {
+    return table_.lookup(Value::fromStd(z));
+  }
+
+  [[nodiscard]] std::size_t distinctValues() const { return table_.size(); }
+  /// Bit width of the representation (fixed for floats); interface parity
+  /// with AlgebraicSystem.
+  [[nodiscard]] std::size_t maxBits() const { return sizeof(FloatT) * 8; }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "numeric" << (sizeof(FloatT) > 8 ? "-ext" : "") << "(eps=" << config_.epsilon << ", "
+       << (config_.normalization == Normalization::LeftmostNonzero ? "leftmost" : "max-magnitude")
+       << ")";
+    return os.str();
+  }
+
+private:
+  Config config_;
+  num::BasicComplexTable<FloatT> table_;
+};
+
+/// The paper's baseline: IEEE-754 double precision.
+using NumericSystem = BasicNumericSystem<double>;
+/// Extended precision (x87 long double): the "scaling up the bit width"
+/// thought experiment of Section V-A, made runnable.
+using ExtendedNumericSystem = BasicNumericSystem<long double>;
+
+} // namespace qadd::dd

@@ -1,0 +1,813 @@
+/// \file package.hpp
+/// The QMDD package: weighted decision diagrams for quantum state vectors
+/// (2 successors per node) and unitary matrices (4 successors per node),
+/// templated over the weight system (NumericSystem or AlgebraicSystem).
+///
+/// Follows the QMDD construction of [15]/Section II-B: nodes are normalized
+/// (the normalization policy lives in the weight system), stored in unique
+/// tables for canonicity, and manipulated through cached recursive algorithms
+/// (addition, matrix-vector / matrix-matrix multiplication, Kronecker
+/// product, conjugate transpose, inner product).  Diagrams are
+/// quasi-reduced: every root-to-terminal path visits every variable, which
+/// keeps the algorithms uniform (no level-skipping case analysis).
+///
+/// Reference counting: a node holds one reference per parent edge plus any
+/// external references (incRef/decRef).  garbageCollect() clears the
+/// operation caches and sweeps ref == 0 nodes.
+#pragma once
+
+#include "algebraic/qomega.hpp" // exact amplitude accumulation (algebraic system)
+
+#include <array>
+#include <cassert>
+#include <complex>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace qadd::dd {
+
+/// Variable index; 0 is the topmost qubit (root level), as in the paper.
+using Qubit = std::uint32_t;
+
+template <class System> class Package {
+public:
+  using Weight = typename System::Weight;
+
+  struct VNode;
+  struct MNode;
+
+  /// Weighted edge into a vector DD.  node == nullptr means the edge goes to
+  /// the terminal.
+  struct VEdge {
+    VNode* node = nullptr;
+    Weight w{};
+    [[nodiscard]] bool isTerminal() const { return node == nullptr; }
+    friend bool operator==(const VEdge&, const VEdge&) = default;
+  };
+
+  /// Weighted edge into a matrix DD.
+  struct MEdge {
+    MNode* node = nullptr;
+    Weight w{};
+    [[nodiscard]] bool isTerminal() const { return node == nullptr; }
+    friend bool operator==(const MEdge&, const MEdge&) = default;
+  };
+
+  struct VNode {
+    std::array<VEdge, 2> e;
+    Qubit var = 0;
+    std::uint32_t ref = 0;
+  };
+
+  struct MNode {
+    std::array<MEdge, 4> e;
+    Qubit var = 0;
+    std::uint32_t ref = 0;
+  };
+
+  /// 2x2 gate matrix given as weights [u00, u01, u10, u11].
+  using GateMatrix = std::array<Weight, 4>;
+
+  explicit Package(Qubit nqubits, typename System::Config config = {})
+      : nqubits_(nqubits), system_(config) {}
+
+  Package(const Package&) = delete;
+  Package& operator=(const Package&) = delete;
+
+  [[nodiscard]] Qubit qubits() const { return nqubits_; }
+  [[nodiscard]] System& system() { return system_; }
+  [[nodiscard]] const System& system() const { return system_; }
+
+  // -- canonical edges ---------------------------------------------------------
+
+  [[nodiscard]] VEdge zeroVector() const { return {nullptr, system_.zero()}; }
+  [[nodiscard]] MEdge zeroMatrix() const { return {nullptr, system_.zero()}; }
+
+  // -- node construction (normalizing + unique table) ---------------------------
+
+  /// Create/lookup the canonical vector node; normalizes the children weights
+  /// and folds the extracted factor into the returned edge weight.
+  [[nodiscard]] VEdge makeVNode(Qubit var, std::array<VEdge, 2> children) {
+    return makeNode<VEdge, VNode, 2>(var, children, vUnique_, vPool_, vFree_);
+  }
+
+  /// Create/lookup the canonical matrix node (children in the paper's order:
+  /// top-left, top-right, bottom-left, bottom-right).
+  [[nodiscard]] MEdge makeMNode(Qubit var, std::array<MEdge, 4> children) {
+    return makeNode<MEdge, MNode, 4>(var, children, mUnique_, mPool_, mFree_);
+  }
+
+  // -- reference counting / garbage collection ---------------------------------
+
+  void incRef(const VEdge& e) {
+    if (e.node != nullptr) {
+      ++e.node->ref;
+    }
+  }
+  void decRef(const VEdge& e) {
+    if (e.node != nullptr) {
+      assert(e.node->ref > 0);
+      --e.node->ref;
+    }
+  }
+  void incRef(const MEdge& e) {
+    if (e.node != nullptr) {
+      ++e.node->ref;
+    }
+  }
+  void decRef(const MEdge& e) {
+    if (e.node != nullptr) {
+      assert(e.node->ref > 0);
+      --e.node->ref;
+    }
+  }
+
+  /// Drop all operation caches and free every node that is no longer
+  /// reachable from an externally referenced edge.
+  void garbageCollect() {
+    clearCaches();
+    sweep<VNode, 2>(vUnique_, vFree_);
+    sweep<MNode, 4>(mUnique_, mFree_);
+  }
+
+  void clearCaches() {
+    vAddCache_.clear();
+    mAddCache_.clear();
+    mvCache_.clear();
+    mmCache_.clear();
+    vKronCache_.clear();
+    mKronCache_.clear();
+    transposeCache_.clear();
+    innerCache_.clear();
+    traceCache_.clear();
+  }
+
+  /// Number of live (allocated, not freed) nodes across both node types.
+  [[nodiscard]] std::size_t allocatedNodes() const {
+    return vPool_.size() + mPool_.size() - vFreeCount_ - mFreeCount_;
+  }
+  [[nodiscard]] std::size_t peakNodes() const { return peakNodes_; }
+
+  // -- builders -----------------------------------------------------------------
+
+  /// |b_0 b_1 ... b_{n-1}> with b_0 the top qubit.
+  [[nodiscard]] VEdge makeBasisState(std::span<const bool> bits) {
+    assert(bits.size() == nqubits_);
+    VEdge e{nullptr, system_.one()};
+    for (Qubit var = nqubits_; var-- > 0;) {
+      if (bits[var]) {
+        e = makeVNode(var, {zeroVector(), e});
+      } else {
+        e = makeVNode(var, {e, zeroVector()});
+      }
+    }
+    return e;
+  }
+
+  /// |00...0>.
+  [[nodiscard]] VEdge makeZeroState() {
+    VEdge e{nullptr, system_.one()};
+    for (Qubit var = nqubits_; var-- > 0;) {
+      e = makeVNode(var, {e, zeroVector()});
+    }
+    return e;
+  }
+
+  /// Identity on all qubits.
+  [[nodiscard]] MEdge makeIdentity() {
+    MEdge e{nullptr, system_.one()};
+    for (Qubit var = nqubits_; var-- > 0;) {
+      e = makeMNode(var, {e, zeroMatrix(), zeroMatrix(), e});
+    }
+    return e;
+  }
+
+  /// Build the DD of an arbitrary state vector given its 2^n amplitudes as
+  /// weights (index 0 = |0...0>, qubit 0 is the most significant bit).
+  /// Performs the usual bottom-up construction with normalization, so equal
+  /// (sub-)vectors share nodes.  \pre amplitudes.size() == 2^qubits()
+  [[nodiscard]] VEdge makeStateFromWeights(std::span<const Weight> amplitudes) {
+    assert(amplitudes.size() == (std::size_t{1} << nqubits_));
+    return buildStateRange(0, amplitudes);
+  }
+
+  /// Control polarity for controlled gates.
+  enum class Control : std::uint8_t { Positive, Negative };
+
+  /// DD of the n-qubit unitary applying `u` to `target`, conditioned on the
+  /// given controls; identity on every other qubit.  Built as
+  /// I + P_controls (x) (U - I), which handles arbitrary control sets.
+  [[nodiscard]] MEdge makeGate(const GateMatrix& u, Qubit target,
+                               std::span<const std::pair<Qubit, Control>> controls = {}) {
+    assert(target < nqubits_);
+    if (controls.empty()) {
+      // Plain chain: identity above and below, U at the target level.
+      MEdge e{nullptr, system_.one()};
+      for (Qubit var = nqubits_; var-- > 0;) {
+        if (var == target) {
+          e = makeMNode(var, {scale(e, u[0]), scale(e, u[1]), scale(e, u[2]), scale(e, u[3])});
+        } else {
+          e = makeMNode(var, {e, zeroMatrix(), zeroMatrix(), e});
+        }
+      }
+      return e;
+    }
+    // Controlled: G = I + C where C applies (U - I) on the target restricted
+    // to the subspace selected by the controls.
+    const GateMatrix uMinusI{system_.sub(u[0], system_.one()), u[1], u[2],
+                             system_.sub(u[3], system_.one())};
+    MEdge c{nullptr, system_.one()};
+    for (Qubit var = nqubits_; var-- > 0;) {
+      bool isControl = false;
+      Control polarity = Control::Positive;
+      for (const auto& [q, pol] : controls) {
+        assert(q < nqubits_ && q != target);
+        if (q == var) {
+          isControl = true;
+          polarity = pol;
+          break;
+        }
+      }
+      if (var == target) {
+        c = makeMNode(var, {scale(c, uMinusI[0]), scale(c, uMinusI[1]), scale(c, uMinusI[2]),
+                            scale(c, uMinusI[3])});
+      } else if (isControl) {
+        if (polarity == Control::Positive) {
+          c = makeMNode(var, {zeroMatrix(), zeroMatrix(), zeroMatrix(), c});
+        } else {
+          c = makeMNode(var, {c, zeroMatrix(), zeroMatrix(), zeroMatrix()});
+        }
+      } else {
+        c = makeMNode(var, {c, zeroMatrix(), zeroMatrix(), c});
+      }
+    }
+    return add(makeIdentity(), c);
+  }
+
+  // -- arithmetic ---------------------------------------------------------------
+
+  [[nodiscard]] VEdge add(const VEdge& a, const VEdge& b) {
+    if (system_.isZero(a.w)) {
+      return b;
+    }
+    if (system_.isZero(b.w)) {
+      return a;
+    }
+    if (a.isTerminal() && b.isTerminal()) {
+      return {nullptr, system_.add(a.w, b.w)};
+    }
+    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
+    // Canonical operand order (addition is commutative).
+    const VEdge& x = orderForAdd(a, b) ? a : b;
+    const VEdge& y = orderForAdd(a, b) ? b : a;
+    const EdgeKey key{x.node, x.w, y.node, y.w};
+    if (const auto it = vAddCache_.find(key); it != vAddCache_.end()) {
+      return it->second;
+    }
+    std::array<VEdge, 2> children;
+    for (std::size_t i = 0; i < 2; ++i) {
+      children[i] = add(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
+    }
+    const VEdge result = makeVNode(x.node->var, children);
+    vAddCache_.emplace(key, result);
+    return result;
+  }
+
+  [[nodiscard]] MEdge add(const MEdge& a, const MEdge& b) {
+    if (system_.isZero(a.w)) {
+      return b;
+    }
+    if (system_.isZero(b.w)) {
+      return a;
+    }
+    if (a.isTerminal() && b.isTerminal()) {
+      return {nullptr, system_.add(a.w, b.w)};
+    }
+    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
+    const bool ordered = std::less<const void*>{}(a.node, b.node) ||
+                         (a.node == b.node && a.w <= b.w);
+    const MEdge& x = ordered ? a : b;
+    const MEdge& y = ordered ? b : a;
+    const EdgeKey key{x.node, x.w, y.node, y.w};
+    if (const auto it = mAddCache_.find(key); it != mAddCache_.end()) {
+      return it->second;
+    }
+    std::array<MEdge, 4> children;
+    for (std::size_t i = 0; i < 4; ++i) {
+      children[i] = add(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
+    }
+    const MEdge result = makeMNode(x.node->var, children);
+    mAddCache_.emplace(key, result);
+    return result;
+  }
+
+  /// Matrix-vector product M|v>.
+  [[nodiscard]] VEdge multiply(const MEdge& m, const VEdge& v) {
+    if (system_.isZero(m.w) || system_.isZero(v.w)) {
+      return zeroVector();
+    }
+    const Weight w = system_.mul(m.w, v.w);
+    if (m.isTerminal() && v.isTerminal()) {
+      return {nullptr, w};
+    }
+    assert(!m.isTerminal() && !v.isTerminal() && m.node->var == v.node->var);
+    const NodePairKey key{m.node, v.node};
+    if (const auto it = mvCache_.find(key); it != mvCache_.end()) {
+      return weighted(it->second, w);
+    }
+    std::array<VEdge, 2> children;
+    for (std::size_t row = 0; row < 2; ++row) {
+      const VEdge partial0 = multiply(m.node->e[2 * row], v.node->e[0]);
+      const VEdge partial1 = multiply(m.node->e[2 * row + 1], v.node->e[1]);
+      children[row] = add(partial0, partial1);
+    }
+    const VEdge result = makeVNode(m.node->var, children);
+    mvCache_.emplace(key, result);
+    return weighted(result, w);
+  }
+
+  /// Matrix-matrix product A*B.
+  [[nodiscard]] MEdge multiply(const MEdge& a, const MEdge& b) {
+    if (system_.isZero(a.w) || system_.isZero(b.w)) {
+      return zeroMatrix();
+    }
+    const Weight w = system_.mul(a.w, b.w);
+    if (a.isTerminal() && b.isTerminal()) {
+      return {nullptr, w};
+    }
+    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
+    const NodePairKey key{a.node, b.node};
+    if (const auto it = mmCache_.find(key); it != mmCache_.end()) {
+      return weighted(it->second, w);
+    }
+    std::array<MEdge, 4> children;
+    for (std::size_t row = 0; row < 2; ++row) {
+      for (std::size_t col = 0; col < 2; ++col) {
+        const MEdge p0 = multiply(a.node->e[2 * row], b.node->e[col]);
+        const MEdge p1 = multiply(a.node->e[2 * row + 1], b.node->e[2 + col]);
+        children[2 * row + col] = add(p0, p1);
+      }
+    }
+    const MEdge result = makeMNode(a.node->var, children);
+    mmCache_.emplace(key, result);
+    return weighted(result, w);
+  }
+
+  /// |top> (x) |bottom>; top's variables must all lie above bottom's.
+  [[nodiscard]] VEdge kronecker(const VEdge& top, const VEdge& bottom) {
+    if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
+      return zeroVector();
+    }
+    const Weight w = system_.mul(top.w, bottom.w);
+    if (top.isTerminal()) {
+      return weighted(VEdge{bottom.node, system_.one()}, w);
+    }
+    const NodePairKey key{top.node, bottom.node};
+    if (const auto it = vKronCache_.find(key); it != vKronCache_.end()) {
+      return weighted(it->second, w);
+    }
+    const VEdge stripBottom{bottom.node, system_.one()};
+    std::array<VEdge, 2> children;
+    for (std::size_t i = 0; i < 2; ++i) {
+      children[i] = kronecker(top.node->e[i], stripBottom);
+    }
+    const VEdge result = makeVNode(top.node->var, children);
+    vKronCache_.emplace(key, result);
+    return weighted(result, w);
+  }
+
+  /// A (x) B for matrices; same variable discipline as the vector overload.
+  [[nodiscard]] MEdge kronecker(const MEdge& top, const MEdge& bottom) {
+    if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
+      return zeroMatrix();
+    }
+    const Weight w = system_.mul(top.w, bottom.w);
+    if (top.isTerminal()) {
+      return weighted(MEdge{bottom.node, system_.one()}, w);
+    }
+    const NodePairKey key{top.node, bottom.node};
+    if (const auto it = mKronCache_.find(key); it != mKronCache_.end()) {
+      return weighted(it->second, w);
+    }
+    const MEdge stripBottom{bottom.node, system_.one()};
+    std::array<MEdge, 4> children;
+    for (std::size_t i = 0; i < 4; ++i) {
+      children[i] = kronecker(top.node->e[i], stripBottom);
+    }
+    const MEdge result = makeMNode(top.node->var, children);
+    mKronCache_.emplace(key, result);
+    return weighted(result, w);
+  }
+
+  /// Conjugate transpose (adjoint) of a matrix DD.
+  [[nodiscard]] MEdge conjugateTranspose(const MEdge& a) {
+    if (system_.isZero(a.w)) {
+      return zeroMatrix();
+    }
+    const Weight w = system_.conj(a.w);
+    if (a.isTerminal()) {
+      return {nullptr, w};
+    }
+    if (const auto it = transposeCache_.find(a.node); it != transposeCache_.end()) {
+      return weighted(it->second, w);
+    }
+    std::array<MEdge, 4> children{
+        conjugateTranspose(a.node->e[0]), conjugateTranspose(a.node->e[2]),
+        conjugateTranspose(a.node->e[1]), conjugateTranspose(a.node->e[3])};
+    const MEdge result = makeMNode(a.node->var, children);
+    transposeCache_.emplace(a.node, result);
+    return weighted(result, w);
+  }
+
+  /// True iff the two matrix DDs represent the same unitary up to a global
+  /// phase: canonical diagrams make this a root comparison plus one
+  /// magnitude check on the root-weight ratio.  (Useful when comparing
+  /// against Solovay-Kitaev output, which is projective.)
+  [[nodiscard]] bool equalUpToGlobalPhase(const MEdge& a, const MEdge& b) {
+    if (a.node != b.node) {
+      return false;
+    }
+    if (a.w == b.w) {
+      return true;
+    }
+    if (system_.isZero(a.w) || system_.isZero(b.w)) {
+      return false;
+    }
+    // ratio = a.w / b.w must have |ratio| == 1.
+    const Weight ratio = system_.div(a.w, b.w);
+    const Weight magnitude = system_.mul(ratio, system_.conj(ratio));
+    return system_.isOne(magnitude);
+  }
+
+  /// Fidelity |<a|b>|^2 as a double (exact up to the final conversion for
+  /// the algebraic system).
+  [[nodiscard]] double fidelity(const VEdge& a, const VEdge& b) {
+    const auto overlap = system_.toComplex(innerProduct(a, b));
+    return std::norm(overlap);
+  }
+
+  /// Expectation value <psi| M |psi> as a weight.
+  [[nodiscard]] Weight expectationValue(const MEdge& observable, const VEdge& state) {
+    const VEdge applied = multiply(observable, state);
+    return innerProduct(state, applied);
+  }
+
+  /// Matrix trace tr(A) as a weight (sum of the 2^n diagonal entries,
+  /// computed in O(|DD|) with memoization).
+  [[nodiscard]] Weight trace(const MEdge& a) {
+    if (system_.isZero(a.w)) {
+      return system_.zero();
+    }
+    if (a.isTerminal()) {
+      // Terminal 1x1 "matrix" scaled by the identity chain below: the
+      // caller's variable bookkeeping guarantees terminals only occur at
+      // the bottom, so the contribution is just the weight.
+      return a.w;
+    }
+    Weight per = system_.zero();
+    if (const auto it = traceCache_.find(a.node); it != traceCache_.end()) {
+      per = it->second;
+    } else {
+      per = system_.add(trace(a.node->e[0]), trace(a.node->e[3]));
+      traceCache_.emplace(a.node, per);
+    }
+    return system_.mul(a.w, per);
+  }
+
+  /// Process fidelity |tr(A^dagger B)| / 2^n — the standard "equal up to
+  /// global phase" metric of DD-based equivalence checkers.  1.0 iff the
+  /// unitaries coincide up to phase.
+  [[nodiscard]] double processFidelity(const MEdge& a, const MEdge& b) {
+    const auto overlap = multiply(conjugateTranspose(a), b);
+    const auto traced = system_.toComplex(trace(overlap));
+    return std::abs(traced) / std::ldexp(1.0, static_cast<int>(nqubits_));
+  }
+
+  /// <a|b> (conjugate-linear in a).
+  [[nodiscard]] Weight innerProduct(const VEdge& a, const VEdge& b) {
+    if (system_.isZero(a.w) || system_.isZero(b.w)) {
+      return system_.zero();
+    }
+    const Weight w = system_.mul(system_.conj(a.w), b.w);
+    if (a.isTerminal() && b.isTerminal()) {
+      return w;
+    }
+    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
+    const NodePairKey key{a.node, b.node};
+    if (const auto it = innerCache_.find(key); it != innerCache_.end()) {
+      return system_.mul(w, it->second);
+    }
+    Weight sum = system_.zero();
+    for (std::size_t i = 0; i < 2; ++i) {
+      sum = system_.add(sum, innerProduct(a.node->e[i], b.node->e[i]));
+    }
+    innerCache_.emplace(key, sum);
+    return system_.mul(w, sum);
+  }
+
+  // -- inspection ----------------------------------------------------------------
+
+  /// Number of DD nodes reachable from the edge (terminals not counted) —
+  /// the compactness measure plotted in the paper's figures.
+  [[nodiscard]] std::size_t countNodes(const VEdge& e) const {
+    std::unordered_set<const VNode*> visited;
+    countNodesImpl<VNode>(e.node, visited);
+    return visited.size();
+  }
+  [[nodiscard]] std::size_t countNodes(const MEdge& e) const {
+    std::unordered_set<const MNode*> visited;
+    countNodesImpl<MNode>(e.node, visited);
+    return visited.size();
+  }
+
+  /// All 2^n amplitudes as complex doubles.  For the algebraic system the
+  /// path products are accumulated exactly and converted only at the leaves,
+  /// so the result carries a single final rounding.
+  [[nodiscard]] std::vector<std::complex<double>> amplitudes(const VEdge& e) const {
+    std::vector<std::complex<double>> out(std::size_t{1} << nqubits_);
+    if constexpr (System::kExact) {
+      amplitudesExact(e.node, system_.value(e.w), 0, out);
+    } else {
+      amplitudesApprox(e.node, system_.toComplex(e.w), 0, out);
+    }
+    return out;
+  }
+
+  /// Single amplitude <bits|e>.
+  [[nodiscard]] std::complex<double> amplitude(const VEdge& e, std::span<const bool> bits) const {
+    assert(bits.size() == nqubits_);
+    if constexpr (System::kExact) {
+      alg::QOmega acc = system_.value(e.w);
+      const VNode* node = e.node;
+      for (const bool bit : bits) {
+        if (acc.isZero()) {
+          return {};
+        }
+        assert(node != nullptr);
+        const VEdge& next = node->e[bit ? 1 : 0];
+        acc *= system_.value(next.w);
+        node = next.node;
+      }
+      return acc.toComplex();
+    } else {
+      std::complex<double> acc = system_.toComplex(e.w);
+      const VNode* node = e.node;
+      for (const bool bit : bits) {
+        if (acc == std::complex<double>{}) {
+          return {};
+        }
+        assert(node != nullptr);
+        const VEdge& next = node->e[bit ? 1 : 0];
+        acc *= system_.toComplex(next.w);
+        node = next.node;
+      }
+      return acc;
+    }
+  }
+
+private:
+  struct EdgeKey {
+    const void* n1;
+    Weight w1;
+    const void* n2;
+    Weight w2;
+    friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& k) const noexcept {
+      std::size_t h = std::hash<const void*>{}(k.n1);
+      h = h * 0x9e3779b97f4a7c15ULL + k.w1;
+      h = h * 0x9e3779b97f4a7c15ULL + std::hash<const void*>{}(k.n2);
+      h = h * 0x9e3779b97f4a7c15ULL + k.w2;
+      return h;
+    }
+  };
+  struct NodePairKey {
+    const void* n1;
+    const void* n2;
+    friend bool operator==(const NodePairKey&, const NodePairKey&) = default;
+  };
+  struct NodePairKeyHash {
+    std::size_t operator()(const NodePairKey& k) const noexcept {
+      return std::hash<const void*>{}(k.n1) * 0x9e3779b97f4a7c15ULL ^
+             std::hash<const void*>{}(k.n2);
+    }
+  };
+
+  template <std::size_t N> struct UniqueKey {
+    Qubit var;
+    std::array<const void*, N> nodes;
+    std::array<Weight, N> weights;
+    friend bool operator==(const UniqueKey&, const UniqueKey&) = default;
+  };
+  template <std::size_t N> struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey<N>& k) const noexcept {
+      std::size_t h = k.var;
+      for (std::size_t i = 0; i < N; ++i) {
+        h = h * 0x9e3779b97f4a7c15ULL + std::hash<const void*>{}(k.nodes[i]);
+        h = h * 0x9e3779b97f4a7c15ULL + k.weights[i];
+      }
+      return h;
+    }
+  };
+
+  [[nodiscard]] bool orderForAdd(const VEdge& a, const VEdge& b) const {
+    return std::less<const void*>{}(a.node, b.node) || (a.node == b.node && a.w <= b.w);
+  }
+
+  [[nodiscard]] VEdge weighted(const VEdge& e, Weight w) {
+    if (system_.isZero(e.w) || system_.isZero(w)) {
+      return zeroVector();
+    }
+    return {e.node, system_.mul(w, e.w)};
+  }
+  [[nodiscard]] MEdge weighted(const MEdge& e, Weight w) {
+    if (system_.isZero(e.w) || system_.isZero(w)) {
+      return zeroMatrix();
+    }
+    return {e.node, system_.mul(w, e.w)};
+  }
+  [[nodiscard]] MEdge scale(const MEdge& e, Weight w) { return weighted(e, w); }
+
+  template <class Edge, class Node, std::size_t N>
+  [[nodiscard]] Edge makeNode(
+      Qubit var, std::array<Edge, N>& children,
+      std::unordered_map<UniqueKey<N>, Node*, UniqueKeyHash<N>>& unique, std::deque<Node>& pool,
+      std::vector<Node*>& freeList) {
+    assert(var < nqubits_);
+    // Zero-weight edges point to the terminal canonically.
+    bool allZero = true;
+    std::array<Weight, N> weights;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (system_.isZero(children[i].w)) {
+        children[i] = Edge{nullptr, system_.zero()};
+        weights[i] = system_.zero();
+      } else {
+        allZero = false;
+        weights[i] = children[i].w;
+      }
+    }
+    if (allZero) {
+      return Edge{nullptr, system_.zero()};
+    }
+    const Weight factor = system_.normalize(std::span<Weight>(weights));
+    for (std::size_t i = 0; i < N; ++i) {
+      // Under a tolerant numeric system, normalization may snap a weight to
+      // zero; keep the zero-edge canonical form (terminal stub).
+      if (system_.isZero(weights[i])) {
+        children[i] = Edge{nullptr, system_.zero()};
+        weights[i] = system_.zero();
+      } else {
+        children[i].w = weights[i];
+      }
+    }
+
+    UniqueKey<N> key{var, {}, weights};
+    for (std::size_t i = 0; i < N; ++i) {
+      key.nodes[i] = children[i].node;
+    }
+    if (const auto it = unique.find(key); it != unique.end()) {
+      return Edge{it->second, factor};
+    }
+    Node* node = nullptr;
+    if (!freeList.empty()) {
+      node = freeList.back();
+      freeList.pop_back();
+      if constexpr (std::is_same_v<Node, VNode>) {
+        --vFreeCount_;
+      } else {
+        --mFreeCount_;
+      }
+    } else {
+      node = &pool.emplace_back();
+    }
+    node->var = var;
+    node->ref = 0;
+    node->e = children;
+    for (const Edge& child : children) {
+      if (child.node != nullptr) {
+        ++child.node->ref;
+      }
+    }
+    unique.emplace(std::move(key), node);
+    peakNodes_ = std::max(peakNodes_, allocatedNodes());
+    return Edge{node, factor};
+  }
+
+  template <class Node, std::size_t N>
+  void sweep(std::unordered_map<UniqueKey<N>, Node*, UniqueKeyHash<N>>& unique,
+             std::vector<Node*>& freeList) {
+    // Iteratively remove ref == 0 nodes (freeing one decrements its
+    // children, which may become dead in turn).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto it = unique.begin(); it != unique.end();) {
+        Node* node = it->second;
+        if (node->ref == 0) {
+          for (auto& child : node->e) {
+            if (child.node != nullptr) {
+              assert(child.node->ref > 0);
+              --child.node->ref;
+            }
+          }
+          freeList.push_back(node);
+          if constexpr (std::is_same_v<Node, VNode>) {
+            ++vFreeCount_;
+          } else {
+            ++mFreeCount_;
+          }
+          it = unique.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  template <class Node>
+  void countNodesImpl(const Node* node, std::unordered_set<const Node*>& visited) const {
+    if (node == nullptr || !visited.insert(node).second) {
+      return;
+    }
+    for (const auto& child : node->e) {
+      countNodesImpl(child.node, visited);
+    }
+  }
+
+  /// Bottom-up construction for makeStateFromWeights: the DD over variables
+  /// [var, n) representing the amplitude block `amplitudes`.
+  [[nodiscard]] VEdge buildStateRange(Qubit var, std::span<const Weight> amplitudes) {
+    if (var == nqubits_) {
+      assert(amplitudes.size() == 1);
+      return VEdge{nullptr, amplitudes[0]};
+    }
+    const std::size_t half = amplitudes.size() / 2;
+    std::array<VEdge, 2> children{buildStateRange(var + 1, amplitudes.subspan(0, half)),
+                                  buildStateRange(var + 1, amplitudes.subspan(half))};
+    if (system_.isZero(children[0].w) && system_.isZero(children[1].w)) {
+      return zeroVector();
+    }
+    return makeVNode(var, children);
+  }
+
+  void amplitudesExact(const VNode* node, const alg::QOmega& acc, std::size_t base,
+                       std::vector<std::complex<double>>& out) const {
+    if (acc.isZero()) {
+      return;
+    }
+    if (node == nullptr) {
+      out[base] = acc.toComplex();
+      return;
+    }
+    const std::size_t stride = std::size_t{1} << (nqubits_ - node->var - 1);
+    amplitudesExact(node->e[0].node, acc * system_.value(node->e[0].w), base, out);
+    amplitudesExact(node->e[1].node, acc * system_.value(node->e[1].w), base + stride, out);
+  }
+
+  void amplitudesApprox(const VNode* node, std::complex<double> acc, std::size_t base,
+                        std::vector<std::complex<double>>& out) const {
+    if (acc == std::complex<double>{}) {
+      return;
+    }
+    if (node == nullptr) {
+      out[base] = acc;
+      return;
+    }
+    const std::size_t stride = std::size_t{1} << (nqubits_ - node->var - 1);
+    amplitudesApprox(node->e[0].node, acc * system_.toComplex(node->e[0].w), base, out);
+    amplitudesApprox(node->e[1].node, acc * system_.toComplex(node->e[1].w), base + stride, out);
+  }
+
+  Qubit nqubits_;
+  System system_;
+
+  std::deque<VNode> vPool_;
+  std::deque<MNode> mPool_;
+  std::vector<VNode*> vFree_;
+  std::vector<MNode*> mFree_;
+  std::size_t vFreeCount_ = 0;
+  std::size_t mFreeCount_ = 0;
+  std::size_t peakNodes_ = 0;
+
+  std::unordered_map<UniqueKey<2>, VNode*, UniqueKeyHash<2>> vUnique_;
+  std::unordered_map<UniqueKey<4>, MNode*, UniqueKeyHash<4>> mUnique_;
+
+  std::unordered_map<EdgeKey, VEdge, EdgeKeyHash> vAddCache_;
+  std::unordered_map<EdgeKey, MEdge, EdgeKeyHash> mAddCache_;
+  std::unordered_map<NodePairKey, VEdge, NodePairKeyHash> mvCache_;
+  std::unordered_map<NodePairKey, MEdge, NodePairKeyHash> mmCache_;
+  std::unordered_map<NodePairKey, VEdge, NodePairKeyHash> vKronCache_;
+  std::unordered_map<NodePairKey, MEdge, NodePairKeyHash> mKronCache_;
+  std::unordered_map<const MNode*, MEdge> transposeCache_;
+  std::unordered_map<NodePairKey, Weight, NodePairKeyHash> innerCache_;
+  std::unordered_map<const MNode*, Weight> traceCache_;
+};
+
+} // namespace qadd::dd

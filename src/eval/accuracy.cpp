@@ -1,0 +1,30 @@
+#include "eval/accuracy.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace qadd::eval {
+
+double vectorNorm(const std::vector<std::complex<double>>& v) {
+  double sum = 0.0;
+  for (const auto& amplitude : v) {
+    sum += std::norm(amplitude);
+  }
+  return std::sqrt(sum);
+}
+
+double accuracyError(const std::vector<std::complex<double>>& numeric,
+                     const std::vector<std::complex<double>>& algebraicReference) {
+  assert(numeric.size() == algebraicReference.size());
+  const double numericNorm = vectorNorm(numeric);
+  if (numericNorm == 0.0) {
+    return vectorNorm(algebraicReference);
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    sum += std::norm(numeric[i] / numericNorm - algebraicReference[i]);
+  }
+  return std::sqrt(sum);
+}
+
+} // namespace qadd::eval

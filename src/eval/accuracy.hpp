@@ -1,0 +1,21 @@
+/// \file accuracy.hpp
+/// The paper's accuracy metric (Section V, footnote 8): the Euclidean norm of
+/// v_num - v_alg after rescaling the numerically computed vector to unit
+/// norm (a length error alone is trivially fixable, so it is not counted —
+/// except for the all-zero vector, which is maximally wrong).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace qadd::eval {
+
+/// ||v_num/||v_num|| - v_alg||_2; if v_num is the zero vector the error is
+/// reported as ||v_alg||_2 (= 1 for a unit reference) instead.
+[[nodiscard]] double accuracyError(const std::vector<std::complex<double>>& numeric,
+                                   const std::vector<std::complex<double>>& algebraicReference);
+
+/// ||v||_2.
+[[nodiscard]] double vectorNorm(const std::vector<std::complex<double>>& v);
+
+} // namespace qadd::eval

@@ -1,0 +1,124 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace qadd::eval {
+
+namespace {
+
+double component(const TracePoint& point, Series series) {
+  switch (series) {
+  case Series::Nodes:
+    return static_cast<double>(point.nodes);
+  case Series::Seconds:
+    return point.seconds;
+  case Series::Error:
+    return point.error;
+  case Series::MaxBits:
+    return static_cast<double>(point.maxBits);
+  }
+  return 0.0;
+}
+
+} // namespace
+
+void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces) {
+  os << "series,gate,nodes,seconds,error,maxbits\n";
+  os << std::setprecision(12);
+  for (const SimulationTrace& trace : traces) {
+    for (const TracePoint& point : trace.points) {
+      os << trace.label << "," << point.gateIndex << "," << point.nodes << "," << point.seconds
+         << "," << point.error << "," << point.maxBits << "\n";
+    }
+  }
+}
+
+void printSummaryTable(std::ostream& os, const std::vector<SimulationTrace>& traces) {
+  os << std::left << std::setw(28) << "series" << std::right << std::setw(12) << "final nodes"
+     << std::setw(12) << "peak nodes" << std::setw(12) << "time [s]" << std::setw(14)
+     << "final error" << std::setw(8) << "zero?" << "\n";
+  for (const SimulationTrace& trace : traces) {
+    os << std::left << std::setw(28) << trace.label << std::right << std::setw(12)
+       << trace.finalNodes << std::setw(12) << trace.peakNodes << std::setw(12) << std::fixed
+       << std::setprecision(3) << trace.totalSeconds << std::setw(14) << std::scientific
+       << std::setprecision(2) << trace.finalError << std::setw(8)
+       << (trace.collapsedToZero ? "YES" : "no") << "\n";
+    os.unsetf(std::ios::floatfield);
+  }
+}
+
+void printAsciiChart(std::ostream& os, const std::string& title,
+                     const std::vector<SimulationTrace>& traces, Series series, bool logY) {
+  constexpr int kWidth = 72;
+  constexpr int kHeight = 16;
+  static constexpr char kSymbols[] = "A#*+o.x%@$";
+
+  // Gather value range.
+  double minY = std::numeric_limits<double>::infinity();
+  double maxY = -std::numeric_limits<double>::infinity();
+  std::size_t maxGate = 1;
+  for (const SimulationTrace& trace : traces) {
+    for (const TracePoint& point : trace.points) {
+      double y = component(point, series);
+      if (!std::isfinite(y) || (logY && y <= 0.0)) {
+        continue;
+      }
+      if (logY) {
+        y = std::log10(y);
+      }
+      minY = std::min(minY, y);
+      maxY = std::max(maxY, y);
+      maxGate = std::max(maxGate, point.gateIndex);
+    }
+  }
+  os << "\n== " << title << (logY ? "  [log10 y]" : "") << " ==\n";
+  if (!std::isfinite(minY)) {
+    os << "(no data)\n";
+    return;
+  }
+  if (maxY - minY < 1e-12) {
+    maxY = minY + 1.0;
+  }
+
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const char symbol = kSymbols[t % (sizeof(kSymbols) - 1)];
+    for (const TracePoint& point : traces[t].points) {
+      double y = component(point, series);
+      if (!std::isfinite(y) || (logY && y <= 0.0)) {
+        continue;
+      }
+      if (logY) {
+        y = std::log10(y);
+      }
+      const int col = static_cast<int>(
+          std::min<double>(kWidth - 1, std::floor(static_cast<double>(point.gateIndex) /
+                                                  static_cast<double>(maxGate) * (kWidth - 1))));
+      const int row = static_cast<int>(
+          std::min<double>(kHeight - 1, std::floor((maxY - y) / (maxY - minY) * (kHeight - 1))));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = symbol;
+    }
+  }
+  os << std::setprecision(3);
+  for (int row = 0; row < kHeight; ++row) {
+    if (row == 0) {
+      os << std::setw(10) << maxY << " |";
+    } else if (row == kHeight - 1) {
+      os << std::setw(10) << minY << " |";
+    } else {
+      os << std::string(10, ' ') << " |";
+    }
+    os << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(kWidth, '-') << "\n";
+  os << std::string(12, ' ') << "0" << std::string(kWidth - 8, ' ') << maxGate << " gates\n";
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    os << "  " << kSymbols[t % (sizeof(kSymbols) - 1)] << " = " << traces[t].label << "\n";
+  }
+}
+
+} // namespace qadd::eval

@@ -1,0 +1,30 @@
+/// \file report.hpp
+/// Presentation of simulation traces: CSV emission (one row per sample, one
+/// file per experiment — the data behind each figure) and compact console
+/// rendering (summary table + ASCII charts of the per-gate series).
+#pragma once
+
+#include "eval/trace.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qadd::eval {
+
+/// CSV with columns: series,gate,nodes,seconds,error,maxbits.
+void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces);
+
+/// One-line-per-series summary (final nodes, peak nodes, total time, final
+/// error, zero-collapse flag).
+void printSummaryTable(std::ostream& os, const std::vector<SimulationTrace>& traces);
+
+/// Which TracePoint component to plot.
+enum class Series { Nodes, Seconds, Error, MaxBits };
+
+/// Multi-series ASCII chart (x = gate index).  `logY` plots log10 of the
+/// values (zeros/NaNs are skipped).
+void printAsciiChart(std::ostream& os, const std::string& title,
+                     const std::vector<SimulationTrace>& traces, Series series, bool logY);
+
+} // namespace qadd::eval

@@ -1,0 +1,111 @@
+#include "eval/trace.hpp"
+
+#include "eval/accuracy.hpp"
+#include "qc/simulator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace qadd::eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& options,
+                               dd::AlgebraicSystem::Config config,
+                               ReferenceTrajectory* reference) {
+  qc::Simulator<dd::AlgebraicSystem> simulator(circuit, config);
+  SimulationTrace trace;
+  trace.label = simulator.package().system().describe();
+  if (reference != nullptr) {
+    reference->sampleEvery = options.sampleEvery;
+    reference->samples.clear();
+  }
+  const bool amplitudesFeasible = circuit.qubits() <= options.maxQubitsForAmplitudes;
+
+  double accumulated = 0.0;
+  auto start = Clock::now();
+  while (simulator.step()) {
+    const std::size_t applied = simulator.gateIndex();
+    if (applied % options.sampleEvery != 0 && applied != circuit.size()) {
+      continue;
+    }
+    accumulated += secondsSince(start); // pause the clock during sampling
+    TracePoint point;
+    point.gateIndex = applied;
+    point.nodes = simulator.stateNodes();
+    point.seconds = accumulated;
+    point.error = 0.0; // exact by construction
+    point.maxBits = simulator.package().system().maxBits();
+    trace.points.push_back(point);
+    if (reference != nullptr && amplitudesFeasible) {
+      reference->samples.push_back(simulator.package().amplitudes(simulator.state()));
+    }
+    start = Clock::now();
+  }
+  accumulated += secondsSince(start);
+  trace.totalSeconds = accumulated;
+  trace.finalNodes = simulator.stateNodes();
+  trace.peakNodes = simulator.package().peakNodes();
+  trace.collapsedToZero = simulator.package().system().isZero(simulator.state().w);
+  trace.finalError = 0.0;
+  return trace;
+}
+
+SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
+                             const ReferenceTrajectory* reference, const TraceOptions& options,
+                             dd::NumericSystem::Normalization normalization) {
+  qc::Simulator<dd::NumericSystem> simulator(circuit, {epsilon, normalization});
+  SimulationTrace trace;
+  {
+    std::ostringstream label;
+    label << "numeric eps=" << epsilon;
+    trace.label = label.str();
+  }
+  const bool amplitudesFeasible = circuit.qubits() <= options.maxQubitsForAmplitudes;
+  std::size_t sampleOrdinal = 0;
+
+  double accumulated = 0.0;
+  double lastError = std::numeric_limits<double>::quiet_NaN();
+  auto start = Clock::now();
+  while (simulator.step()) {
+    const std::size_t applied = simulator.gateIndex();
+    if (applied % options.sampleEvery != 0 && applied != circuit.size()) {
+      continue;
+    }
+    accumulated += secondsSince(start);
+    TracePoint point;
+    point.gateIndex = applied;
+    point.nodes = simulator.stateNodes();
+    point.seconds = accumulated;
+    point.maxBits = simulator.package().system().maxBits();
+    point.error = std::numeric_limits<double>::quiet_NaN();
+    if (reference != nullptr && amplitudesFeasible &&
+        sampleOrdinal < reference->samples.size()) {
+      const auto numericAmplitudes = simulator.package().amplitudes(simulator.state());
+      point.error = accuracyError(numericAmplitudes, reference->samples[sampleOrdinal]);
+      lastError = point.error;
+    }
+    ++sampleOrdinal;
+    trace.points.push_back(point);
+    start = Clock::now();
+  }
+  accumulated += secondsSince(start);
+  trace.totalSeconds = accumulated;
+  trace.finalNodes = simulator.stateNodes();
+  trace.peakNodes = simulator.package().peakNodes();
+  trace.collapsedToZero = simulator.package().system().isZero(simulator.state().w);
+  trace.finalError = lastError;
+  return trace;
+}
+
+} // namespace qadd::eval

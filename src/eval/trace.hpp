@@ -1,0 +1,66 @@
+/// \file trace.hpp
+/// Instrumented circuit simulation producing the per-gate series the paper
+/// plots in Figures 2-5: DD size (node count), accumulated simulation time,
+/// accuracy relative to the exact algebraic result, and — for the algebraic
+/// representation — the coefficient bit widths that drive its cost.
+#pragma once
+
+#include "core/algebraic_system.hpp"
+#include "core/numeric_system.hpp"
+#include "qc/circuit.hpp"
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace qadd::eval {
+
+struct TracePoint {
+  std::size_t gateIndex = 0; ///< gates applied so far
+  std::size_t nodes = 0;     ///< state DD size
+  double seconds = 0.0;      ///< accumulated simulation time (sampling excluded)
+  double error = 0.0;        ///< accuracy metric vs the exact reference (NaN if unavailable)
+  std::size_t maxBits = 0;   ///< max coefficient bit width (algebraic only; 64 for numeric)
+};
+
+struct SimulationTrace {
+  std::string label;
+  std::vector<TracePoint> points;
+  double totalSeconds = 0.0;
+  std::size_t finalNodes = 0;
+  std::size_t peakNodes = 0;
+  bool collapsedToZero = false; ///< the final state is the zero vector (paper's epsilon=1e-3 failure)
+  double finalError = 0.0;
+};
+
+/// Exact per-gate amplitude snapshots from the algebraic simulation, used as
+/// the ground truth of the accuracy metric.
+struct ReferenceTrajectory {
+  std::size_t sampleEvery = 1;
+  /// samples[i] = exact amplitudes after min((i+1)*sampleEvery, gateCount) gates.
+  std::vector<std::vector<std::complex<double>>> samples;
+};
+
+struct TraceOptions {
+  /// Record a trace point (and an accuracy sample) every this many gates.
+  std::size_t sampleEvery = 25;
+  /// Skip amplitude extraction above this width (2^n blow-up guard).
+  qc::Qubit maxQubitsForAmplitudes = 18;
+};
+
+/// Simulate with the exact algebraic QMDD, recording size/time/bit widths and
+/// (optionally) the reference amplitude trajectory for later accuracy
+/// comparisons.
+[[nodiscard]] SimulationTrace
+traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& options = {},
+               dd::AlgebraicSystem::Config config = {}, ReferenceTrajectory* reference = nullptr);
+
+/// Simulate with the numerical QMDD at tolerance `epsilon`, measuring the
+/// accuracy against `reference` at each sample point (pass nullptr to skip).
+[[nodiscard]] SimulationTrace
+traceNumeric(const qc::Circuit& circuit, double epsilon, const ReferenceTrajectory* reference,
+             const TraceOptions& options = {},
+             dd::NumericSystem::Normalization normalization =
+                 dd::NumericSystem::Normalization::LeftmostNonzero);
+
+} // namespace qadd::eval

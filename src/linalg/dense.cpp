@@ -1,0 +1,198 @@
+#include "linalg/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qadd::la {
+
+Vector Vector::basisState(std::size_t dimension, std::size_t index) {
+  assert(index < dimension);
+  Vector v(dimension);
+  v[index] = 1.0;
+  return v;
+}
+
+double Vector::norm() const {
+  double sum = 0.0;
+  for (const Complex& amplitude : data_) {
+    sum += std::norm(amplitude);
+  }
+  return std::sqrt(sum);
+}
+
+void Vector::normalize() {
+  const double n = norm();
+  if (n <= 0.0) {
+    throw std::domain_error("Vector: cannot normalize zero vector");
+  }
+  for (Complex& amplitude : data_) {
+    amplitude /= n;
+  }
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  assert(a.dimension() == b.dimension());
+  Vector result(a.dimension());
+  for (std::size_t i = 0; i < a.dimension(); ++i) {
+    result[i] = a[i] + b[i];
+  }
+  return result;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  assert(a.dimension() == b.dimension());
+  Vector result(a.dimension());
+  for (std::size_t i = 0; i < a.dimension(); ++i) {
+    result[i] = a[i] - b[i];
+  }
+  return result;
+}
+
+Vector operator*(Complex scalar, const Vector& v) {
+  Vector result(v.dimension());
+  for (std::size_t i = 0; i < v.dimension(); ++i) {
+    result[i] = scalar * v[i];
+  }
+  return result;
+}
+
+Complex Vector::innerProduct(const Vector& other) const {
+  assert(dimension() == other.dimension());
+  Complex sum = 0.0;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    sum += std::conj(data_[i]) * other[i];
+  }
+  return sum;
+}
+
+Vector Vector::kron(const Vector& other) const {
+  Vector result(dimension() * other.dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    for (std::size_t j = 0; j < other.dimension(); ++j) {
+      result[i * other.dimension() + j] = data_[i] * other[j];
+    }
+  }
+  return result;
+}
+
+Matrix Matrix::identity(std::size_t dimension) {
+  Matrix m(dimension);
+  for (std::size_t i = 0; i < dimension; ++i) {
+    m.at(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  assert(a.dimension() == b.dimension());
+  Matrix result(a.dimension());
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    result.data_[i] = a.data_[i] + b.data_[i];
+  }
+  return result;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  assert(a.dimension() == b.dimension());
+  Matrix result(a.dimension());
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    result.data_[i] = a.data_[i] - b.data_[i];
+  }
+  return result;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  assert(a.dimension() == b.dimension());
+  const std::size_t n = a.dimension();
+  Matrix result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const Complex aik = a.at(i, k);
+      if (aik == Complex{}) {
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        result.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+Vector operator*(const Matrix& m, const Vector& v) {
+  assert(m.dimension() == v.dimension());
+  const std::size_t n = m.dimension();
+  Vector result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      sum += m.at(i, j) * v[j];
+    }
+    result[i] = sum;
+  }
+  return result;
+}
+
+Matrix operator*(Complex scalar, const Matrix& m) {
+  Matrix result(m.dimension());
+  for (std::size_t i = 0; i < m.data_.size(); ++i) {
+    result.data_[i] = scalar * m.data_[i];
+  }
+  return result;
+}
+
+Matrix Matrix::kron(const Matrix& other) const {
+  const std::size_t n1 = dimension_;
+  const std::size_t n2 = other.dimension_;
+  Matrix result(n1 * n2);
+  for (std::size_t i1 = 0; i1 < n1; ++i1) {
+    for (std::size_t j1 = 0; j1 < n1; ++j1) {
+      const Complex factor = at(i1, j1);
+      if (factor == Complex{}) {
+        continue;
+      }
+      for (std::size_t i2 = 0; i2 < n2; ++i2) {
+        for (std::size_t j2 = 0; j2 < n2; ++j2) {
+          result.at(i1 * n2 + i2, j1 * n2 + j2) = factor * other.at(i2, j2);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix result(dimension_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    for (std::size_t j = 0; j < dimension_; ++j) {
+      result.at(j, i) = std::conj(at(i, j));
+    }
+  }
+  return result;
+}
+
+double Matrix::maxAbsDifference(const Matrix& a, const Matrix& b) {
+  assert(a.dimension() == b.dimension());
+  double maxDiff = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    maxDiff = std::max(maxDiff, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return maxDiff;
+}
+
+bool Matrix::isUnitary(double tolerance) const {
+  const Matrix product = *this * adjoint();
+  return maxAbsDifference(product, identity(dimension_)) <= tolerance;
+}
+
+double distance(const Vector& a, const Vector& b) {
+  assert(a.dimension() == b.dimension());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.dimension(); ++i) {
+    sum += std::norm(a[i] - b[i]);
+  }
+  return std::sqrt(sum);
+}
+
+} // namespace qadd::la

@@ -1,0 +1,89 @@
+/// \file dense.hpp
+/// Dense complex vectors/matrices — the straightforward representation the
+/// paper contrasts decision diagrams with ([8]-[10]).  Exponential in the
+/// qubit count, so usable only for small systems; in this repository it
+/// serves as the ground-truth oracle that every QMDD operation is tested
+/// against, and as the reference implementation for the accuracy metric.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace qadd::la {
+
+using Complex = std::complex<double>;
+
+/// Dense state vector of dimension 2^n.
+class Vector {
+public:
+  Vector() = default;
+  explicit Vector(std::size_t dimension) : data_(dimension) {}
+  explicit Vector(std::vector<Complex> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] static Vector basisState(std::size_t dimension, std::size_t index);
+
+  [[nodiscard]] std::size_t dimension() const { return data_.size(); }
+  [[nodiscard]] Complex& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const Complex& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const std::vector<Complex>& data() const { return data_; }
+
+  [[nodiscard]] double norm() const;
+  /// Scales to unit norm. \pre norm() > 0
+  void normalize();
+
+  friend Vector operator+(const Vector& a, const Vector& b);
+  friend Vector operator-(const Vector& a, const Vector& b);
+  friend Vector operator*(Complex scalar, const Vector& v);
+
+  [[nodiscard]] Complex innerProduct(const Vector& other) const; // <this|other>
+
+  /// Kronecker product |this> (x) |other>.
+  [[nodiscard]] Vector kron(const Vector& other) const;
+
+private:
+  std::vector<Complex> data_;
+};
+
+/// Dense square matrix (row-major) of dimension 2^n x 2^n.
+class Matrix {
+public:
+  Matrix() = default;
+  explicit Matrix(std::size_t dimension) : dimension_(dimension), data_(dimension * dimension) {}
+  Matrix(std::size_t dimension, std::vector<Complex> rowMajor)
+      : dimension_(dimension), data_(std::move(rowMajor)) {}
+
+  [[nodiscard]] static Matrix identity(std::size_t dimension);
+
+  [[nodiscard]] std::size_t dimension() const { return dimension_; }
+  [[nodiscard]] Complex& at(std::size_t row, std::size_t col) {
+    return data_[row * dimension_ + col];
+  }
+  [[nodiscard]] const Complex& at(std::size_t row, std::size_t col) const {
+    return data_[row * dimension_ + col];
+  }
+
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Vector operator*(const Matrix& m, const Vector& v);
+  friend Matrix operator*(Complex scalar, const Matrix& m);
+
+  [[nodiscard]] Matrix kron(const Matrix& other) const;
+  [[nodiscard]] Matrix adjoint() const;
+
+  /// max |a_ij - b_ij| over all entries.
+  [[nodiscard]] static double maxAbsDifference(const Matrix& a, const Matrix& b);
+
+  /// True iff M * M^dagger == I within `tolerance` (entry-wise).
+  [[nodiscard]] bool isUnitary(double tolerance = 1e-9) const;
+
+private:
+  std::size_t dimension_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// ||a - b||_2.
+[[nodiscard]] double distance(const Vector& a, const Vector& b);
+
+} // namespace qadd::la

@@ -1,0 +1,56 @@
+/// \file complex_value.hpp
+/// Complex number pairs for the numerical QMDD representation, templated on
+/// the floating-point type: `double` is the paper's baseline, `long double`
+/// backs the precision-scaling experiment (Section V-A's closing remark that
+/// even wider floats never reach perfect accuracy).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+namespace qadd::num {
+
+/// A complex number as stored by the numerical (floating-point) QMDD flavor.
+template <class FloatT> struct BasicComplexValue {
+  FloatT re = 0;
+  FloatT im = 0;
+
+  [[nodiscard]] static constexpr BasicComplexValue zero() { return {0, 0}; }
+  [[nodiscard]] static constexpr BasicComplexValue one() { return {1, 0}; }
+
+  [[nodiscard]] std::complex<FloatT> toStd() const { return {re, im}; }
+  [[nodiscard]] static BasicComplexValue fromStd(std::complex<FloatT> z) {
+    return {z.real(), z.imag()};
+  }
+
+  [[nodiscard]] FloatT squaredMagnitude() const { return re * re + im * im; }
+
+  friend BasicComplexValue operator+(BasicComplexValue a, BasicComplexValue b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend BasicComplexValue operator-(BasicComplexValue a, BasicComplexValue b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend BasicComplexValue operator*(BasicComplexValue a, BasicComplexValue b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  friend BasicComplexValue operator/(BasicComplexValue a, BasicComplexValue b) {
+    const FloatT d = b.re * b.re + b.im * b.im;
+    return {(a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d};
+  }
+  [[nodiscard]] BasicComplexValue conj() const { return {re, -im}; }
+
+  friend bool operator==(BasicComplexValue a, BasicComplexValue b) = default;
+
+  /// The paper's tolerance comparison: per-component distance at most epsilon.
+  /// With epsilon == 0 this degenerates to exact equality of the floats.
+  [[nodiscard]] static bool approxEqual(BasicComplexValue a, BasicComplexValue b,
+                                        FloatT epsilon) {
+    return std::abs(a.re - b.re) <= epsilon && std::abs(a.im - b.im) <= epsilon;
+  }
+};
+
+using ComplexValue = BasicComplexValue<double>;
+
+} // namespace qadd::num

@@ -1,0 +1,136 @@
+#include "qc/gates.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qadd::qc {
+
+bool isCliffordT(GateKind kind) {
+  switch (kind) {
+  case GateKind::Rx:
+  case GateKind::Ry:
+  case GateKind::Rz:
+  case GateKind::Phase:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool isParameterized(GateKind kind) { return !isCliffordT(kind); }
+
+std::array<std::complex<double>, 4> complexMatrix(GateKind kind, double angle) {
+  return complexMatrixT<double>(kind, angle);
+}
+
+std::array<alg::QOmega, 4> algebraicMatrix(GateKind kind) {
+  using alg::QOmega;
+  using alg::ZOmega;
+  const QOmega zero = QOmega::zero();
+  const QOmega one = QOmega::one();
+  const QOmega i = QOmega::imaginaryUnit();
+  const QOmega h = QOmega::invSqrt2();
+  switch (kind) {
+  case GateKind::I:
+    return {one, zero, zero, one};
+  case GateKind::X:
+    return {zero, one, one, zero};
+  case GateKind::Y:
+    return {zero, -i, i, zero};
+  case GateKind::Z:
+    return {one, zero, zero, -one};
+  case GateKind::H:
+    return {h, h, h, -h};
+  case GateKind::S:
+    return {one, zero, zero, i};
+  case GateKind::Sdg:
+    return {one, zero, zero, -i};
+  case GateKind::T:
+    return {one, zero, zero, QOmega::omega()};
+  case GateKind::Tdg:
+    return {one, zero, zero, QOmega::omegaPower(7)};
+  case GateKind::V: {
+    // (1 +- i)/2 both lie in D[omega].
+    const QOmega p = (one + i) * QOmega{ZOmega::one(), 2}; // (1+i)/2
+    const QOmega m = (one - i) * QOmega{ZOmega::one(), 2};
+    return {p, m, m, p};
+  }
+  case GateKind::Vdg: {
+    const QOmega p = (one + i) * QOmega{ZOmega::one(), 2};
+    const QOmega m = (one - i) * QOmega{ZOmega::one(), 2};
+    return {m, p, p, m};
+  }
+  default:
+    throw std::invalid_argument(
+        "algebraicMatrix: gate is not Clifford+T; compile rotations with qadd::synth first");
+  }
+}
+
+std::string_view gateName(GateKind kind) {
+  switch (kind) {
+  case GateKind::I:
+    return "id";
+  case GateKind::X:
+    return "x";
+  case GateKind::Y:
+    return "y";
+  case GateKind::Z:
+    return "z";
+  case GateKind::H:
+    return "h";
+  case GateKind::S:
+    return "s";
+  case GateKind::Sdg:
+    return "sdg";
+  case GateKind::T:
+    return "t";
+  case GateKind::Tdg:
+    return "tdg";
+  case GateKind::V:
+    return "v";
+  case GateKind::Vdg:
+    return "vdg";
+  case GateKind::Rx:
+    return "rx";
+  case GateKind::Ry:
+    return "ry";
+  case GateKind::Rz:
+    return "rz";
+  case GateKind::Phase:
+    return "p";
+  }
+  return "?";
+}
+
+GateKind gateKindFromName(std::string_view name) {
+  for (const GateKind kind :
+       {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H, GateKind::S,
+        GateKind::Sdg, GateKind::T, GateKind::Tdg, GateKind::V, GateKind::Vdg, GateKind::Rx,
+        GateKind::Ry, GateKind::Rz, GateKind::Phase}) {
+    if (gateName(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("gateKindFromName: unknown gate '" + std::string{name} + "'");
+}
+
+GateKind adjointKind(GateKind kind) {
+  switch (kind) {
+  case GateKind::S:
+    return GateKind::Sdg;
+  case GateKind::Sdg:
+    return GateKind::S;
+  case GateKind::T:
+    return GateKind::Tdg;
+  case GateKind::Tdg:
+    return GateKind::T;
+  case GateKind::V:
+    return GateKind::Vdg;
+  case GateKind::Vdg:
+    return GateKind::V;
+  default:
+    return kind; // self-adjoint, or parameterized (invert by negating angle)
+  }
+}
+
+} // namespace qadd::qc

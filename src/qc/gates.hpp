@@ -1,0 +1,122 @@
+/// \file gates.hpp
+/// Elementary quantum gates: kinds, parameterization and their matrices, both
+/// as complex doubles (numerical QMDD flavor) and as exact Q[omega] values
+/// (algebraic flavor).  The exactly representable gates are precisely the
+/// Clifford+T family (Section IV-A: a unitary is exactly Clifford+T iff its
+/// entries lie in D[omega]); rotation gates carry an angle and only exist
+/// numerically until they are compiled to Clifford+T by qadd::synth.
+#pragma once
+
+#include "algebraic/qomega.hpp"
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#ifndef M_PIl
+#define M_PIl 3.141592653589793238462643383279502884L
+#endif
+
+namespace qadd::qc {
+
+enum class GateKind {
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  V,   // sqrt(X)
+  Vdg, // sqrt(X)^dagger
+  Rx,  // exp(-i angle X / 2)
+  Ry,  // exp(-i angle Y / 2)
+  Rz,  // exp(-i angle Z / 2)
+  Phase, // diag(1, exp(i angle))
+};
+
+/// True for gates whose matrix entries lie in D[omega] (exactly representable
+/// by the algebraic QMDD).
+[[nodiscard]] bool isCliffordT(GateKind kind);
+
+/// True for gates carrying an angle parameter.
+[[nodiscard]] bool isParameterized(GateKind kind);
+
+/// Matrix [u00, u01, u10, u11] in the requested floating-point precision.
+/// `complexMatrixT<long double>` feeds the extended-precision numeric system
+/// (the constants must be computed in the target precision or the wider
+/// mantissa would be wasted on double-rounded gate entries).
+template <class FloatT>
+[[nodiscard]] std::array<std::complex<FloatT>, 4> complexMatrixT(GateKind kind,
+                                                                 FloatT angle = 0) {
+  using C = std::complex<FloatT>;
+  const FloatT invSqrt2 = FloatT{1} / std::sqrt(FloatT{2});
+  const C i{0, 1};
+  const FloatT pi = static_cast<FloatT>(M_PIl);
+  switch (kind) {
+  case GateKind::I:
+    return {C{1}, C{0}, C{0}, C{1}};
+  case GateKind::X:
+    return {C{0}, C{1}, C{1}, C{0}};
+  case GateKind::Y:
+    return {C{0}, -i, i, C{0}};
+  case GateKind::Z:
+    return {C{1}, C{0}, C{0}, C{-1}};
+  case GateKind::H:
+    return {C{invSqrt2}, C{invSqrt2}, C{invSqrt2}, C{-invSqrt2}};
+  case GateKind::S:
+    return {C{1}, C{0}, C{0}, i};
+  case GateKind::Sdg:
+    return {C{1}, C{0}, C{0}, -i};
+  case GateKind::T:
+    return {C{1}, C{0}, C{0}, std::exp(i * (pi / 4))};
+  case GateKind::Tdg:
+    return {C{1}, C{0}, C{0}, std::exp(-i * (pi / 4))};
+  case GateKind::V:
+    return {FloatT{0.5} * (C{1} + i), FloatT{0.5} * (C{1} - i), FloatT{0.5} * (C{1} - i),
+            FloatT{0.5} * (C{1} + i)};
+  case GateKind::Vdg:
+    return {FloatT{0.5} * (C{1} - i), FloatT{0.5} * (C{1} + i), FloatT{0.5} * (C{1} + i),
+            FloatT{0.5} * (C{1} - i)};
+  case GateKind::Rx: {
+    const FloatT c = std::cos(angle / 2);
+    const FloatT s = std::sin(angle / 2);
+    return {C{c}, -i * s, -i * s, C{c}};
+  }
+  case GateKind::Ry: {
+    const FloatT c = std::cos(angle / 2);
+    const FloatT s = std::sin(angle / 2);
+    return {C{c}, C{-s}, C{s}, C{c}};
+  }
+  case GateKind::Rz:
+    return {std::exp(-i * (angle / 2)), C{0}, C{0}, std::exp(i * (angle / 2))};
+  case GateKind::Phase:
+    return {C{1}, C{0}, C{0}, std::exp(i * angle)};
+  }
+  throw std::invalid_argument("complexMatrixT: unknown gate kind");
+}
+
+/// Matrix [u00, u01, u10, u11] as complex doubles.
+[[nodiscard]] std::array<std::complex<double>, 4> complexMatrix(GateKind kind,
+                                                                double angle = 0.0);
+
+/// Matrix as exact Q[omega] values.
+/// \throws std::invalid_argument for parameterized (non-Clifford+T) gates.
+[[nodiscard]] std::array<alg::QOmega, 4> algebraicMatrix(GateKind kind);
+
+/// Lower-case mnemonic ("h", "tdg", "rz", ...).
+[[nodiscard]] std::string_view gateName(GateKind kind);
+
+/// Inverse of gateName. \throws std::invalid_argument for unknown names.
+[[nodiscard]] GateKind gateKindFromName(std::string_view name);
+
+/// The adjoint gate kind, and the angle transformation that goes with it
+/// (parameterized gates invert by negating the angle).
+[[nodiscard]] GateKind adjointKind(GateKind kind);
+
+} // namespace qadd::qc

@@ -1,0 +1,147 @@
+/// \file measure.hpp
+/// Measurement utilities on QMDD state vectors: single-qubit outcome
+/// probabilities, projection (collapse), and weighted sampling — the
+/// read-out layer every DD-based simulator ships with.
+///
+/// All probability computations walk the diagram with memoization; squared
+/// magnitudes are taken from the weight system's complex conversion (for the
+/// algebraic system that conversion carries a single final rounding).
+#pragma once
+
+#include "core/package.hpp"
+#include "qc/circuit.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <unordered_map>
+
+namespace qadd::qc {
+
+/// ||subtree||^2 of a weight-1 edge to `node` (1.0 for the terminal),
+/// memoized in `memo`.
+template <class System>
+[[nodiscard]] double
+subtreeNormSquared(dd::Package<System>& package,
+                   const typename dd::Package<System>::VNode* node,
+                   std::unordered_map<const typename dd::Package<System>::VNode*, double>& memo) {
+  if (node == nullptr) {
+    return 1.0;
+  }
+  const auto it = memo.find(node);
+  if (it != memo.end()) {
+    return it->second;
+  }
+  double sum = 0.0;
+  for (const auto& edge : node->e) {
+    if (package.system().isZero(edge.w)) {
+      continue;
+    }
+    sum += std::norm(package.system().toComplex(edge.w)) *
+           subtreeNormSquared(package, edge.node, memo);
+  }
+  memo.emplace(node, sum);
+  return sum;
+}
+
+/// Probability that measuring `qubit` yields |1>, given a normalized state.
+template <class System>
+[[nodiscard]] double probabilityOfOne(dd::Package<System>& package,
+                                      const typename dd::Package<System>::VEdge& state,
+                                      Qubit qubit) {
+  using VNode = typename dd::Package<System>::VNode;
+  std::unordered_map<const VNode*, double> normMemo;
+  std::unordered_map<const VNode*, double> oneMemo;
+  // perUnit(node) = P(qubit = 1) contribution of the subtree under a
+  // weight-1 edge.
+  const std::function<double(const VNode*)> perUnit = [&](const VNode* node) -> double {
+    if (node == nullptr) {
+      return 0.0; // the target qubit does not lie below the terminal
+    }
+    const auto it = oneMemo.find(node);
+    if (it != oneMemo.end()) {
+      return it->second;
+    }
+    double result = 0.0;
+    for (std::size_t branch = 0; branch < 2; ++branch) {
+      const auto& edge = node->e[branch];
+      if (package.system().isZero(edge.w)) {
+        continue;
+      }
+      const double childWeight = std::norm(package.system().toComplex(edge.w));
+      if (node->var == qubit) {
+        if (branch == 1) {
+          result += childWeight * subtreeNormSquared(package, edge.node, normMemo);
+        }
+      } else {
+        result += childWeight * perUnit(edge.node);
+      }
+    }
+    oneMemo.emplace(node, result);
+    return result;
+  };
+  return std::norm(package.system().toComplex(state.w)) * perUnit(state.node);
+}
+
+/// Sample a complete measurement outcome (most significant bit = qubit 0)
+/// from the state's Born distribution.  The state must be normalized.
+template <class System>
+[[nodiscard]] std::uint64_t sampleOutcome(dd::Package<System>& package,
+                                          const typename dd::Package<System>::VEdge& state,
+                                          std::mt19937_64& rng) {
+  using VNode = typename dd::Package<System>::VNode;
+  std::unordered_map<const VNode*, double> normMemo;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::uint64_t outcome = 0;
+  const VNode* node = state.node;
+  // Walk the diagram top-down, choosing each branch with its conditional
+  // probability.
+  while (node != nullptr) {
+    const double w0 = package.system().isZero(node->e[0].w)
+                          ? 0.0
+                          : std::norm(package.system().toComplex(node->e[0].w)) *
+                                subtreeNormSquared(package, node->e[0].node, normMemo);
+    const double w1 = package.system().isZero(node->e[1].w)
+                          ? 0.0
+                          : std::norm(package.system().toComplex(node->e[1].w)) *
+                                subtreeNormSquared(package, node->e[1].node, normMemo);
+    const double total = w0 + w1;
+    const bool one = total > 0.0 && uniform(rng) * total >= w0;
+    outcome = (outcome << 1) | (one ? 1ULL : 0ULL);
+    node = node->e[one ? 1 : 0].node;
+  }
+  return outcome;
+}
+
+/// Project the state onto `qubit == outcome` WITHOUT renormalizing: the
+/// squared norm of the result is the outcome probability.  (Renormalization
+/// by 1/sqrt(p) generally leaves D[omega], so the exact flavor keeps the
+/// sub-normalized projection; callers that need a unit vector can divide in
+/// the numeric flavor or track the norm separately.)
+template <class System>
+[[nodiscard]] typename dd::Package<System>::VEdge
+projectQubit(dd::Package<System>& package, const typename dd::Package<System>::VEdge& state,
+             Qubit qubit, bool outcome) {
+  using VEdge = typename dd::Package<System>::VEdge;
+  const std::function<VEdge(const VEdge&)> walk = [&](const VEdge& edge) -> VEdge {
+    if (package.system().isZero(edge.w) || edge.isTerminal()) {
+      return edge;
+    }
+    if (edge.node->var == qubit) {
+      std::array<VEdge, 2> children{package.zeroVector(), package.zeroVector()};
+      children[outcome ? 1 : 0] = edge.node->e[outcome ? 1 : 0];
+      const VEdge projected = package.makeVNode(edge.node->var, children);
+      return {projected.node, package.system().mul(edge.w, projected.w)};
+    }
+    std::array<VEdge, 2> children{walk(edge.node->e[0]), walk(edge.node->e[1])};
+    if (package.system().isZero(children[0].w) && package.system().isZero(children[1].w)) {
+      return package.zeroVector();
+    }
+    const VEdge rebuilt = package.makeVNode(edge.node->var, children);
+    return {rebuilt.node, package.system().mul(edge.w, rebuilt.w)};
+  };
+  return walk(state);
+}
+
+} // namespace qadd::qc

@@ -1,0 +1,57 @@
+#include "qc/observables.hpp"
+
+#include <stdexcept>
+
+namespace qadd::qc {
+
+PauliString PauliString::fromText(const std::string& text) {
+  PauliString result;
+  result.factors.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+    case 'I':
+    case 'i':
+      result.factors.push_back(Pauli::I);
+      break;
+    case 'X':
+    case 'x':
+      result.factors.push_back(Pauli::X);
+      break;
+    case 'Y':
+    case 'y':
+      result.factors.push_back(Pauli::Y);
+      break;
+    case 'Z':
+    case 'z':
+      result.factors.push_back(Pauli::Z);
+      break;
+    default:
+      throw std::invalid_argument("PauliString: invalid character in '" + text + "'");
+    }
+  }
+  return result;
+}
+
+std::string PauliString::toText() const {
+  std::string text;
+  text.reserve(factors.size());
+  for (const Pauli factor : factors) {
+    switch (factor) {
+    case Pauli::I:
+      text.push_back('I');
+      break;
+    case Pauli::X:
+      text.push_back('X');
+      break;
+    case Pauli::Y:
+      text.push_back('Y');
+      break;
+    case Pauli::Z:
+      text.push_back('Z');
+      break;
+    }
+  }
+  return text;
+}
+
+} // namespace qadd::qc

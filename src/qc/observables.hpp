@@ -1,0 +1,87 @@
+/// \file observables.hpp
+/// Pauli-string observables on QMDD states.  For Z-type strings (the terms
+/// of the diagonal molecular Hamiltonians used by GSE) the expectation value
+/// of an exactly-prepared state is computed *exactly* in Q[omega] — e.g. the
+/// energy of an eigenstate comes out as the precise algebraic number, not a
+/// floating-point estimate.
+#pragma once
+
+#include "core/package.hpp"
+#include "qc/circuit.hpp"
+#include "qc/gates.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qadd::qc {
+
+/// One Pauli factor on a specific qubit.
+enum class Pauli : std::uint8_t { I, X, Y, Z };
+
+/// A Pauli string: one factor per qubit ('IXZY' order = qubit 0 first).
+struct PauliString {
+  std::vector<Pauli> factors;
+
+  /// Parse from text like "ZIZY" (qubit 0 = first character).
+  [[nodiscard]] static PauliString fromText(const std::string& text);
+  [[nodiscard]] std::string toText() const;
+};
+
+/// Build the matrix DD of the Pauli string (identity on 'I' positions).
+template <class System>
+[[nodiscard]] typename dd::Package<System>::MEdge
+makePauliString(dd::Package<System>& package, const PauliString& pauli) {
+  if (pauli.factors.size() != package.qubits()) {
+    throw std::invalid_argument("makePauliString: width mismatch");
+  }
+  auto result = package.makeIdentity();
+  for (dd::Qubit q = 0; q < package.qubits(); ++q) {
+    GateKind kind = GateKind::I;
+    switch (pauli.factors[q]) {
+    case Pauli::I:
+      continue;
+    case Pauli::X:
+      kind = GateKind::X;
+      break;
+    case Pauli::Y:
+      kind = GateKind::Y;
+      break;
+    case Pauli::Z:
+      kind = GateKind::Z;
+      break;
+    }
+    const Operation operation{kind, 0.0, q, {}};
+    result = package.multiply(makeOperationDD(package, operation), result);
+  }
+  return result;
+}
+
+/// <psi| P |psi> as a weight (exact for the algebraic system).
+template <class System>
+[[nodiscard]] typename System::Weight
+pauliExpectation(dd::Package<System>& package, const typename dd::Package<System>::VEdge& state,
+                 const PauliString& pauli) {
+  return package.expectationValue(makePauliString(package, pauli), state);
+}
+
+/// A weighted sum of Pauli strings (an observable/Hamiltonian).
+struct PauliObservable {
+  std::vector<std::pair<double, PauliString>> terms;
+
+  /// <psi| H |psi> accumulated in double (each string's expectation is
+  /// computed on the DD — exactly in the algebraic case — and scaled by its
+  /// real coefficient).
+  template <class System>
+  [[nodiscard]] double expectation(dd::Package<System>& package,
+                                   const typename dd::Package<System>::VEdge& state) const {
+    double energy = 0.0;
+    for (const auto& [coefficient, pauli] : terms) {
+      energy +=
+          coefficient * package.system().toComplex(pauliExpectation(package, state, pauli)).real();
+    }
+    return energy;
+  }
+};
+
+} // namespace qadd::qc

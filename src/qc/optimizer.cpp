@@ -1,0 +1,223 @@
+#include "qc/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+namespace qadd::qc {
+
+namespace {
+
+/// Number of T-eighth turns a diagonal gate contributes; -1 if not in the
+/// foldable diagonal family {I, T, S, Z, Sdg, Tdg}.
+int eighthsOf(GateKind kind) {
+  switch (kind) {
+  case GateKind::I:
+    return 0;
+  case GateKind::T:
+    return 1;
+  case GateKind::S:
+    return 2;
+  case GateKind::Z:
+    return 4;
+  case GateKind::Sdg:
+    return 6;
+  case GateKind::Tdg:
+    return 7;
+  default:
+    return -1;
+  }
+}
+
+/// The (up to two) gates realizing `eighths` mod 8 eighth turns.
+void emitEighths(std::vector<Operation>& out, int eighths, Qubit target,
+                 const std::vector<ControlSpec>& controls) {
+  const auto push = [&](GateKind kind) { out.push_back({kind, 0.0, target, controls}); };
+  switch (eighths & 7) {
+  case 0:
+    break;
+  case 1:
+    push(GateKind::T);
+    break;
+  case 2:
+    push(GateKind::S);
+    break;
+  case 3:
+    push(GateKind::S);
+    push(GateKind::T);
+    break;
+  case 4:
+    push(GateKind::Z);
+    break;
+  case 5:
+    push(GateKind::Z);
+    push(GateKind::T);
+    break;
+  case 6:
+    push(GateKind::Sdg);
+    break;
+  case 7:
+    push(GateKind::Tdg);
+    break;
+  default:
+    break;
+  }
+}
+
+bool touchesQubit(const Operation& operation, Qubit qubit) {
+  if (operation.target == qubit) {
+    return true;
+  }
+  for (const ControlSpec& control : operation.controls) {
+    if (control.qubit == qubit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool disjoint(const Operation& a, const Operation& b) {
+  if (touchesQubit(a, b.target)) {
+    return false;
+  }
+  for (const ControlSpec& control : b.controls) {
+    if (touchesQubit(a, control.qubit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameControls(const Operation& a, const Operation& b) {
+  if (a.controls.size() != b.controls.size()) {
+    return false;
+  }
+  // Control order is irrelevant; compare as (small) sets.
+  for (const ControlSpec& control : a.controls) {
+    if (std::find(b.controls.begin(), b.controls.end(), control) == b.controls.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Whether two gates with equal target+controls cancel to the identity.
+bool cancels(const Operation& a, const Operation& b) {
+  if (isParameterized(a.kind) || isParameterized(b.kind)) {
+    return false; // handled by the merge path
+  }
+  return adjointKind(a.kind) == b.kind;
+}
+
+/// Whether two equal-kind rotations can merge; the period after which the
+/// *controlled* gate is the identity (Phase: 2 pi; Rx/Ry/Rz: 4 pi).
+std::optional<double> mergePeriod(GateKind kind) {
+  switch (kind) {
+  case GateKind::Phase:
+    return 2.0 * M_PI;
+  case GateKind::Rx:
+  case GateKind::Ry:
+  case GateKind::Rz:
+    return 4.0 * M_PI;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// One optimization pass; returns the rewritten list.
+std::vector<Operation> pass(const std::vector<Operation>& input, OptimizerReport& report) {
+  std::vector<Operation> output;
+  output.reserve(input.size());
+  for (const Operation& operation : input) {
+    // Identity gates vanish outright.
+    if (operation.kind == GateKind::I) {
+      ++report.removedGates;
+      continue;
+    }
+    // Look back past commuting (line-disjoint) gates for a partner acting on
+    // the same target with the same controls.
+    std::size_t partner = output.size();
+    for (std::size_t back = output.size(); back-- > 0;) {
+      const Operation& candidate = output[back];
+      if (candidate.target == operation.target && sameControls(candidate, operation)) {
+        partner = back;
+        break;
+      }
+      if (!disjoint(candidate, operation)) {
+        break;
+      }
+    }
+    if (partner < output.size()) {
+      Operation& candidate = output[partner];
+      // Inverse pairs annihilate.
+      if (cancels(candidate, operation)) {
+        output.erase(output.begin() + static_cast<std::ptrdiff_t>(partner));
+        report.removedGates += 2;
+        continue;
+      }
+      // Diagonal family folds by eighth turns.
+      const int e1 = eighthsOf(candidate.kind);
+      const int e2 = eighthsOf(operation.kind);
+      if (e1 >= 0 && e2 >= 0) {
+        const std::vector<ControlSpec> controls = candidate.controls;
+        const Qubit target = candidate.target;
+        output.erase(output.begin() + static_cast<std::ptrdiff_t>(partner));
+        std::vector<Operation> folded;
+        emitEighths(folded, e1 + e2, target, controls);
+        // Re-insert at the partner position to preserve commutation context.
+        output.insert(output.begin() + static_cast<std::ptrdiff_t>(partner), folded.begin(),
+                      folded.end());
+        report.removedGates += 2 - folded.size();
+        continue;
+      }
+      // Equal-kind rotation merge.
+      if (operation.kind == candidate.kind && isParameterized(operation.kind)) {
+        const auto period = mergePeriod(operation.kind);
+        if (period.has_value()) {
+          double angle = std::fmod(candidate.angle + operation.angle, *period);
+          ++report.mergedRotations;
+          if (std::abs(angle) < 1e-15 || std::abs(std::abs(angle) - *period) < 1e-15) {
+            output.erase(output.begin() + static_cast<std::ptrdiff_t>(partner));
+            report.removedGates += 2;
+          } else {
+            candidate.angle = angle;
+            ++report.removedGates;
+          }
+          continue;
+        }
+      }
+    }
+    output.push_back(operation);
+  }
+  return output;
+}
+
+} // namespace
+
+Circuit optimize(const Circuit& circuit, OptimizerReport* report) {
+  OptimizerReport local;
+  std::vector<Operation> operations = circuit.operations();
+  constexpr std::size_t kMaxPasses = 32;
+  for (std::size_t i = 0; i < kMaxPasses; ++i) {
+    ++local.passes;
+    const std::size_t before = operations.size();
+    operations = pass(operations, local);
+    if (operations.size() == before) {
+      // A pass that removes nothing may still have rewritten in place
+      // (rotation merge keeps count); run once more only if it shrank.
+      break;
+    }
+  }
+  Circuit result(circuit.qubits(),
+                 circuit.name().empty() ? std::string{} : circuit.name() + "_opt");
+  for (Operation& operation : operations) {
+    result.append(std::move(operation));
+  }
+  if (report != nullptr) {
+    *report = local;
+  }
+  return result;
+}
+
+} // namespace qadd::qc

@@ -1,0 +1,27 @@
+/// \file optimizer.hpp
+/// Peephole circuit optimization: cancellation of adjacent inverse pairs,
+/// folding of diagonal phase runs (T/S/Z powers), and merging of equal-kind
+/// rotations — looking through gates on disjoint lines (which commute).
+///
+/// Every rewrite is unitary-preserving; the test suite *proves* this per
+/// circuit by comparing canonical algebraic QMDDs of the original and the
+/// optimized circuit — the O(1) exact equivalence check of the paper put to
+/// work as an engineering tool.
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstddef>
+
+namespace qadd::qc {
+
+struct OptimizerReport {
+  std::size_t removedGates = 0;
+  std::size_t mergedRotations = 0;
+  std::size_t passes = 0;
+};
+
+/// Optimize until a fixed point (bounded number of passes).
+[[nodiscard]] Circuit optimize(const Circuit& circuit, OptimizerReport* report = nullptr);
+
+} // namespace qadd::qc

@@ -1,0 +1,304 @@
+#include "qc/qasm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qadd::qc {
+
+namespace {
+
+/// Minimal arithmetic-expression evaluator for gate arguments: numbers, pi,
+/// + - * / and parentheses (covers what qelib-style sources use, e.g.
+/// "-pi/4", "3*pi/8").
+class ExpressionParser {
+public:
+  explicit ExpressionParser(std::string_view text) : text_(text) {}
+
+  double parse() {
+    const double value = parseSum();
+    skipSpace();
+    if (position_ != text_.size()) {
+      throw std::invalid_argument("qasm: trailing characters in expression '" +
+                                  std::string{text_} + "'");
+    }
+    return value;
+  }
+
+private:
+  void skipSpace() {
+    while (position_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[position_])) != 0) {
+      ++position_;
+    }
+  }
+  bool consume(char c) {
+    skipSpace();
+    if (position_ < text_.size() && text_[position_] == c) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  double parseSum() {
+    double value = parseProduct();
+    while (true) {
+      if (consume('+')) {
+        value += parseProduct();
+      } else if (consume('-')) {
+        value -= parseProduct();
+      } else {
+        return value;
+      }
+    }
+  }
+  double parseProduct() {
+    double value = parseUnary();
+    while (true) {
+      if (consume('*')) {
+        value *= parseUnary();
+      } else if (consume('/')) {
+        value /= parseUnary();
+      } else {
+        return value;
+      }
+    }
+  }
+  double parseUnary() {
+    if (consume('-')) {
+      return -parseUnary();
+    }
+    if (consume('+')) {
+      return parseUnary();
+    }
+    return parseAtom();
+  }
+  double parseAtom() {
+    skipSpace();
+    if (consume('(')) {
+      const double value = parseSum();
+      if (!consume(')')) {
+        throw std::invalid_argument("qasm: missing ')' in expression");
+      }
+      return value;
+    }
+    if (position_ + 1 < text_.size() && text_.compare(position_, 2, "pi") == 0) {
+      position_ += 2;
+      return M_PI;
+    }
+    const std::size_t start = position_;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) != 0 ||
+            text_[position_] == '.' || text_[position_] == 'e' || text_[position_] == 'E' ||
+            ((text_[position_] == '+' || text_[position_] == '-') && position_ > start &&
+             (text_[position_ - 1] == 'e' || text_[position_ - 1] == 'E')))) {
+      ++position_;
+    }
+    if (position_ == start) {
+      throw std::invalid_argument("qasm: expected number in expression '" + std::string{text_} +
+                                  "'");
+    }
+    return std::stod(std::string{text_.substr(start, position_ - start)});
+  }
+
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+std::string trim(std::string s) {
+  const auto notSpace = [](unsigned char c) { return std::isspace(c) == 0; };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
+  s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
+  return s;
+}
+
+} // namespace
+
+Circuit fromQasm(const std::string& source) {
+  // Strip comments and split on ';'.
+  std::string cleaned;
+  cleaned.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        ++i;
+      }
+    }
+    if (i < source.size()) {
+      cleaned.push_back(source[i]);
+    }
+  }
+
+  std::map<std::string, Qubit> registerOffsets; // qreg name -> base qubit
+  Qubit totalQubits = 0;
+  std::vector<std::string> statements;
+  {
+    std::string current;
+    for (const char c : cleaned) {
+      if (c == ';') {
+        statements.push_back(trim(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!trim(current).empty()) {
+      throw std::invalid_argument("qasm: missing ';' after last statement");
+    }
+  }
+
+  // First pass: collect qreg declarations (so the Circuit width is known).
+  std::vector<std::string> bodyStatements;
+  for (const std::string& statement : statements) {
+    if (statement.empty() || statement.starts_with("OPENQASM") ||
+        statement.starts_with("include") || statement.starts_with("creg") ||
+        statement.starts_with("barrier") || statement.starts_with("measure")) {
+      continue;
+    }
+    if (statement.starts_with("qreg")) {
+      const auto open = statement.find('[');
+      const auto close = statement.find(']');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        throw std::invalid_argument("qasm: malformed qreg: " + statement);
+      }
+      const std::string name = trim(statement.substr(4, open - 4));
+      const auto width = static_cast<Qubit>(std::stoul(statement.substr(open + 1, close - open - 1)));
+      registerOffsets[name] = totalQubits;
+      totalQubits += width;
+      continue;
+    }
+    bodyStatements.push_back(statement);
+  }
+  if (totalQubits == 0) {
+    throw std::invalid_argument("qasm: no qreg declared");
+  }
+
+  Circuit circuit(totalQubits, "qasm");
+  const auto parseQubit = [&](std::string token) {
+    token = trim(std::move(token));
+    const auto open = token.find('[');
+    const auto close = token.find(']');
+    if (open == std::string::npos || close == std::string::npos) {
+      throw std::invalid_argument("qasm: expected qubit reference, got '" + token + "'");
+    }
+    const std::string name = trim(token.substr(0, open));
+    const auto it = registerOffsets.find(name);
+    if (it == registerOffsets.end()) {
+      throw std::invalid_argument("qasm: unknown register '" + name + "'");
+    }
+    const auto index = static_cast<Qubit>(std::stoul(token.substr(open + 1, close - open - 1)));
+    return static_cast<Qubit>(it->second + index);
+  };
+
+  for (const std::string& statement : bodyStatements) {
+    // <name>[(args)] operand {, operand}
+    std::size_t nameEnd = 0;
+    while (nameEnd < statement.size() && statement[nameEnd] != ' ' && statement[nameEnd] != '(') {
+      ++nameEnd;
+    }
+    const std::string name = statement.substr(0, nameEnd);
+    double angle = 0.0;
+    std::size_t operandStart = nameEnd;
+    if (nameEnd < statement.size() && statement[nameEnd] == '(') {
+      const auto close = statement.find(')', nameEnd);
+      if (close == std::string::npos) {
+        throw std::invalid_argument("qasm: missing ')' in " + statement);
+      }
+      angle = ExpressionParser(statement.substr(nameEnd + 1, close - nameEnd - 1)).parse();
+      operandStart = close + 1;
+    }
+    std::vector<Qubit> operands;
+    {
+      std::stringstream operandStream(statement.substr(operandStart));
+      std::string token;
+      while (std::getline(operandStream, token, ',')) {
+        operands.push_back(parseQubit(token));
+      }
+    }
+    const auto need = [&](std::size_t count) {
+      if (operands.size() != count) {
+        throw std::invalid_argument("qasm: wrong operand count in " + statement);
+      }
+    };
+    if (name == "id") {
+      need(1);
+      circuit.gate(GateKind::I, operands[0]);
+    } else if (name == "x" || name == "y" || name == "z" || name == "h" || name == "s" ||
+               name == "sdg" || name == "t" || name == "tdg") {
+      need(1);
+      circuit.gate(gateKindFromName(name), operands[0]);
+    } else if (name == "rx" || name == "ry" || name == "rz") {
+      need(1);
+      circuit.append({gateKindFromName(name), angle, operands[0], {}});
+    } else if (name == "p" || name == "u1") {
+      need(1);
+      circuit.phase(angle, operands[0]);
+    } else if (name == "cx" || name == "CX") {
+      need(2);
+      circuit.cx(operands[0], operands[1]);
+    } else if (name == "cz") {
+      need(2);
+      circuit.cz(operands[0], operands[1]);
+    } else if (name == "ccx") {
+      need(3);
+      circuit.ccx(operands[0], operands[1], operands[2]);
+    } else if (name == "swap") {
+      need(2);
+      circuit.swap(operands[0], operands[1]);
+    } else if (name == "cp" || name == "cu1") {
+      need(2);
+      circuit.controlled(GateKind::Phase, operands[1], {{operands[0], true}}, angle);
+    } else {
+      throw std::invalid_argument("qasm: unsupported gate '" + name + "'");
+    }
+  }
+  return circuit;
+}
+
+std::string toQasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[" << circuit.qubits() << "];\n";
+  os.precision(17);
+  for (const Operation& operation : circuit.operations()) {
+    for (const ControlSpec& control : operation.controls) {
+      if (!control.positive) {
+        throw std::invalid_argument("toQasm: negative controls are not expressible in qelib1");
+      }
+    }
+    const auto q = [](Qubit qubit) {
+      return "q[" + std::to_string(qubit) + "]";
+    };
+    if (operation.controls.empty()) {
+      if (operation.kind == GateKind::Phase) {
+        os << "u1(" << operation.angle << ") " << q(operation.target) << ";\n";
+      } else if (isParameterized(operation.kind)) {
+        os << gateName(operation.kind) << "(" << operation.angle << ") " << q(operation.target)
+           << ";\n";
+      } else if (operation.kind == GateKind::I) {
+        os << "id " << q(operation.target) << ";\n";
+      } else if (operation.kind == GateKind::V || operation.kind == GateKind::Vdg) {
+        throw std::invalid_argument("toQasm: v/vdg have no qelib1 equivalent");
+      } else {
+        os << gateName(operation.kind) << " " << q(operation.target) << ";\n";
+      }
+    } else if (operation.controls.size() == 1 && operation.kind == GateKind::X) {
+      os << "cx " << q(operation.controls[0].qubit) << ", " << q(operation.target) << ";\n";
+    } else if (operation.controls.size() == 1 && operation.kind == GateKind::Z) {
+      os << "cz " << q(operation.controls[0].qubit) << ", " << q(operation.target) << ";\n";
+    } else if (operation.controls.size() == 1 && operation.kind == GateKind::Phase) {
+      os << "cu1(" << operation.angle << ") " << q(operation.controls[0].qubit) << ", "
+         << q(operation.target) << ";\n";
+    } else if (operation.controls.size() == 2 && operation.kind == GateKind::X) {
+      os << "ccx " << q(operation.controls[0].qubit) << ", " << q(operation.controls[1].qubit)
+         << ", " << q(operation.target) << ";\n";
+    } else {
+      throw std::invalid_argument("toQasm: gate has no qelib1 encoding");
+    }
+  }
+  return os.str();
+}
+
+} // namespace qadd::qc

@@ -1,0 +1,25 @@
+/// \file qasm.hpp
+/// OpenQASM 2.0 interoperability (a practical subset): import benchmark
+/// circuits written for other toolchains and export ours.  Supported gates:
+/// id, x, y, z, h, s, sdg, t, tdg, rx, ry, rz, p/u1, cx, cz, ccx, swap, and
+/// the barrier/measure statements (which carry no unitary semantics and are
+/// skipped on import).
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace qadd::qc {
+
+/// Parse OpenQASM 2.0 source.  Multiple qreg declarations are concatenated
+/// in declaration order; q[i] of the first register maps to qubit i.
+/// \throws std::invalid_argument on unsupported or malformed constructs.
+[[nodiscard]] Circuit fromQasm(const std::string& source);
+
+/// Emit OpenQASM 2.0 with a single register q[n].  Multi-controlled gates
+/// beyond ccx/cz and negative controls have no qelib1 equivalent and throw.
+[[nodiscard]] std::string toQasm(const Circuit& circuit);
+
+} // namespace qadd::qc

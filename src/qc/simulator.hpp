@@ -1,0 +1,162 @@
+/// \file simulator.hpp
+/// DD-based quantum-circuit simulation (the workload of the paper's
+/// evaluation): the state starts as |0...0> and is evolved gate by gate via
+/// QMDD matrix-vector multiplication; the full-circuit unitary can likewise
+/// be accumulated via matrix-matrix multiplication (used for verification /
+/// equivalence checking).
+#pragma once
+
+#include "core/algebraic_system.hpp"
+#include "core/numeric_system.hpp"
+#include "core/package.hpp"
+#include "qc/circuit.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace qadd::qc {
+
+/// Build the package-level gate matrix for an operation.
+template <class System>
+[[nodiscard]] typename dd::Package<System>::GateMatrix
+makeWeightMatrix(dd::Package<System>& package, const Operation& operation) {
+  typename dd::Package<System>::GateMatrix matrix;
+  if constexpr (System::kExact) {
+    const auto exact = algebraicMatrix(operation.kind); // throws for rotations
+    for (std::size_t i = 0; i < 4; ++i) {
+      matrix[i] = package.system().intern(exact[i]);
+    }
+  } else {
+    // Compute the entries in the system's own precision (an extended-
+    // precision system must not be fed double-rounded constants).
+    using Float = typename System::Float;
+    const auto numeric =
+        complexMatrixT<Float>(operation.kind, static_cast<Float>(operation.angle));
+    for (std::size_t i = 0; i < 4; ++i) {
+      matrix[i] = package.system().fromComplex(numeric[i]);
+    }
+  }
+  return matrix;
+}
+
+/// Build the full n-qubit DD of one operation (target + controls embedded).
+template <class System>
+[[nodiscard]] typename dd::Package<System>::MEdge
+makeOperationDD(dd::Package<System>& package, const Operation& operation) {
+  const auto matrix = makeWeightMatrix(package, operation);
+  std::vector<std::pair<dd::Qubit, typename dd::Package<System>::Control>> controls;
+  controls.reserve(operation.controls.size());
+  for (const ControlSpec& control : operation.controls) {
+    controls.push_back({control.qubit, control.positive
+                                           ? dd::Package<System>::Control::Positive
+                                           : dd::Package<System>::Control::Negative});
+  }
+  return package.makeGate(matrix, operation.target, controls);
+}
+
+/// Step-wise circuit simulator.  Use `Simulator<dd::NumericSystem>` for the
+/// baseline numerical representation and `Simulator<dd::AlgebraicSystem>` for
+/// the paper's exact algebraic one.
+template <class System> class Simulator {
+public:
+  using Package = dd::Package<System>;
+  using VEdge = typename Package::VEdge;
+
+  struct Options {
+    /// Run garbage collection when the live node count exceeds this.
+    std::size_t gcNodeThreshold = 200'000;
+  };
+
+  explicit Simulator(Circuit circuit, typename System::Config config = {}, Options options = {})
+      : circuit_(std::move(circuit)),
+        package_(std::make_unique<Package>(circuit_.qubits(), config)), options_(options) {
+    reset();
+  }
+
+  /// Reset the state to |0...0> and rewind to the first gate.
+  void reset() {
+    if (hasState_) {
+      package_->decRef(state_);
+    }
+    state_ = package_->makeZeroState();
+    package_->incRef(state_);
+    hasState_ = true;
+    next_ = 0;
+  }
+
+  /// Apply the next gate; false when the circuit is exhausted.
+  bool step() {
+    if (next_ >= circuit_.size()) {
+      return false;
+    }
+    const Operation& operation = circuit_.operations()[next_];
+    const auto gate = makeOperationDD(*package_, operation);
+    const VEdge updated = package_->multiply(gate, state_);
+    package_->incRef(updated);
+    package_->decRef(state_);
+    state_ = updated;
+    ++next_;
+    if (package_->allocatedNodes() > options_.gcNodeThreshold) {
+      package_->garbageCollect();
+    }
+    return true;
+  }
+
+  /// Run to completion (optionally invoking `perGate(simulator)` after each
+  /// gate application).
+  template <class Callback = std::nullptr_t> void run(Callback&& perGate = nullptr) {
+    while (step()) {
+      if constexpr (!std::is_same_v<std::decay_t<Callback>, std::nullptr_t>) {
+        perGate(*this);
+      }
+    }
+  }
+
+  [[nodiscard]] const VEdge& state() const { return state_; }
+  [[nodiscard]] Package& package() { return *package_; }
+  [[nodiscard]] const Package& package() const { return *package_; }
+  [[nodiscard]] const Circuit& circuit() const { return circuit_; }
+  /// Index of the next gate to apply == number of gates applied so far.
+  [[nodiscard]] std::size_t gateIndex() const { return next_; }
+
+  /// Number of nodes of the current state DD (the paper's compactness
+  /// metric).
+  [[nodiscard]] std::size_t stateNodes() const { return package_->countNodes(state_); }
+
+  /// Probability of measuring `bits` (|amplitude|^2).
+  [[nodiscard]] double probability(std::span<const bool> bits) const {
+    const auto amplitude = package_->amplitude(state_, bits);
+    return std::norm(amplitude);
+  }
+
+private:
+  Circuit circuit_;
+  std::unique_ptr<Package> package_;
+  Options options_;
+  VEdge state_{};
+  bool hasState_ = false;
+  std::size_t next_ = 0;
+};
+
+/// Accumulate the full-circuit unitary U = G_m ... G_2 G_1 as a matrix DD.
+template <class System>
+[[nodiscard]] typename dd::Package<System>::MEdge buildUnitary(dd::Package<System>& package,
+                                                               const Circuit& circuit) {
+  if (circuit.qubits() != package.qubits()) {
+    throw std::invalid_argument("buildUnitary: package width mismatch");
+  }
+  auto unitary = package.makeIdentity();
+  package.incRef(unitary);
+  for (const Operation& operation : circuit.operations()) {
+    const auto gate = makeOperationDD(package, operation);
+    const auto next = package.multiply(gate, unitary);
+    package.incRef(next);
+    package.decRef(unitary);
+    unitary = next;
+  }
+  return unitary;
+}
+
+} // namespace qadd::qc

@@ -1,0 +1,54 @@
+#include "qc/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace qadd::qc {
+
+CircuitStats analyze(const Circuit& circuit) {
+  CircuitStats stats;
+  stats.gates = circuit.size();
+  // ASAP layering: a gate starts after the latest layer of any line it
+  // touches.
+  std::vector<std::size_t> lineDepth(circuit.qubits(), 0);
+  for (const Operation& operation : circuit.operations()) {
+    ++stats.perKind[operation.kind];
+    if (operation.kind == GateKind::T || operation.kind == GateKind::Tdg) {
+      ++stats.tCount;
+    }
+    if (!operation.controls.empty()) {
+      ++stats.controlledGates;
+      stats.maxControls = std::max(stats.maxControls, operation.controls.size());
+    }
+    if (operation.controls.size() == 1) {
+      ++stats.twoQubitGates;
+    }
+    std::size_t start = lineDepth[operation.target];
+    for (const ControlSpec& control : operation.controls) {
+      start = std::max(start, lineDepth[control.qubit]);
+    }
+    const std::size_t finish = start + 1;
+    lineDepth[operation.target] = finish;
+    for (const ControlSpec& control : operation.controls) {
+      lineDepth[control.qubit] = finish;
+    }
+    stats.depth = std::max(stats.depth, finish);
+  }
+  return stats;
+}
+
+std::string CircuitStats::toString() const {
+  std::ostringstream os;
+  os << gates << " gates, depth " << depth << ", T-count " << tCount << ", "
+     << controlledGates << " controlled (max " << maxControls << " controls), "
+     << twoQubitGates << " two-qubit";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& stats) {
+  return os << stats.toString();
+}
+
+} // namespace qadd::qc

@@ -1,0 +1,34 @@
+/// \file stats.hpp
+/// Static circuit metrics: gate-kind histogram, control statistics, T-count
+/// and circuit depth (greedy ASAP layering) — the numbers synthesis and
+/// mapping papers report alongside DD sizes.
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace qadd::qc {
+
+struct CircuitStats {
+  std::size_t gates = 0;
+  std::size_t depth = 0;          ///< ASAP-layered depth
+  std::size_t tCount = 0;         ///< T + Tdg gates
+  std::size_t controlledGates = 0;
+  std::size_t maxControls = 0;
+  std::size_t twoQubitGates = 0;  ///< gates touching exactly 2 lines
+  std::map<GateKind, std::size_t> perKind;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Compute all metrics in one pass.
+[[nodiscard]] CircuitStats analyze(const Circuit& circuit);
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& stats);
+
+} // namespace qadd::qc

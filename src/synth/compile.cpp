@@ -1,0 +1,87 @@
+#include "synth/compile.hpp"
+
+#include <stdexcept>
+
+namespace qadd::synth {
+
+using qc::Circuit;
+using qc::GateKind;
+using qc::Operation;
+using qc::Qubit;
+
+const CliffordTSequence& CliffordTCompiler::cachedRz(double angle) {
+  const auto it = cache_.find(angle);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  return cache_.emplace(angle, synthesizer_.approximateRz(angle)).first->second;
+}
+
+void CliffordTCompiler::emitRz(Circuit& out, double angle, Qubit target) {
+  for (const GateKind kind : cachedRz(angle).gates) {
+    out.gate(kind, target);
+  }
+}
+
+void CliffordTCompiler::emitOperation(Circuit& out, const Operation& operation) {
+  if (qc::isCliffordT(operation.kind)) {
+    out.append(operation);
+    return;
+  }
+  // Phase(theta) and Rz(theta) coincide projectively; both compile to the
+  // same Rz approximation.  Rx/Ry are conjugated onto the z axis.
+  if (operation.controls.empty()) {
+    switch (operation.kind) {
+    case GateKind::Rz:
+    case GateKind::Phase:
+      emitRz(out, operation.angle, operation.target);
+      return;
+    case GateKind::Rx:
+      out.h(operation.target);
+      emitRz(out, operation.angle, operation.target);
+      out.h(operation.target);
+      return;
+    case GateKind::Ry:
+      // Ry = Sdg H Rz H S (rotate the z axis onto y).
+      out.sdg(operation.target);
+      out.h(operation.target);
+      emitRz(out, operation.angle, operation.target);
+      out.h(operation.target);
+      out.s(operation.target);
+      return;
+    default:
+      break;
+    }
+  }
+  if (operation.controls.size() == 1 &&
+      (operation.kind == GateKind::Rz || operation.kind == GateKind::Phase)) {
+    // Controlled z-rotation via two CNOTs:
+    //   cRz(t) = Rz(t/2)_target CX Rz(-t/2)_target CX,
+    // and a controlled phase adds Rz(t/2) on the control (projectively).
+    const Qubit control = operation.controls.front().qubit;
+    if (!operation.controls.front().positive) {
+      throw std::invalid_argument("CliffordTCompiler: negative controls on rotations unsupported");
+    }
+    const Qubit target = operation.target;
+    const double half = operation.angle / 2;
+    if (operation.kind == GateKind::Phase) {
+      emitRz(out, half, control);
+    }
+    emitRz(out, half, target);
+    out.cx(control, target);
+    emitRz(out, -half, target);
+    out.cx(control, target);
+    return;
+  }
+  throw std::invalid_argument("CliffordTCompiler: unsupported parameterized operation");
+}
+
+Circuit CliffordTCompiler::compile(const Circuit& circuit) {
+  Circuit out(circuit.qubits(), circuit.name() + "_ct");
+  for (const Operation& operation : circuit.operations()) {
+    emitOperation(out, operation);
+  }
+  return out;
+}
+
+} // namespace qadd::synth

@@ -1,0 +1,43 @@
+/// \file compile.hpp
+/// Compilation of arbitrary circuits to the Clifford+T gate set — the role
+/// the Quipper tool plays in the paper's evaluation (Section V): benchmarks
+/// like GSE contain rotations by arbitrary angles that are not contained in
+/// D[omega]/Q[omega] and must be approximated by exactly representable
+/// circuits before the algebraic QMDD can process them.
+#pragma once
+
+#include "qc/circuit.hpp"
+#include "synth/solovay_kitaev.hpp"
+
+#include <map>
+
+namespace qadd::synth {
+
+/// Rewrites every parameterized gate of `circuit` into Clifford+T:
+///  - Rz / Phase: Solovay-Kitaev approximation (projective, standard for SK);
+///  - Rx = H Rz H,  Ry = S H Rz H Sdg (axis conjugation);
+///  - singly-controlled parameterized gates: the standard two-CNOT
+///    decomposition into uncontrolled rotations, then as above.
+/// Clifford+T gates (including multi-controlled X/Z) pass through untouched.
+/// Approximations are cached per angle, mirroring how a compiler reuses
+/// synthesized rotations.
+class CliffordTCompiler {
+public:
+  explicit CliffordTCompiler(SolovayKitaev::Options options = {5, 2})
+      : synthesizer_(options) {}
+
+  [[nodiscard]] qc::Circuit compile(const qc::Circuit& circuit);
+
+  [[nodiscard]] const SolovayKitaev& synthesizer() const { return synthesizer_; }
+
+private:
+  void emitRz(qc::Circuit& out, double angle, qc::Qubit target);
+  void emitOperation(qc::Circuit& out, const qc::Operation& operation);
+
+  [[nodiscard]] const CliffordTSequence& cachedRz(double angle);
+
+  SolovayKitaev synthesizer_;
+  std::map<double, CliffordTSequence> cache_;
+};
+
+} // namespace qadd::synth

@@ -1,0 +1,133 @@
+#include "synth/reversible.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace qadd::synth {
+
+using qc::Circuit;
+using qc::ControlSpec;
+using qc::GateKind;
+using qc::Qubit;
+
+namespace {
+
+/// X on bit `target` (within the register) controlled on the full pattern of
+/// `state` on every other register bit, plus the external controls.  This
+/// transposes exactly |state> and |state ^ (1 << target)> (conditioned on the
+/// external controls).
+void appendPatternControlledX(Circuit& circuit, Qubit offset, Qubit width, std::uint64_t state,
+                              unsigned target, const std::vector<ControlSpec>& extraControls) {
+  std::vector<ControlSpec> controls = extraControls;
+  controls.reserve(extraControls.size() + width - 1);
+  for (unsigned bit = 0; bit < width; ++bit) {
+    if (bit == target) {
+      continue;
+    }
+    controls.push_back({offset + bit, ((state >> bit) & 1ULL) != 0});
+  }
+  circuit.controlled(GateKind::X, offset + target, std::move(controls));
+}
+
+} // namespace
+
+void appendTransposition(Circuit& circuit, Qubit offset, Qubit width,
+                         Transposition transposition,
+                         const std::vector<ControlSpec>& extraControls) {
+  const std::uint64_t a = transposition.a;
+  std::uint64_t b = transposition.b;
+  if (a == b) {
+    throw std::invalid_argument("appendTransposition: a == b is not a transposition");
+  }
+  assert(width <= 63 && (a >> width) == 0 && (b >> width) == 0);
+  const std::uint64_t difference = a ^ b;
+  const auto pivot = static_cast<unsigned>(std::countr_zero(difference));
+
+  // Alignment chain W: walk b to a ^ (1 << pivot) one differing bit at a
+  // time.  Each link is itself a transposition of two basis states, so the
+  // whole chain is a permutation that is undone exactly by replaying it in
+  // reverse.
+  std::vector<std::pair<std::uint64_t, unsigned>> chain; // (state before flip, bit)
+  for (unsigned bit = pivot + 1; bit < width; ++bit) {
+    if (((difference >> bit) & 1ULL) == 0) {
+      continue;
+    }
+    chain.push_back({b, bit});
+    appendPatternControlledX(circuit, offset, width, b, bit, extraControls);
+    b ^= 1ULL << bit;
+  }
+  for (unsigned bit = 0; bit < pivot; ++bit) {
+    if (((difference >> bit) & 1ULL) == 0) {
+      continue;
+    }
+    chain.push_back({b, bit});
+    appendPatternControlledX(circuit, offset, width, b, bit, extraControls);
+    b ^= 1ULL << bit;
+  }
+  assert(b == (a ^ (1ULL << pivot)));
+
+  // The central swap |a> <-> |a ^ (1<<pivot)>.
+  appendPatternControlledX(circuit, offset, width, a, pivot, extraControls);
+
+  // Undo the alignment chain.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    appendPatternControlledX(circuit, offset, width, it->first, it->second, extraControls);
+  }
+}
+
+void appendInvolution(Circuit& circuit, Qubit offset, Qubit width,
+                      const std::vector<Transposition>& pairs,
+                      const std::vector<ControlSpec>& extraControls) {
+  for (const Transposition& pair : pairs) {
+    appendTransposition(circuit, offset, width, pair, extraControls);
+  }
+}
+
+void appendPermutation(Circuit& circuit, Qubit offset, Qubit width,
+                       const std::vector<std::uint64_t>& image,
+                       const std::vector<ControlSpec>& extraControls) {
+  const std::uint64_t size = 1ULL << width;
+  if (image.size() != size) {
+    throw std::invalid_argument("appendPermutation: image table size mismatch");
+  }
+  // Validate bijectivity.
+  std::vector<bool> seen(size, false);
+  for (const std::uint64_t y : image) {
+    if (y >= size || seen[y]) {
+      throw std::invalid_argument("appendPermutation: image is not a permutation");
+    }
+    seen[y] = true;
+  }
+  // Cycle decomposition: (a1 a2 ... ak) = (a1 ak)(a1 a(k-1))...(a1 a2),
+  // with the *rightmost* transposition applied first.  Gates appended to a
+  // circuit act in order, so emit (a1 a2) first.
+  std::vector<bool> visited(size, false);
+  for (std::uint64_t start = 0; start < size; ++start) {
+    if (visited[start] || image[start] == start) {
+      visited[start] = true;
+      continue;
+    }
+    std::uint64_t current = image[start];
+    visited[start] = true;
+    while (current != start) {
+      visited[current] = true;
+      appendTransposition(circuit, offset, width, {start, current}, extraControls);
+      current = image[current];
+    }
+  }
+}
+
+std::uint64_t applyInvolution(const std::vector<Transposition>& pairs, std::uint64_t value) {
+  for (const Transposition& pair : pairs) {
+    if (value == pair.a) {
+      return pair.b;
+    }
+    if (value == pair.b) {
+      return pair.a;
+    }
+  }
+  return value;
+}
+
+} // namespace qadd::synth

@@ -1,0 +1,52 @@
+/// \file reversible.hpp
+/// Reversible-logic synthesis of basis-state permutations into
+/// multi-controlled X netlists — the classic QMDD application domain
+/// ([16]-[18] in the paper).  Used here to realize the edge-permutations of
+/// the Binary-Welded-Tree quantum walk as exactly-representable circuits.
+#pragma once
+
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qadd::synth {
+
+/// A transposition of two computational basis states.
+struct Transposition {
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+/// Append the gates realizing the transposition |a> <-> |b| on the `width`
+/// qubits starting at `offset` (other basis states untouched), optionally
+/// conditioned on extra controls.
+///
+/// Construction: align b to differ from a in a single bit by a chain of
+/// fully-controlled X gates W, swap with one multi-controlled X, then undo W.
+/// Cost: 2 * (hammingDistance - 1) + 1 MCX gates.
+void appendTransposition(qc::Circuit& circuit, qc::Qubit offset, qc::Qubit width,
+                         Transposition transposition,
+                         const std::vector<qc::ControlSpec>& extraControls = {});
+
+/// Append a full involution given as disjoint transpositions (a matching on
+/// basis states).  Pairs may be given in any order.
+void appendInvolution(qc::Circuit& circuit, qc::Qubit offset, qc::Qubit width,
+                      const std::vector<Transposition>& pairs,
+                      const std::vector<qc::ControlSpec>& extraControls = {});
+
+/// Apply a permutation given as an image table to a classical basis index
+/// (test helper: the circuit built from `pairs` must act like this).
+[[nodiscard]] std::uint64_t applyInvolution(const std::vector<Transposition>& pairs,
+                                            std::uint64_t value);
+
+/// Append a circuit realizing an arbitrary basis-state permutation given as
+/// its image table (`image[x]` = where |x> goes; must be a bijection on
+/// [0, 2^width)).  Synthesized by cycle decomposition into transpositions.
+/// Used e.g. to realize modular-arithmetic unitaries (Shor-style
+/// period finding) exactly.
+void appendPermutation(qc::Circuit& circuit, qc::Qubit offset, qc::Qubit width,
+                       const std::vector<std::uint64_t>& image,
+                       const std::vector<qc::ControlSpec>& extraControls = {});
+
+} // namespace qadd::synth

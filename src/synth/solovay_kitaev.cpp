@@ -1,0 +1,316 @@
+#include "synth/solovay_kitaev.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qadd::synth {
+
+using qc::GateKind;
+
+namespace {
+
+SU2 hMatrix() { return SU2::fromMatrix(qc::complexMatrix(GateKind::H)); }
+SU2 tMatrix() { return SU2::fromMatrix(qc::complexMatrix(GateKind::T)); }
+
+/// Expand an encoded net word (0 = H, k = T^k) into circuit-order gates.
+std::vector<GateKind> decodeWord(const std::vector<std::uint8_t>& word) {
+  std::vector<GateKind> gates;
+  for (const std::uint8_t symbol : word) {
+    if (symbol == 0) {
+      gates.push_back(GateKind::H);
+    } else {
+      for (std::uint8_t i = 0; i < symbol; ++i) {
+        gates.push_back(GateKind::T);
+      }
+    }
+  }
+  return gates;
+}
+
+std::vector<GateKind> adjointGates(const std::vector<GateKind>& gates) {
+  std::vector<GateKind> result;
+  result.reserve(gates.size());
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    result.push_back(qc::adjointKind(*it));
+  }
+  return result;
+}
+
+/// Number of T-eighth-turns a gate contributes to a diagonal run (T = 1,
+/// S = 2, Z = 4, Sdg = 6, Tdg = 7); -1 for non-diagonal gates.
+int tEighths(GateKind kind) {
+  switch (kind) {
+  case GateKind::I:
+    return 0;
+  case GateKind::T:
+    return 1;
+  case GateKind::S:
+    return 2;
+  case GateKind::Z:
+    return 4;
+  case GateKind::Sdg:
+    return 6;
+  case GateKind::Tdg:
+    return 7;
+  default:
+    return -1;
+  }
+}
+
+void appendEighths(std::vector<GateKind>& out, int eighths) {
+  switch (eighths & 7) {
+  case 0:
+    break;
+  case 1:
+    out.push_back(GateKind::T);
+    break;
+  case 2:
+    out.push_back(GateKind::S);
+    break;
+  case 3:
+    out.push_back(GateKind::S);
+    out.push_back(GateKind::T);
+    break;
+  case 4:
+    out.push_back(GateKind::Z);
+    break;
+  case 5:
+    out.push_back(GateKind::Z);
+    out.push_back(GateKind::T);
+    break;
+  case 6:
+    out.push_back(GateKind::Sdg);
+    break;
+  case 7:
+    out.push_back(GateKind::Tdg);
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+std::vector<GateKind> simplifySequence(std::vector<GateKind> gates) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<GateKind> next;
+    next.reserve(gates.size());
+    std::size_t i = 0;
+    while (i < gates.size()) {
+      // Fold a maximal diagonal run.
+      if (tEighths(gates[i]) >= 0) {
+        int eighths = 0;
+        std::size_t j = i;
+        while (j < gates.size() && tEighths(gates[j]) >= 0) {
+          eighths += tEighths(gates[j]);
+          ++j;
+        }
+        const std::size_t before = next.size();
+        appendEighths(next, eighths);
+        if (next.size() - before != j - i) {
+          changed = true;
+        }
+        i = j;
+        continue;
+      }
+      // Cancel H H.
+      if (gates[i] == GateKind::H && i + 1 < gates.size() && gates[i + 1] == GateKind::H) {
+        i += 2;
+        changed = true;
+        continue;
+      }
+      next.push_back(gates[i]);
+      ++i;
+    }
+    gates = std::move(next);
+  }
+  return gates;
+}
+
+SolovayKitaev::SolovayKitaev(Options options) : options_(options) {
+  if (options_.hLayers < 1 || options_.depth < 0) {
+    throw std::invalid_argument("SolovayKitaev: invalid options");
+  }
+  buildNet();
+}
+
+void SolovayKitaev::buildNet() {
+  const SU2 h = hMatrix();
+  const SU2 t = tMatrix();
+  // Precompute T^k.
+  std::array<SU2, 8> tPowers;
+  for (int k = 1; k < 8; ++k) {
+    tPowers[k] = t * tPowers[k - 1];
+  }
+  // Canonical words: T^(k0) (H T^(ki))^m, k0 in 0..7, inner ki in 1..7,
+  // trailing ki in 0..7 (0 only for the last factor to close with a bare H).
+  // Enumerate by BFS over the number of H layers.
+  struct Partial {
+    SU2 matrix;
+    std::vector<std::uint8_t> word;
+  };
+  std::vector<Partial> layer;
+  net_.clear();
+  for (std::uint8_t k0 = 0; k0 < 8; ++k0) {
+    Partial p;
+    p.matrix = tPowers[k0]; // tPowers[0] is identity
+    if (k0 > 0) {
+      p.word.push_back(k0);
+    }
+    net_.push_back({p.matrix, p.word});
+    layer.push_back(std::move(p));
+  }
+  for (int m = 0; m < options_.hLayers; ++m) {
+    std::vector<Partial> nextLayer;
+    nextLayer.reserve(layer.size() * 7);
+    for (const Partial& p : layer) {
+      // Append H, then optionally T^k.  Words ending in a bare H are emitted
+      // to the net but only extended with non-trivial T powers (to keep the
+      // enumeration canonical and duplicate-free).
+      Partial withH;
+      withH.matrix = h * p.matrix;
+      withH.word = p.word;
+      withH.word.push_back(0);
+      net_.push_back({withH.matrix, withH.word});
+      for (std::uint8_t k = 1; k < 8; ++k) {
+        Partial q;
+        q.matrix = tPowers[k] * withH.matrix;
+        q.word = withH.word;
+        q.word.push_back(k);
+        net_.push_back({q.matrix, q.word});
+        if (m + 1 < options_.hLayers) {
+          nextLayer.push_back(std::move(q));
+        }
+      }
+    }
+    layer = std::move(nextLayer);
+  }
+}
+
+CliffordTSequence SolovayKitaev::baseApproximation(const SU2& target) const {
+  double bestDistance = std::numeric_limits<double>::infinity();
+  const NetEntry* best = nullptr;
+  for (const NetEntry& entry : net_) {
+    const double d = SU2::distance(entry.matrix, target);
+    if (d < bestDistance) {
+      bestDistance = d;
+      best = &entry;
+    }
+  }
+  assert(best != nullptr);
+  // Net words are stored outermost-first (matrix product order); circuit
+  // order is the reverse: the word symbol list reads left-to-right as matrix
+  // factors applied last-to-first.  decodeWord returns gates so that
+  // sequenceMatrix(gates) == entry.matrix, i.e. circuit order = word order.
+  return {decodeWord(best->word), best->matrix};
+}
+
+void SolovayKitaev::groupCommutatorDecompose(const SU2& delta, SU2& v, SU2& w) {
+  // delta is a rotation by theta about axis n.  Choose phi so that the
+  // commutator of two phi-rotations about x and y is a theta-rotation:
+  //   sin(theta/2) = 2 sin^2(phi/2) sqrt(1 - sin^4(phi/2)).
+  double nx = 0.0;
+  double ny = 0.0;
+  double nz = 0.0;
+  double theta = 0.0;
+  delta.toAxisAngle(nx, ny, nz, theta);
+  if (theta > M_PI) { // use the short way around (projective)
+    theta = 2.0 * M_PI - theta;
+    nx = -nx;
+    ny = -ny;
+    nz = -nz;
+  }
+  const double target = std::sin(theta / 2);
+  // Bisection for t = sin(phi/2) on [0, (1/2)^(1/4)] where f is monotone.
+  double lo = 0.0;
+  double hi = std::pow(0.5, 0.25);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = 2.0 * mid * mid * std::sqrt(1.0 - mid * mid * mid * mid);
+    (f < target ? lo : hi) = mid;
+  }
+  const double t = 0.5 * (lo + hi);
+  const double phi = 2.0 * std::asin(t);
+  const SU2 vx = SU2::fromAxisAngle(1, 0, 0, phi);
+  const SU2 wy = SU2::fromAxisAngle(0, 1, 0, phi);
+  // Axis of the commutator [vx, wy]:
+  const SU2 commutator = vx * wy * vx.adjoint() * wy.adjoint();
+  double mx = 0.0;
+  double my = 0.0;
+  double mz = 0.0;
+  double commutatorAngle = 0.0;
+  commutator.toAxisAngle(mx, my, mz, commutatorAngle);
+  if (commutatorAngle > M_PI) {
+    mx = -mx;
+    my = -my;
+    mz = -mz;
+  }
+  // Similarity transform s maps axis m to axis n; conjugating both rotations
+  // by it conjugates the commutator.
+  const double dot = std::clamp(mx * nx + my * ny + mz * nz, -1.0, 1.0);
+  double axisX = my * nz - mz * ny;
+  double axisY = mz * nx - mx * nz;
+  double axisZ = mx * ny - my * nx;
+  const double crossNorm = std::sqrt(axisX * axisX + axisY * axisY + axisZ * axisZ);
+  SU2 s; // identity when axes already aligned
+  if (crossNorm > 1e-12) {
+    s = SU2::fromAxisAngle(axisX / crossNorm, axisY / crossNorm, axisZ / crossNorm,
+                           std::acos(dot));
+  } else if (dot < 0) {
+    // Antiparallel: rotate by pi about any axis orthogonal to m.
+    if (std::abs(mx) < 0.9) {
+      axisX = 0.0;
+      axisY = -mz;
+      axisZ = my;
+    } else {
+      axisX = -my;
+      axisY = mx;
+      axisZ = 0.0;
+    }
+    const double n = std::sqrt(axisX * axisX + axisY * axisY + axisZ * axisZ);
+    s = SU2::fromAxisAngle(axisX / n, axisY / n, axisZ / n, M_PI);
+  }
+  v = s * vx * s.adjoint();
+  w = s * wy * s.adjoint();
+}
+
+CliffordTSequence SolovayKitaev::approximate(const SU2& target) const {
+  return approximate(target, options_.depth);
+}
+
+CliffordTSequence SolovayKitaev::approximate(const SU2& target, int depth) const {
+  if (depth <= 0) {
+    return baseApproximation(target);
+  }
+  CliffordTSequence previous = approximate(target, depth - 1);
+  const SU2 delta = target * previous.matrix.adjoint();
+  SU2 v;
+  SU2 w;
+  groupCommutatorDecompose(delta, v, w);
+  const CliffordTSequence vApprox = approximate(v, depth - 1);
+  const CliffordTSequence wApprox = approximate(w, depth - 1);
+
+  // result = V W V^dag W^dag U_{n-1}: circuit order is U first, then W^dag...
+  std::vector<GateKind> gates = previous.gates;
+  const auto wDagger = adjointGates(wApprox.gates);
+  const auto vDagger = adjointGates(vApprox.gates);
+  gates.insert(gates.end(), wDagger.begin(), wDagger.end());
+  gates.insert(gates.end(), vDagger.begin(), vDagger.end());
+  gates.insert(gates.end(), wApprox.gates.begin(), wApprox.gates.end());
+  gates.insert(gates.end(), vApprox.gates.begin(), vApprox.gates.end());
+  gates = simplifySequence(std::move(gates));
+
+  const SU2 matrix = vApprox.matrix * wApprox.matrix * vApprox.matrix.adjoint() *
+                     wApprox.matrix.adjoint() * previous.matrix;
+  return {std::move(gates), matrix};
+}
+
+CliffordTSequence SolovayKitaev::approximateRz(double angle) const {
+  return approximate(SU2::fromAxisAngle(0, 0, 1, angle));
+}
+
+} // namespace qadd::synth

@@ -1,0 +1,78 @@
+/// \file solovay_kitaev.hpp
+/// Clifford+T synthesis of arbitrary single-qubit rotations via the
+/// Dawson-Nielsen formulation of the Solovay-Kitaev algorithm.
+///
+/// This module replaces the paper's use of the Quipper compiler (Section V):
+/// the GSE benchmark contains rotations by arbitrary angles whose matrix
+/// entries are NOT in D[omega]; they must first be approximated by circuits
+/// over {H, T} (whose entries are), after which both the numerical and the
+/// algebraic QMDD simulate the *same* exactly-representable circuit.
+///
+/// Approximation is projective (up to global phase), as is standard for
+/// Solovay-Kitaev.  The base case is an epsilon-net of canonical <H,T> words
+/// T^(k0) (H T^(ki))^m; the recursion improves a level-(n-1) approximation
+/// U_{n-1} by synthesizing the residual U U_{n-1}^dagger as a balanced group
+/// commutator [V, W].
+#pragma once
+
+#include "qc/gates.hpp"
+#include "synth/su2.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qadd::synth {
+
+/// A Clifford+T word together with the SU(2) element it multiplies out to.
+struct CliffordTSequence {
+  std::vector<qc::GateKind> gates; // applied left-to-right in circuit order
+  SU2 matrix;                      // product, first gate rightmost
+};
+
+/// Peephole simplification: cancels H H, folds runs of T/Tdg modulo 8 into
+/// {I, T, S, S T, Z, Z T(=S Sdg..), Sdg, Tdg}, iterating to a fixed point.
+[[nodiscard]] std::vector<qc::GateKind> simplifySequence(std::vector<qc::GateKind> gates);
+
+class SolovayKitaev {
+public:
+  struct Options {
+    /// Maximum number of H layers in the base epsilon-net words; net size
+    /// grows as ~8 * 7^(hLayers-1) * 8.
+    int hLayers = 5;
+    /// Recursion depth of the Solovay-Kitaev construction.
+    int depth = 2;
+  };
+
+  SolovayKitaev() : SolovayKitaev(Options{}) {}
+  explicit SolovayKitaev(Options options);
+
+  /// Best Clifford+T approximation of `target` at the configured depth.
+  [[nodiscard]] CliffordTSequence approximate(const SU2& target) const;
+
+  /// Approximation at an explicit recursion depth (0 = base net only).
+  [[nodiscard]] CliffordTSequence approximate(const SU2& target, int depth) const;
+
+  /// Convenience: approximate Rz(angle) (projectively).
+  [[nodiscard]] CliffordTSequence approximateRz(double angle) const;
+
+  [[nodiscard]] std::size_t netSize() const { return net_.size(); }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+  struct NetEntry {
+    SU2 matrix;
+    std::vector<std::uint8_t> word; // encoded: 0 = H, 1..7 = T^k
+  };
+
+  void buildNet();
+  [[nodiscard]] CliffordTSequence baseApproximation(const SU2& target) const;
+
+  /// Balanced group-commutator decomposition: delta ~ V W V^dag W^dag with
+  /// V, W rotations by equal angles (Dawson-Nielsen).
+  static void groupCommutatorDecompose(const SU2& delta, SU2& v, SU2& w);
+
+  Options options_;
+  std::vector<NetEntry> net_;
+};
+
+} // namespace qadd::synth

@@ -1,0 +1,88 @@
+#include "synth/su2.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace qadd::synth {
+
+namespace {
+
+/// Canonical projective sign: flip the quaternion so w > 0 (or the first
+/// non-zero of x, y, z is positive when w == 0).
+void canonicalizeSign(double& w, double& x, double& y, double& z) {
+  constexpr double tiny = 1e-15;
+  double lead = w;
+  if (std::abs(lead) < tiny) {
+    lead = std::abs(x) >= tiny ? x : (std::abs(y) >= tiny ? y : z);
+  }
+  if (lead < 0) {
+    w = -w;
+    x = -x;
+    y = -y;
+    z = -z;
+  }
+}
+
+} // namespace
+
+SU2::SU2(double w, double x, double y, double z) : w_(w), x_(x), y_(y), z_(z) {
+  const double n = std::sqrt(w_ * w_ + x_ * x_ + y_ * y_ + z_ * z_);
+  assert(n > 0);
+  w_ /= n;
+  x_ /= n;
+  y_ /= n;
+  z_ /= n;
+  canonicalizeSign(w_, x_, y_, z_);
+}
+
+SU2 SU2::fromMatrix(const std::array<std::complex<double>, 4>& m) {
+  // Normalize the determinant to 1 (divide by a square root of det), then
+  // read off the quaternion from U = [[w - iz, -y - ix], [y - ix, w + iz]].
+  const std::complex<double> det = m[0] * m[3] - m[1] * m[2];
+  const std::complex<double> phase = std::sqrt(det);
+  const std::complex<double> a = m[0] / phase; // w - i z
+  const std::complex<double> c = m[2] / phase; // y - i x
+  return {a.real(), -c.imag(), c.real(), -a.imag()};
+}
+
+SU2 SU2::fromAxisAngle(double nx, double ny, double nz, double angle) {
+  const double n = std::sqrt(nx * nx + ny * ny + nz * nz);
+  assert(n > 0);
+  const double s = std::sin(angle / 2) / n;
+  return {std::cos(angle / 2), s * nx, s * ny, s * nz};
+}
+
+std::array<std::complex<double>, 4> SU2::toMatrix() const {
+  using C = std::complex<double>;
+  return {C{w_, -z_}, C{-y_, -x_}, C{y_, -x_}, C{w_, z_}};
+}
+
+void SU2::toAxisAngle(double& nx, double& ny, double& nz, double& angle) const {
+  const double s = std::sqrt(x_ * x_ + y_ * y_ + z_ * z_);
+  angle = 2.0 * std::atan2(s, w_);
+  if (s < 1e-15) {
+    nx = 0.0;
+    ny = 0.0;
+    nz = 1.0;
+    return;
+  }
+  nx = x_ / s;
+  ny = y_ / s;
+  nz = z_ / s;
+}
+
+SU2 operator*(const SU2& a, const SU2& b) {
+  // Hamilton product; equals the matrix product a.toMatrix() * b.toMatrix()
+  // under this file's quaternion convention.
+  return {a.w_ * b.w_ - a.x_ * b.x_ - a.y_ * b.y_ - a.z_ * b.z_,
+          a.w_ * b.x_ + a.x_ * b.w_ + a.y_ * b.z_ - a.z_ * b.y_,
+          a.w_ * b.y_ - a.x_ * b.z_ + a.y_ * b.w_ + a.z_ * b.x_,
+          a.w_ * b.z_ + a.x_ * b.y_ - a.y_ * b.x_ + a.z_ * b.w_};
+}
+
+double SU2::distance(const SU2& a, const SU2& b) {
+  const double dot = std::abs(a.w_ * b.w_ + a.x_ * b.x_ + a.y_ * b.y_ + a.z_ * b.z_);
+  return 2.0 * std::sqrt(std::max(0.0, 1.0 - std::min(1.0, dot)));
+}
+
+} // namespace qadd::synth

@@ -1,0 +1,55 @@
+/// \file su2.hpp
+/// SU(2) elements (projectively, i.e. up to global phase) for the
+/// Solovay-Kitaev synthesizer.  Values are stored as unit quaternions
+/// (w, x, y, z) corresponding to U = w I - i (x X + y Y + z Z); the matrix
+/// form is [[w - i z, -y - i x], [y - i x, w + i z]].
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+
+namespace qadd::synth {
+
+/// A projective SU(2) element (unit quaternion, canonical sign w >= 0).
+class SU2 {
+public:
+  /// Identity.
+  SU2() : w_(1.0), x_(0.0), y_(0.0), z_(0.0) {}
+
+  SU2(double w, double x, double y, double z);
+
+  /// From a (unitary up to scale) 2x2 matrix; the global phase is dropped.
+  [[nodiscard]] static SU2 fromMatrix(const std::array<std::complex<double>, 4>& m);
+
+  /// Rotation by `angle` about the (normalized) axis (nx, ny, nz).
+  [[nodiscard]] static SU2 fromAxisAngle(double nx, double ny, double nz, double angle);
+
+  [[nodiscard]] double w() const { return w_; }
+  [[nodiscard]] double x() const { return x_; }
+  [[nodiscard]] double y() const { return y_; }
+  [[nodiscard]] double z() const { return z_; }
+
+  /// Matrix form [[u00, u01], [u10, u11]].
+  [[nodiscard]] std::array<std::complex<double>, 4> toMatrix() const;
+
+  /// Rotation angle theta in [0, 2*pi) and (unit) axis; the axis of the
+  /// identity is arbitrary (z is returned).
+  void toAxisAngle(double& nx, double& ny, double& nz, double& angle) const;
+
+  [[nodiscard]] SU2 adjoint() const { return {w_, -x_, -y_, -z_}; }
+
+  friend SU2 operator*(const SU2& a, const SU2& b);
+
+  /// Projective distance: Frobenius distance minimized over global phase,
+  /// d = sqrt(max(0, 4 - 2|tr(A^dagger B)|)) = 2 sqrt(1 - |<a,b>|).
+  [[nodiscard]] static double distance(const SU2& a, const SU2& b);
+
+private:
+  double w_;
+  double x_;
+  double y_;
+  double z_;
+};
+
+} // namespace qadd::synth

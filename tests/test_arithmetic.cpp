@@ -1,0 +1,142 @@
+#include "algorithms/arithmetic.hpp"
+
+#include "qc/measure.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::algos {
+namespace {
+
+using dd::AlgebraicSystem;
+
+/// Read the adder registers from the basis index of the single unit
+/// amplitude (the circuit is classical on basis states).
+struct AdderReadout {
+  std::uint64_t sum = 0;
+  bool carryOut = false;
+  std::uint64_t a = 0;
+  bool carryIn = false;
+};
+
+AdderReadout runAdder(qc::Qubit nbits, std::uint64_t a, std::uint64_t b, bool carryIn) {
+  const AdderLayout layout{nbits};
+  qc::Circuit circuit = prepareAdderInputs(nbits, a, b, carryIn);
+  circuit.append(rippleCarryAdder(nbits));
+  qc::Simulator<AlgebraicSystem> simulator(circuit);
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  std::size_t hot = amplitudes.size();
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    if (std::abs(amplitudes[i]) > 0.5) {
+      hot = i;
+      break;
+    }
+  }
+  EXPECT_LT(hot, amplitudes.size()) << "expected a basis state";
+  const auto bitAt = [&](qc::Qubit qubit) {
+    return ((hot >> (layout.width() - 1 - qubit)) & 1ULL) != 0;
+  };
+  AdderReadout readout;
+  readout.carryIn = bitAt(layout.carryIn());
+  readout.carryOut = bitAt(layout.carryOut());
+  for (qc::Qubit bit = 0; bit < nbits; ++bit) {
+    if (bitAt(layout.b(bit))) {
+      readout.sum |= 1ULL << bit;
+    }
+    if (bitAt(layout.a(bit))) {
+      readout.a |= 1ULL << bit;
+    }
+  }
+  return readout;
+}
+
+TEST(Adder, AddsExhaustivelyAt3Bits) {
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      for (const bool carry : {false, true}) {
+        const AdderReadout readout = runAdder(3, a, b, carry);
+        const std::uint64_t expected = a + b + (carry ? 1 : 0);
+        EXPECT_EQ(readout.sum, expected & 7ULL) << a << "+" << b << "+" << carry;
+        EXPECT_EQ(readout.carryOut, expected > 7ULL);
+        EXPECT_EQ(readout.a, a) << "operand register must be restored";
+        EXPECT_EQ(readout.carryIn, carry) << "carry-in must be restored";
+      }
+    }
+  }
+}
+
+TEST(Adder, WiderOperands) {
+  EXPECT_EQ(runAdder(5, 13, 22, false).sum, (13ULL + 22) & 31ULL);
+  EXPECT_EQ(runAdder(5, 31, 31, true).sum, (31ULL + 31 + 1) & 31ULL);
+  EXPECT_TRUE(runAdder(5, 31, 1, false).carryOut);
+  EXPECT_FALSE(runAdder(5, 15, 15, false).carryOut);
+}
+
+TEST(Adder, IsCliffordExact) {
+  const qc::Circuit circuit = rippleCarryAdder(4);
+  EXPECT_TRUE(circuit.isCliffordTOnly());
+  EXPECT_EQ(circuit.tCount(), 0U); // CNOT/Toffoli netlists only
+}
+
+TEST(Adder, AddsInSuperposition) {
+  // a register in uniform superposition, b = 1: the adder must map
+  // sum_a |a>|1> -> sum_a |a>|a+1>, an entangled state whose b-register
+  // marginal is uniform.
+  const qc::Qubit n = 3;
+  const AdderLayout layout{n};
+  qc::Circuit circuit(layout.width());
+  for (qc::Qubit bit = 0; bit < n; ++bit) {
+    circuit.h(layout.a(bit));
+  }
+  circuit.x(layout.b(0)); // b = 1
+  circuit.append(rippleCarryAdder(n));
+  qc::Simulator<AlgebraicSystem> simulator(circuit);
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  // Every surviving basis state must satisfy b == a + 1 (mod 8), with the
+  // carry-out set exactly for a = 7.
+  double total = 0.0;
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    const double p = std::norm(amplitudes[i]);
+    if (p < 1e-18) {
+      continue;
+    }
+    const auto bitAt = [&](qc::Qubit qubit) {
+      return ((i >> (layout.width() - 1 - qubit)) & 1ULL) != 0;
+    };
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    for (qc::Qubit bit = 0; bit < n; ++bit) {
+      a |= static_cast<std::uint64_t>(bitAt(layout.a(bit))) << bit;
+      b |= static_cast<std::uint64_t>(bitAt(layout.b(bit))) << bit;
+    }
+    EXPECT_EQ(b, (a + 1) & 7ULL);
+    EXPECT_EQ(bitAt(layout.carryOut()), a == 7ULL);
+    EXPECT_NEAR(p, 1.0 / 8.0, 1e-12);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Adder, AdderFollowedByInverseIsIdentity) {
+  const qc::Circuit adder = rippleCarryAdder(3);
+  qc::Circuit roundTrip = prepareAdderInputs(3, 5, 6, false);
+  roundTrip.append(adder);
+  roundTrip.append(adder.inverse());
+  roundTrip.append(prepareAdderInputs(3, 5, 6, false)); // X's cancel
+  qc::Simulator<AlgebraicSystem> simulator(roundTrip);
+  simulator.run();
+  EXPECT_EQ(simulator.state(), simulator.package().makeZeroState());
+}
+
+TEST(Adder, RejectsBadWidths) {
+  EXPECT_THROW((void)rippleCarryAdder(0), std::invalid_argument);
+  EXPECT_THROW((void)rippleCarryAdder(64), std::invalid_argument);
+  EXPECT_THROW((void)prepareAdderInputs(3, 8, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::algos

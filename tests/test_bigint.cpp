@@ -1,0 +1,295 @@
+#include "bigint/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace qadd {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.isZero());
+  EXPECT_FALSE(zero.isNegative());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.toString(), "0");
+  EXPECT_EQ(zero.bitLength(), 0U);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (const std::int64_t value :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{42},
+        std::int64_t{-123456789}, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    const BigInt b{value};
+    ASSERT_TRUE(b.fitsInt64()) << value;
+    EXPECT_EQ(b.toInt64(), value);
+    EXPECT_EQ(b.toString(), std::to_string(value));
+  }
+}
+
+TEST(BigInt, DecimalStringRoundTrip) {
+  for (const char* text : {"0", "1", "-1", "99999999999999999999999999999999999",
+                           "-170141183460469231731687303715884105727", "12345678901234567890"}) {
+    EXPECT_EQ(BigInt{std::string_view{text}}.toString(), text);
+  }
+}
+
+TEST(BigInt, DecimalStringRejectsGarbage) {
+  EXPECT_THROW(BigInt{std::string_view{""}}, std::invalid_argument);
+  EXPECT_THROW(BigInt{std::string_view{"-"}}, std::invalid_argument);
+  EXPECT_THROW(BigInt{std::string_view{"12a3"}}, std::invalid_argument);
+  EXPECT_THROW(BigInt{std::string_view{"0x10"}}, std::invalid_argument);
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+  const BigInt maxValue{std::numeric_limits<std::int64_t>::max()};
+  const BigInt minValue{std::numeric_limits<std::int64_t>::min()};
+  EXPECT_TRUE(maxValue.fitsInt64());
+  EXPECT_TRUE(minValue.fitsInt64());
+  EXPECT_FALSE((maxValue + BigInt{1}).fitsInt64());
+  EXPECT_FALSE((minValue - BigInt{1}).fitsInt64());
+  EXPECT_EQ((minValue - BigInt{1}).toString(), "-9223372036854775809");
+}
+
+TEST(BigInt, SignedArithmeticMatchesInt64) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const auto x = static_cast<std::int64_t>(rng()) >> (rng() % 30 + 3);
+    const auto y = static_cast<std::int64_t>(rng()) >> (rng() % 30 + 3);
+    const BigInt bx{x};
+    const BigInt by{y};
+    EXPECT_EQ((bx + by).toInt64(), x + y);
+    EXPECT_EQ((bx - by).toInt64(), x - y);
+    if (std::abs(x) < (std::int64_t{1} << 31) && std::abs(y) < (std::int64_t{1} << 31)) {
+      EXPECT_EQ((bx * by).toInt64(), x * y);
+    }
+    if (y != 0) {
+      EXPECT_EQ((bx / by).toInt64(), x / y);
+      EXPECT_EQ((bx % by).toInt64(), x % y);
+    }
+  }
+}
+
+TEST(BigInt, DivModIdentityOnHugeOperands) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a{1};
+    BigInt b{1};
+    const int aLimbs = static_cast<int>(rng() % 24) + 1;
+    const int bLimbs = static_cast<int>(rng() % 10) + 1;
+    for (int j = 0; j < aLimbs; ++j) {
+      a *= BigInt{static_cast<std::int64_t>(rng() | 1)};
+    }
+    for (int j = 0; j < bLimbs; ++j) {
+      b *= BigInt{static_cast<std::int64_t>(rng() | 1)};
+    }
+    if (rng() % 2 == 0) {
+      a = -a;
+    }
+    if (rng() % 2 == 0) {
+      b = -b;
+    }
+    BigInt q;
+    BigInt r;
+    BigInt::divMod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+    // Truncated semantics: remainder carries the numerator's sign.
+    if (!r.isZero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST(BigInt, KaratsubaAgreesWithSquaredStructure) {
+  // (10^k + 1)^2 = 10^2k + 2*10^k + 1 for k large enough to cross the
+  // Karatsuba threshold.
+  std::string digits = "1";
+  digits.append(400, '0');
+  digits.push_back('1');
+  const BigInt x{std::string_view{digits}};
+  // x = 10^401 + 1, so x^2 = 10^802 + 2*10^401 + 1.
+  std::string expected = "1";
+  expected.append(400, '0');
+  expected += "2";
+  expected.append(400, '0');
+  expected += "1";
+  EXPECT_EQ((x * x).toString(), expected);
+}
+
+TEST(BigInt, MulDivRoundTripLarge) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 60; ++i) {
+    BigInt a{1};
+    BigInt b{static_cast<std::int64_t>(rng() | 1)};
+    for (int j = 0; j < 40; ++j) {
+      a *= BigInt{static_cast<std::int64_t>(rng())};
+    }
+    if (a.isZero()) {
+      continue;
+    }
+    BigInt q;
+    BigInt r;
+    BigInt::divMod(a * b, b, q, r);
+    EXPECT_EQ(q, a);
+    EXPECT_TRUE(r.isZero());
+  }
+}
+
+TEST(BigInt, DivRoundNearest) {
+  EXPECT_EQ(BigInt::divRound(BigInt{7}, BigInt{2}).toInt64(), 4);  // 3.5 -> away from zero
+  EXPECT_EQ(BigInt::divRound(BigInt{-7}, BigInt{2}).toInt64(), -4);
+  EXPECT_EQ(BigInt::divRound(BigInt{7}, BigInt{-2}).toInt64(), -4);
+  EXPECT_EQ(BigInt::divRound(BigInt{6}, BigInt{4}).toInt64(), 2); // 1.5 -> 2
+  EXPECT_EQ(BigInt::divRound(BigInt{5}, BigInt{4}).toInt64(), 1);
+  EXPECT_EQ(BigInt::divRound(BigInt{3}, BigInt{4}).toInt64(), 1);
+  EXPECT_EQ(BigInt::divRound(BigInt{1}, BigInt{4}).toInt64(), 0);
+  EXPECT_EQ(BigInt::divRound(BigInt{-1}, BigInt{4}).toInt64(), 0);
+  EXPECT_EQ(BigInt::divRound(BigInt{-3}, BigInt{4}).toInt64(), -1);
+  EXPECT_EQ(BigInt::divRound(BigInt{0}, BigInt{9}).toInt64(), 0);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  BigInt q;
+  BigInt r;
+  EXPECT_THROW(BigInt::divMod(BigInt{1}, BigInt{0}, q, r), std::domain_error);
+}
+
+TEST(BigInt, Shifts) {
+  const BigInt one{1};
+  EXPECT_EQ(one.shiftLeft(100).toString(), "1267650600228229401496703205376");
+  EXPECT_EQ(one.shiftLeft(100).shiftRight(100), one);
+  EXPECT_EQ(BigInt{-12}.shiftRight(2).toInt64(), -3);
+  EXPECT_EQ(BigInt{-13}.shiftRight(2).toInt64(), -3); // magnitude-truncating
+  EXPECT_EQ(BigInt{0}.shiftLeft(1000), BigInt{0});
+  EXPECT_EQ(pow2(64).toString(), "18446744073709551616");
+}
+
+TEST(BigInt, CountTrailingZeroBits) {
+  EXPECT_EQ(BigInt{1}.countTrailingZeroBits(), 0U);
+  EXPECT_EQ(BigInt{8}.countTrailingZeroBits(), 3U);
+  EXPECT_EQ(pow2(100).countTrailingZeroBits(), 100U);
+  EXPECT_EQ((pow2(100) * BigInt{3}).countTrailingZeroBits(), 100U);
+}
+
+TEST(BigInt, GcdMatchesReference) {
+  std::mt19937_64 rng(17);
+  const auto referenceGcd = [](std::int64_t a, std::int64_t b) {
+    a = std::abs(a);
+    b = std::abs(b);
+    while (b != 0) {
+      const std::int64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const auto x = static_cast<std::int64_t>(rng() >> 20);
+    const auto y = static_cast<std::int64_t>(rng() >> 20);
+    EXPECT_EQ(BigInt::gcd(BigInt{x}, BigInt{y}).toInt64(), referenceGcd(x, y));
+  }
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{0}), BigInt{0});
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{-5}).toInt64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt{-6}, BigInt{0}).toInt64(), 6);
+}
+
+TEST(BigInt, GcdDividesLargeProducts) {
+  std::mt19937_64 rng(19);
+  for (int i = 0; i < 40; ++i) {
+    BigInt g{static_cast<std::int64_t>((rng() >> 30) | 1)};
+    BigInt a = g * BigInt{static_cast<std::int64_t>(rng() >> 16)};
+    BigInt b = g * BigInt{static_cast<std::int64_t>(rng() >> 16)};
+    const BigInt result = BigInt::gcd(a, b);
+    if (a.isZero() || b.isZero()) {
+      continue;
+    }
+    EXPECT_TRUE((a % result).isZero());
+    EXPECT_TRUE((b % result).isZero());
+    EXPECT_TRUE((result % g).isZero()); // g divides gcd
+  }
+}
+
+TEST(BigInt, ToDoubleAccuracy) {
+  EXPECT_DOUBLE_EQ(BigInt{0}.toDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(BigInt{12345}.toDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt{-98765}.toDouble(), -98765.0);
+  const BigInt big = pow2(300);
+  EXPECT_NEAR(big.toDouble() / std::ldexp(1.0, 300), 1.0, 1e-15);
+}
+
+TEST(BigInt, ToDoubleScaledRatioOfHugeNumbers) {
+  // (2^5000 * 3) / 2^5000 should come out as 3 even though both overflow.
+  const BigInt numerator = pow2(5000) * BigInt{3};
+  const BigInt denominator = pow2(5000);
+  long numExp = 0;
+  long denExp = 0;
+  const double m1 = numerator.toDoubleScaled(numExp);
+  const double m2 = denominator.toDoubleScaled(denExp);
+  EXPECT_NEAR(m1 / m2 * std::exp2(static_cast<double>(numExp - denExp)), 3.0, 1e-12);
+  EXPECT_GE(std::abs(m1), 0.5);
+  EXPECT_LT(std::abs(m1), 1.0);
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  const BigInt values[] = {BigInt{-100}, BigInt{-1}, BigInt{0}, BigInt{1}, BigInt{100},
+                           pow2(80), -pow2(80)};
+  EXPECT_LT(values[0], values[1]);
+  EXPECT_LT(values[1], values[2]);
+  EXPECT_LT(values[2], values[3]);
+  EXPECT_LT(values[6], values[0]);
+  EXPECT_GT(values[5], values[4]);
+  EXPECT_EQ(BigInt{5}, BigInt{"5"});
+  EXPECT_NE(BigInt{5}, BigInt{-5});
+}
+
+TEST(BigInt, HashConsistency) {
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<std::int64_t>(rng());
+    EXPECT_EQ(BigInt{x}.hash(), BigInt{std::to_string(x)}.hash());
+  }
+  EXPECT_NE(BigInt{1}.hash(), BigInt{-1}.hash());
+}
+
+TEST(BigInt, OddEven) {
+  EXPECT_TRUE(BigInt{0}.isEven());
+  EXPECT_TRUE(BigInt{2}.isEven());
+  EXPECT_TRUE(BigInt{-2}.isEven());
+  EXPECT_TRUE(BigInt{3}.isOdd());
+  EXPECT_TRUE(BigInt{-3}.isOdd());
+  EXPECT_TRUE((pow2(100) + BigInt{1}).isOdd());
+}
+
+/// Property sweep: (a+b)*c == a*c + b*c over random magnitudes of varying
+/// sizes (crossing the Karatsuba threshold).
+class BigIntDistributivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntDistributivity, Holds) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const auto randomBig = [&rng](int limbs) {
+    BigInt v{static_cast<std::int64_t>(rng())};
+    for (int i = 1; i < limbs; ++i) {
+      v = v * BigInt{static_cast<std::int64_t>(rng() | 1)} + BigInt{static_cast<std::int64_t>(rng() % 1000)};
+    }
+    return rng() % 2 == 0 ? v : -v;
+  };
+  const int limbs = GetParam();
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = randomBig(limbs);
+    const BigInt b = randomBig(limbs);
+    const BigInt c = randomBig(limbs);
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BigIntDistributivity, ::testing::Values(1, 2, 4, 8, 20, 40, 70));
+
+} // namespace
+} // namespace qadd

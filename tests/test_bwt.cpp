@@ -1,0 +1,156 @@
+#include "algorithms/bwt.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace qadd::algos {
+namespace {
+
+TEST(WeldedTree, GraphStructure) {
+  for (const unsigned depth : {1U, 2U, 3U, 4U}) {
+    const WeldedTree tree = makeWeldedTree(depth);
+    // Edge count: 2 trees with 2^(d+1)-2 edges each + 2*2^d weld edges.
+    const std::size_t treeEdges = 2 * ((1ULL << (depth + 1)) - 2);
+    const std::size_t weldEdges = 2ULL << depth;
+    EXPECT_EQ(tree.edgeCount(), treeEdges + weldEdges);
+    EXPECT_EQ(tree.labelBits, depth + 2);
+    EXPECT_EQ(tree.entrance, 1ULL);
+  }
+}
+
+TEST(WeldedTree, ProperEdgeColoring) {
+  // No node may have two incident edges of the same color — this is what
+  // makes each color class a matching (an involution the walk can shift by).
+  const WeldedTree tree = makeWeldedTree(3);
+  for (unsigned color = 0; color < 4; ++color) {
+    std::set<std::uint64_t> touched;
+    for (const auto& edge : tree.matchings[color]) {
+      EXPECT_TRUE(touched.insert(edge.a).second)
+          << "node " << edge.a << " has two color-" << color << " edges";
+      EXPECT_TRUE(touched.insert(edge.b).second)
+          << "node " << edge.b << " has two color-" << color << " edges";
+    }
+  }
+}
+
+TEST(WeldedTree, DegreesAreCorrect) {
+  const unsigned depth = 3;
+  const WeldedTree tree = makeWeldedTree(depth);
+  std::map<std::uint64_t, unsigned> degree;
+  for (const auto& matching : tree.matchings) {
+    for (const auto& edge : matching) {
+      ++degree[edge.a];
+      ++degree[edge.b];
+    }
+  }
+  // Roots have degree 2, every other node degree 3.
+  const std::uint64_t offset = 1ULL << (depth + 1);
+  for (const auto& [node, d] : degree) {
+    if (node == 1 || node == offset + 1) {
+      EXPECT_EQ(d, 2U) << "root " << node;
+    } else {
+      EXPECT_EQ(d, 3U) << "node " << node;
+    }
+  }
+  // Total node count: 2 * (2^(d+1) - 1).
+  EXPECT_EQ(degree.size(), 2 * ((1ULL << (depth + 1)) - 1));
+}
+
+TEST(WeldedTree, WeldFormsACycleAcrossTheTrees) {
+  const unsigned depth = 3;
+  const WeldedTree tree = makeWeldedTree(depth);
+  const unsigned weldBase = (depth % 2 == 0) ? 0 : 2;
+  // Starting from a left leaf and alternating the two weld colors must visit
+  // all 2 * 2^d leaves before returning (a single Hamiltonian cycle on the
+  // leaves).
+  const std::uint64_t start = 1ULL << depth;
+  std::uint64_t current = start;
+  unsigned color = weldBase;
+  std::size_t steps = 0;
+  do {
+    current = tree.neighbor(color, current);
+    color = color == weldBase ? weldBase + 1 : weldBase;
+    ++steps;
+  } while (current != start && steps < 1000);
+  EXPECT_EQ(steps, 2ULL << depth);
+}
+
+TEST(WeldedTree, NeighborIsInvolution) {
+  const WeldedTree tree = makeWeldedTree(2);
+  for (unsigned color = 0; color < 4; ++color) {
+    for (std::uint64_t label = 0; label < (1ULL << tree.labelBits); ++label) {
+      EXPECT_EQ(tree.neighbor(color, tree.neighbor(color, label)), label);
+    }
+  }
+}
+
+TEST(Bwt, CircuitIsExactlyRepresentable) {
+  const qc::Circuit circuit = bwt({2, 2});
+  EXPECT_TRUE(circuit.isCliffordTOnly());
+  EXPECT_EQ(circuit.qubits(), bwtQubits(2));
+}
+
+TEST(Bwt, WalkSpreadsFromEntrance) {
+  // After a few steps the walker must have left the entrance with high
+  // probability and the state must stay normalized (exact algebraically).
+  const BwtOptions options{2, 3};
+  qc::Simulator<dd::AlgebraicSystem> simulator(bwt(options));
+  simulator.run();
+  auto& package = simulator.package();
+  const auto norm = package.innerProduct(simulator.state(), simulator.state());
+  EXPECT_TRUE(package.system().isOne(norm));
+
+  const auto amplitudes = package.amplitudes(simulator.state());
+  const WeldedTree tree = makeWeldedTree(options.depth);
+  // Probability mass on labels that are actual graph nodes must be 1: the
+  // shift permutation never leaks into unused label space.
+  double onGraph = 0.0;
+  const unsigned totalQubits = 2 + tree.labelBits;
+  for (std::size_t index = 0; index < amplitudes.size(); ++index) {
+    const double p = std::norm(amplitudes[index]);
+    if (p < 1e-18) {
+      continue;
+    }
+    // Decode the label from the basis index (coin = top 2 qubits, label bits
+    // b at qubit 2+b, qubit 0 = MSB of the index).
+    std::uint64_t label = 0;
+    for (unsigned bit = 0; bit < tree.labelBits; ++bit) {
+      const unsigned qubit = 2 + bit;
+      if ((index >> (totalQubits - 1 - qubit)) & 1ULL) {
+        label |= 1ULL << bit;
+      }
+    }
+    const bool isNode = [&] {
+      for (unsigned color = 0; color < 4; ++color) {
+        if (tree.neighbor(color, label) != label) {
+          return true;
+        }
+      }
+      return false;
+    }();
+    EXPECT_TRUE(isNode) << "amplitude on non-node label " << label;
+    onGraph += p;
+  }
+  EXPECT_NEAR(onGraph, 1.0, 1e-9);
+}
+
+TEST(Bwt, DeterministicConstruction) {
+  const qc::Circuit a = bwt({2, 2});
+  const qc::Circuit b = bwt({2, 2});
+  EXPECT_EQ(a.toText(), b.toText());
+}
+
+TEST(Bwt, GateCountScalesWithSteps) {
+  const qc::Circuit one = bwt({2, 1});
+  const qc::Circuit three = bwt({2, 3});
+  EXPECT_NEAR(static_cast<double>(three.size() - one.size()),
+              2.0 * static_cast<double>(one.size()), 30.0)
+      << "each step adds a fixed block of gates";
+}
+
+} // namespace
+} // namespace qadd::algos

@@ -1,0 +1,87 @@
+#include "algorithms/counting.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::algos {
+namespace {
+
+TEST(Counting, GroverIterateAmplifiesMultipleMarked) {
+  // 4 qubits, 2 marked: after k iterations the marked probability follows
+  // sin^2((2k+1) theta) with theta = asin(sqrt(M/N)).
+  const std::vector<std::uint64_t> marked{3, 9};
+  qc::Circuit circuit(4);
+  for (qc::Qubit q = 0; q < 4; ++q) {
+    circuit.h(q);
+  }
+  const qc::Circuit iterate = groverIterate(4, marked);
+  const int iterations = 2;
+  for (int i = 0; i < iterations; ++i) {
+    circuit.append(iterate);
+  }
+  qc::Simulator<dd::AlgebraicSystem> simulator(circuit);
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  double markedProbability = 0.0;
+  for (const std::uint64_t element : marked) {
+    // qubit q of the element is bit q; index packs qubit 0 as MSB.
+    std::size_t index = 0;
+    for (qc::Qubit q = 0; q < 4; ++q) {
+      if ((element >> q) & 1ULL) {
+        index |= 1ULL << (3 - q);
+      }
+    }
+    markedProbability += std::norm(amplitudes[index]);
+  }
+  const double theta = std::asin(std::sqrt(2.0 / 16.0));
+  const double expected = std::pow(std::sin((2 * iterations + 1) * theta), 2);
+  EXPECT_NEAR(markedProbability, expected, 1e-9);
+}
+
+TEST(Counting, PhaseEstimateMatchesMarkedCount) {
+  const CountingOptions options{4, 5, {3, 5, 6, 12}};
+  qc::Simulator<dd::NumericSystem> simulator(
+      quantumCounting(options), {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  const unsigned m = options.precisionQubits;
+  const unsigned n = options.searchQubits;
+  // Ancilla marginal.
+  std::vector<double> marginal(1ULL << m, 0.0);
+  for (std::size_t index = 0; index < amplitudes.size(); ++index) {
+    marginal[index >> n] += std::norm(amplitudes[index]);
+  }
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < marginal.size(); ++a) {
+    if (marginal[a] > marginal[best]) {
+      best = a;
+    }
+  }
+  // G has eigenphases +-theta: accept the mirror value as well.
+  const double count = estimatedCount(n, m, best);
+  EXPECT_NEAR(count, 4.0, 1.2) << "peak ancilla " << best;
+  // And the distribution is not flat: the top bin dominates a uniform one.
+  EXPECT_GT(marginal[best], 3.0 / static_cast<double>(1ULL << m));
+}
+
+TEST(Counting, ExpectedPhaseFormula) {
+  EXPECT_NEAR(countingExpectedPhase(4, 4), std::asin(0.5) / M_PI, 1e-12);
+  EXPECT_NEAR(countingExpectedPhase(4, 0), 0.0, 1e-12);
+  EXPECT_NEAR(countingExpectedPhase(2, 4), 0.5, 1e-12); // all marked: theta = pi
+  // estimatedCount inverts it.
+  const double phase = countingExpectedPhase(4, 4);
+  const auto ancilla = static_cast<std::uint64_t>(std::llround(phase * 32.0));
+  EXPECT_NEAR(estimatedCount(4, 5, ancilla), 4.0, 0.7);
+}
+
+TEST(Counting, RejectsBadOptions) {
+  EXPECT_THROW((void)quantumCounting({4, 0, {1}}), std::invalid_argument);
+  EXPECT_THROW((void)groverIterate(1, {0}), std::invalid_argument);
+  EXPECT_THROW((void)groverIterate(3, {8}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::algos

@@ -1,0 +1,152 @@
+/// Edge-case batch: boundary behaviors of the number layers and the package
+/// that the broader property suites only hit probabilistically.
+#include "algebraic/euclidean.hpp"
+#include "core/export.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd {
+namespace {
+
+using alg::QOmega;
+using alg::ZOmega;
+
+TEST(EdgeCases, BigIntSelfOperations) {
+  BigInt x{12345};
+  x += x;
+  EXPECT_EQ(x.toInt64(), 24690);
+  x -= x;
+  EXPECT_TRUE(x.isZero());
+  BigInt y{7};
+  y *= y;
+  EXPECT_EQ(y.toInt64(), 49);
+  BigInt z{100};
+  z /= z;
+  EXPECT_EQ(z.toInt64(), 1);
+}
+
+TEST(EdgeCases, BigIntShiftZeroAndIdentity) {
+  EXPECT_EQ(BigInt{5}.shiftLeft(0), BigInt{5});
+  EXPECT_EQ(BigInt{5}.shiftRight(0), BigInt{5});
+  EXPECT_EQ(BigInt{5}.shiftRight(100), BigInt{0});
+  EXPECT_EQ(BigInt{-5}.shiftRight(100), BigInt{0});
+}
+
+TEST(EdgeCases, BigIntDivRoundHalfwayAwayFromZero) {
+  // Exactly +-0.5 rounds away from zero in both sign combinations.
+  EXPECT_EQ(BigInt::divRound(BigInt{1}, BigInt{2}).toInt64(), 1);
+  EXPECT_EQ(BigInt::divRound(BigInt{-1}, BigInt{2}).toInt64(), -1);
+  EXPECT_EQ(BigInt::divRound(BigInt{1}, BigInt{-2}).toInt64(), -1);
+  EXPECT_EQ(BigInt::divRound(BigInt{-1}, BigInt{-2}).toInt64(), 1);
+}
+
+TEST(EdgeCases, ZOmegaZeroNormAndEuclid) {
+  BigInt u;
+  BigInt v;
+  ZOmega::zero().norm(u, v);
+  EXPECT_TRUE(u.isZero());
+  EXPECT_TRUE(v.isZero());
+  // gcd with zero operands.
+  EXPECT_EQ(alg::gcdZOmega(ZOmega::zero(), ZOmega::zero()), ZOmega::zero());
+  EXPECT_EQ(alg::gcdZOmega(ZOmega::omega(), ZOmega::zero()), ZOmega::omega());
+  EXPECT_EQ(alg::gcdZOmega(ZOmega::zero(), ZOmega{BigInt{5}}), ZOmega{BigInt{5}});
+}
+
+TEST(EdgeCases, QOmegaNegativeDenominatorNormalizes) {
+  const QOmega x{ZOmega::one(), 0, BigInt{-3}};
+  EXPECT_FALSE(x.den().isNegative());
+  EXPECT_NEAR(x.toComplex().real(), -1.0 / 3.0, 1e-15);
+  EXPECT_THROW((QOmega{ZOmega::one(), 0, BigInt{0}}), std::domain_error);
+}
+
+TEST(EdgeCases, QOmegaEvenDenominatorFoldsIntoExponent) {
+  const QOmega x{ZOmega::one(), 0, BigInt{8}}; // 1/8 = 1/sqrt2^6
+  EXPECT_TRUE(x.den().isOne());
+  EXPECT_EQ(x.k(), 6);
+  EXPECT_NEAR(x.toComplex().real(), 0.125, 1e-15);
+}
+
+TEST(EdgeCases, SingleQubitPackage) {
+  dd::Package<dd::AlgebraicSystem> p(1);
+  const auto state = p.makeZeroState();
+  EXPECT_EQ(p.countNodes(state), 1U);
+  const auto amplitudes = p.amplitudes(state);
+  ASSERT_EQ(amplitudes.size(), 2U);
+  EXPECT_EQ(amplitudes[0], std::complex<double>(1.0, 0.0));
+  EXPECT_EQ(p.trace(p.makeIdentity()), p.system().intern(QOmega{2}));
+}
+
+TEST(EdgeCases, ZeroVectorPropagation) {
+  dd::Package<dd::AlgebraicSystem> p(3);
+  const auto zero = p.zeroVector();
+  // All operations on the zero vector stay zero.
+  const auto m = qc::algebraicMatrix(qc::GateKind::H);
+  const typename dd::Package<dd::AlgebraicSystem>::GateMatrix h{
+      p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+      p.system().intern(m[3])};
+  const auto gate = p.makeGate(h, 1);
+  EXPECT_EQ(p.multiply(gate, zero), zero);
+  EXPECT_EQ(p.add(zero, zero), zero);
+  EXPECT_TRUE(p.system().isZero(p.innerProduct(zero, p.makeZeroState())));
+  EXPECT_EQ(p.countNodes(zero), 0U);
+}
+
+TEST(EdgeCases, AddIsIdentityOnZeroOperand) {
+  dd::Package<dd::AlgebraicSystem> p(2);
+  qc::Circuit c(2);
+  c.h(0).t(1);
+  const auto state = p.multiply(qc::buildUnitary(p, c), p.makeZeroState());
+  EXPECT_EQ(p.add(state, p.zeroVector()), state);
+  EXPECT_EQ(p.add(p.zeroVector(), state), state);
+}
+
+TEST(EdgeCases, EmptyCircuitSimulation) {
+  qc::Circuit empty(4, "empty");
+  qc::Simulator<dd::AlgebraicSystem> simulator(empty);
+  simulator.run();
+  EXPECT_EQ(simulator.state(), simulator.package().makeZeroState());
+  EXPECT_EQ(simulator.gateIndex(), 0U);
+}
+
+TEST(EdgeCases, IdentityGateKeepsCanonicalState) {
+  qc::Circuit c(2);
+  c.gate(qc::GateKind::I, 0).gate(qc::GateKind::I, 1);
+  qc::Simulator<dd::AlgebraicSystem> simulator(c);
+  simulator.run();
+  EXPECT_EQ(simulator.state(), simulator.package().makeZeroState());
+}
+
+TEST(EdgeCases, ControlledGateWithAllQubitsAsControls) {
+  // (n-1)-controlled X on the last free line.
+  dd::Package<dd::NumericSystem> p(4, {0.0, dd::NumericSystem::Normalization::LeftmostNonzero});
+  qc::Circuit c(4);
+  c.mcx({0, 1, 2}, 3);
+  const auto u = qc::buildUnitary(p, c);
+  const auto dense = dd::toDenseMatrix(p, u);
+  // Only the last 2x2 block swaps.
+  EXPECT_NEAR(std::abs(dense.at(14, 15) - 1.0), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(dense.at(15, 14) - 1.0), 0.0, 1e-14);
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_NEAR(std::abs(dense.at(i, i) - 1.0), 0.0, 1e-14);
+  }
+  EXPECT_TRUE(dense.isUnitary());
+}
+
+TEST(EdgeCases, RepeatedNormalizeIsIdempotent) {
+  dd::AlgebraicSystem system;
+  std::array<dd::AlgebraicSystem::Weight, 4> weights{
+      system.intern(QOmega{3} * QOmega::invSqrt2()), system.intern(QOmega::omega()),
+      system.zero(), system.intern(QOmega{5})};
+  auto once = weights;
+  (void)system.normalize(once);
+  auto twice = once;
+  const auto secondFactor = system.normalize(twice);
+  EXPECT_EQ(once, twice) << "normalizing a normalized node must be a no-op";
+  EXPECT_TRUE(system.isOne(secondFactor));
+}
+
+} // namespace
+} // namespace qadd

@@ -1,0 +1,132 @@
+#include "qc/equivalence.hpp"
+
+#include "algorithms/common.hpp"
+#include "algorithms/grover.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadd::qc {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+const EquivalenceStrategy kStrategies[] = {EquivalenceStrategy::Construct,
+                                           EquivalenceStrategy::Alternate};
+
+TEST(Equivalence, IdenticalCircuits) {
+  Circuit c(3);
+  c.h(0).t(1).cx(0, 2).v(1).cz(1, 2).tdg(0);
+  for (const auto strategy : kStrategies) {
+    const auto result = checkEquivalence<AlgebraicSystem>(c, c, strategy);
+    EXPECT_TRUE(result.equivalent) << result.strategy;
+    EXPECT_TRUE(result.equivalentUpToPhase);
+  }
+}
+
+TEST(Equivalence, KnownIdentities) {
+  // HXH == Z.
+  Circuit hxh(2);
+  hxh.h(0).x(0).h(0);
+  Circuit z(2);
+  z.z(0);
+  // T^8 == I.
+  Circuit t8(2);
+  for (int i = 0; i < 8; ++i) {
+    t8.t(1);
+  }
+  Circuit empty(2);
+  for (const auto strategy : kStrategies) {
+    EXPECT_TRUE(checkEquivalence<AlgebraicSystem>(hxh, z, strategy).equivalent);
+    EXPECT_TRUE(checkEquivalence<AlgebraicSystem>(t8, empty, strategy).equivalent);
+  }
+}
+
+TEST(Equivalence, DetectsNonEquivalence) {
+  Circuit a(2);
+  a.h(0).cx(0, 1);
+  Circuit b(2);
+  b.h(0).cx(0, 1).t(1); // extra T
+  for (const auto strategy : kStrategies) {
+    const auto result = checkEquivalence<AlgebraicSystem>(a, b, strategy);
+    EXPECT_FALSE(result.equivalent) << result.strategy;
+    EXPECT_FALSE(result.equivalentUpToPhase);
+  }
+}
+
+TEST(Equivalence, GlobalPhaseIsReportedSeparately) {
+  // X Y = i Z: the circuits differ exactly by the global phase i.
+  Circuit xy(1);
+  xy.y(0).x(0); // applies Y first, then X -> matrix X*Y
+  Circuit z(1);
+  z.z(0);
+  for (const auto strategy : kStrategies) {
+    const auto result = checkEquivalence<AlgebraicSystem>(xy, z, strategy);
+    EXPECT_FALSE(result.equivalent) << result.strategy;
+    EXPECT_TRUE(result.equivalentUpToPhase) << result.strategy;
+  }
+}
+
+TEST(Equivalence, SwapRealizationsAgree) {
+  Circuit direct(2);
+  direct.swap(0, 1);
+  Circuit viaCz(2);
+  viaCz.cx(0, 1).h(0).cz(1, 0).h(0).cx(0, 1);
+  for (const auto strategy : kStrategies) {
+    EXPECT_TRUE(checkEquivalence<AlgebraicSystem>(direct, viaCz, strategy).equivalent);
+  }
+}
+
+TEST(Equivalence, AlternateStaysNearIdentityOnEqualCircuits) {
+  // For equal circuits the alternating accumulator returns to the identity
+  // at every synchronized point, so its peak allocation stays well below the
+  // construct strategy's (which must materialize the full Grover unitary).
+  const Circuit grover = algos::grover({6, 13, 2});
+  const auto alternate = checkEquivalence<AlgebraicSystem>(
+      grover, grover, EquivalenceStrategy::Alternate);
+  const auto construct = checkEquivalence<AlgebraicSystem>(
+      grover, grover, EquivalenceStrategy::Construct);
+  EXPECT_TRUE(alternate.equivalent);
+  EXPECT_TRUE(construct.equivalent);
+  EXPECT_LT(alternate.peakNodes, construct.peakNodes);
+}
+
+TEST(Equivalence, NumericEpsilonZeroCanMissTrueEquivalences) {
+  // The motivating failure of the numerical representation (Section V-B):
+  // with eps = 0, rounding makes canonical forms of equal unitaries differ.
+  Circuit direct(2);
+  direct.swap(0, 1);
+  Circuit viaCz(2);
+  viaCz.cx(0, 1).h(0).cz(1, 0).h(0).cx(0, 1);
+  const auto strict = checkEquivalence<NumericSystem>(
+      direct, viaCz, EquivalenceStrategy::Construct,
+      {0.0, NumericSystem::Normalization::LeftmostNonzero});
+  EXPECT_FALSE(strict.equivalent) << "eps = 0 misses the equivalence (expected failure mode)";
+  const auto tolerant = checkEquivalence<NumericSystem>(
+      direct, viaCz, EquivalenceStrategy::Construct,
+      {1e-10, NumericSystem::Normalization::LeftmostNonzero});
+  EXPECT_TRUE(tolerant.equivalent);
+}
+
+TEST(Equivalence, MismatchedWidthsThrow) {
+  Circuit a(2);
+  Circuit b(3);
+  EXPECT_THROW((void)checkEquivalence<AlgebraicSystem>(a, b), std::invalid_argument);
+}
+
+TEST(Equivalence, UnbalancedGateCountsInterleaveCorrectly) {
+  // One long realization vs one short one: HH HH HH H == H.
+  Circuit longer(1);
+  for (int i = 0; i < 7; ++i) {
+    longer.h(0);
+  }
+  Circuit shorter(1);
+  shorter.h(0);
+  for (const auto strategy : kStrategies) {
+    EXPECT_TRUE(checkEquivalence<AlgebraicSystem>(longer, shorter, strategy).equivalent);
+    EXPECT_TRUE(checkEquivalence<AlgebraicSystem>(shorter, longer, strategy).equivalent);
+  }
+}
+
+} // namespace
+} // namespace qadd::qc

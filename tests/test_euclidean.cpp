@@ -1,0 +1,196 @@
+#include "algebraic/euclidean.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qadd::alg {
+namespace {
+
+ZOmega randomZOmega(std::mt19937_64& rng, int bound = 25) {
+  std::uniform_int_distribution<std::int64_t> d(-bound, bound);
+  return {BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}};
+}
+
+TEST(Euclidean, RemainderStrictlySmaller) {
+  // The Euclidean property of Section IV-B: E(r) <= (9/16) E(z2) < E(z2).
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const ZOmega z1 = randomZOmega(rng);
+    const ZOmega z2 = randomZOmega(rng, 9);
+    if (z2.isZero()) {
+      continue;
+    }
+    const ZOmega q = euclideanQuotient(z1, z2);
+    const ZOmega r = z1 - q * z2;
+    EXPECT_EQ(r, euclideanRemainder(z1, z2));
+    EXPECT_LT(r.euclideanValue(), z2.euclideanValue());
+    // Paper's sharper bound: E(r) <= 9/16 E(z2), i.e. 16 E(r) <= 9 E(z2).
+    EXPECT_LE(r.euclideanValue() * BigInt{16}, z2.euclideanValue() * BigInt{9});
+  }
+}
+
+TEST(Euclidean, QuotientOfExactMultipleIsExact) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const ZOmega q = randomZOmega(rng);
+    const ZOmega d = randomZOmega(rng, 9);
+    if (d.isZero()) {
+      continue;
+    }
+    EXPECT_EQ(euclideanQuotient(q * d, d), q);
+    EXPECT_TRUE(euclideanRemainder(q * d, d).isZero());
+  }
+}
+
+TEST(Euclidean, GcdDividesBothOperands) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const ZOmega a = randomZOmega(rng);
+    const ZOmega b = randomZOmega(rng);
+    if (a.isZero() && b.isZero()) {
+      continue;
+    }
+    const ZOmega g = gcdZOmega(a, b);
+    ASSERT_FALSE(g.isZero());
+    ZOmega quotient;
+    EXPECT_TRUE(a.isZero() || tryExactDivide(a, g, quotient));
+    EXPECT_TRUE(b.isZero() || tryExactDivide(b, g, quotient));
+  }
+}
+
+TEST(Euclidean, GcdAbsorbsCommonFactor) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 150; ++i) {
+    const ZOmega common = randomZOmega(rng, 5);
+    const ZOmega a = randomZOmega(rng, 8);
+    const ZOmega b = randomZOmega(rng, 8);
+    if (common.isZero() || a.isZero() || b.isZero()) {
+      continue;
+    }
+    const ZOmega g = gcdZOmega(common * a, common * b);
+    ZOmega quotient;
+    EXPECT_TRUE(tryExactDivide(g, common, quotient))
+        << "gcd must contain every common factor";
+  }
+}
+
+TEST(Euclidean, TryExactDivide) {
+  const ZOmega six{BigInt{6}};
+  const ZOmega three{BigInt{3}};
+  const ZOmega two{BigInt{2}};
+  ZOmega quotient;
+  ASSERT_TRUE(tryExactDivide(six, three, quotient));
+  EXPECT_EQ(quotient, two);
+  EXPECT_FALSE(tryExactDivide(three, two, quotient)); // 3/2 not in Z[omega]
+  // omega-multiples always divide exactly.
+  ASSERT_TRUE(tryExactDivide(ZOmega::omega() * six, six, quotient));
+  EXPECT_EQ(quotient, ZOmega::omega());
+}
+
+TEST(Euclidean, CanonicalAssociateIsClassInvariant) {
+  // The defining property for Algorithm 3: every unit multiple of a value
+  // maps to the same canonical associate.
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int> small(-3, 3);
+  const ZOmega unitPlus = ZOmega::omega() + ZOmega::one();
+  for (int i = 0; i < 60; ++i) {
+    const ZOmega z = randomZOmega(rng, 10);
+    if (z.isZero()) {
+      continue;
+    }
+    const ZOmega canonical = canonicalAssociate(QOmega{z});
+    // Multiply by assorted units of D[omega]: omega^j, sqrt2^m, (omega+1)^p.
+    for (int trial = 0; trial < 8; ++trial) {
+      QOmega u = QOmega::omegaPower(small(rng));
+      u = u * QOmega{ZOmega::one(), small(rng)}; // sqrt2 powers
+      const int plusPowers = std::abs(small(rng)) % 3;
+      for (int p = 0; p < plusPowers; ++p) {
+        u = u * QOmega{unitPlus};
+      }
+      EXPECT_EQ(canonicalAssociate(QOmega{z} * u), canonical);
+    }
+  }
+}
+
+TEST(Euclidean, CanonicalAssociateOfUnitsIsOne) {
+  EXPECT_EQ(canonicalAssociate(QOmega::one()), ZOmega::one());
+  EXPECT_EQ(canonicalAssociate(-QOmega::one()), ZOmega::one());
+  EXPECT_EQ(canonicalAssociate(QOmega::omega()), ZOmega::one());
+  EXPECT_EQ(canonicalAssociate(QOmega::invSqrt2()), ZOmega::one());
+  EXPECT_EQ(canonicalAssociate(QOmega::sqrt2()), ZOmega::one());
+  EXPECT_EQ(canonicalAssociate(QOmega{ZOmega::omega() + ZOmega::one()}), ZOmega::one());
+  EXPECT_EQ(canonicalAssociate(QOmega{ZOmega::omega() - ZOmega::one()}), ZOmega::one());
+}
+
+TEST(Euclidean, CanonicalAssociatePropertiesHold) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const ZOmega z = randomZOmega(rng, 12);
+    if (z.isZero()) {
+      continue;
+    }
+    const ZOmega canonical = canonicalAssociate(QOmega{z});
+    // (a) in Z[omega] with minimal exponent: not divisible by sqrt2.
+    EXPECT_FALSE(canonical.divisibleBySqrt2());
+    // (c) d >= 0 (positive sign preferred).
+    EXPECT_GE(canonical.d().sign(), 0);
+    // Same Euclidean value class up to powers of 2 (units have E = 2^j).
+    const BigInt eCanonical = canonical.euclideanValue();
+    const BigInt eOriginalTimes = QOmega{z}.num().euclideanValue();
+    BigInt big = eCanonical;
+    BigInt small = eOriginalTimes;
+    if (big < small) {
+      std::swap(big, small);
+    }
+    BigInt q;
+    BigInt r;
+    BigInt::divMod(big, small, q, r);
+    EXPECT_TRUE(r.isZero());
+    EXPECT_EQ(q, pow2(q.isZero() ? 0 : q.countTrailingZeroBits()))
+        << "E may change only by a power of two under unit multiplication";
+  }
+}
+
+TEST(Euclidean, CanonicalAssociateUnitIsExact) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const ZOmega z = randomZOmega(rng, 10);
+    if (z.isZero()) {
+      continue;
+    }
+    const QOmega unit = canonicalAssociateUnit(QOmega{z});
+    EXPECT_EQ(QOmega{z} * unit, QOmega{canonicalAssociate(QOmega{z})});
+    // A unit of D[omega] has Euclidean value a power of two (and dyadic den).
+    EXPECT_TRUE(unit.isDyadic());
+    const BigInt e = unit.num().euclideanValue();
+    EXPECT_EQ(e, pow2(e.countTrailingZeroBits()));
+  }
+}
+
+TEST(Euclidean, GcdDyadicOfWeights) {
+  // gcd of {1/sqrt2, 1/sqrt2} is a unit -> canonical 1.
+  const std::vector<QOmega> hadamard{QOmega::invSqrt2(), QOmega::invSqrt2()};
+  EXPECT_EQ(gcdDyadic(hadamard), ZOmega::one());
+  // gcd of {6, 10} is an associate of 2 -> canonical associate of 2 = 1?  2 =
+  // sqrt2^2 is a unit times 1, so the canonical associate is 1.
+  const std::vector<QOmega> evens{QOmega{6}, QOmega{10}};
+  const ZOmega g = gcdDyadic(evens);
+  // 6 and 10 share the factor 2 (a D[omega] unit) -> gcd class is the unit
+  // class, canonical representative 1.
+  EXPECT_EQ(g, ZOmega::one());
+  // gcd of {3, 6} contains the non-unit 3.
+  const std::vector<QOmega> threes{QOmega{3}, QOmega{6}};
+  const ZOmega g3 = gcdDyadic(threes);
+  ZOmega quotient;
+  EXPECT_TRUE(tryExactDivide(g3, ZOmega{BigInt{3}}, quotient));
+  // Zero entries are ignored; all-zero input gives zero.
+  const std::vector<QOmega> zeros{QOmega::zero(), QOmega::zero()};
+  EXPECT_TRUE(gcdDyadic(zeros).isZero());
+  const std::vector<QOmega> withZero{QOmega::zero(), QOmega{5}};
+  ZOmega q5;
+  EXPECT_TRUE(tryExactDivide(gcdDyadic(withZero), ZOmega{BigInt{5}}, q5));
+}
+
+} // namespace
+} // namespace qadd::alg

@@ -1,0 +1,135 @@
+#include "eval/accuracy.hpp"
+#include "eval/report.hpp"
+#include "eval/trace.hpp"
+
+#include "algorithms/common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace qadd::eval {
+namespace {
+
+TEST(Accuracy, ZeroForIdenticalVectors) {
+  const std::vector<std::complex<double>> v{{0.6, 0.0}, {0.8, 0.0}};
+  EXPECT_NEAR(accuracyError(v, v), 0.0, 1e-15);
+}
+
+TEST(Accuracy, LengthErrorIsForgiven) {
+  // Footnote 8: the numeric vector is rescaled to unit norm first.
+  const std::vector<std::complex<double>> reference{{1.0, 0.0}, {0.0, 0.0}};
+  const std::vector<std::complex<double>> scaled{{0.5, 0.0}, {0.0, 0.0}};
+  EXPECT_NEAR(accuracyError(scaled, reference), 0.0, 1e-15);
+}
+
+TEST(Accuracy, ZeroVectorIsMaximallyWrong) {
+  const std::vector<std::complex<double>> reference{{1.0, 0.0}, {0.0, 0.0}};
+  const std::vector<std::complex<double>> zero{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_NEAR(accuracyError(zero, reference), 1.0, 1e-15);
+}
+
+TEST(Accuracy, DirectionErrorIsMeasured) {
+  const std::vector<std::complex<double>> reference{{1.0, 0.0}, {0.0, 0.0}};
+  const std::vector<std::complex<double>> orthogonal{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_NEAR(accuracyError(orthogonal, reference), std::sqrt(2.0), 1e-15);
+}
+
+TEST(Accuracy, VectorNorm) {
+  EXPECT_NEAR(vectorNorm({{3.0, 0.0}, {0.0, 4.0}}), 5.0, 1e-15);
+  EXPECT_DOUBLE_EQ(vectorNorm({}), 0.0);
+}
+
+TEST(Trace, AlgebraicTraceRecordsSamples) {
+  const qc::Circuit circuit = algos::ghz(4);
+  ReferenceTrajectory reference;
+  TraceOptions options;
+  options.sampleEvery = 1;
+  const SimulationTrace trace = traceAlgebraic(circuit, options, {}, &reference);
+  EXPECT_EQ(trace.points.size(), circuit.size());
+  EXPECT_EQ(reference.samples.size(), circuit.size());
+  EXPECT_EQ(trace.finalNodes, 7U); // GHZ(4): 2n - 1 nodes
+  EXPECT_FALSE(trace.collapsedToZero);
+  for (const TracePoint& point : trace.points) {
+    EXPECT_EQ(point.error, 0.0);
+    EXPECT_GT(point.nodes, 0U);
+  }
+}
+
+TEST(Trace, NumericTraceMeasuresErrorAgainstReference) {
+  const qc::Circuit circuit = algos::ghz(4);
+  ReferenceTrajectory reference;
+  TraceOptions options;
+  options.sampleEvery = 1;
+  (void)traceAlgebraic(circuit, options, {}, &reference);
+  const SimulationTrace numeric = traceNumeric(circuit, 1e-12, &reference, options);
+  ASSERT_EQ(numeric.points.size(), circuit.size());
+  for (const TracePoint& point : numeric.points) {
+    ASSERT_TRUE(std::isfinite(point.error));
+    EXPECT_LT(point.error, 1e-10) << "GHZ at eps=1e-12 must be essentially exact";
+  }
+  EXPECT_FALSE(numeric.collapsedToZero);
+}
+
+TEST(Trace, SamplingCadenceRespected) {
+  const qc::Circuit circuit = algos::ghz(8); // 8 gates
+  TraceOptions options;
+  options.sampleEvery = 3;
+  const SimulationTrace trace = traceAlgebraic(circuit, options);
+  // Samples at gates 3, 6, and the final 8.
+  ASSERT_EQ(trace.points.size(), 3U);
+  EXPECT_EQ(trace.points[0].gateIndex, 3U);
+  EXPECT_EQ(trace.points[1].gateIndex, 6U);
+  EXPECT_EQ(trace.points[2].gateIndex, 8U);
+}
+
+TEST(Trace, MaxMagnitudeNormalizationTracksReferenceToo) {
+  // End-to-end coverage of the [29] normalization inside the figure
+  // machinery: same circuit, same reference, both numeric normalizations
+  // essentially exact at tight epsilon.
+  const qc::Circuit circuit = algos::ghz(5);
+  ReferenceTrajectory reference;
+  TraceOptions options;
+  options.sampleEvery = 2;
+  (void)traceAlgebraic(circuit, options, {}, &reference);
+  const SimulationTrace leftmost = traceNumeric(circuit, 1e-12, &reference, options,
+                                                dd::NumericSystem::Normalization::LeftmostNonzero);
+  const SimulationTrace maxMagnitude = traceNumeric(
+      circuit, 1e-12, &reference, options, dd::NumericSystem::Normalization::MaxMagnitude);
+  EXPECT_LT(leftmost.finalError, 1e-10);
+  EXPECT_LT(maxMagnitude.finalError, 1e-10);
+  EXPECT_EQ(leftmost.finalNodes, maxMagnitude.finalNodes);
+}
+
+TEST(Report, CsvFormat) {
+  const qc::Circuit circuit = algos::ghz(3);
+  TraceOptions options;
+  options.sampleEvery = 1;
+  const SimulationTrace trace = traceAlgebraic(circuit, options);
+  std::ostringstream os;
+  writeCsv(os, {trace});
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("series,gate,nodes,seconds,error,maxbits"), std::string::npos);
+  EXPECT_NE(csv.find("algebraic(Q[w]-inverse)"), std::string::npos);
+  // Header + 3 samples.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(Report, SummaryTableAndChartSmoke) {
+  const qc::Circuit circuit = algos::ghz(3);
+  TraceOptions options;
+  options.sampleEvery = 1;
+  const SimulationTrace trace = traceAlgebraic(circuit, options);
+  std::ostringstream os;
+  printSummaryTable(os, {trace});
+  printAsciiChart(os, "nodes", {trace}, Series::Nodes, false);
+  printAsciiChart(os, "empty error", {trace}, Series::Error, true); // all zero -> "(no data)"
+  const std::string out = os.str();
+  EXPECT_NE(out.find("final nodes"), std::string::npos);
+  EXPECT_NE(out.find("== nodes =="), std::string::npos);
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+} // namespace
+} // namespace qadd::eval

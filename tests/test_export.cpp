@@ -1,0 +1,75 @@
+#include "core/export.hpp"
+
+#include "algorithms/common.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::dd {
+namespace {
+
+using AlgPkg = Package<AlgebraicSystem>;
+using NumPkg = Package<NumericSystem>;
+
+TEST(Export, MatrixDotContainsAllLevels) {
+  AlgPkg p(3);
+  qc::Circuit c(3);
+  c.h(0).cx(0, 1).t(2);
+  const auto u = qc::buildUnitary(p, c);
+  const std::string dot = toDot(p, u);
+  EXPECT_NE(dot.find("q0"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+  EXPECT_NE(dot.find("q2"), std::string::npos);
+  EXPECT_NE(dot.find("shape=point"), std::string::npos); // zero stubs exist
+}
+
+TEST(Export, VectorDotOfZeroState) {
+  AlgPkg p(2);
+  const std::string dot = toDot(p, p.makeZeroState());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+}
+
+TEST(Export, TerminalOnlyEdge) {
+  // A bare terminal edge (0 qubits worth of structure) renders without
+  // crashing.
+  AlgPkg p(1);
+  const typename AlgPkg::VEdge terminal{nullptr, p.system().one()};
+  const std::string dot = toDot(p, terminal);
+  EXPECT_NE(dot.find("root -> t"), std::string::npos);
+}
+
+TEST(Export, DenseMatrixRoundTripThroughStateVectors) {
+  // toDenseMatrix equals applying the unitary to all basis states.
+  NumPkg p(3, {0.0, NumericSystem::Normalization::LeftmostNonzero});
+  qc::Circuit c(3);
+  c.h(0).cx(0, 2).t(1).v(2);
+  const auto u = qc::buildUnitary(p, c);
+  const la::Matrix dense = toDenseMatrix(p, u);
+  for (std::size_t basis = 0; basis < 8; ++basis) {
+    bool bits[3];
+    for (unsigned q = 0; q < 3; ++q) {
+      bits[q] = ((basis >> (2 - q)) & 1ULL) != 0;
+    }
+    const auto column = p.multiply(u, p.makeBasisState(bits));
+    const auto amplitudes = p.amplitudes(column);
+    for (std::size_t row = 0; row < 8; ++row) {
+      EXPECT_NEAR(std::abs(amplitudes[row] - dense.at(row, basis)), 0.0, 1e-12)
+          << row << "," << basis;
+    }
+  }
+}
+
+TEST(Export, DenseVectorOfEntangledState) {
+  AlgPkg p(4);
+  qc::Simulator<AlgebraicSystem> simulator(algos::ghz(4));
+  simulator.run();
+  const la::Vector dense = toDenseVector(simulator.package(), simulator.state());
+  EXPECT_EQ(dense.dimension(), 16U);
+  EXPECT_NEAR(dense.norm(), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace qadd::dd

@@ -1,0 +1,123 @@
+/// Differential fuzzing: random Clifford+T circuits with random control
+/// structure are simulated by the numeric QMDD, the algebraic QMDD and the
+/// dense reference; all three must agree.  This is the broadest correctness
+/// net over the whole stack (gates -> gate DDs -> multiply/add -> normalize
+/// -> unique tables).
+#include "core/export.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qadd {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+qc::Circuit randomCliffordT(std::mt19937_64& rng, qc::Qubit nqubits, std::size_t gates) {
+  const qc::GateKind kinds[] = {qc::GateKind::H,   qc::GateKind::X,   qc::GateKind::Y,
+                                qc::GateKind::Z,   qc::GateKind::S,   qc::GateKind::Sdg,
+                                qc::GateKind::T,   qc::GateKind::Tdg, qc::GateKind::V,
+                                qc::GateKind::Vdg, qc::GateKind::I};
+  qc::Circuit circuit(nqubits, "fuzz");
+  for (std::size_t i = 0; i < gates; ++i) {
+    const auto kind = kinds[rng() % std::size(kinds)];
+    const auto target = static_cast<qc::Qubit>(rng() % nqubits);
+    std::vector<qc::ControlSpec> controls;
+    const std::size_t controlCount = rng() % 3; // 0, 1 or 2 controls
+    for (std::size_t c = 0; c < controlCount; ++c) {
+      const auto qubit = static_cast<qc::Qubit>(rng() % nqubits);
+      bool clash = qubit == target;
+      for (const auto& existing : controls) {
+        clash = clash || existing.qubit == qubit;
+      }
+      if (!clash) {
+        controls.push_back({qubit, rng() % 2 == 0});
+      }
+    }
+    circuit.append({kind, 0.0, target, std::move(controls)});
+  }
+  return circuit;
+}
+
+la::Vector denseSimulate(const qc::Circuit& circuit) {
+  // Use a numeric package only to construct per-gate dense matrices.
+  dd::Package<NumericSystem> package(circuit.qubits(),
+                                     {0.0, NumericSystem::Normalization::LeftmostNonzero});
+  la::Vector state = la::Vector::basisState(std::size_t{1} << circuit.qubits(), 0);
+  for (const qc::Operation& operation : circuit.operations()) {
+    const auto gate = qc::makeOperationDD(package, operation);
+    state = dd::toDenseMatrix(package, gate) * state;
+  }
+  return state;
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDifferential, AllThreeBackendsAgree) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto nqubits = static_cast<qc::Qubit>(2 + rng() % 4); // 2..5
+  const std::size_t gates = 10 + rng() % 30;
+  const qc::Circuit circuit = randomCliffordT(rng, nqubits, gates);
+
+  const la::Vector expected = denseSimulate(circuit);
+
+  qc::Simulator<NumericSystem> numeric(circuit,
+                                       {0.0, NumericSystem::Normalization::LeftmostNonzero});
+  numeric.run();
+  const auto numericAmplitudes = numeric.package().amplitudes(numeric.state());
+
+  qc::Simulator<AlgebraicSystem> algebraic(circuit);
+  algebraic.run();
+  const auto algebraicAmplitudes = algebraic.package().amplitudes(algebraic.state());
+
+  // Also cross-check the GCD and experimental unit-part schemes.
+  qc::Simulator<AlgebraicSystem> gcd(circuit, {AlgebraicSystem::Normalization::GcdDOmega});
+  gcd.run();
+  const auto gcdAmplitudes = gcd.package().amplitudes(gcd.state());
+  qc::Simulator<AlgebraicSystem> unitPart(circuit, {AlgebraicSystem::Normalization::UnitPart});
+  unitPart.run();
+  const auto unitPartAmplitudes = unitPart.package().amplitudes(unitPart.state());
+
+  for (std::size_t i = 0; i < expected.dimension(); ++i) {
+    EXPECT_NEAR(std::abs(numericAmplitudes[i] - expected[i]), 0.0, 1e-9)
+        << "numeric, index " << i;
+    EXPECT_NEAR(std::abs(algebraicAmplitudes[i] - expected[i]), 0.0, 1e-9)
+        << "algebraic, index " << i;
+    EXPECT_NEAR(std::abs(gcdAmplitudes[i] - algebraicAmplitudes[i]), 0.0, 1e-12)
+        << "gcd vs inverse normalization, index " << i;
+    EXPECT_NEAR(std::abs(unitPartAmplitudes[i] - algebraicAmplitudes[i]), 0.0, 1e-12)
+        << "unit-part vs inverse normalization, index " << i;
+  }
+
+  // Norm is exactly 1 in the algebraic flavors.
+  EXPECT_TRUE(algebraic.package().system().isOne(
+      algebraic.package().innerProduct(algebraic.state(), algebraic.state())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0, 24));
+
+class FuzzNumericTolerance : public ::testing::TestWithParam<double> {};
+
+TEST_P(FuzzNumericTolerance, ModerateEpsilonStaysAccurateOnShortCircuits) {
+  // On short circuits every epsilon below 1e-6 must stay essentially exact.
+  std::mt19937_64 rng(99);
+  const qc::Circuit circuit = randomCliffordT(rng, 4, 25);
+  const la::Vector expected = denseSimulate(circuit);
+  qc::Simulator<NumericSystem> simulator(
+      circuit, {GetParam(), NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  for (std::size_t i = 0; i < expected.dimension(); ++i) {
+    EXPECT_NEAR(std::abs(amplitudes[i] - expected[i]), 0.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, FuzzNumericTolerance,
+                         ::testing::Values(0.0, 1e-15, 1e-12, 1e-9, 1e-7));
+
+} // namespace
+} // namespace qadd

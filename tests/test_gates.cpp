@@ -1,0 +1,115 @@
+#include "qc/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+namespace qadd::qc {
+namespace {
+
+using C = std::complex<double>;
+
+void expectUnitary(const std::array<C, 4>& m) {
+  // M M^dag = I for 2x2.
+  const C a = m[0] * std::conj(m[0]) + m[1] * std::conj(m[1]);
+  const C b = m[0] * std::conj(m[2]) + m[1] * std::conj(m[3]);
+  const C d = m[2] * std::conj(m[2]) + m[3] * std::conj(m[3]);
+  EXPECT_NEAR(std::abs(a - 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(b), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(d - 1.0), 0.0, 1e-12);
+}
+
+TEST(Gates, AllFixedGatesAreUnitary) {
+  for (const GateKind kind : {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+                              GateKind::S, GateKind::Sdg, GateKind::T, GateKind::Tdg,
+                              GateKind::V, GateKind::Vdg}) {
+    expectUnitary(complexMatrix(kind));
+  }
+}
+
+TEST(Gates, ParameterizedGatesAreUnitary) {
+  for (const GateKind kind : {GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Phase}) {
+    for (const double angle : {0.0, 0.1, 1.0, M_PI, -2.5}) {
+      expectUnitary(complexMatrix(kind, angle));
+    }
+  }
+}
+
+TEST(Gates, CliffordTClassification) {
+  EXPECT_TRUE(isCliffordT(GateKind::H));
+  EXPECT_TRUE(isCliffordT(GateKind::T));
+  EXPECT_TRUE(isCliffordT(GateKind::V));
+  EXPECT_FALSE(isCliffordT(GateKind::Rz));
+  EXPECT_FALSE(isCliffordT(GateKind::Phase));
+  EXPECT_EQ(isParameterized(GateKind::Rz), !isCliffordT(GateKind::Rz));
+}
+
+TEST(Gates, AlgebraicMatricesMatchComplexOnes) {
+  for (const GateKind kind : {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+                              GateKind::S, GateKind::Sdg, GateKind::T, GateKind::Tdg,
+                              GateKind::V, GateKind::Vdg}) {
+    const auto exact = algebraicMatrix(kind);
+    const auto numeric = complexMatrix(kind);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const C converted = exact[i].toComplex();
+      EXPECT_NEAR(std::abs(converted - numeric[i]), 0.0, 1e-12)
+          << gateName(kind) << " entry " << i;
+    }
+  }
+}
+
+TEST(Gates, AlgebraicMatrixRejectsRotations) {
+  EXPECT_THROW(algebraicMatrix(GateKind::Rz), std::invalid_argument);
+  EXPECT_THROW(algebraicMatrix(GateKind::Phase), std::invalid_argument);
+}
+
+TEST(Gates, AlgebraicEntriesAreDyadic) {
+  // Exactly-representable gates have entries in D[omega] (Section IV-A).
+  for (const GateKind kind : {GateKind::H, GateKind::T, GateKind::V, GateKind::Y}) {
+    for (const auto& entry : algebraicMatrix(kind)) {
+      EXPECT_TRUE(entry.isDyadic());
+    }
+  }
+}
+
+TEST(Gates, NamesRoundTrip) {
+  for (const GateKind kind : {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+                              GateKind::S, GateKind::Sdg, GateKind::T, GateKind::Tdg,
+                              GateKind::V, GateKind::Vdg, GateKind::Rx, GateKind::Ry,
+                              GateKind::Rz, GateKind::Phase}) {
+    EXPECT_EQ(gateKindFromName(gateName(kind)), kind);
+  }
+  EXPECT_THROW((void)gateKindFromName("bogus"), std::invalid_argument);
+}
+
+TEST(Gates, AdjointPairs) {
+  EXPECT_EQ(adjointKind(GateKind::T), GateKind::Tdg);
+  EXPECT_EQ(adjointKind(GateKind::Tdg), GateKind::T);
+  EXPECT_EQ(adjointKind(GateKind::S), GateKind::Sdg);
+  EXPECT_EQ(adjointKind(GateKind::V), GateKind::Vdg);
+  EXPECT_EQ(adjointKind(GateKind::H), GateKind::H);
+  EXPECT_EQ(adjointKind(GateKind::X), GateKind::X);
+  // Numerically: U * adj(U) = I.
+  for (const GateKind kind : {GateKind::T, GateKind::S, GateKind::V, GateKind::H}) {
+    const auto u = complexMatrix(kind);
+    const auto a = complexMatrix(adjointKind(kind));
+    const C topLeft = u[0] * a[0] + u[1] * a[2];
+    const C offDiag = u[0] * a[1] + u[1] * a[3];
+    EXPECT_NEAR(std::abs(topLeft - 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(offDiag), 0.0, 1e-12);
+  }
+}
+
+TEST(Gates, SpecificMatrixValues) {
+  const auto t = complexMatrix(GateKind::T);
+  EXPECT_NEAR(std::abs(t[3] - std::polar(1.0, M_PI / 4)), 0.0, 1e-15);
+  const auto h = complexMatrix(GateKind::H);
+  EXPECT_NEAR(h[0].real(), 1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_NEAR(h[3].real(), -1.0 / std::sqrt(2.0), 1e-15);
+  const auto rz = complexMatrix(GateKind::Rz, M_PI / 2);
+  EXPECT_NEAR(std::abs(rz[0] - std::polar(1.0, -M_PI / 4)), 0.0, 1e-15);
+}
+
+} // namespace
+} // namespace qadd::qc

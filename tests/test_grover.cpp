@@ -1,0 +1,94 @@
+#include "algorithms/grover.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::algos {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+std::array<bool, 64> markedBits(qc::Qubit n, std::uint64_t marked) {
+  std::array<bool, 64> bits{};
+  for (qc::Qubit q = 0; q < n; ++q) {
+    bits[q] = ((marked >> q) & 1ULL) != 0;
+  }
+  return bits;
+}
+
+TEST(Grover, OptimalIterations) {
+  EXPECT_EQ(groverOptimalIterations(2), 1U);
+  EXPECT_EQ(groverOptimalIterations(4), 3U);
+  EXPECT_EQ(groverOptimalIterations(10), 25U);
+  EXPECT_EQ(groverOptimalIterations(15), 142U);
+}
+
+TEST(Grover, SuccessProbabilityFormula) {
+  // After the optimal iteration count the success probability approaches 1.
+  for (const qc::Qubit n : {4U, 8U, 12U}) {
+    EXPECT_GT(groverSuccessProbability(n, groverOptimalIterations(n)), 0.9);
+  }
+  // With zero iterations it is uniform.
+  EXPECT_NEAR(groverSuccessProbability(6, 0), 1.0 / 64.0, 1e-12);
+}
+
+TEST(Grover, CircuitIsCliffordTCompatible) {
+  const qc::Circuit circuit = grover({5, 13, 0});
+  // H, X, multi-controlled Z only: all exactly representable.
+  EXPECT_TRUE(circuit.isCliffordTOnly());
+}
+
+TEST(Grover, AmplifiesTheMarkedElementExactly) {
+  // Algebraic simulation: probability of the marked element must match the
+  // closed form to within conversion accuracy.
+  const GroverOptions options{5, 0b10110, 0};
+  qc::Simulator<AlgebraicSystem> simulator(grover(options));
+  simulator.run();
+  const auto bits = markedBits(5, options.marked);
+  const double probability =
+      simulator.probability(std::span<const bool>(bits.data(), 5));
+  EXPECT_NEAR(probability, groverSuccessProbability(5, groverOptimalIterations(5)), 1e-9);
+  EXPECT_GT(probability, 0.99);
+}
+
+TEST(Grover, NumericWithReasonableEpsilonAgrees) {
+  const GroverOptions options{4, 0b1010, 0};
+  qc::Simulator<NumericSystem> simulator(grover(options),
+                                         {1e-10, NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto bits = markedBits(4, options.marked);
+  EXPECT_NEAR(simulator.probability(std::span<const bool>(bits.data(), 4)),
+              groverSuccessProbability(4, groverOptimalIterations(4)), 1e-6);
+}
+
+TEST(Grover, ExplicitIterationCountIsHonored) {
+  const qc::Circuit one = grover({4, 3, 1});
+  const qc::Circuit two = grover({4, 3, 2});
+  EXPECT_GT(two.size(), one.size());
+  // Per iteration: oracle (possibly +2 X) + diffusion (4n + 1 gates).
+  const std::size_t perIteration = two.size() - one.size();
+  EXPECT_EQ(one.size(), 4U + perIteration); // 4 initial Hadamards
+}
+
+TEST(Grover, StateStaysCompactAlgebraically) {
+  // The Grover state is (a, b, b, ..., b): 2 distinct amplitude values, so
+  // the exact QMDD stays near-linear in qubits throughout the run.
+  qc::Simulator<AlgebraicSystem> simulator(grover({7, 42, 0}));
+  std::size_t peak = 0;
+  simulator.run();
+  peak = std::max(peak, simulator.stateNodes());
+  EXPECT_LE(simulator.stateNodes(), 2U * 7U)
+      << "the exact representation must exploit the two-value structure";
+}
+
+TEST(Grover, RejectsBadArguments) {
+  EXPECT_THROW((void)grover({1, 0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)grover({4, 16, 0}), std::invalid_argument); // marked out of range
+}
+
+} // namespace
+} // namespace qadd::algos

@@ -1,0 +1,124 @@
+#include "algorithms/gse.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::algos {
+namespace {
+
+TEST(IsingHamiltonian, EigenvalueSigns) {
+  IsingHamiltonian h;
+  h.systemQubits = 2;
+  h.fields = {1.0, 0.5};
+  h.couplings = {{0.0, 1.0, 0.25}};
+  // |00>: all Z = +1.
+  EXPECT_DOUBLE_EQ(h.eigenvalue(0b00), 1.0 + 0.5 + 0.25);
+  // |01> (qubit 0 set): Z_0 = -1.
+  EXPECT_DOUBLE_EQ(h.eigenvalue(0b01), -1.0 + 0.5 - 0.25);
+  // |11>: both -1, coupling +.
+  EXPECT_DOUBLE_EQ(h.eigenvalue(0b11), -1.0 - 0.5 + 0.25);
+}
+
+TEST(IsingHamiltonian, MolecularInstanceShape) {
+  const IsingHamiltonian h = makeMolecularInstance(4);
+  EXPECT_EQ(h.fields.size(), 4U);
+  EXPECT_EQ(h.couplings.size(), 6U); // C(4,2)
+  for (const double field : h.fields) {
+    EXPECT_GT(field, 0.0);
+  }
+}
+
+TEST(Gse, RotationCircuitShape) {
+  const GseOptions options{3, 4, 1.0, 0};
+  const qc::Circuit circuit = gseRotationCircuit(options);
+  EXPECT_EQ(circuit.qubits(), 7U);
+  EXPECT_FALSE(circuit.isCliffordTOnly()) << "rotation-level GSE has arbitrary angles";
+}
+
+TEST(Gse, CompiledCircuitIsCliffordT) {
+  const qc::Circuit circuit = gse({2, 2, 1.0, 0}, {3, 0});
+  EXPECT_TRUE(circuit.isCliffordTOnly());
+  EXPECT_GT(circuit.tCount(), 0U);
+}
+
+TEST(Gse, NumericPhaseEstimationFindsTheEigenphase) {
+  // Simulate the *rotation-level* circuit numerically (exact gates): the
+  // ancilla register must concentrate on the expected phase.
+  const GseOptions options{2, 5, 1.0, 0b00};
+  const IsingHamiltonian hamiltonian = makeMolecularInstance(2);
+  const qc::Circuit circuit = gseRotationCircuit(options, &hamiltonian);
+  qc::Simulator<dd::NumericSystem> simulator(
+      circuit, {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+
+  const double expectedPhase = gseExpectedPhase(options, hamiltonian);
+  // Ancillas are the top 5 qubits; system is in the eigenstate |00>, i.e.
+  // system index 0.  Find the most probable ancilla value.
+  const unsigned m = options.precisionQubits;
+  const unsigned s = options.systemQubits;
+  double bestProbability = 0.0;
+  std::size_t bestAncilla = 0;
+  for (std::size_t a = 0; a < (1ULL << m); ++a) {
+    double p = 0.0;
+    for (std::size_t sys = 0; sys < (1ULL << s); ++sys) {
+      p += std::norm(amplitudes[(a << s) | sys]);
+    }
+    if (p > bestProbability) {
+      bestProbability = p;
+      bestAncilla = a;
+    }
+  }
+  const double measuredPhase =
+      static_cast<double>(bestAncilla) / static_cast<double>(1ULL << m);
+  // Phase estimation with m bits has resolution 2^-m; allow one bin.
+  double delta = std::abs(measuredPhase - expectedPhase);
+  delta = std::min(delta, 1.0 - delta); // circular distance
+  EXPECT_LE(delta, 1.5 / static_cast<double>(1ULL << m));
+  EXPECT_GT(bestProbability, 0.4);
+}
+
+TEST(Gse, CompiledAndRotationCircuitsAgreeApproximately) {
+  // The Clifford+T compilation is an approximation, but with a deep-ish SK
+  // the measurement statistics must stay close (projective phases cancel in
+  // probabilities of the ancilla register only up to the SK error).
+  const GseOptions options{1, 2, 1.0, 0};
+  IsingHamiltonian h;
+  h.systemQubits = 1;
+  h.fields = {0.7071067811865476};
+  const qc::Circuit rotation = gseRotationCircuit(options, &h);
+  synth::CliffordTCompiler compiler({5, 2});
+  const qc::Circuit compiled = compiler.compile(rotation);
+
+  qc::Simulator<dd::NumericSystem> exact(rotation,
+                                         {0.0, dd::NumericSystem::Normalization::LeftmostNonzero});
+  exact.run();
+  qc::Simulator<dd::AlgebraicSystem> approximate(compiled);
+  approximate.run();
+  const auto a = exact.package().amplitudes(exact.state());
+  const auto b = approximate.package().amplitudes(approximate.state());
+  // Compare probability distributions (global/relative phases may differ).
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    l1 += std::abs(std::norm(a[i]) - std::norm(b[i]));
+  }
+  EXPECT_LT(l1, 0.35) << "SK-compiled GSE must roughly track the ideal distribution";
+}
+
+TEST(Gse, EigenstatePreparationAffectsPhase) {
+  const IsingHamiltonian hamiltonian = makeMolecularInstance(2);
+  const GseOptions ground{2, 4, 1.0, 0b00};
+  const GseOptions excited{2, 4, 1.0, 0b11};
+  EXPECT_NE(gseExpectedPhase(ground, hamiltonian), gseExpectedPhase(excited, hamiltonian));
+}
+
+TEST(Gse, RejectsDegenerateOptions) {
+  EXPECT_THROW((void)gseRotationCircuit({0, 4, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)gseRotationCircuit({3, 0, 1.0, 0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::algos

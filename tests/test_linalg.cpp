@@ -1,0 +1,108 @@
+#include "linalg/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::la {
+namespace {
+
+Matrix hadamard() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return Matrix{2, {s, s, s, -s}};
+}
+
+Matrix pauliX() { return Matrix{2, {0, 1, 1, 0}}; }
+
+TEST(DenseVector, BasisStateAndNorm) {
+  const Vector v = Vector::basisState(8, 3);
+  EXPECT_EQ(v.dimension(), 8U);
+  EXPECT_EQ(v[3], Complex{1.0});
+  EXPECT_EQ(v[0], Complex{0.0});
+  EXPECT_DOUBLE_EQ(v.norm(), 1.0);
+}
+
+TEST(DenseVector, NormalizeAndZeroThrows) {
+  Vector v(2);
+  v[0] = 3.0;
+  v[1] = 4.0;
+  v.normalize();
+  EXPECT_DOUBLE_EQ(v.norm(), 1.0);
+  EXPECT_NEAR(v[0].real(), 0.6, 1e-12);
+  Vector zero(4);
+  EXPECT_THROW(zero.normalize(), std::domain_error);
+}
+
+TEST(DenseVector, InnerProductConjugateLinearity) {
+  Vector a(2);
+  a[0] = {0.0, 1.0};
+  Vector b(2);
+  b[0] = {1.0, 0.0};
+  // <i e0 | e0> = conj(i) = -i.
+  EXPECT_EQ(a.innerProduct(b), (Complex{0.0, -1.0}));
+  EXPECT_EQ(b.innerProduct(a), (Complex{0.0, 1.0}));
+}
+
+TEST(DenseVector, KroneckerProduct) {
+  Vector a(2);
+  a[0] = 1.0;
+  Vector b(2);
+  b[1] = 2.0;
+  const Vector k = a.kron(b);
+  ASSERT_EQ(k.dimension(), 4U);
+  EXPECT_EQ(k[1], Complex{2.0});
+  EXPECT_EQ(k[0], Complex{0.0});
+}
+
+TEST(DenseMatrix, IdentityAndMultiply) {
+  const Matrix h = hadamard();
+  const Matrix hh = h * h;
+  EXPECT_LE(Matrix::maxAbsDifference(hh, Matrix::identity(2)), 1e-12);
+  EXPECT_TRUE(h.isUnitary());
+}
+
+TEST(DenseMatrix, MatrixVector) {
+  const Vector zero = Vector::basisState(2, 0);
+  const Vector plus = hadamard() * zero;
+  EXPECT_NEAR(plus[0].real(), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(plus[1].real(), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DenseMatrix, KroneckerStructure) {
+  // H (x) I2 is the paper's Fig. 1a matrix.
+  const Matrix u = hadamard().kron(Matrix::identity(2));
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(u.at(0, 0).real(), s, 1e-12);
+  EXPECT_NEAR(u.at(0, 2).real(), s, 1e-12);
+  EXPECT_NEAR(u.at(2, 0).real(), s, 1e-12);
+  EXPECT_NEAR(u.at(2, 2).real(), -s, 1e-12);
+  EXPECT_EQ(u.at(0, 1), Complex{0.0});
+  EXPECT_TRUE(u.isUnitary());
+}
+
+TEST(DenseMatrix, AdjointOfProduct) {
+  const Matrix x = pauliX();
+  const Matrix h = hadamard();
+  const Matrix lhs = (h * x).adjoint();
+  const Matrix rhs = x.adjoint() * h.adjoint();
+  EXPECT_LE(Matrix::maxAbsDifference(lhs, rhs), 1e-12);
+}
+
+TEST(DenseMatrix, NonUnitaryDetected) {
+  Matrix m(2);
+  m.at(0, 0) = 2.0;
+  m.at(1, 1) = 1.0;
+  EXPECT_FALSE(m.isUnitary());
+}
+
+TEST(Dense, Distance) {
+  Vector a(2);
+  a[0] = 1.0;
+  Vector b(2);
+  b[1] = 1.0;
+  EXPECT_NEAR(distance(a, b), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+} // namespace
+} // namespace qadd::la

@@ -1,0 +1,137 @@
+#include "qc/measure.hpp"
+
+#include "algorithms/common.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace qadd::qc {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+TEST(Measure, BasisStateProbabilities) {
+  qc::Circuit c(3);
+  c.x(0).x(2);
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  auto& p = simulator.package();
+  EXPECT_NEAR(probabilityOfOne(p, simulator.state(), 0), 1.0, 1e-12);
+  EXPECT_NEAR(probabilityOfOne(p, simulator.state(), 1), 0.0, 1e-12);
+  EXPECT_NEAR(probabilityOfOne(p, simulator.state(), 2), 1.0, 1e-12);
+}
+
+TEST(Measure, PlusStateIsBalanced) {
+  qc::Circuit c(2);
+  c.h(0);
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  auto& p = simulator.package();
+  EXPECT_NEAR(probabilityOfOne(p, simulator.state(), 0), 0.5, 1e-12);
+  EXPECT_NEAR(probabilityOfOne(p, simulator.state(), 1), 0.0, 1e-12);
+}
+
+TEST(Measure, GhzMarginalsAreHalf) {
+  for (const Qubit n : {3U, 6U}) {
+    Simulator<NumericSystem> simulator(algos::ghz(n), {1e-12});
+    simulator.run();
+    auto& p = simulator.package();
+    for (Qubit q = 0; q < n; ++q) {
+      EXPECT_NEAR(probabilityOfOne(p, simulator.state(), q), 0.5, 1e-9) << "qubit " << q;
+    }
+  }
+}
+
+TEST(Measure, TGateDoesNotChangeProbabilities) {
+  qc::Circuit c(1);
+  c.h(0).t(0);
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  EXPECT_NEAR(probabilityOfOne(simulator.package(), simulator.state(), 0), 0.5, 1e-12);
+}
+
+TEST(Measure, SamplingMatchesBornRule) {
+  // Biased single-qubit state: Ry-like bias built from H T H ...; easier:
+  // use |psi> = H|0> on qubit 0 entangled with qubit 1 -> outcomes 00 and 11
+  // each with probability 1/2.
+  Simulator<AlgebraicSystem> simulator(algos::ghz(2));
+  simulator.run();
+  auto& p = simulator.package();
+  std::mt19937_64 rng(42);
+  std::map<std::uint64_t, int> histogram;
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[sampleOutcome(p, simulator.state(), rng)];
+  }
+  ASSERT_EQ(histogram.size(), 2U);
+  EXPECT_GT(histogram[0b00], kSamples / 2 - 200);
+  EXPECT_GT(histogram[0b11], kSamples / 2 - 200);
+  EXPECT_EQ(histogram.count(0b01), 0U);
+  EXPECT_EQ(histogram.count(0b10), 0U);
+}
+
+TEST(Measure, SamplingUniformSuperposition) {
+  qc::Circuit c(3);
+  c.h(0).h(1).h(2);
+  Simulator<NumericSystem> simulator(c, {1e-12});
+  simulator.run();
+  std::mt19937_64 rng(7);
+  std::map<std::uint64_t, int> histogram;
+  constexpr int kSamples = 8000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[sampleOutcome(simulator.package(), simulator.state(), rng)];
+  }
+  EXPECT_EQ(histogram.size(), 8U);
+  for (const auto& [outcome, count] : histogram) {
+    EXPECT_NEAR(static_cast<double>(count) / kSamples, 0.125, 0.03) << "outcome " << outcome;
+  }
+}
+
+TEST(Measure, ProjectionSelectsBranch) {
+  Simulator<AlgebraicSystem> simulator(algos::ghz(3));
+  simulator.run();
+  auto& p = simulator.package();
+  // Project qubit 0 onto |1>: the state must become |111> / sqrt2
+  // (sub-normalized, squared norm = outcome probability 1/2).
+  const auto projected = projectQubit(p, simulator.state(), 0, true);
+  const auto amplitudes = p.amplitudes(projected);
+  EXPECT_NEAR(std::abs(amplitudes[7]), 1.0 / std::sqrt(2.0), 1e-12);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(std::abs(amplitudes[i]), 0.0, 1e-12);
+  }
+  // Squared norm of the projection = P(outcome).
+  const auto norm = p.system().toComplex(p.innerProduct(projected, projected));
+  EXPECT_NEAR(norm.real(), 0.5, 1e-12);
+}
+
+TEST(Measure, ProjectionOfImpossibleOutcomeIsZero) {
+  qc::Circuit c(2);
+  c.x(0); // |10>
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  auto& p = simulator.package();
+  const auto projected = projectQubit(p, simulator.state(), 0, false);
+  EXPECT_TRUE(p.system().isZero(projected.w));
+}
+
+TEST(Measure, ProjectionConsistentWithProbability) {
+  // For a generic Clifford+T state: ||project(q,1)||^2 == P(q = 1).
+  qc::Circuit c(3);
+  c.h(0).t(0).cx(0, 1).h(2).v(1).cx(1, 2).h(1);
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  auto& p = simulator.package();
+  for (Qubit q = 0; q < 3; ++q) {
+    const auto projected = projectQubit(p, simulator.state(), q, true);
+    const double normSquared =
+        p.system().toComplex(p.innerProduct(projected, projected)).real();
+    EXPECT_NEAR(normSquared, probabilityOfOne(p, simulator.state(), q), 1e-10) << "qubit " << q;
+  }
+}
+
+} // namespace
+} // namespace qadd::qc

@@ -1,0 +1,101 @@
+#include "qc/observables.hpp"
+
+#include "algorithms/common.hpp"
+#include "algorithms/gse.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::qc {
+namespace {
+
+using dd::AlgebraicSystem;
+
+TEST(PauliString, TextRoundTrip) {
+  const PauliString pauli = PauliString::fromText("IXZY");
+  ASSERT_EQ(pauli.factors.size(), 4U);
+  EXPECT_EQ(pauli.factors[0], Pauli::I);
+  EXPECT_EQ(pauli.factors[1], Pauli::X);
+  EXPECT_EQ(pauli.factors[2], Pauli::Z);
+  EXPECT_EQ(pauli.factors[3], Pauli::Y);
+  EXPECT_EQ(pauli.toText(), "IXZY");
+  EXPECT_THROW((void)PauliString::fromText("AB"), std::invalid_argument);
+}
+
+TEST(PauliString, MatrixStructure) {
+  dd::Package<AlgebraicSystem> p(2);
+  // ZZ is diagonal with entries +1,-1,-1,+1.
+  const auto zz = makePauliString(p, PauliString::fromText("ZZ"));
+  // (ZZ)^2 = I.
+  EXPECT_EQ(p.multiply(zz, zz), p.makeIdentity());
+  // tr(ZZ) = 0 exactly.
+  EXPECT_TRUE(p.system().isZero(p.trace(zz)));
+}
+
+TEST(PauliString, ExpectationsOnBasisAndBellStates) {
+  dd::Package<AlgebraicSystem> p(2);
+  const auto zero = p.makeZeroState();
+  // <00|ZI|00> = +1 exactly.
+  EXPECT_TRUE(p.system().isOne(pauliExpectation(p, zero, PauliString::fromText("ZI"))));
+  // Bell state: <phi+|ZZ|phi+> = 1, <phi+|ZI|phi+> = 0, <phi+|XX|phi+> = 1.
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  const auto state = p.multiply(buildUnitary(p, bell), zero);
+  EXPECT_TRUE(p.system().isOne(pauliExpectation(p, state, PauliString::fromText("ZZ"))));
+  EXPECT_TRUE(p.system().isZero(pauliExpectation(p, state, PauliString::fromText("ZI"))));
+  EXPECT_TRUE(p.system().isOne(pauliExpectation(p, state, PauliString::fromText("XX"))));
+  EXPECT_TRUE(p.system().isZero(pauliExpectation(p, state, PauliString::fromText("XI"))));
+}
+
+TEST(PauliObservable, IsingEnergyOfEigenstatesIsExact) {
+  // Build the GSE Hamiltonian as a Pauli observable and check that basis
+  // eigenstates report exactly their classical eigenvalue.
+  const algos::IsingHamiltonian hamiltonian = algos::makeMolecularInstance(3);
+  PauliObservable observable;
+  for (unsigned j = 0; j < 3; ++j) {
+    std::string text = "III";
+    text[j] = 'Z';
+    observable.terms.push_back({hamiltonian.fields[j], PauliString::fromText(text)});
+  }
+  for (const auto& [j, k, strength] : hamiltonian.couplings) {
+    std::string text = "III";
+    text[static_cast<std::size_t>(j)] = 'Z';
+    text[static_cast<std::size_t>(k)] = 'Z';
+    observable.terms.push_back({strength, PauliString::fromText(text)});
+  }
+  dd::Package<AlgebraicSystem> p(3);
+  for (const std::uint64_t eigenstate : {0ULL, 0b011ULL, 0b101ULL, 0b111ULL}) {
+    // Prepare |eigenstate> (bit j of the value on qubit j).
+    Circuit prep(3);
+    for (Qubit q = 0; q < 3; ++q) {
+      if ((eigenstate >> q) & 1ULL) {
+        prep.x(q);
+      }
+    }
+    const auto state = p.multiply(buildUnitary(p, prep), p.makeZeroState());
+    EXPECT_NEAR(observable.expectation(p, state), hamiltonian.eigenvalue(eigenstate), 1e-14)
+        << "eigenstate " << eigenstate;
+  }
+}
+
+TEST(PauliObservable, SuperpositionAverages) {
+  // On |+> the Z expectation is 0 and the X expectation is 1.
+  dd::Package<AlgebraicSystem> p(1);
+  Circuit plus(1);
+  plus.h(0);
+  const auto state = p.multiply(buildUnitary(p, plus), p.makeZeroState());
+  PauliObservable z{{{1.0, PauliString::fromText("Z")}}};
+  PauliObservable x{{{1.0, PauliString::fromText("X")}}};
+  EXPECT_NEAR(z.expectation(p, state), 0.0, 1e-15);
+  EXPECT_NEAR(x.expectation(p, state), 1.0, 1e-15);
+}
+
+TEST(PauliString, WidthMismatchThrows) {
+  dd::Package<AlgebraicSystem> p(2);
+  EXPECT_THROW((void)makePauliString(p, PauliString::fromText("Z")), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::qc

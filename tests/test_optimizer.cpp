@@ -1,0 +1,131 @@
+#include "qc/optimizer.hpp"
+
+#include "qc/equivalence.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qadd::qc {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+TEST(Optimizer, CancelsAdjacentInversePairs) {
+  Circuit c(2);
+  c.h(0).h(0).x(1).x(1).cx(0, 1).cx(0, 1).v(0).vdg(0);
+  OptimizerReport report;
+  const Circuit optimized = optimize(c, &report);
+  EXPECT_EQ(optimized.size(), 0U);
+  EXPECT_EQ(report.removedGates, 8U);
+}
+
+TEST(Optimizer, FoldsDiagonalRuns) {
+  Circuit c(1);
+  c.t(0).t(0); // -> S
+  const Circuit optimized = optimize(c);
+  ASSERT_EQ(optimized.size(), 1U);
+  EXPECT_EQ(optimized.operations()[0].kind, GateKind::S);
+
+  Circuit full(1);
+  for (int i = 0; i < 8; ++i) {
+    full.t(0);
+  }
+  EXPECT_EQ(optimize(full).size(), 0U);
+
+  Circuit mixed(1);
+  mixed.t(0).s(0).z(0).tdg(0); // 1+2+4+7 = 14 = 6 mod 8 -> Sdg
+  const Circuit foldedMixed = optimize(mixed);
+  ASSERT_EQ(foldedMixed.size(), 1U);
+  EXPECT_EQ(foldedMixed.operations()[0].kind, GateKind::Sdg);
+}
+
+TEST(Optimizer, LooksThroughCommutingGates) {
+  Circuit c(3);
+  c.h(0);
+  c.x(1).t(2).cx(1, 2); // all disjoint from line 0
+  c.h(0);               // cancels with the first H across the middle block
+  const Circuit optimized = optimize(c);
+  EXPECT_EQ(optimized.size(), 3U);
+  for (const Operation& operation : optimized.operations()) {
+    EXPECT_NE(operation.target, 0U);
+  }
+}
+
+TEST(Optimizer, DoesNotCancelAcrossBlockers) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(0); // CX touches line 0: H's must stay
+  EXPECT_EQ(optimize(c).size(), 3U);
+}
+
+TEST(Optimizer, MergesRotations) {
+  Circuit c(1);
+  c.rz(0.3, 0).rz(0.4, 0);
+  OptimizerReport report;
+  const Circuit optimized = optimize(c, &report);
+  ASSERT_EQ(optimized.size(), 1U);
+  EXPECT_NEAR(optimized.operations()[0].angle, 0.7, 1e-15);
+  EXPECT_EQ(report.mergedRotations, 1U);
+
+  Circuit cancels(1);
+  cancels.phase(0.9, 0).phase(-0.9, 0);
+  EXPECT_EQ(optimize(cancels).size(), 0U);
+}
+
+TEST(Optimizer, RespectsControlledRotationPeriod) {
+  // c-Rz(2 pi) is NOT the identity (it is a controlled -I): must survive.
+  Circuit c(2);
+  c.controlled(GateKind::Rz, 1, {{0, true}}, M_PI);
+  c.controlled(GateKind::Rz, 1, {{0, true}}, M_PI);
+  const Circuit optimized = optimize(c);
+  ASSERT_EQ(optimized.size(), 1U);
+  EXPECT_NEAR(optimized.operations()[0].angle, 2.0 * M_PI, 1e-12);
+  // Verify semantically against the unoptimized circuit.
+  dd::Package<NumericSystem> p(2, {1e-12, NumericSystem::Normalization::LeftmostNonzero});
+  EXPECT_EQ(buildUnitary(p, c), buildUnitary(p, optimized));
+}
+
+TEST(Optimizer, ControlPolaritiesMatter) {
+  Circuit c(2);
+  c.controlled(GateKind::X, 1, {{0, true}});
+  c.controlled(GateKind::X, 1, {{0, false}});
+  // Different polarities: no cancellation (the pair equals X on the target).
+  EXPECT_EQ(optimize(c).size(), 2U);
+}
+
+/// Property sweep: optimization provably preserves the unitary (exact
+/// algebraic equivalence check) while never growing the circuit.
+class OptimizerSemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerSemantics, ExactlyPreservesTheUnitary) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const auto nqubits = static_cast<Qubit>(2 + rng() % 3);
+  Circuit circuit(nqubits, "fuzz");
+  const GateKind kinds[] = {GateKind::H, GateKind::X,   GateKind::T, GateKind::Tdg,
+                            GateKind::S, GateKind::Sdg, GateKind::Z, GateKind::V,
+                            GateKind::Vdg};
+  for (int i = 0; i < 40; ++i) {
+    const auto target = static_cast<Qubit>(rng() % nqubits);
+    if (rng() % 3 == 0) {
+      auto control = static_cast<Qubit>(rng() % nqubits);
+      if (control == target) {
+        control = (control + 1) % nqubits;
+      }
+      circuit.controlled(kinds[rng() % std::size(kinds)], target, {{control, rng() % 2 == 0}});
+    } else {
+      circuit.gate(kinds[rng() % std::size(kinds)], target);
+    }
+  }
+  const Circuit optimized = optimize(circuit);
+  EXPECT_LE(optimized.size(), circuit.size());
+  const auto verdict =
+      checkEquivalence<AlgebraicSystem>(circuit, optimized, EquivalenceStrategy::Construct);
+  EXPECT_TRUE(verdict.equivalent) << "optimization must preserve the unitary exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerSemantics, ::testing::Range(0, 16));
+
+} // namespace
+} // namespace qadd::qc

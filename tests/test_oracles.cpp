@@ -1,0 +1,76 @@
+#include "algorithms/oracles.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::algos {
+namespace {
+
+using dd::AlgebraicSystem;
+
+/// Index of |bits...0> with the ancilla (bottom qubit) zero; qubit q of
+/// `value` (bit q) sits at index bit (n - q), counting the ancilla.
+std::size_t basisIndex(qc::Qubit n, std::uint64_t value) {
+  std::size_t index = 0;
+  for (qc::Qubit q = 0; q < n; ++q) {
+    if ((value >> q) & 1ULL) {
+      index |= 1ULL << (n - q); // n+1 lines total; bottom line = ancilla
+    }
+  }
+  return index;
+}
+
+TEST(BernsteinVazirani, RecoversTheSecretExactly) {
+  for (const std::uint64_t secret : {0b1011ULL, 0b0001ULL, 0b1111ULL, 0b0000ULL}) {
+    qc::Simulator<AlgebraicSystem> simulator(bernsteinVazirani(4, secret));
+    simulator.run();
+    const auto amplitudes = simulator.package().amplitudes(simulator.state());
+    const std::size_t expected = basisIndex(4, secret);
+    for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+      const double magnitude = std::abs(amplitudes[i]);
+      if (i == expected) {
+        EXPECT_NEAR(magnitude, 1.0, 1e-12) << "secret " << secret;
+      } else {
+        EXPECT_NEAR(magnitude, 0.0, 1e-12) << "secret " << secret << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(BernsteinVazirani, IsExactlyRepresentable) {
+  EXPECT_TRUE(bernsteinVazirani(6, 0b101010).isCliffordTOnly());
+}
+
+TEST(BernsteinVazirani, DdStaysTiny) {
+  qc::Simulator<AlgebraicSystem> simulator(bernsteinVazirani(10, 0b1100110011));
+  simulator.run();
+  // Final state is a basis state: exactly n+1 nodes.
+  EXPECT_EQ(simulator.stateNodes(), 11U);
+}
+
+TEST(DeutschJozsa, ConstantOracleReturnsAllZero) {
+  qc::Simulator<AlgebraicSystem> simulator(deutschJozsa(5, 0));
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  EXPECT_NEAR(std::abs(amplitudes[0]), 1.0, 1e-12);
+}
+
+TEST(DeutschJozsa, BalancedOracleAvoidsAllZero) {
+  for (const std::uint64_t mask : {0b00101ULL, 0b11111ULL, 0b10000ULL}) {
+    qc::Simulator<AlgebraicSystem> simulator(deutschJozsa(5, mask));
+    simulator.run();
+    const auto amplitudes = simulator.package().amplitudes(simulator.state());
+    EXPECT_NEAR(std::abs(amplitudes[0]), 0.0, 1e-12) << "mask " << mask;
+  }
+}
+
+TEST(Oracles, RejectOutOfRangeMask) {
+  EXPECT_THROW((void)bernsteinVazirani(3, 0b1000), std::invalid_argument);
+  EXPECT_THROW((void)deutschJozsa(0, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::algos

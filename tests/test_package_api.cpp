@@ -1,0 +1,236 @@
+/// Tests of the higher-level Package API: state construction from amplitude
+/// tables, fidelity, expectation values, and algebraic identities of the DD
+/// operators (adjoint involution, multiplication associativity, Kronecker
+/// structure).
+#include "core/algebraic_system.hpp"
+#include "core/export.hpp"
+#include "core/numeric_system.hpp"
+#include "core/package.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qadd::dd {
+namespace {
+
+using NumPkg = Package<NumericSystem>;
+using AlgPkg = Package<AlgebraicSystem>;
+
+NumericSystem::Config exactConfig() {
+  return {0.0, NumericSystem::Normalization::LeftmostNonzero};
+}
+
+TEST(PackageApi, MakeStateFromWeightsRoundTrips) {
+  NumPkg p(3, exactConfig());
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<NumericSystem::Weight> weights;
+  std::vector<std::complex<double>> reference;
+  for (int i = 0; i < 8; ++i) {
+    const std::complex<double> amplitude{d(rng), d(rng)};
+    reference.push_back(amplitude);
+    weights.push_back(p.system().fromComplex(amplitude));
+  }
+  const auto state = p.makeStateFromWeights(weights);
+  const auto amplitudes = p.amplitudes(state);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(amplitudes[i] - reference[i]), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(PackageApi, MakeStateFromWeightsCompressesUniformVectors) {
+  NumPkg p(6, exactConfig());
+  const std::vector<NumericSystem::Weight> uniform(64, p.system().one());
+  const auto state = p.makeStateFromWeights(uniform);
+  EXPECT_EQ(p.countNodes(state), 6U) << "a uniform vector is a product state";
+}
+
+TEST(PackageApi, MakeStateFromWeightsExactUniform) {
+  AlgPkg p(4);
+  std::vector<AlgebraicSystem::Weight> weights(16);
+  // |++++> with exact 1/4 amplitudes.
+  const auto quarter = p.system().intern(
+      alg::QOmega{alg::ZOmega::one(), 4}); // 1/sqrt2^4 = 1/4
+  for (auto& w : weights) {
+    w = quarter;
+  }
+  const auto state = p.makeStateFromWeights(weights);
+  // Must equal H^(x)4 |0000>.
+  qc::Circuit c(4);
+  c.h(0).h(1).h(2).h(3);
+  const auto unitary = qc::buildUnitary(p, c);
+  const auto viaGates = p.multiply(unitary, p.makeZeroState());
+  EXPECT_EQ(state, viaGates);
+}
+
+TEST(PackageApi, ZeroAmplitudeBlocksBecomeStubs) {
+  NumPkg p(2, exactConfig());
+  const std::vector<NumericSystem::Weight> weights{p.system().one(), p.system().zero(),
+                                                   p.system().zero(), p.system().zero()};
+  const auto state = p.makeStateFromWeights(weights);
+  EXPECT_EQ(state, p.makeZeroState());
+}
+
+TEST(PackageApi, FidelityBoundsAndValues) {
+  AlgPkg p(2);
+  const auto zero = p.makeZeroState();
+  qc::Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  const auto u = qc::buildUnitary(p, bell);
+  const auto bellState = p.multiply(u, zero);
+  EXPECT_NEAR(p.fidelity(zero, zero), 1.0, 1e-12);
+  EXPECT_NEAR(p.fidelity(bellState, bellState), 1.0, 1e-12);
+  EXPECT_NEAR(p.fidelity(zero, bellState), 0.5, 1e-12);
+}
+
+TEST(PackageApi, ExpectationValueOfPauliZ) {
+  AlgPkg p(1);
+  const auto z = [&] {
+    const auto m = qc::algebraicMatrix(qc::GateKind::Z);
+    const typename AlgPkg::GateMatrix weights{
+        p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+        p.system().intern(m[3])};
+    return p.makeGate(weights, 0);
+  }();
+  // <0|Z|0> = 1.
+  EXPECT_NEAR(p.system().toComplex(p.expectationValue(z, p.makeZeroState())).real(), 1.0, 1e-12);
+  // <+|Z|+> = 0.
+  qc::Circuit c(1);
+  c.h(0);
+  const auto plus = p.multiply(qc::buildUnitary(p, c), p.makeZeroState());
+  const auto expectation = p.system().toComplex(p.expectationValue(z, plus));
+  EXPECT_NEAR(expectation.real(), 0.0, 1e-12);
+  // Exactness: the algebraic expectation of Z on |+> is the exact value 0.
+  EXPECT_TRUE(p.system().isZero(p.expectationValue(z, plus)));
+}
+
+TEST(PackageApi, TraceOfKnownMatrices) {
+  AlgPkg p(3);
+  // tr(I) = 8.
+  EXPECT_EQ(p.system().value(p.trace(p.makeIdentity())), alg::QOmega{8});
+  // tr(Z (x) I (x) I) = 0.
+  const auto z = [&] {
+    const auto m = qc::algebraicMatrix(qc::GateKind::Z);
+    const typename AlgPkg::GateMatrix weights{
+        p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+        p.system().intern(m[3])};
+    return p.makeGate(weights, 0);
+  }();
+  EXPECT_TRUE(p.system().isZero(p.trace(z)));
+  // tr(T on one qubit, identity elsewhere) = 4 * (1 + omega).
+  const auto t = [&] {
+    const auto m = qc::algebraicMatrix(qc::GateKind::T);
+    const typename AlgPkg::GateMatrix weights{
+        p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+        p.system().intern(m[3])};
+    return p.makeGate(weights, 2);
+  }();
+  const alg::QOmega expected = (alg::QOmega::one() + alg::QOmega::omega()) * alg::QOmega{4};
+  EXPECT_EQ(p.system().value(p.trace(t)), expected);
+}
+
+TEST(PackageApi, ProcessFidelityDetectsEquivalenceUpToPhase) {
+  AlgPkg p(2);
+  qc::Circuit xy(2);
+  xy.y(0).x(0); // X*Y = i Z
+  qc::Circuit z(2);
+  z.z(0);
+  qc::Circuit different(2);
+  different.h(0);
+  const auto uXy = qc::buildUnitary(p, xy);
+  const auto uZ = qc::buildUnitary(p, z);
+  const auto uH = qc::buildUnitary(p, different);
+  EXPECT_NEAR(p.processFidelity(uXy, uZ), 1.0, 1e-12); // equal up to phase i
+  EXPECT_LT(p.processFidelity(uZ, uH), 0.9);
+  EXPECT_NEAR(p.processFidelity(uZ, uZ), 1.0, 1e-12);
+}
+
+TEST(PackageApi, EqualUpToGlobalPhase) {
+  AlgPkg p(1);
+  const auto gate = [&](qc::GateKind kind) {
+    const auto m = qc::algebraicMatrix(kind);
+    const typename AlgPkg::GateMatrix weights{
+        p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+        p.system().intern(m[3])};
+    return p.makeGate(weights, 0);
+  };
+  const auto z = gate(qc::GateKind::Z);
+  // omega * Z differs from Z by a global phase only.
+  const auto phased =
+      typename AlgPkg::MEdge{z.node, p.system().mul(z.w, p.system().intern(alg::QOmega::omega()))};
+  EXPECT_NE(z, phased);
+  EXPECT_TRUE(p.equalUpToGlobalPhase(z, phased));
+  // 2 * Z is NOT a phase multiple.
+  const auto doubled =
+      typename AlgPkg::MEdge{z.node, p.system().mul(z.w, p.system().intern(alg::QOmega{2}))};
+  EXPECT_FALSE(p.equalUpToGlobalPhase(z, doubled));
+  // Structurally different gates never match.
+  EXPECT_FALSE(p.equalUpToGlobalPhase(z, gate(qc::GateKind::H)));
+  EXPECT_TRUE(p.equalUpToGlobalPhase(z, z));
+}
+
+TEST(PackageApi, AdjointIsInvolution) {
+  AlgPkg p(3);
+  qc::Circuit c(3);
+  c.h(0).t(1).cx(0, 2).v(2).cz(1, 2);
+  const auto u = qc::buildUnitary(p, c);
+  EXPECT_EQ(p.conjugateTranspose(p.conjugateTranspose(u)), u);
+}
+
+TEST(PackageApi, MultiplicationAssociativity) {
+  AlgPkg p(2);
+  const auto gate = [&](qc::GateKind kind, Qubit target) {
+    const auto m = qc::algebraicMatrix(kind);
+    const typename AlgPkg::GateMatrix weights{
+        p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+        p.system().intern(m[3])};
+    return p.makeGate(weights, target);
+  };
+  const auto a = gate(qc::GateKind::H, 0);
+  const auto b = gate(qc::GateKind::T, 1);
+  const auto c = gate(qc::GateKind::V, 0);
+  EXPECT_EQ(p.multiply(p.multiply(a, b), c), p.multiply(a, p.multiply(b, c)));
+}
+
+TEST(PackageApi, KroneckerOfStatesMatchesDense) {
+  NumPkg p(4, exactConfig());
+  // Build |psi> on the top two qubits and |phi> on the bottom two, kron them.
+  NumPkg top(4, exactConfig());
+  // Top part: nodes at vars 0,1 ending in terminals; bottom: vars 2,3.
+  const auto mkPair = [&p](Qubit firstVar, NumericSystem::Weight w0,
+                           NumericSystem::Weight w1) {
+    auto inner = p.makeVNode(firstVar + 1, {typename NumPkg::VEdge{nullptr, w0},
+                                            typename NumPkg::VEdge{nullptr, w1}});
+    return p.makeVNode(firstVar, {inner, inner});
+  };
+  const auto psi = mkPair(0, p.system().fromComplex({0.6, 0.0}),
+                          p.system().fromComplex({0.8, 0.0}));
+  const auto phi = mkPair(2, p.system().fromComplex({0.0, 1.0}),
+                          p.system().fromComplex({1.0, 0.0}));
+  const auto product = p.kronecker(psi, phi);
+  const auto amplitudes = p.amplitudes(product);
+  // amplitude(|a b c d>) = psi(ab) * phi(cd) with psi(ab) = (0.6, 0.8)[b] etc.
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double top1 = ((i >> 2) & 1) != 0 ? 0.8 : 0.6;
+    const std::complex<double> bottom1 =
+        (i & 1) != 0 ? std::complex<double>{1.0, 0.0} : std::complex<double>{0.0, 1.0};
+    EXPECT_NEAR(std::abs(amplitudes[i] - top1 * bottom1), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(PackageApi, DenseVectorExport) {
+  AlgPkg p(2);
+  qc::Circuit c(2);
+  c.h(0).cx(0, 1);
+  const auto state = p.multiply(qc::buildUnitary(p, c), p.makeZeroState());
+  const la::Vector dense = toDenseVector(p, state);
+  EXPECT_NEAR(dense[0].real(), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(dense[3].real(), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(dense.norm(), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace qadd::dd

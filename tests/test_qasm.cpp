@@ -1,0 +1,108 @@
+#include "qc/qasm.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::qc {
+namespace {
+
+TEST(Qasm, ParseBasicProgram) {
+  const std::string source = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[3];
+    creg c[3];
+    h q[0];
+    cx q[0], q[1];
+    ccx q[0], q[1], q[2];
+    t q[2];
+    measure q[0] -> c[0];
+  )";
+  const Circuit circuit = fromQasm(source);
+  EXPECT_EQ(circuit.qubits(), 3U);
+  ASSERT_EQ(circuit.size(), 4U); // measure is skipped
+  EXPECT_EQ(circuit.operations()[0].kind, GateKind::H);
+  EXPECT_EQ(circuit.operations()[1].controls.size(), 1U);
+  EXPECT_EQ(circuit.operations()[2].controls.size(), 2U);
+  EXPECT_EQ(circuit.operations()[3].kind, GateKind::T);
+}
+
+TEST(Qasm, ParseAngles) {
+  const Circuit circuit = fromQasm(
+      "OPENQASM 2.0; qreg q[1]; rz(pi/4) q[0]; u1(-pi/2) q[0]; rx(0.125) q[0]; ry(3*pi/8) q[0];");
+  ASSERT_EQ(circuit.size(), 4U);
+  EXPECT_NEAR(circuit.operations()[0].angle, M_PI / 4, 1e-15);
+  EXPECT_EQ(circuit.operations()[1].kind, GateKind::Phase);
+  EXPECT_NEAR(circuit.operations()[1].angle, -M_PI / 2, 1e-15);
+  EXPECT_NEAR(circuit.operations()[2].angle, 0.125, 1e-15);
+  EXPECT_NEAR(circuit.operations()[3].angle, 3 * M_PI / 8, 1e-15);
+}
+
+TEST(Qasm, ParseComments) {
+  const Circuit circuit = fromQasm("OPENQASM 2.0; // header\nqreg q[2]; // reg\nh q[0]; // gate\n");
+  EXPECT_EQ(circuit.size(), 1U);
+}
+
+TEST(Qasm, MultipleRegistersConcatenate) {
+  const Circuit circuit = fromQasm("OPENQASM 2.0; qreg a[2]; qreg b[2]; x a[1]; x b[0];");
+  EXPECT_EQ(circuit.qubits(), 4U);
+  EXPECT_EQ(circuit.operations()[0].target, 1U);
+  EXPECT_EQ(circuit.operations()[1].target, 2U);
+}
+
+TEST(Qasm, SwapAndControlledPhase) {
+  const Circuit circuit = fromQasm("OPENQASM 2.0; qreg q[2]; swap q[0], q[1]; cu1(pi/8) q[0], q[1];");
+  EXPECT_EQ(circuit.size(), 4U); // swap = 3 CNOTs + the cu1
+  EXPECT_EQ(circuit.operations()[3].kind, GateKind::Phase);
+  EXPECT_EQ(circuit.operations()[3].controls.size(), 1U);
+}
+
+TEST(Qasm, RejectsMalformedInput) {
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; h q[0];"), std::invalid_argument); // no qreg
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; bogus q[0];"), std::invalid_argument);
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h q[0]"), std::invalid_argument); // missing ;
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; cx q[0];"), std::invalid_argument);
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h r[0];"), std::invalid_argument);
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[1]; rz(pi/) q[0];"), std::invalid_argument);
+}
+
+TEST(Qasm, RoundTripPreservesSemantics) {
+  Circuit original(3, "roundtrip");
+  original.h(0).cx(0, 1).t(1).ccx(0, 1, 2).rz(0.7, 2).phase(-0.3, 0).cz(1, 2);
+  const Circuit parsed = fromQasm(toQasm(original));
+  ASSERT_EQ(parsed.qubits(), original.qubits());
+  // Compare semantics via exact/numeric simulation (textual forms differ:
+  // u1 vs phase naming etc.).
+  dd::Package<dd::NumericSystem> p1(3, {0.0, dd::NumericSystem::Normalization::LeftmostNonzero});
+  const auto u1 = buildUnitary(p1, original);
+  const auto u2 = buildUnitary(p1, parsed);
+  EXPECT_EQ(u1, u2);
+}
+
+TEST(Qasm, EmitRejectsInexpressibleGates) {
+  Circuit negative(2);
+  negative.controlled(GateKind::X, 1, {{0, false}});
+  EXPECT_THROW((void)toQasm(negative), std::invalid_argument);
+  Circuit vGate(1);
+  vGate.v(0);
+  EXPECT_THROW((void)toQasm(vGate), std::invalid_argument);
+  Circuit mcx(4);
+  mcx.mcx({0, 1, 2}, 3);
+  EXPECT_THROW((void)toQasm(mcx), std::invalid_argument);
+}
+
+TEST(Qasm, EmitContainsHeaderAndGates) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const std::string qasm = toQasm(c);
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+}
+
+} // namespace
+} // namespace qadd::qc

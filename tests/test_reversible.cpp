@@ -1,0 +1,159 @@
+#include "synth/reversible.hpp"
+
+#include "core/numeric_system.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qadd::synth {
+namespace {
+
+using dd::NumericSystem;
+
+/// Classically simulate the circuit on a basis state (all gates must be X
+/// with controls) and return the resulting basis index (qubit 0 = MSB).
+std::uint64_t applyClassically(const qc::Circuit& circuit, std::uint64_t input) {
+  const unsigned n = circuit.qubits();
+  std::uint64_t state = input;
+  const auto bitOf = [n](std::uint64_t value, qc::Qubit qubit) {
+    return (value >> (n - 1 - qubit)) & 1ULL;
+  };
+  for (const qc::Operation& operation : circuit.operations()) {
+    EXPECT_EQ(operation.kind, qc::GateKind::X);
+    bool active = true;
+    for (const qc::ControlSpec& control : operation.controls) {
+      if ((bitOf(state, control.qubit) != 0) != control.positive) {
+        active = false;
+        break;
+      }
+    }
+    if (active) {
+      state ^= 1ULL << (n - 1 - operation.target);
+    }
+  }
+  return state;
+}
+
+/// Register-level view: the transposition module addresses bits within
+/// [offset, offset+width) with bit 0 of the value at the *lowest* qubit
+/// index...  verify the convention via the DD simulator instead.
+std::uint64_t registerValueToBasisIndex(std::uint64_t value, unsigned offset, unsigned width,
+                                        unsigned totalQubits) {
+  std::uint64_t index = 0;
+  for (unsigned bit = 0; bit < width; ++bit) {
+    if ((value >> bit) & 1ULL) {
+      const unsigned qubit = offset + bit;
+      index |= 1ULL << (totalQubits - 1 - qubit);
+    }
+  }
+  return index;
+}
+
+TEST(Reversible, SingleBitTransposition) {
+  qc::Circuit circuit(3);
+  appendTransposition(circuit, 0, 3, {0b000, 0b001});
+  EXPECT_EQ(circuit.size(), 1U); // hamming distance 1 -> a single MCX
+  // Swaps exactly the two states.
+  EXPECT_EQ(applyClassically(circuit, registerValueToBasisIndex(0b000, 0, 3, 3)),
+            registerValueToBasisIndex(0b001, 0, 3, 3));
+  EXPECT_EQ(applyClassically(circuit, registerValueToBasisIndex(0b001, 0, 3, 3)),
+            registerValueToBasisIndex(0b000, 0, 3, 3));
+  for (std::uint64_t other : {0b010, 0b011, 0b100, 0b111}) {
+    const std::uint64_t index = registerValueToBasisIndex(other, 0, 3, 3);
+    EXPECT_EQ(applyClassically(circuit, index), index);
+  }
+}
+
+TEST(Reversible, MultiBitTranspositionTouchesOnlyThePair) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned width = 4 + static_cast<unsigned>(rng() % 3); // 4..6
+    const std::uint64_t size = 1ULL << width;
+    const std::uint64_t a = rng() % size;
+    std::uint64_t b = rng() % size;
+    if (a == b) {
+      continue;
+    }
+    qc::Circuit circuit(width);
+    appendTransposition(circuit, 0, width, {a, b});
+    for (std::uint64_t value = 0; value < size; ++value) {
+      const std::uint64_t expected = value == a ? b : (value == b ? a : value);
+      EXPECT_EQ(applyClassically(circuit, registerValueToBasisIndex(value, 0, width, width)),
+                registerValueToBasisIndex(expected, 0, width, width))
+          << "a=" << a << " b=" << b << " value=" << value;
+    }
+  }
+}
+
+TEST(Reversible, RejectsDegenerateTransposition) {
+  qc::Circuit circuit(3);
+  EXPECT_THROW(appendTransposition(circuit, 0, 3, {5, 5}), std::invalid_argument);
+}
+
+TEST(Reversible, InvolutionAppliesAllPairs) {
+  const std::vector<Transposition> pairs{{0, 3}, {1, 6}, {4, 5}};
+  qc::Circuit circuit(3);
+  appendInvolution(circuit, 0, 3, pairs);
+  for (std::uint64_t value = 0; value < 8; ++value) {
+    EXPECT_EQ(applyClassically(circuit, registerValueToBasisIndex(value, 0, 3, 3)),
+              registerValueToBasisIndex(applyInvolution(pairs, value), 0, 3, 3));
+  }
+}
+
+TEST(Reversible, ExtraControlsGateTheWholeInvolution) {
+  // One control qubit on top; involution on the 3 register qubits below.
+  const std::vector<Transposition> pairs{{2, 7}};
+  qc::Circuit circuit(4);
+  appendInvolution(circuit, 1, 3, pairs, {{0, true}});
+  // Control = 0: nothing happens.
+  const std::uint64_t idle = registerValueToBasisIndex(2, 1, 3, 4);
+  EXPECT_EQ(applyClassically(circuit, idle), idle);
+  // Control = 1 (basis MSB set): the pair swaps.
+  const std::uint64_t controlBit = 1ULL << 3;
+  EXPECT_EQ(applyClassically(circuit, controlBit | registerValueToBasisIndex(2, 1, 3, 4)),
+            controlBit | registerValueToBasisIndex(7, 1, 3, 4));
+}
+
+TEST(Reversible, AgreesWithDdSimulation) {
+  // The same circuit driven through the numeric QMDD simulator.
+  const std::vector<Transposition> pairs{{1, 4}, {2, 7}};
+  qc::Circuit circuit(3);
+  appendInvolution(circuit, 0, 3, pairs);
+  for (std::uint64_t value = 0; value < 8; ++value) {
+    qc::Circuit withPreparation(3);
+    for (unsigned bit = 0; bit < 3; ++bit) {
+      if ((value >> bit) & 1ULL) {
+        withPreparation.x(bit);
+      }
+    }
+    withPreparation.append(circuit);
+    qc::Simulator<NumericSystem> simulator(withPreparation);
+    simulator.run();
+    const auto amplitudes = simulator.package().amplitudes(simulator.state());
+    // The preparation sets qubit `bit` for bit `bit` of `value`, which is
+    // exactly the register convention of appendInvolution (bit b at qubit
+    // offset + b), so the register value IS `value`.
+    const std::uint64_t expectedValue = applyInvolution(pairs, value);
+    // Locate the single unit amplitude.
+    std::size_t hot = 0;
+    for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+      if (std::abs(amplitudes[i]) > 0.5) {
+        hot = i;
+      }
+    }
+    EXPECT_EQ(hot, registerValueToBasisIndex(expectedValue, 0, 3, 3)) << "value=" << value;
+  }
+}
+
+TEST(Reversible, ApplyInvolutionHelper) {
+  const std::vector<Transposition> pairs{{10, 20}, {30, 40}};
+  EXPECT_EQ(applyInvolution(pairs, 10), 20U);
+  EXPECT_EQ(applyInvolution(pairs, 20), 10U);
+  EXPECT_EQ(applyInvolution(pairs, 40), 30U);
+  EXPECT_EQ(applyInvolution(pairs, 99), 99U);
+}
+
+} // namespace
+} // namespace qadd::synth

@@ -1,0 +1,104 @@
+#include "algorithms/shor.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace qadd::algos {
+namespace {
+
+TEST(Shor, MultiplicativeOrderReference) {
+  EXPECT_EQ(multiplicativeOrder(7, 15), 4U);
+  EXPECT_EQ(multiplicativeOrder(2, 15), 4U);
+  EXPECT_EQ(multiplicativeOrder(4, 15), 2U);
+  EXPECT_EQ(multiplicativeOrder(11, 15), 2U);
+  EXPECT_EQ(multiplicativeOrder(2, 21), 6U);
+  EXPECT_THROW((void)multiplicativeOrder(3, 15), std::invalid_argument); // gcd != 1
+  EXPECT_THROW((void)multiplicativeOrder(1, 1), std::invalid_argument);
+}
+
+TEST(Shor, ModularMultiplicationTableIsPermutation) {
+  for (const auto& [base, modulus] : {std::pair<std::uint64_t, std::uint64_t>{7, 15},
+                                      {2, 15},
+                                      {5, 21},
+                                      {3, 7}}) {
+    const unsigned width = workRegisterWidth(modulus);
+    const auto image = modularMultiplicationTable(base, modulus, width);
+    std::vector<bool> hit(image.size(), false);
+    for (const std::uint64_t y : image) {
+      ASSERT_LT(y, image.size());
+      EXPECT_FALSE(hit[y]);
+      hit[y] = true;
+    }
+    // Values below N multiply; values >= N are fixed.
+    for (std::uint64_t x = 0; x < image.size(); ++x) {
+      EXPECT_EQ(image[x], x < modulus ? base * x % modulus : x);
+    }
+  }
+}
+
+TEST(Shor, WorkRegisterWidth) {
+  EXPECT_EQ(workRegisterWidth(15), 4U);
+  EXPECT_EQ(workRegisterWidth(16), 4U);
+  EXPECT_EQ(workRegisterWidth(17), 5U);
+  EXPECT_EQ(workRegisterWidth(2), 1U);
+}
+
+TEST(Shor, OrderFindingPeaksAtMultiplesOfOneOverR) {
+  // N = 15, a = 7, r = 4: the ancilla distribution must concentrate on
+  // multiples of 2^m / 4.
+  const OrderFindingOptions options{15, 7, 4};
+  const qc::Circuit circuit = orderFinding(options);
+  qc::Simulator<dd::NumericSystem> simulator(
+      circuit, {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  const unsigned m = options.precisionQubits;
+  const unsigned w = workRegisterWidth(options.modulus);
+
+  double onPeaks = 0.0;
+  double total = 0.0;
+  for (std::size_t index = 0; index < amplitudes.size(); ++index) {
+    const double probability = std::norm(amplitudes[index]);
+    total += probability;
+    const std::size_t ancilla = index >> w;
+    if (ancilla % (1ULL << (m - 2)) == 0) { // multiples of 2^m / 4
+      onPeaks += probability;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // r = 4 divides 2^m exactly, so the concentration is perfect.
+  EXPECT_NEAR(onPeaks, 1.0, 1e-9);
+}
+
+TEST(Shor, OrderTwoElementNeedsFewerPeaks) {
+  // a = 11 has order 2 mod 15: only ancilla values 0 and 2^(m-1) appear.
+  const OrderFindingOptions options{15, 11, 4};
+  qc::Simulator<dd::NumericSystem> simulator(
+      orderFinding(options), {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  const unsigned w = workRegisterWidth(options.modulus);
+  double offPeaks = 0.0;
+  for (std::size_t index = 0; index < amplitudes.size(); ++index) {
+    const std::size_t ancilla = index >> w;
+    if (ancilla != 0 && ancilla != (1ULL << (options.precisionQubits - 1))) {
+      offPeaks += std::norm(amplitudes[index]);
+    }
+  }
+  EXPECT_NEAR(offPeaks, 0.0, 1e-9);
+}
+
+TEST(Shor, CircuitStructure) {
+  const OrderFindingOptions options{15, 7, 3};
+  const qc::Circuit circuit = orderFinding(options);
+  EXPECT_EQ(circuit.qubits(), 3U + 4U);
+  EXPECT_FALSE(circuit.isCliffordTOnly()) << "the inverse QFT carries rotation gates";
+  EXPECT_THROW((void)orderFinding({15, 7, 0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::algos

@@ -1,0 +1,84 @@
+#include "algorithms/simon.hpp"
+
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+
+namespace qadd::algos {
+namespace {
+
+TEST(Simon, OracleIsTwoToOneWithPeriod) {
+  for (const std::uint64_t secret : {0b101ULL, 0b010ULL, 0b111ULL, 0b100ULL}) {
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      EXPECT_EQ(simonOracle(secret, x), simonOracle(secret, x ^ secret))
+          << "f must be s-periodic";
+    }
+    // And 2-to-1: image size is 4 for 3 bits.
+    std::set<std::uint64_t> image;
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      image.insert(simonOracle(secret, x));
+    }
+    EXPECT_EQ(image.size(), 4U);
+  }
+}
+
+TEST(Simon, CircuitIsClifford) {
+  const qc::Circuit circuit = simon(4, 0b1010);
+  EXPECT_TRUE(circuit.isCliffordTOnly());
+  EXPECT_EQ(circuit.tCount(), 0U);
+  EXPECT_EQ(circuit.qubits(), 8U);
+}
+
+TEST(Simon, OutputsAreOrthogonalToTheSecret) {
+  for (const std::uint64_t secret : {0b011ULL, 0b110ULL, 0b100ULL}) {
+    const qc::Qubit n = 3;
+    qc::Simulator<dd::AlgebraicSystem> simulator(simon(n, secret));
+    simulator.run();
+    const auto amplitudes = simulator.package().amplitudes(simulator.state());
+    // Input register = top n qubits of the index.
+    for (std::size_t index = 0; index < amplitudes.size(); ++index) {
+      if (std::abs(amplitudes[index]) < 1e-12) {
+        continue;
+      }
+      const std::uint64_t yTopBits = index >> n;
+      // Input qubit q carries bit q of y; the index packs qubit 0 as MSB, so
+      // reverse to get y.
+      std::uint64_t y = 0;
+      for (qc::Qubit q = 0; q < n; ++q) {
+        if ((yTopBits >> (n - 1 - q)) & 1ULL) {
+          y |= 1ULL << q;
+        }
+      }
+      EXPECT_EQ(std::popcount(y & secret) % 2, 0)
+          << "y = " << y << " must satisfy y.s = 0 (secret " << secret << ")";
+    }
+  }
+}
+
+TEST(Simon, AllOrthogonalOutcomesAreEquallyLikely) {
+  const std::uint64_t secret = 0b11;
+  qc::Simulator<dd::AlgebraicSystem> simulator(simon(2, secret));
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  // y in {00, 11}: each with total probability 1/2 over the outputs.
+  double p[4] = {0, 0, 0, 0};
+  for (std::size_t index = 0; index < amplitudes.size(); ++index) {
+    p[index >> 2] += std::norm(amplitudes[index]);
+  }
+  EXPECT_NEAR(p[0b00], 0.5, 1e-12);
+  EXPECT_NEAR(p[0b11], 0.5, 1e-12); // index bits are qubit-0-first; y=11 symmetric
+  EXPECT_NEAR(p[0b01], 0.0, 1e-12);
+  EXPECT_NEAR(p[0b10], 0.0, 1e-12);
+}
+
+TEST(Simon, RejectsBadSecrets) {
+  EXPECT_THROW((void)simon(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)simon(3, 0b1000), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::algos

@@ -1,0 +1,167 @@
+#include "qc/simulator.hpp"
+
+#include "algorithms/common.hpp"
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::qc {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+template <class System> std::vector<std::complex<double>> simulate(const Circuit& circuit) {
+  Simulator<System> simulator(circuit);
+  simulator.run();
+  return simulator.package().amplitudes(simulator.state());
+}
+
+TEST(Simulator, BellStateBothSystems) {
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  const double s = 1.0 / std::sqrt(2.0);
+  for (const auto& amplitudes :
+       {simulate<NumericSystem>(bell), simulate<AlgebraicSystem>(bell)}) {
+    ASSERT_EQ(amplitudes.size(), 4U);
+    EXPECT_NEAR(amplitudes[0].real(), s, 1e-12);
+    EXPECT_NEAR(amplitudes[3].real(), s, 1e-12);
+    EXPECT_NEAR(std::abs(amplitudes[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(amplitudes[2]), 0.0, 1e-12);
+  }
+}
+
+TEST(Simulator, GhzScalesLinearlyInNodes) {
+  for (const Qubit n : {4U, 8U, 12U}) {
+    Simulator<AlgebraicSystem> simulator(algos::ghz(n));
+    simulator.run();
+    // GHZ = |0..0> + |1..1>: one root node plus two nodes per lower level.
+    EXPECT_EQ(simulator.stateNodes(), 2 * n - 1) << "GHZ DD must have linear width";
+    const bool allOnes[12] = {true, true, true, true, true, true,
+                              true, true, true, true, true, true};
+    EXPECT_NEAR(simulator.probability(std::span<const bool>(allOnes, n)), 0.5, 1e-12);
+  }
+}
+
+TEST(Simulator, StepAndReset) {
+  Circuit c(1);
+  c.h(0).h(0);
+  Simulator<AlgebraicSystem> simulator(c);
+  EXPECT_EQ(simulator.gateIndex(), 0U);
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(simulator.gateIndex(), 1U);
+  EXPECT_TRUE(simulator.step());
+  EXPECT_FALSE(simulator.step()) << "circuit exhausted";
+  // After HH the state is |0> again.
+  EXPECT_EQ(simulator.state(), simulator.package().makeZeroState());
+  simulator.reset();
+  EXPECT_EQ(simulator.gateIndex(), 0U);
+  EXPECT_EQ(simulator.state(), simulator.package().makeZeroState());
+}
+
+TEST(Simulator, TeleportationMovesAmplitudes) {
+  // Prepare qubit 0 in T H |0>, teleport to qubit 2, verify the marginal.
+  Circuit c(3);
+  c.h(0).t(0);
+  c.append(algos::teleport());
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  // The reduced state of qubit 2 must be T H |0>: probability of qubit 2
+  // being |1> is |sin| component = 1/2 for H|0> after T (T only adds phase).
+  double probabilityOne = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if ((i & 1) != 0) { // qubit 2 = least significant bit
+      probabilityOne += std::norm(amplitudes[i]);
+    }
+  }
+  EXPECT_NEAR(probabilityOne, 0.5, 1e-12);
+}
+
+TEST(Simulator, QftOnBasisStateGivesUniformMagnitudes) {
+  Circuit c(4);
+  c.append(algos::prepareBasisState(4, 0b0101));
+  c.append(algos::qft(4));
+  Simulator<NumericSystem> simulator(c, {1e-12, NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto amplitudes = simulator.package().amplitudes(simulator.state());
+  for (const auto& amplitude : amplitudes) {
+    EXPECT_NEAR(std::abs(amplitude), 0.25, 1e-9);
+  }
+  // QFT of a basis state is a product state: the DD must stay linear-sized.
+  EXPECT_EQ(simulator.stateNodes(), 4U);
+}
+
+TEST(Simulator, QftInverseQftIsIdentity) {
+  Circuit c(3);
+  c.append(algos::prepareBasisState(3, 0b011));
+  c.append(algos::qft(3));
+  c.append(algos::inverseQft(3));
+  Simulator<NumericSystem> simulator(c, {1e-10, NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  // prepareBasisState maps bit q of the integer to qubit q: 0b011 sets
+  // qubits 0 and 1.
+  const bool bits[3] = {true, true, false};
+  EXPECT_NEAR(simulator.probability(bits), 1.0, 1e-9);
+}
+
+TEST(Simulator, BuildUnitaryMatchesStepwiseSimulation) {
+  Circuit c(3);
+  c.h(0).t(1).cx(0, 2).v(1).cx(1, 0).tdg(2).h(2);
+  dd::Package<AlgebraicSystem> package(3);
+  const auto unitary = buildUnitary(package, c);
+  const auto viaMatrix = package.multiply(unitary, package.makeZeroState());
+
+  Simulator<AlgebraicSystem> simulator(c);
+  simulator.run();
+  const auto direct = simulator.package().amplitudes(simulator.state());
+  const auto indirect = package.amplitudes(viaMatrix);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(std::abs(direct[i] - indirect[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Simulator, BuildUnitaryEquivalenceCheck) {
+  // HXH == Z: the O(1) equivalence check on canonical diagrams.
+  Circuit lhs(2);
+  lhs.h(0).x(0).h(0);
+  Circuit rhs(2);
+  rhs.z(0);
+  dd::Package<AlgebraicSystem> package(2);
+  EXPECT_EQ(buildUnitary(package, lhs), buildUnitary(package, rhs));
+  // And a non-equivalence: HXH != X.
+  Circuit wrong(2);
+  wrong.x(0);
+  EXPECT_NE(buildUnitary(package, lhs), buildUnitary(package, wrong));
+}
+
+TEST(Simulator, GarbageCollectionThresholdRespected) {
+  Circuit c(6);
+  for (int round = 0; round < 5; ++round) {
+    for (Qubit q = 0; q < 6; ++q) {
+      c.h(q);
+    }
+    for (Qubit q = 0; q + 1 < 6; ++q) {
+      c.cx(q, q + 1);
+    }
+  }
+  Simulator<AlgebraicSystem>::Options options;
+  options.gcNodeThreshold = 32; // force frequent GC
+  Simulator<AlgebraicSystem> simulator(c, {}, options);
+  simulator.run();
+  // Correctness under aggressive GC: norm is exactly 1.
+  const auto norm = simulator.package().innerProduct(simulator.state(), simulator.state());
+  EXPECT_TRUE(simulator.package().system().isOne(norm));
+}
+
+TEST(Simulator, AlgebraicRejectsUncompiledRotations) {
+  Circuit c(1);
+  c.rz(0.3, 0);
+  Simulator<AlgebraicSystem> simulator(c);
+  EXPECT_THROW(simulator.step(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qadd::qc

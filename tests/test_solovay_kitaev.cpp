@@ -1,0 +1,188 @@
+#include "synth/solovay_kitaev.hpp"
+
+#include "qc/simulator.hpp"
+#include "synth/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadd::synth {
+namespace {
+
+using qc::GateKind;
+
+SU2 sequenceProduct(const std::vector<GateKind>& gates) {
+  SU2 product;
+  for (const GateKind kind : gates) {
+    product = SU2::fromMatrix(qc::complexMatrix(kind)) * product;
+  }
+  return product;
+}
+
+// A shared small synthesizer (net construction is the expensive part).
+const SolovayKitaev& sharedSynthesizer() {
+  static const SolovayKitaev instance({4, 2});
+  return instance;
+}
+
+TEST(SolovayKitaev, NetCoversCliffordTGenerators) {
+  // Gates that ARE <H,T> words must be hit exactly at depth 0.
+  const auto& sk = sharedSynthesizer();
+  for (const GateKind kind : {GateKind::H, GateKind::T, GateKind::S, GateKind::Z}) {
+    const auto approx = sk.approximate(SU2::fromMatrix(qc::complexMatrix(kind)), 0);
+    EXPECT_LE(SU2::distance(approx.matrix, SU2::fromMatrix(qc::complexMatrix(kind))), 1e-7)
+        << qc::gateName(kind);
+  }
+}
+
+TEST(SolovayKitaev, SequencesMultiplyToReportedMatrix) {
+  const auto& sk = sharedSynthesizer();
+  for (const double angle : {0.35, 1.0, -2.2, 3.0}) {
+    const auto approx = sk.approximateRz(angle);
+    EXPECT_LE(SU2::distance(sequenceProduct(approx.gates), approx.matrix), 1e-6);
+  }
+}
+
+TEST(SolovayKitaev, SequencesAreCliffordTOnly) {
+  const auto& sk = sharedSynthesizer();
+  const auto approx = sk.approximateRz(0.9);
+  for (const GateKind kind : approx.gates) {
+    EXPECT_TRUE(qc::isCliffordT(kind));
+  }
+  EXPECT_FALSE(approx.gates.empty());
+}
+
+TEST(SolovayKitaev, DeeperRecursionImproves) {
+  const auto& sk = sharedSynthesizer();
+  double worstBase = 0.0;
+  double worstDeep = 0.0;
+  for (const double angle : {0.21, 0.77, 1.3, 1.9, 2.51, -1.1}) {
+    const SU2 target = SU2::fromAxisAngle(0, 0, 1, angle);
+    const double base = SU2::distance(sk.approximate(target, 0).matrix, target);
+    const double deep = SU2::distance(sk.approximate(target, 2).matrix, target);
+    worstBase = std::max(worstBase, base);
+    worstDeep = std::max(worstDeep, deep);
+  }
+  EXPECT_LT(worstDeep, worstBase) << "depth-2 must beat the raw net in the worst case";
+  EXPECT_LT(worstDeep, 0.1);
+}
+
+TEST(SolovayKitaev, GateCountStaysBounded) {
+  // Gate counts are not monotone in depth (peephole simplification can
+  // shrink a deeper expansion), but they must stay within the 5^depth-ish
+  // envelope of the recursion.
+  const auto& sk = sharedSynthesizer();
+  const SU2 target = SU2::fromAxisAngle(0, 0, 1, 0.813);
+  for (int depth = 0; depth <= 3; ++depth) {
+    const auto approx = sk.approximate(target, depth);
+    EXPECT_FALSE(approx.gates.empty());
+    EXPECT_LE(approx.gates.size(), 60U * static_cast<std::size_t>(std::pow(5.0, depth)));
+  }
+}
+
+TEST(SolovayKitaev, InvalidOptionsThrow) {
+  EXPECT_THROW(SolovayKitaev({0, 1}), std::invalid_argument);
+  EXPECT_THROW(SolovayKitaev({3, -1}), std::invalid_argument);
+}
+
+TEST(SimplifySequence, CancelsAndFolds) {
+  using G = GateKind;
+  // H H -> empty.
+  EXPECT_TRUE(simplifySequence({G::H, G::H}).empty());
+  // T T -> S.
+  EXPECT_EQ(simplifySequence({G::T, G::T}), (std::vector<G>{G::S}));
+  // T*8 -> empty.
+  EXPECT_TRUE(simplifySequence(std::vector<G>(8, G::T)).empty());
+  // T Tdg -> empty.
+  EXPECT_TRUE(simplifySequence({G::T, G::Tdg}).empty());
+  // S S S -> Sdg (6 eighths).
+  EXPECT_EQ(simplifySequence({G::S, G::S, G::S}), (std::vector<G>{G::Sdg}));
+  // H T T H -> H S H.
+  EXPECT_EQ(simplifySequence({G::H, G::T, G::T, G::H}), (std::vector<G>{G::H, G::S, G::H}));
+  // Cascading: H (T Tdg) H -> H H -> empty.
+  EXPECT_TRUE(simplifySequence({G::H, G::T, G::Tdg, G::H}).empty());
+}
+
+TEST(SimplifySequence, PreservesSemantics) {
+  using G = GateKind;
+  const std::vector<G> messy{G::T, G::H, G::H, G::S, G::T, G::Tdg, G::H, G::T,
+                             G::T, G::T, G::T, G::T, G::T, G::T, G::T, G::H};
+  const auto clean = simplifySequence(messy);
+  EXPECT_LT(clean.size(), messy.size());
+  EXPECT_LE(SU2::distance(sequenceProduct(messy), sequenceProduct(clean)), 1e-6);
+}
+
+TEST(CliffordTCompiler, CompilesRotationCircuits) {
+  qc::Circuit circuit(2, "rot");
+  circuit.h(0).rz(0.4, 0).rx(1.1, 1).ry(-0.3, 0).controlled(qc::GateKind::Phase, 1, {{0, true}},
+                                                            0.7);
+  CliffordTCompiler compiler({4, 1});
+  const qc::Circuit compiled = compiler.compile(circuit);
+  EXPECT_TRUE(compiled.isCliffordTOnly());
+  EXPECT_GT(compiled.size(), circuit.size());
+  EXPECT_GT(compiled.tCount(), 0U);
+}
+
+TEST(CliffordTCompiler, CachesRepeatedAngles) {
+  qc::Circuit circuit(1, "repeat");
+  for (int i = 0; i < 10; ++i) {
+    circuit.rz(0.12345, 0);
+  }
+  CliffordTCompiler compiler({4, 1});
+  const qc::Circuit compiled = compiler.compile(circuit);
+  EXPECT_EQ(compiled.size() % 10, 0U) << "identical rotations must expand identically";
+}
+
+TEST(CliffordTCompiler, RotationAxesAreConjugatedCorrectly) {
+  // Rx/Ry compile via H / SHS conjugations of Rz; validate the resulting
+  // *probabilities* against the uncompiled rotation circuit (phases are
+  // projective under SK, probabilities are not).
+  for (const auto kind : {qc::GateKind::Rx, qc::GateKind::Ry}) {
+    for (const double angle : {0.6, -1.1}) {
+      qc::Circuit rotation(1);
+      rotation.append({kind, angle, 0, {}});
+      CliffordTCompiler compiler({4, 2});
+      const qc::Circuit compiled = compiler.compile(rotation);
+      ASSERT_TRUE(compiled.isCliffordTOnly());
+
+      qc::Simulator<qadd::dd::NumericSystem> ideal(
+          rotation, {0.0, qadd::dd::NumericSystem::Normalization::LeftmostNonzero});
+      qc::Simulator<qadd::dd::AlgebraicSystem> approximate(compiled);
+      ideal.run();
+      approximate.run();
+      const auto a = ideal.package().amplitudes(ideal.state());
+      const auto b = approximate.package().amplitudes(approximate.state());
+      for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(std::norm(a[i]), std::norm(b[i]), 0.1)
+            << qc::gateName(kind) << "(" << angle << ") index " << i;
+      }
+    }
+  }
+}
+
+TEST(CliffordTCompiler, ControlledRzIsExactDecomposition) {
+  // cRz decomposes into CX + two half-angle Rz *exactly* (before SK): check
+  // the identity at the rotation level using the numeric backend.
+  qc::Circuit controlled(2);
+  controlled.controlled(qc::GateKind::Rz, 1, {{0, true}}, 0.9);
+  qc::Circuit decomposed(2);
+  decomposed.rz(0.45, 1).cx(0, 1).rz(-0.45, 1).cx(0, 1);
+  qadd::dd::Package<qadd::dd::NumericSystem> p(
+      2, {1e-12, qadd::dd::NumericSystem::Normalization::LeftmostNonzero});
+  EXPECT_EQ(buildUnitary(p, controlled), buildUnitary(p, decomposed));
+}
+
+TEST(CliffordTCompiler, PassesThroughCliffordT) {
+  qc::Circuit circuit(3, "ct");
+  circuit.h(0).cx(0, 1).ccx(0, 1, 2).t(2);
+  CliffordTCompiler compiler({3, 0});
+  const qc::Circuit compiled = compiler.compile(circuit);
+  ASSERT_EQ(compiled.size(), circuit.size());
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    EXPECT_EQ(compiled.operations()[i], circuit.operations()[i]);
+  }
+}
+
+} // namespace
+} // namespace qadd::synth

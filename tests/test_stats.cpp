@@ -1,0 +1,67 @@
+#include "qc/stats.hpp"
+
+#include "algorithms/common.hpp"
+#include "algorithms/grover.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadd::qc {
+namespace {
+
+TEST(Stats, EmptyCircuit) {
+  const CircuitStats stats = analyze(Circuit(3));
+  EXPECT_EQ(stats.gates, 0U);
+  EXPECT_EQ(stats.depth, 0U);
+  EXPECT_EQ(stats.tCount, 0U);
+}
+
+TEST(Stats, ParallelGatesShareALayer) {
+  Circuit c(3);
+  c.h(0).h(1).h(2); // one layer
+  c.t(0);           // second layer
+  const CircuitStats stats = analyze(c);
+  EXPECT_EQ(stats.gates, 4U);
+  EXPECT_EQ(stats.depth, 2U);
+  EXPECT_EQ(stats.tCount, 1U);
+}
+
+TEST(Stats, ControlsSerializeLines) {
+  Circuit c(3);
+  c.cx(0, 1); // layer 1 on lines 0,1
+  c.h(2);     // layer 1 on line 2
+  c.cx(1, 2); // layer 2 (line 1 busy, line 2 busy after h -> starts at 1+... )
+  const CircuitStats stats = analyze(c);
+  EXPECT_EQ(stats.depth, 2U);
+  EXPECT_EQ(stats.twoQubitGates, 2U);
+  EXPECT_EQ(stats.controlledGates, 2U);
+}
+
+TEST(Stats, GhzDepthIsLinear) {
+  const CircuitStats stats = analyze(algos::ghz(8));
+  EXPECT_EQ(stats.gates, 8U);
+  EXPECT_EQ(stats.depth, 8U); // H then a strictly sequential CNOT ladder
+}
+
+TEST(Stats, GroverHistogram) {
+  const CircuitStats stats = analyze(algos::grover({5, 7, 2}));
+  EXPECT_EQ(stats.perKind.at(GateKind::H), 5U + 2U * 10U);
+  EXPECT_EQ(stats.perKind.at(GateKind::Z), 4U); // 2 oracles + 2 diffusions
+  EXPECT_EQ(stats.maxControls, 4U);
+  EXPECT_GT(stats.depth, 0U);
+  EXPECT_LE(stats.depth, stats.gates);
+  EXPECT_FALSE(stats.toString().empty());
+}
+
+TEST(Stats, DeepSingleLine) {
+  Circuit c(2);
+  for (int i = 0; i < 10; ++i) {
+    c.t(0);
+  }
+  c.h(1);
+  const CircuitStats stats = analyze(c);
+  EXPECT_EQ(stats.depth, 10U);
+  EXPECT_EQ(stats.tCount, 10U);
+}
+
+} // namespace
+} // namespace qadd::qc

@@ -1,0 +1,165 @@
+/// Stress and failure-injection tests: garbage-collection churn, canonicity
+/// across collections, cache-clear correctness, deep circuits, and
+/// wide-dynamic-range arithmetic — the conditions under which subtle DD
+/// package bugs (dangling unique-table entries, stale caches, refcount
+/// drift) typically surface.
+#include "algorithms/common.hpp"
+#include "algorithms/grover.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qadd {
+namespace {
+
+using dd::AlgebraicSystem;
+using dd::NumericSystem;
+
+TEST(Stress, CanonicitysSurvivesGarbageCollection) {
+  dd::Package<AlgebraicSystem> p(4);
+  const auto gate = [&](qc::GateKind kind, dd::Qubit target) {
+    const auto m = qc::algebraicMatrix(kind);
+    const typename dd::Package<AlgebraicSystem>::GateMatrix weights{
+        p.system().intern(m[0]), p.system().intern(m[1]), p.system().intern(m[2]),
+        p.system().intern(m[3])};
+    return p.makeGate(weights, target);
+  };
+  // Build a state, protect it, GC, rebuild the same state: the unique table
+  // must produce the identical edge.
+  auto h0 = gate(qc::GateKind::H, 0);
+  auto state = p.multiply(h0, p.makeZeroState());
+  p.incRef(state);
+  p.garbageCollect();
+  const auto rebuilt = p.multiply(gate(qc::GateKind::H, 0), p.makeZeroState());
+  EXPECT_EQ(state, rebuilt) << "canonical node must be found again after GC";
+  // Drop the reference; now everything may go.
+  p.decRef(state);
+  p.garbageCollect();
+  EXPECT_EQ(p.allocatedNodes(), 0U);
+}
+
+TEST(Stress, RepeatedGcDuringLongSimulationIsSound) {
+  // Aggressive GC thresholds on a 10-qubit Grover run: final amplitudes must
+  // match a run without GC pressure.
+  const qc::Circuit circuit = algos::grover({6, 21, 3});
+  qc::Simulator<AlgebraicSystem>::Options aggressive;
+  aggressive.gcNodeThreshold = 16;
+  qc::Simulator<AlgebraicSystem> stressed(circuit, {}, aggressive);
+  qc::Simulator<AlgebraicSystem> relaxed(circuit);
+  stressed.run();
+  relaxed.run();
+  EXPECT_EQ(stressed.state().w, stressed.state().w);
+  const auto a = stressed.package().amplitudes(stressed.state());
+  const auto b = relaxed.package().amplitudes(relaxed.state());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Stress, CacheClearMidOperationSequence) {
+  dd::Package<NumericSystem> p(5, {1e-12, NumericSystem::Normalization::LeftmostNonzero});
+  const auto gate = [&](qc::GateKind kind, dd::Qubit target) {
+    const auto m = qc::complexMatrix(kind);
+    const typename dd::Package<NumericSystem>::GateMatrix weights{
+        p.system().fromComplex(m[0]), p.system().fromComplex(m[1]),
+        p.system().fromComplex(m[2]), p.system().fromComplex(m[3])};
+    return p.makeGate(weights, target);
+  };
+  auto state = p.makeZeroState();
+  std::mt19937_64 rng(5);
+  const qc::GateKind kinds[] = {qc::GateKind::H, qc::GateKind::T, qc::GateKind::X,
+                                qc::GateKind::V};
+  for (int i = 0; i < 60; ++i) {
+    state = p.multiply(gate(kinds[rng() % 4], static_cast<dd::Qubit>(rng() % 5)), state);
+    if (i % 7 == 0) {
+      p.clearCaches(); // must never change results, only speed
+    }
+  }
+  const auto norm = p.system().toComplex(p.innerProduct(state, state));
+  EXPECT_NEAR(norm.real(), 1.0, 1e-9);
+}
+
+TEST(Stress, DeepCliffordTCircuitBothSystemsAgree) {
+  std::mt19937_64 rng(11);
+  qc::Circuit circuit(6, "deep");
+  const qc::GateKind kinds[] = {qc::GateKind::H,   qc::GateKind::T, qc::GateKind::Tdg,
+                                qc::GateKind::S,   qc::GateKind::V, qc::GateKind::X,
+                                qc::GateKind::Z};
+  for (int i = 0; i < 1200; ++i) {
+    const auto target = static_cast<qc::Qubit>(rng() % 6);
+    if (rng() % 4 == 0) {
+      auto control = static_cast<qc::Qubit>(rng() % 6);
+      if (control == target) {
+        control = (control + 1) % 6;
+      }
+      circuit.cx(control, target);
+    } else {
+      circuit.gate(kinds[rng() % std::size(kinds)], target);
+    }
+  }
+  qc::Simulator<AlgebraicSystem> exact(circuit);
+  qc::Simulator<NumericSystem> numeric(circuit,
+                                       {1e-13, NumericSystem::Normalization::LeftmostNonzero});
+  exact.run();
+  numeric.run();
+  const auto a = exact.package().amplitudes(exact.state());
+  const auto b = numeric.package().amplitudes(numeric.state());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  EXPECT_LT(worst, 1e-8) << "1200 gates must stay numerically tame at eps = 1e-13";
+  // The exact norm stays exactly 1 even after 1200 gates.
+  EXPECT_TRUE(exact.package().system().isOne(
+      exact.package().innerProduct(exact.state(), exact.state())));
+}
+
+TEST(Stress, ExtendedPrecisionBeatsDoubleOnTHeavyCircuit) {
+  // An (H T)^k torture word: extended precision must track the exact result
+  // at least as well as double.
+  qc::Circuit circuit(3, "ht");
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 400; ++i) {
+    const auto q = static_cast<qc::Qubit>(rng() % 3);
+    circuit.h(q).t(q);
+    if (i % 5 == 0) {
+      circuit.cx(q, (q + 1) % 3);
+    }
+  }
+  qc::Simulator<AlgebraicSystem> exact(circuit);
+  qc::Simulator<NumericSystem> dbl(circuit,
+                                   {0.0, NumericSystem::Normalization::LeftmostNonzero});
+  qc::Simulator<dd::ExtendedNumericSystem> ext(
+      circuit, {0.0, dd::ExtendedNumericSystem::Normalization::LeftmostNonzero});
+  exact.run();
+  dbl.run();
+  ext.run();
+  const auto reference = exact.package().amplitudes(exact.state());
+  const auto viaDouble = dbl.package().amplitudes(dbl.state());
+  const auto viaExtended = ext.package().amplitudes(ext.state());
+  double errDouble = 0.0;
+  double errExtended = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    errDouble = std::max(errDouble, std::abs(viaDouble[i] - reference[i]));
+    errExtended = std::max(errExtended, std::abs(viaExtended[i] - reference[i]));
+  }
+  EXPECT_GT(errDouble, 0.0) << "floating point cannot be exact (paper, Sec. V-A)";
+  EXPECT_LE(errExtended, errDouble * 1.5)
+      << "the wider mantissa must not be worse (usually it is strictly better)";
+}
+
+TEST(Stress, NumericStateRemainsNormalizedWithinDrift) {
+  // eps = 1e-10 over 2000 gates: norm drift stays ~linear in gate count.
+  const qc::Circuit circuit = algos::grover({8, 200, 0});
+  qc::Simulator<NumericSystem> simulator(circuit,
+                                         {1e-10, NumericSystem::Normalization::LeftmostNonzero});
+  simulator.run();
+  const auto norm = simulator.package().innerProduct(simulator.state(), simulator.state());
+  EXPECT_NEAR(simulator.package().system().toComplex(norm).real(), 1.0, 1e-5);
+}
+
+} // namespace
+} // namespace qadd

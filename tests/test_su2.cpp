@@ -1,0 +1,128 @@
+#include "synth/su2.hpp"
+
+#include "qc/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qadd::synth {
+namespace {
+
+using C = std::complex<double>;
+
+std::array<C, 4> matmul(const std::array<C, 4>& a, const std::array<C, 4>& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3], a[2] * b[0] + a[3] * b[2],
+          a[2] * b[1] + a[3] * b[3]};
+}
+
+SU2 randomSU2(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  double w;
+  double x;
+  double y;
+  double z;
+  do {
+    w = d(rng);
+    x = d(rng);
+    y = d(rng);
+    z = d(rng);
+  } while (w * w + x * x + y * y + z * z < 1e-6);
+  return {w, x, y, z};
+}
+
+// The projective metric amplifies double rounding as sqrt(eps) ~ 1e-8.
+constexpr double kTol = 5e-7;
+
+TEST(SU2, IdentityProperties) {
+  const SU2 identity;
+  EXPECT_DOUBLE_EQ(identity.w(), 1.0);
+  EXPECT_DOUBLE_EQ(SU2::distance(identity, identity), 0.0);
+  const auto m = identity.toMatrix();
+  EXPECT_EQ(m[0], C(1.0, 0.0));
+  EXPECT_EQ(m[1], C(0.0, 0.0));
+}
+
+TEST(SU2, ProductMatchesMatrixProduct) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const SU2 a = randomSU2(rng);
+    const SU2 b = randomSU2(rng);
+    const SU2 viaQuaternion = a * b;
+    const SU2 viaMatrix = SU2::fromMatrix(matmul(a.toMatrix(), b.toMatrix()));
+    EXPECT_LE(SU2::distance(viaQuaternion, viaMatrix), kTol);
+  }
+}
+
+TEST(SU2, MatrixRoundTrip) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const SU2 a = randomSU2(rng);
+    EXPECT_LE(SU2::distance(SU2::fromMatrix(a.toMatrix()), a), kTol);
+  }
+}
+
+TEST(SU2, FromMatrixDropsGlobalPhase) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const SU2 a = randomSU2(rng);
+    auto m = a.toMatrix();
+    const C phase = std::polar(1.0, 2.1);
+    for (auto& entry : m) {
+      entry *= phase;
+    }
+    EXPECT_LE(SU2::distance(SU2::fromMatrix(m), a), kTol);
+  }
+}
+
+TEST(SU2, AxisAngleRoundTrip) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const SU2 a = randomSU2(rng);
+    double nx;
+    double ny;
+    double nz;
+    double angle;
+    a.toAxisAngle(nx, ny, nz, angle);
+    EXPECT_NEAR(nx * nx + ny * ny + nz * nz, 1.0, 1e-9);
+    EXPECT_LE(SU2::distance(SU2::fromAxisAngle(nx, ny, nz, angle), a), kTol);
+  }
+}
+
+TEST(SU2, AdjointInverts) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const SU2 a = randomSU2(rng);
+    EXPECT_LE(SU2::distance(a * a.adjoint(), SU2{}), kTol);
+    EXPECT_LE(SU2::distance(a.adjoint() * a, SU2{}), kTol);
+  }
+}
+
+TEST(SU2, DistanceIsAMetricOnExamples) {
+  const SU2 rx = SU2::fromAxisAngle(1, 0, 0, 0.5);
+  const SU2 ry = SU2::fromAxisAngle(0, 1, 0, 0.5);
+  const SU2 rz = SU2::fromAxisAngle(0, 0, 1, 0.5);
+  EXPECT_GT(SU2::distance(rx, ry), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(SU2::distance(rx, ry), SU2::distance(ry, rx));
+  // Triangle inequality on a sample.
+  EXPECT_LE(SU2::distance(rx, rz), SU2::distance(rx, ry) + SU2::distance(ry, rz) + 1e-12);
+  // Projectivity: U and -U are the same point.
+  EXPECT_LE(SU2::distance(SU2::fromAxisAngle(0, 0, 1, 0.5),
+                          SU2::fromAxisAngle(0, 0, 1, 0.5 - 4 * M_PI)),
+            kTol);
+}
+
+TEST(SU2, KnownGateMatrices) {
+  const SU2 h = SU2::fromMatrix(qc::complexMatrix(qc::GateKind::H));
+  // H is a pi rotation about (x+z)/sqrt2.
+  const SU2 expected = SU2::fromAxisAngle(1 / std::sqrt(2.0), 0, 1 / std::sqrt(2.0), M_PI);
+  EXPECT_LE(SU2::distance(h, expected), kTol);
+  const SU2 t = SU2::fromMatrix(qc::complexMatrix(qc::GateKind::T));
+  const SU2 rzQuarter = SU2::fromAxisAngle(0, 0, 1, M_PI / 4);
+  EXPECT_LE(SU2::distance(t, rzQuarter), kTol);
+}
+
+} // namespace
+} // namespace qadd::synth

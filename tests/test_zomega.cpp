@@ -1,0 +1,182 @@
+#include "algebraic/zomega.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+namespace qadd::alg {
+namespace {
+
+ZOmega randomZOmega(std::mt19937_64& rng, int bound = 20) {
+  std::uniform_int_distribution<std::int64_t> d(-bound, bound);
+  return {BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}};
+}
+
+constexpr double kTol = 1e-9;
+
+void expectComplexNear(std::complex<double> actual, std::complex<double> expected) {
+  EXPECT_NEAR(actual.real(), expected.real(), kTol);
+  EXPECT_NEAR(actual.imag(), expected.imag(), kTol);
+}
+
+TEST(ZOmega, Constants) {
+  EXPECT_TRUE(ZOmega::zero().isZero());
+  EXPECT_TRUE(ZOmega::one().isOne());
+  expectComplexNear(ZOmega::omega().toComplex(), std::polar(1.0, M_PI / 4));
+  expectComplexNear(ZOmega::imaginaryUnit().toComplex(), {0.0, 1.0});
+  expectComplexNear(ZOmega::sqrt2().toComplex(), {std::sqrt(2.0), 0.0});
+}
+
+TEST(ZOmega, OmegaIsPrimitiveEighthRoot) {
+  ZOmega power = ZOmega::one();
+  for (int i = 1; i <= 8; ++i) {
+    power = power * ZOmega::omega();
+    if (i < 8) {
+      EXPECT_FALSE(power.isOne()) << "omega^" << i << " must not be 1";
+    }
+  }
+  EXPECT_TRUE(power.isOne()); // omega^8 == 1
+  // omega^4 == -1.
+  ZOmega fourth = ZOmega::one();
+  for (int i = 0; i < 4; ++i) {
+    fourth = fourth * ZOmega::omega();
+  }
+  EXPECT_EQ(fourth, -ZOmega::one());
+}
+
+TEST(ZOmega, MultiplicationMatchesComplexArithmetic) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega y = randomZOmega(rng);
+    expectComplexNear((x * y).toComplex(), x.toComplex() * y.toComplex());
+    expectComplexNear((x + y).toComplex(), x.toComplex() + y.toComplex());
+    expectComplexNear((x - y).toComplex(), x.toComplex() - y.toComplex());
+  }
+}
+
+TEST(ZOmega, RingAxioms) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega y = randomZOmega(rng);
+    const ZOmega z = randomZOmega(rng);
+    EXPECT_EQ(x * (y * z), (x * y) * z);
+    EXPECT_EQ(x * (y + z), x * y + x * z);
+    EXPECT_EQ(x * y, y * x);
+    EXPECT_EQ(x + (-x), ZOmega::zero());
+    EXPECT_EQ(x * ZOmega::one(), x);
+    EXPECT_EQ(x * ZOmega::zero(), ZOmega::zero());
+  }
+}
+
+TEST(ZOmega, ConjugationIsInvolutiveAntiAutomorphism) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega y = randomZOmega(rng);
+    EXPECT_EQ(x.conj().conj(), x);
+    EXPECT_EQ((x * y).conj(), x.conj() * y.conj());
+    EXPECT_EQ((x + y).conj(), x.conj() + y.conj());
+    expectComplexNear(x.conj().toComplex(), std::conj(x.toComplex()));
+  }
+}
+
+TEST(ZOmega, Sqrt2ConjIsRingAutomorphismNegatingSqrt2) {
+  EXPECT_EQ(ZOmega::sqrt2().sqrt2Conj(), -ZOmega::sqrt2());
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega y = randomZOmega(rng);
+    EXPECT_EQ((x * y).sqrt2Conj(), x.sqrt2Conj() * y.sqrt2Conj());
+    EXPECT_EQ((x + y).sqrt2Conj(), x.sqrt2Conj() + y.sqrt2Conj());
+    EXPECT_EQ(x.sqrt2Conj().sqrt2Conj(), x);
+  }
+}
+
+TEST(ZOmega, TimesOmegaMatchesMultiplication) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    EXPECT_EQ(x.timesOmega(), x * ZOmega::omega());
+    EXPECT_EQ(x.timesSqrt2(), x * ZOmega::sqrt2());
+  }
+}
+
+TEST(ZOmega, Sqrt2DivisibilityCriterion) {
+  // Example 7 of the paper: -w^3 + w (= sqrt2) is divisible; 1 is not.
+  EXPECT_TRUE(ZOmega::sqrt2().divisibleBySqrt2());
+  EXPECT_FALSE(ZOmega::one().divisibleBySqrt2());
+  EXPECT_FALSE(ZOmega::omega().divisibleBySqrt2());
+  EXPECT_TRUE((ZOmega{BigInt{0}, BigInt{0}, BigInt{0}, BigInt{2}}.divisibleBySqrt2()));
+
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega multiple = x.timesSqrt2();
+    ASSERT_TRUE(multiple.divisibleBySqrt2());
+    EXPECT_EQ(multiple.divideBySqrt2(), x); // exact inverse of timesSqrt2
+  }
+}
+
+TEST(ZOmega, NormIsRealAndMultiplicative) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega y = randomZOmega(rng);
+    BigInt ux;
+    BigInt vx;
+    x.norm(ux, vx);
+    // N(x) = |x|^2 numerically.
+    const double expected = std::norm(x.toComplex());
+    EXPECT_NEAR(ux.toDouble() + vx.toDouble() * std::sqrt(2.0), expected,
+                1e-6 * (1.0 + expected));
+    // The Euclidean value E = |u^2 - 2 v^2| is multiplicative.
+    EXPECT_EQ((x * y).euclideanValue(), x.euclideanValue() * y.euclideanValue());
+  }
+  EXPECT_EQ(ZOmega::zero().euclideanValue(), BigInt{0});
+  EXPECT_EQ(ZOmega::one().euclideanValue(), BigInt{1});
+  EXPECT_EQ(ZOmega::omega().euclideanValue(), BigInt{1});
+  EXPECT_EQ(ZOmega::sqrt2().euclideanValue(), BigInt{4});
+}
+
+TEST(ZOmega, PaperExample9Norm) {
+  // N(2w^3 + 3w^2 + 2w + 4) = 33 + 12 sqrt2 (paper, Example 9).
+  const ZOmega alpha{BigInt{2}, BigInt{3}, BigInt{2}, BigInt{4}};
+  BigInt u;
+  BigInt v;
+  alpha.norm(u, v);
+  EXPECT_EQ(u.toInt64(), 33);
+  EXPECT_EQ(v.toInt64(), 12);
+}
+
+TEST(ZOmega, ToStringForms) {
+  EXPECT_EQ(ZOmega::zero().toString(), "0");
+  EXPECT_EQ(ZOmega::one().toString(), "1");
+  EXPECT_EQ(ZOmega::omega().toString(), "w");
+  EXPECT_EQ((-ZOmega::omega()).toString(), "-w");
+  EXPECT_EQ(ZOmega::sqrt2().toString(), "-w3 + w");
+  EXPECT_EQ((ZOmega{BigInt{2}, BigInt{3}, BigInt{2}, BigInt{4}}).toString(), "2w3 + 3w2 + 2w + 4");
+}
+
+TEST(ZOmega, HashAndEquality) {
+  std::mt19937_64 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const ZOmega x = randomZOmega(rng);
+    const ZOmega copy{x.a(), x.b(), x.c(), x.d()};
+    EXPECT_EQ(x, copy);
+    EXPECT_EQ(x.hash(), copy.hash());
+  }
+  EXPECT_NE(ZOmega::omega(), ZOmega::imaginaryUnit());
+}
+
+TEST(ZOmega, MaxCoefficientBits) {
+  EXPECT_EQ(ZOmega::zero().maxCoefficientBits(), 0U);
+  EXPECT_EQ(ZOmega::one().maxCoefficientBits(), 1U);
+  const ZOmega wide{BigInt{1}, pow2(100), BigInt{3}, BigInt{0}};
+  EXPECT_EQ(wide.maxCoefficientBits(), 101U);
+}
+
+} // namespace
+} // namespace qadd::alg
