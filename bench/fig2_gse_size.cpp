@@ -5,7 +5,8 @@
 /// precise) and eps = 1e-3 (collapses to an all-zero vector: perfectly
 /// compact, completely wrong).
 ///
-///   ./fig2_gse_size [systemQubits] [precisionQubits]   (default 3 / 6)
+///   ./fig2_gse_size [systemQubits] [precisionQubits] [--stats] [--trace-json <path>]
+///                                                     (default 3 / 6)
 /// Writes fig2_gse_size.csv.
 #include "algorithms/gse.hpp"
 #include "eval/report.hpp"
@@ -19,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace qadd;
 
+  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
   algos::GseOptions options;
   options.systemQubits = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3;
   options.precisionQubits = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 6;
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
   std::ofstream csv("fig2_gse_size.csv");
   eval::writeCsv(csv, traces);
   std::cout << "\nseries written to fig2_gse_size.csv\n";
+  eval::finishObsCli(obsOptions, std::cout, traces);
   return 0;
 }

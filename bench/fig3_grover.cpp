@@ -10,7 +10,8 @@
 /// wrong; the algebraic diagram is compact AND exact at a modest constant
 /// run-time overhead versus the best-tuned numeric run.
 ///
-///   ./fig3_grover [nqubits]     (default 10; the paper uses 15)
+///   ./fig3_grover [nqubits] [--stats] [--trace-json <path>]
+///                               (default 10; the paper uses 15)
 /// Writes fig3_grover.csv next to the binary.
 #include "algorithms/grover.hpp"
 #include "eval/report.hpp"
@@ -23,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace qadd;
 
+  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
   const auto nqubits = static_cast<qc::Qubit>(argc > 1 ? std::atoi(argv[1]) : 10);
   const qc::Circuit circuit = algos::grover({nqubits, (1ULL << nqubits) / 3, 0});
   std::cout << "== Fig. 3: Grover's algorithm, " << nqubits << " qubits, " << circuit.size()
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
   std::ofstream csv("fig3_grover.csv");
   eval::writeCsv(csv, traces);
   std::cout << "\nseries written to fig3_grover.csv\n";
+  eval::finishObsCli(obsOptions, std::cout, traces);
   return 0;
 }

@@ -5,7 +5,8 @@
 /// Expected shape: as for Grover — the walk state has genuine structure that
 /// tight-eps numerics shatters, mid eps preserves, large eps destroys.
 ///
-///   ./fig4_bwt [depth] [steps]     (default depth 4, 8 steps)
+///   ./fig4_bwt [depth] [steps] [--stats] [--trace-json <path>]
+///                                  (default depth 4, 8 steps)
 /// Writes fig4_bwt.csv.
 #include "algorithms/bwt.hpp"
 #include "eval/report.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace qadd;
 
+  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
   algos::BwtOptions options;
   options.depth = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
   options.steps = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
@@ -45,5 +47,6 @@ int main(int argc, char** argv) {
   std::ofstream csv("fig4_bwt.csv");
   eval::writeCsv(csv, traces);
   std::cout << "\nseries written to fig4_bwt.csv\n";
+  eval::finishObsCli(obsOptions, std::cout, traces);
   return 0;
 }

@@ -8,7 +8,8 @@
 /// Expected shape: the algebraic DD size tracks the tight-eps numeric sizes
 /// (little redundancy to find), but its run-time grows disproportionally.
 ///
-///   ./fig5_gse [systemQubits] [precisionQubits]    (default 3 / 4)
+///   ./fig5_gse [systemQubits] [precisionQubits] [--stats] [--trace-json <path>]
+///                                                  (default 3 / 4)
 /// Writes fig5_gse.csv.
 #include "algorithms/gse.hpp"
 #include "eval/report.hpp"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace qadd;
 
+  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
   algos::GseOptions options;
   options.systemQubits = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3;
   options.precisionQubits = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
@@ -51,5 +53,6 @@ int main(int argc, char** argv) {
   std::ofstream csv("fig5_gse.csv");
   eval::writeCsv(csv, traces);
   std::cout << "\nseries written to fig5_gse.csv\n";
+  eval::finishObsCli(obsOptions, std::cout, traces);
   return 0;
 }

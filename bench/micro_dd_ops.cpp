@@ -3,13 +3,24 @@
 /// construction, matrix-vector multiplication, addition and node creation —
 /// quantifying the per-operation overhead of exact arithmetic that the paper
 /// discusses in Section V-B.
+///
+/// Each benchmark also reports the operation-cache hit rate of the measured
+/// workload (qadd::obs counters) alongside ops/sec, and the binary writes a
+/// BENCH_obs.json telemetry snapshot (counters + timings of a fixed
+/// reference workload) so future performance PRs have a baseline to diff
+/// against.
 #include "algorithms/common.hpp"
 #include "core/algebraic_system.hpp"
 #include "core/numeric_system.hpp"
 #include "core/package.hpp"
+#include "eval/report.hpp"
 #include "qc/simulator.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
 
 namespace {
 
@@ -21,6 +32,15 @@ template <> dd::NumericSystem::Config defaultConfig<dd::NumericSystem>() {
 }
 template <> dd::AlgebraicSystem::Config defaultConfig<dd::AlgebraicSystem>() { return {}; }
 
+/// Expose the telemetry of a finished workload as per-benchmark counters.
+template <class System>
+void reportObsCounters(benchmark::State& state, const dd::Package<System>& package) {
+  const obs::PackageStats& stats = package.counters();
+  state.counters["cache_hit_rate"] = stats.combinedCacheHitRate();
+  state.counters["utable_hit_rate"] =
+      (stats.vUnique.hitRate() + stats.mUnique.hitRate()) / 2.0;
+}
+
 template <class System> void BM_MakeGateDD(benchmark::State& state) {
   dd::Package<System> package(static_cast<dd::Qubit>(state.range(0)),
                               defaultConfig<System>());
@@ -28,6 +48,7 @@ template <class System> void BM_MakeGateDD(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(qc::makeOperationDD(package, h));
   }
+  reportObsCounters(state, package);
 }
 BENCHMARK_TEMPLATE(BM_MakeGateDD, dd::NumericSystem)->Arg(8)->Arg(16);
 BENCHMARK_TEMPLATE(BM_MakeGateDD, dd::AlgebraicSystem)->Arg(8)->Arg(16);
@@ -38,6 +59,9 @@ template <class System> void BM_GhzSimulation(benchmark::State& state) {
     qc::Simulator<System> simulator(circuit, defaultConfig<System>());
     simulator.run();
     benchmark::DoNotOptimize(simulator.state());
+    state.PauseTiming();
+    reportObsCounters(state, simulator.package());
+    state.ResumeTiming();
   }
 }
 BENCHMARK_TEMPLATE(BM_GhzSimulation, dd::NumericSystem)->Arg(10)->Arg(20);
@@ -58,6 +82,9 @@ template <class System> void BM_HtLayerMultiply(benchmark::State& state) {
     qc::Simulator<System> simulator(circuit, defaultConfig<System>());
     simulator.run();
     benchmark::DoNotOptimize(simulator.state());
+    state.PauseTiming();
+    reportObsCounters(state, simulator.package());
+    state.ResumeTiming();
   }
 }
 BENCHMARK_TEMPLATE(BM_HtLayerMultiply, dd::NumericSystem)->Arg(6)->Arg(10);
@@ -70,10 +97,52 @@ template <class System> void BM_InnerProduct(benchmark::State& state) {
   auto& package = simulator.package();
   for (auto _ : state) {
     benchmark::DoNotOptimize(package.innerProduct(simulator.state(), simulator.state()));
-    package.clearCaches(); // measure the computation, not the cache hit
+    package.clearCaches(dd::CacheKind::Inner); // measure the computation, not the cache hit
   }
+  reportObsCounters(state, package);
 }
 BENCHMARK_TEMPLATE(BM_InnerProduct, dd::NumericSystem)->Arg(12);
 BENCHMARK_TEMPLATE(BM_InnerProduct, dd::AlgebraicSystem)->Arg(12);
 
+/// Fixed reference workload whose telemetry snapshot becomes the
+/// BENCH_obs.json baseline: a 14-qubit GHZ simulation per weight system.
+template <class System>
+void writeSnapshotEntry(std::ostream& os, const char* key) {
+  const qc::Circuit circuit = algos::ghz(14);
+  const auto start = std::chrono::steady_clock::now();
+  qc::Simulator<System> simulator(circuit, defaultConfig<System>());
+  simulator.run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  os << "\"" << key << "\":{\"workload\":\"ghz14\",\"seconds\":" << seconds
+     << ",\"finalNodes\":" << simulator.stateNodes() << ",\"telemetry\":";
+  eval::writeStatsJson(os, simulator.package().stats());
+  os << "}";
+}
+
+void writeBenchObsSnapshot(const char* path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "could not write " << path << "\n";
+    return;
+  }
+  os << "{\"obsEnabled\":" << (obs::kEnabled ? "true" : "false") << ",";
+  writeSnapshotEntry<dd::NumericSystem>(os, "numeric");
+  os << ",";
+  writeSnapshotEntry<dd::AlgebraicSystem>(os, "algebraic");
+  os << "}\n";
+  std::cout << "telemetry baseline written to " << path << "\n";
+}
+
 } // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeBenchObsSnapshot("BENCH_obs.json");
+  return 0;
+}

@@ -4,8 +4,10 @@
 /// marked element get amplified — with perfect accuracy and a DD that stays
 /// linear in the number of qubits.
 ///
-///   ./grover_search [nqubits] [marked]
+///   ./grover_search [nqubits] [marked] [--stats] [--trace-json <path>]
 #include "algorithms/grover.hpp"
+#include "eval/report.hpp"
+#include "obs/tracer.hpp"
 #include "qc/simulator.hpp"
 
 #include <array>
@@ -16,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace qadd;
 
+  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
   algos::GroverOptions options;
   options.nqubits = argc > 1 ? static_cast<qc::Qubit>(std::atoi(argv[1])) : 9;
   options.marked = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
@@ -57,5 +60,17 @@ int main(int argc, char** argv) {
             << algos::groverSuccessProbability(options.nqubits, iterations) << ")\n";
   std::cout << "final DD size   = " << simulator.stateNodes() << " nodes for a state space of "
             << (1ULL << options.nqubits) << " amplitudes\n";
+  if (obsOptions.stats) {
+    std::cout << "\n";
+    eval::printStatsTable(std::cout, simulator.package().stats());
+  }
+  if (!obsOptions.traceJsonPath.empty()) {
+    if (obs::Tracer::global().writeJson(obsOptions.traceJsonPath)) {
+      std::cout << "\nspan trace written to " << obsOptions.traceJsonPath << "\n";
+    } else {
+      std::cerr << "grover_search: could not write " << obsOptions.traceJsonPath << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

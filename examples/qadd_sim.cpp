@@ -4,11 +4,16 @@
 /// measurement samples, per-qubit marginals or the diagram statistics.
 ///
 ///   ./qadd_sim <file> [--backend alg|num] [--eps E] [--samples N]
-///              [--marginals] [--dot] [--amplitudes]
+///              [--marginals] [--dot] [--amplitudes] [--stats]
+///              [--trace-json <path>]
 ///
 /// Files ending in .qasm are parsed as OpenQASM; anything else as the native
-/// "qubits N" text format (see qc/circuit.hpp).
+/// "qubits N" text format (see qc/circuit.hpp).  --stats prints the package
+/// telemetry (cache hit rates, unique tables, GC) after the run; --trace-json
+/// writes a Chrome-trace span timeline of the simulation.
 #include "core/export.hpp"
+#include "eval/report.hpp"
+#include "obs/tracer.hpp"
 #include "qc/measure.hpp"
 #include "qc/qasm.hpp"
 #include "qc/simulator.hpp"
@@ -31,11 +36,14 @@ struct CliOptions {
   bool marginals = false;
   bool dot = false;
   bool amplitudes = true;
+  bool stats = false;
+  std::string traceJsonPath;
 };
 
 [[noreturn]] void usage() {
   std::cerr << "usage: qadd_sim <file> [--backend alg|num] [--eps E] [--samples N]\n"
-               "                [--marginals] [--dot] [--no-amplitudes]\n";
+               "                [--marginals] [--dot] [--no-amplitudes] [--stats]\n"
+               "                [--trace-json <path>]\n";
   std::exit(2);
 }
 
@@ -55,6 +63,10 @@ CliOptions parseArgs(int argc, char** argv) {
       options.dot = true;
     } else if (arg == "--no-amplitudes") {
       options.amplitudes = false;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      options.traceJsonPath = argv[++i];
     } else if (!arg.starts_with("--") && options.file.empty()) {
       options.file = arg;
     } else {
@@ -122,6 +134,18 @@ int runBackend(const qc::Circuit& circuit, const CliOptions& options,
   if (options.dot) {
     std::cout << "\n" << toDot(package, simulator.state());
   }
+  if (options.stats) {
+    std::cout << "\n";
+    eval::printStatsTable(std::cout, package.stats());
+  }
+  if (!options.traceJsonPath.empty()) {
+    if (obs::Tracer::global().writeJson(options.traceJsonPath)) {
+      std::cout << "\nspan trace written to " << options.traceJsonPath << "\n";
+    } else {
+      std::cerr << "qadd_sim: could not write " << options.traceJsonPath << "\n";
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -129,6 +153,9 @@ int runBackend(const qc::Circuit& circuit, const CliOptions& options,
 
 int main(int argc, char** argv) {
   const CliOptions options = parseArgs(argc, argv);
+  if (!options.traceJsonPath.empty()) {
+    obs::Tracer::global().setEnabled(true);
+  }
   std::ifstream in(options.file);
   if (!in) {
     std::cerr << "qadd_sim: cannot open " << options.file << "\n";

@@ -20,7 +20,14 @@ AlgebraicSystem::Weight AlgebraicSystem::intern(const QOmega& value) {
   const auto [it, inserted] = pool_.try_emplace(value, static_cast<Weight>(entries_.size()));
   if (inserted) {
     entries_.push_back(&it->first);
-    maxBits_ = std::max(maxBits_, value.maxBits());
+    const std::size_t bits = value.maxBits();
+    maxBits_ = std::max(maxBits_, bits);
+    if constexpr (obs::kEnabled) {
+      if (bitWidthHistogram_.size() <= bits) {
+        bitWidthHistogram_.resize(bits + 1, 0);
+      }
+      ++bitWidthHistogram_[bits];
+    }
   }
   return it->second;
 }

@@ -14,6 +14,7 @@
 
 #include "algebraic/euclidean.hpp"
 #include "algebraic/qomega.hpp"
+#include "obs/stats.hpp"
 
 #include <complex>
 #include <cstdint>
@@ -93,11 +94,24 @@ public:
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::string describe() const;
 
+  /// Telemetry view of the intern pool: entry count plus the bit-width
+  /// histogram of the interned coefficients (histogram[b] = values whose
+  /// widest coefficient/denominator is exactly b bits); see
+  /// obs::WeightTableStats.
+  void collectObs(obs::WeightTableStats& out) const {
+    out.system = describe();
+    out.entries = entries_.size();
+    out.nearMissUnifications = 0; // interning is exact: no accuracy-loss events
+    out.bucketOccupancy.clear();
+    out.bitWidthHistogram = bitWidthHistogram_;
+  }
+
 private:
   Config config_;
   // Intern pool: map owns the values; entries_ gives O(1) handle -> value.
   std::unordered_map<alg::QOmega, Weight> pool_;
   std::vector<const alg::QOmega*> entries_;
+  std::vector<std::uint64_t> bitWidthHistogram_;
   std::size_t maxBits_ = 0;
   std::size_t weightsProduced_ = 0;
   std::size_t trivialWeightsProduced_ = 0;

@@ -132,6 +132,16 @@ public:
   /// with AlgebraicSystem.
   [[nodiscard]] std::size_t maxBits() const { return sizeof(FloatT) * 8; }
 
+  /// Telemetry view of the ε-table (entry count, near-miss unifications,
+  /// bucket occupancy); see obs::WeightTableStats.
+  void collectObs(obs::WeightTableStats& out) const {
+    out.system = describe();
+    out.entries = table_.size();
+    out.nearMissUnifications = table_.nearMissUnifications();
+    out.bucketOccupancy = table_.bucketOccupancyHistogram();
+    out.bitWidthHistogram.clear();
+  }
+
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::string describe() const {
     std::ostringstream os;

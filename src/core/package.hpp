@@ -17,9 +17,12 @@
 #pragma once
 
 #include "algebraic/qomega.hpp" // exact amplitude accumulation (algebraic system)
+#include "obs/stats.hpp"
+#include "obs/tracer.hpp"
 
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <complex>
 #include <cstdint>
 #include <deque>
@@ -33,6 +36,35 @@ namespace qadd::dd {
 
 /// Variable index; 0 is the topmost qubit (root level), as in the paper.
 using Qubit = std::uint32_t;
+
+/// Result of one garbage-collection run.
+struct GcReport {
+  std::size_t swept = 0;      ///< nodes returned to the free lists
+  std::size_t liveBefore = 0; ///< allocated nodes before the sweep
+  std::size_t liveAfter = 0;  ///< allocated nodes after the sweep
+  double seconds = 0.0;       ///< wall time of cache clearing + sweeping
+};
+
+/// Bitmask selecting operation caches for Package::clearCaches().
+enum class CacheKind : std::uint16_t {
+  VAdd = 1U << 0,
+  MAdd = 1U << 1,
+  MV = 1U << 2,
+  MM = 1U << 3,
+  VKron = 1U << 4,
+  MKron = 1U << 5,
+  Transpose = 1U << 6,
+  Inner = 1U << 7,
+  Trace = 1U << 8,
+  All = (1U << 9) - 1,
+};
+
+[[nodiscard]] constexpr CacheKind operator|(CacheKind a, CacheKind b) {
+  return static_cast<CacheKind>(static_cast<std::uint16_t>(a) | static_cast<std::uint16_t>(b));
+}
+[[nodiscard]] constexpr bool contains(CacheKind mask, CacheKind kind) {
+  return (static_cast<std::uint16_t>(mask) & static_cast<std::uint16_t>(kind)) != 0;
+}
 
 template <class System> class Package {
 public:
@@ -129,22 +161,54 @@ public:
 
   /// Drop all operation caches and free every node that is no longer
   /// reachable from an externally referenced edge.
-  void garbageCollect() {
+  GcReport garbageCollect() {
+    const auto span = obs::Tracer::global().span("gc", "dd");
+    const auto start = std::chrono::steady_clock::now();
+    GcReport report;
+    report.liveBefore = allocatedNodes();
     clearCaches();
     sweep<VNode, 2>(vUnique_, vFree_);
     sweep<MNode, 4>(mUnique_, mFree_);
+    report.liveAfter = allocatedNodes();
+    report.swept = report.liveBefore - report.liveAfter;
+    report.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    stats_.gc.runs.inc();
+    stats_.gc.nodesSwept.inc(report.swept);
+    if constexpr (obs::kEnabled) {
+      stats_.gc.seconds += report.seconds;
+    }
+    return report;
   }
 
-  void clearCaches() {
-    vAddCache_.clear();
-    mAddCache_.clear();
-    mvCache_.clear();
-    mmCache_.clear();
-    vKronCache_.clear();
-    mKronCache_.clear();
-    transposeCache_.clear();
-    innerCache_.clear();
-    traceCache_.clear();
+  /// Drop the selected operation caches (all of them by default).
+  void clearCaches(CacheKind kinds = CacheKind::All) {
+    if (contains(kinds, CacheKind::VAdd)) {
+      vAddCache_.clear();
+    }
+    if (contains(kinds, CacheKind::MAdd)) {
+      mAddCache_.clear();
+    }
+    if (contains(kinds, CacheKind::MV)) {
+      mvCache_.clear();
+    }
+    if (contains(kinds, CacheKind::MM)) {
+      mmCache_.clear();
+    }
+    if (contains(kinds, CacheKind::VKron)) {
+      vKronCache_.clear();
+    }
+    if (contains(kinds, CacheKind::MKron)) {
+      mKronCache_.clear();
+    }
+    if (contains(kinds, CacheKind::Transpose)) {
+      transposeCache_.clear();
+    }
+    if (contains(kinds, CacheKind::Inner)) {
+      innerCache_.clear();
+    }
+    if (contains(kinds, CacheKind::Trace)) {
+      traceCache_.clear();
+    }
   }
 
   /// Number of live (allocated, not freed) nodes across both node types.
@@ -152,6 +216,27 @@ public:
     return vPool_.size() + mPool_.size() - vFreeCount_ - mFreeCount_;
   }
   [[nodiscard]] std::size_t peakNodes() const { return peakNodes_; }
+
+  // -- telemetry ----------------------------------------------------------------
+
+  /// Raw counter block (no gauges filled); cheap, suitable for sampling in
+  /// tight loops.
+  [[nodiscard]] const obs::PackageStats& counters() const { return stats_; }
+
+  /// Snapshot of all counters plus the gauges: live/peak node counts and the
+  /// weight-table view of the active system (entry count, ε near-misses and
+  /// bucket occupancy for the numeric table; bit-width histogram for the
+  /// algebraic intern pool).
+  [[nodiscard]] obs::PackageStats stats() const {
+    obs::PackageStats snapshot = stats_;
+    snapshot.liveNodes = allocatedNodes();
+    snapshot.peakNodes = peakNodes_;
+    system_.collectObs(snapshot.weights);
+    return snapshot;
+  }
+
+  /// Zero all counters (gauges are derived, so they are unaffected).
+  void resetStats() { stats_ = {}; }
 
   // -- builders -----------------------------------------------------------------
 
@@ -267,8 +352,10 @@ public:
     const VEdge& y = orderForAdd(a, b) ? b : a;
     const EdgeKey key{x.node, x.w, y.node, y.w};
     if (const auto it = vAddCache_.find(key); it != vAddCache_.end()) {
+      stats_.vAdd.hits.inc();
       return it->second;
     }
+    stats_.vAdd.misses.inc();
     std::array<VEdge, 2> children;
     for (std::size_t i = 0; i < 2; ++i) {
       children[i] = add(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
@@ -295,8 +382,10 @@ public:
     const MEdge& y = ordered ? b : a;
     const EdgeKey key{x.node, x.w, y.node, y.w};
     if (const auto it = mAddCache_.find(key); it != mAddCache_.end()) {
+      stats_.mAdd.hits.inc();
       return it->second;
     }
+    stats_.mAdd.misses.inc();
     std::array<MEdge, 4> children;
     for (std::size_t i = 0; i < 4; ++i) {
       children[i] = add(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
@@ -318,8 +407,10 @@ public:
     assert(!m.isTerminal() && !v.isTerminal() && m.node->var == v.node->var);
     const NodePairKey key{m.node, v.node};
     if (const auto it = mvCache_.find(key); it != mvCache_.end()) {
+      stats_.mv.hits.inc();
       return weighted(it->second, w);
     }
+    stats_.mv.misses.inc();
     std::array<VEdge, 2> children;
     for (std::size_t row = 0; row < 2; ++row) {
       const VEdge partial0 = multiply(m.node->e[2 * row], v.node->e[0]);
@@ -343,8 +434,10 @@ public:
     assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
     const NodePairKey key{a.node, b.node};
     if (const auto it = mmCache_.find(key); it != mmCache_.end()) {
+      stats_.mm.hits.inc();
       return weighted(it->second, w);
     }
+    stats_.mm.misses.inc();
     std::array<MEdge, 4> children;
     for (std::size_t row = 0; row < 2; ++row) {
       for (std::size_t col = 0; col < 2; ++col) {
@@ -369,8 +462,10 @@ public:
     }
     const NodePairKey key{top.node, bottom.node};
     if (const auto it = vKronCache_.find(key); it != vKronCache_.end()) {
+      stats_.vKron.hits.inc();
       return weighted(it->second, w);
     }
+    stats_.vKron.misses.inc();
     const VEdge stripBottom{bottom.node, system_.one()};
     std::array<VEdge, 2> children;
     for (std::size_t i = 0; i < 2; ++i) {
@@ -392,8 +487,10 @@ public:
     }
     const NodePairKey key{top.node, bottom.node};
     if (const auto it = mKronCache_.find(key); it != mKronCache_.end()) {
+      stats_.mKron.hits.inc();
       return weighted(it->second, w);
     }
+    stats_.mKron.misses.inc();
     const MEdge stripBottom{bottom.node, system_.one()};
     std::array<MEdge, 4> children;
     for (std::size_t i = 0; i < 4; ++i) {
@@ -414,8 +511,10 @@ public:
       return {nullptr, w};
     }
     if (const auto it = transposeCache_.find(a.node); it != transposeCache_.end()) {
+      stats_.transpose.hits.inc();
       return weighted(it->second, w);
     }
+    stats_.transpose.misses.inc();
     std::array<MEdge, 4> children{
         conjugateTranspose(a.node->e[0]), conjugateTranspose(a.node->e[2]),
         conjugateTranspose(a.node->e[1]), conjugateTranspose(a.node->e[3])};
@@ -471,8 +570,10 @@ public:
     }
     Weight per = system_.zero();
     if (const auto it = traceCache_.find(a.node); it != traceCache_.end()) {
+      stats_.trace.hits.inc();
       per = it->second;
     } else {
+      stats_.trace.misses.inc();
       per = system_.add(trace(a.node->e[0]), trace(a.node->e[3]));
       traceCache_.emplace(a.node, per);
     }
@@ -500,8 +601,10 @@ public:
     assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
     const NodePairKey key{a.node, b.node};
     if (const auto it = innerCache_.find(key); it != innerCache_.end()) {
+      stats_.inner.hits.inc();
       return system_.mul(w, it->second);
     }
+    stats_.inner.misses.inc();
     Weight sum = system_.zero();
     for (std::size_t i = 0; i < 2; ++i) {
       sum = system_.add(sum, innerProduct(a.node->e[i], b.node->e[i]));
@@ -671,13 +774,24 @@ private:
     for (std::size_t i = 0; i < N; ++i) {
       key.nodes[i] = children[i].node;
     }
+    obs::UniqueTableStats& tableStats =
+        std::is_same_v<Node, VNode> ? stats_.vUnique : stats_.mUnique;
+    tableStats.lookups.inc();
     if (const auto it = unique.find(key); it != unique.end()) {
+      tableStats.hits.inc();
       return Edge{it->second, factor};
+    }
+    if constexpr (obs::kEnabled) {
+      // The insert below will lengthen a chain iff the bucket is occupied.
+      if (unique.bucket_count() > 0 && unique.bucket_size(unique.bucket(key)) > 0) {
+        tableStats.collisions.inc();
+      }
     }
     Node* node = nullptr;
     if (!freeList.empty()) {
       node = freeList.back();
       freeList.pop_back();
+      stats_.nodeReuses.inc();
       if constexpr (std::is_same_v<Node, VNode>) {
         --vFreeCount_;
       } else {
@@ -685,6 +799,7 @@ private:
       }
     } else {
       node = &pool.emplace_back();
+      stats_.nodeAllocations.inc();
     }
     node->var = var;
     node->ref = 0;
@@ -787,6 +902,7 @@ private:
 
   Qubit nqubits_;
   System system_;
+  obs::PackageStats stats_;
 
   std::deque<VNode> vPool_;
   std::deque<MNode> mPool_;

@@ -1,8 +1,13 @@
 #include "eval/report.hpp"
 
+#include "obs/tracer.hpp"
+
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
+#include <iostream>
 #include <limits>
 #include <ostream>
 
@@ -27,12 +32,13 @@ double component(const TracePoint& point, Series series) {
 } // namespace
 
 void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces) {
-  os << "series,gate,nodes,seconds,error,maxbits\n";
+  os << "series,gate,nodes,seconds,error,maxbits,peaknodes,cachehitrate,tablefill\n";
   os << std::setprecision(12);
   for (const SimulationTrace& trace : traces) {
     for (const TracePoint& point : trace.points) {
       os << trace.label << "," << point.gateIndex << "," << point.nodes << "," << point.seconds
-         << "," << point.error << "," << point.maxBits << "\n";
+         << "," << point.error << "," << point.maxBits << "," << point.peakNodes << ","
+         << point.cacheHitRate << "," << point.tableFill << "\n";
     }
   }
 }
@@ -118,6 +124,176 @@ void printAsciiChart(std::ostream& os, const std::string& title,
   os << std::string(12, ' ') << "0" << std::string(kWidth - 8, ' ') << maxGate << " gates\n";
   for (std::size_t t = 0; t < traces.size(); ++t) {
     os << "  " << kSymbols[t % (sizeof(kSymbols) - 1)] << " = " << traces[t].label << "\n";
+  }
+}
+
+namespace {
+
+void writeHistogramJson(std::ostream& os, const std::vector<std::uint64_t>& histogram) {
+  os << "[";
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    os << (i == 0 ? "" : ",") << histogram[i];
+  }
+  os << "]";
+}
+
+} // namespace
+
+void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
+  os << "-- package telemetry";
+  if (!stats.weights.system.empty()) {
+    os << " [" << stats.weights.system << "]";
+  }
+  os << (obs::kEnabled ? "" : " (QADD_OBS=0: counters compiled out)") << " --\n";
+  os << std::left << std::setw(12) << "cache" << std::right << std::setw(14) << "hits"
+     << std::setw(14) << "misses" << std::setw(10) << "hit%" << "\n";
+  for (const auto& [name, cache] : stats.caches()) {
+    os << std::left << std::setw(12) << name << std::right << std::setw(14) << cache->hits.value()
+       << std::setw(14) << cache->misses.value() << std::setw(9) << std::fixed
+       << std::setprecision(1) << cache->hitRate() * 100.0 << "%\n";
+    os.unsetf(std::ios::floatfield);
+  }
+  const auto uniqueRow = [&](std::string_view name, const obs::UniqueTableStats& table) {
+    os << std::left << std::setw(12) << name << std::right << std::setw(14)
+       << table.lookups.value() << " lookups" << std::setw(14) << table.hits.value() << " hits"
+       << std::setw(12) << table.collisions.value() << " collisions\n";
+  };
+  uniqueRow("vUnique", stats.vUnique);
+  uniqueRow("mUnique", stats.mUnique);
+  os << "nodes       " << stats.nodeAllocations.value() << " allocated, "
+     << stats.nodeReuses.value() << " reused, " << stats.liveNodes << " live, " << stats.peakNodes
+     << " peak\n";
+  os << "gc          " << stats.gc.runs.value() << " runs, " << stats.gc.nodesSwept.value()
+     << " nodes swept, " << std::setprecision(3) << stats.gc.seconds << " s\n";
+  os << "weights     " << stats.weights.entries << " distinct";
+  if (stats.weights.nearMissUnifications > 0) {
+    os << ", " << stats.weights.nearMissUnifications << " near-miss unifications";
+  }
+  os << "\n";
+  if (!stats.weights.bucketOccupancy.empty()) {
+    os << "buckets     ";
+    for (std::size_t k = 1; k < stats.weights.bucketOccupancy.size(); ++k) {
+      if (stats.weights.bucketOccupancy[k] != 0) {
+        os << "[" << k << (k + 1 == stats.weights.bucketOccupancy.size() ? "+" : "") << "]="
+           << stats.weights.bucketOccupancy[k] << " ";
+      }
+    }
+    os << "\n";
+  }
+  if (!stats.weights.bitWidthHistogram.empty()) {
+    os << "bit widths  ";
+    for (std::size_t b = 0; b < stats.weights.bitWidthHistogram.size(); ++b) {
+      if (stats.weights.bitWidthHistogram[b] != 0) {
+        os << b << "b:" << stats.weights.bitWidthHistogram[b] << " ";
+      }
+    }
+    os << "\n";
+  }
+}
+
+void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
+  os << std::setprecision(12);
+  os << "{\"enabled\":" << (obs::kEnabled ? "true" : "false") << ",\"caches\":{";
+  bool first = true;
+  for (const auto& [name, cache] : stats.caches()) {
+    os << (first ? "" : ",") << "\"" << name << "\":{\"hits\":" << cache->hits.value()
+       << ",\"misses\":" << cache->misses.value() << ",\"hitRate\":" << cache->hitRate() << "}";
+    first = false;
+  }
+  os << "},\"uniqueTables\":{";
+  const auto uniqueJson = [&os](const char* name, const obs::UniqueTableStats& table) {
+    os << "\"" << name << "\":{\"lookups\":" << table.lookups.value()
+       << ",\"hits\":" << table.hits.value() << ",\"collisions\":" << table.collisions.value()
+       << "}";
+  };
+  uniqueJson("vector", stats.vUnique);
+  os << ",";
+  uniqueJson("matrix", stats.mUnique);
+  os << "},\"nodes\":{\"allocations\":" << stats.nodeAllocations.value()
+     << ",\"reuses\":" << stats.nodeReuses.value() << ",\"live\":" << stats.liveNodes
+     << ",\"peak\":" << stats.peakNodes << "}";
+  os << ",\"gc\":{\"runs\":" << stats.gc.runs.value()
+     << ",\"nodesSwept\":" << stats.gc.nodesSwept.value() << ",\"seconds\":" << stats.gc.seconds
+     << "}";
+  os << ",\"weights\":{\"system\":\"" << stats.weights.system
+     << "\",\"entries\":" << stats.weights.entries
+     << ",\"nearMissUnifications\":" << stats.weights.nearMissUnifications
+     << ",\"bucketOccupancy\":";
+  writeHistogramJson(os, stats.weights.bucketOccupancy);
+  os << ",\"bitWidthHistogram\":";
+  writeHistogramJson(os, stats.weights.bitWidthHistogram);
+  os << "}}";
+}
+
+void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
+  os << "counter,value\n";
+  for (const auto& [name, cache] : stats.caches()) {
+    os << "cache." << name << ".hits," << cache->hits.value() << "\n";
+    os << "cache." << name << ".misses," << cache->misses.value() << "\n";
+  }
+  const auto uniqueRows = [&os](const char* name, const obs::UniqueTableStats& table) {
+    os << "unique." << name << ".lookups," << table.lookups.value() << "\n";
+    os << "unique." << name << ".hits," << table.hits.value() << "\n";
+    os << "unique." << name << ".collisions," << table.collisions.value() << "\n";
+  };
+  uniqueRows("vector", stats.vUnique);
+  uniqueRows("matrix", stats.mUnique);
+  os << "nodes.allocations," << stats.nodeAllocations.value() << "\n";
+  os << "nodes.reuses," << stats.nodeReuses.value() << "\n";
+  os << "nodes.live," << stats.liveNodes << "\n";
+  os << "nodes.peak," << stats.peakNodes << "\n";
+  os << "gc.runs," << stats.gc.runs.value() << "\n";
+  os << "gc.nodesSwept," << stats.gc.nodesSwept.value() << "\n";
+  os << "gc.seconds," << std::setprecision(12) << stats.gc.seconds << "\n";
+  os << "weights.entries," << stats.weights.entries << "\n";
+  os << "weights.nearMissUnifications," << stats.weights.nearMissUnifications << "\n";
+}
+
+ObsCliOptions parseObsCli(int& argc, char** argv) {
+  ObsCliOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      options.stats = true;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": --trace-json requires a path argument\n";
+        std::exit(2);
+      }
+      options.traceJsonPath = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!options.traceJsonPath.empty()) {
+    obs::Tracer::global().setEnabled(true);
+  }
+  return options;
+}
+
+void finishObsCli(const ObsCliOptions& options, std::ostream& os,
+                  const std::vector<SimulationTrace>& traces) {
+  if (options.stats) {
+    for (const SimulationTrace& trace : traces) {
+      os << "\n== telemetry: " << trace.label << " ==\n";
+      printStatsTable(os, trace.finalStats);
+      if (!trace.gcEvents.empty()) {
+        os << "gc events   ";
+        for (const TraceGcEvent& event : trace.gcEvents) {
+          os << "@" << event.gateIndex << ":-" << event.swept << " ";
+        }
+        os << "\n";
+      }
+    }
+  }
+  if (!options.traceJsonPath.empty()) {
+    if (obs::Tracer::global().writeJson(options.traceJsonPath)) {
+      os << "\nspan trace written to " << options.traceJsonPath
+         << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    } else {
+      os << "\nERROR: could not write trace JSON to " << options.traceJsonPath << "\n";
+    }
   }
 }
 

@@ -1,10 +1,13 @@
 /// \file report.hpp
-/// Presentation of simulation traces: CSV emission (one row per sample, one
-/// file per experiment — the data behind each figure) and compact console
-/// rendering (summary table + ASCII charts of the per-gate series).
+/// Presentation of simulation traces and telemetry: CSV emission (one row
+/// per sample, one file per experiment — the data behind each figure),
+/// compact console rendering (summary table + ASCII charts of the per-gate
+/// series), and machine-readable emitters for the obs::PackageStats counter
+/// block (human table, JSON, CSV).
 #pragma once
 
 #include "eval/trace.hpp"
+#include "obs/stats.hpp"
 
 #include <iosfwd>
 #include <string>
@@ -12,7 +15,8 @@
 
 namespace qadd::eval {
 
-/// CSV with columns: series,gate,nodes,seconds,error,maxbits.
+/// CSV with columns:
+/// series,gate,nodes,seconds,error,maxbits,peaknodes,cachehitrate,tablefill.
 void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces);
 
 /// One-line-per-series summary (final nodes, peak nodes, total time, final
@@ -26,5 +30,38 @@ enum class Series { Nodes, Seconds, Error, MaxBits };
 /// values (zeros/NaNs are skipped).
 void printAsciiChart(std::ostream& os, const std::string& title,
                      const std::vector<SimulationTrace>& traces, Series series, bool logY);
+
+// -- telemetry emitters ---------------------------------------------------------
+
+/// Human-readable rendering of one package's counter block: per-cache
+/// hit/miss table, unique tables, node pool, GC, and the weight-table view.
+void printStatsTable(std::ostream& os, const obs::PackageStats& stats);
+
+/// Machine-readable JSON object with the same content (one self-contained
+/// object; histograms as arrays).
+void writeStatsJson(std::ostream& os, const obs::PackageStats& stats);
+
+/// Flat CSV (counter,value) with dotted counter paths, e.g. "cache.mv.hits".
+void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats);
+
+// -- CLI glue -------------------------------------------------------------------
+
+/// Telemetry flags shared by the bench drivers and examples:
+///   --stats              print the per-series counter tables after the run
+///   --trace-json <path>  enable the global span tracer and write Chrome
+///                        trace JSON to <path> at the end
+struct ObsCliOptions {
+  bool stats = false;
+  std::string traceJsonPath;
+};
+
+/// Strip the telemetry flags from argv (compacting it in place, argc
+/// updated) and enable the global tracer if --trace-json was given.
+[[nodiscard]] ObsCliOptions parseObsCli(int& argc, char** argv);
+
+/// Honour the parsed flags after a run: print per-series stats tables and/or
+/// write the collected trace JSON.
+void finishObsCli(const ObsCliOptions& options, std::ostream& os,
+                  const std::vector<SimulationTrace>& traces);
 
 } // namespace qadd::eval

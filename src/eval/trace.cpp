@@ -1,6 +1,7 @@
 #include "eval/trace.hpp"
 
 #include "eval/accuracy.hpp"
+#include "obs/tracer.hpp"
 #include "qc/simulator.hpp"
 
 #include <chrono>
@@ -18,6 +19,18 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+template <class Simulator>
+void finishTrace(SimulationTrace& trace, const Simulator& simulator) {
+  trace.finalNodes = simulator.stateNodes();
+  trace.peakNodes = simulator.package().peakNodes();
+  trace.collapsedToZero = simulator.package().system().isZero(simulator.state().w);
+  trace.finalStats = simulator.package().stats();
+  for (const auto& event : simulator.gcEvents()) {
+    trace.gcEvents.push_back(
+        {event.gateIndex, event.report.swept, event.report.liveAfter, event.report.seconds});
+  }
+}
+
 } // namespace
 
 SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& options,
@@ -26,6 +39,7 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
   qc::Simulator<dd::AlgebraicSystem> simulator(circuit, config);
   SimulationTrace trace;
   trace.label = simulator.package().system().describe();
+  const auto traceSpan = obs::Tracer::global().span("traceAlgebraic", "eval");
   if (reference != nullptr) {
     reference->sampleEvery = options.sampleEvery;
     reference->samples.clear();
@@ -40,12 +54,16 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
       continue;
     }
     accumulated += secondsSince(start); // pause the clock during sampling
+    const auto sampleSpan = obs::Tracer::global().span("sample", "eval");
     TracePoint point;
     point.gateIndex = applied;
     point.nodes = simulator.stateNodes();
     point.seconds = accumulated;
     point.error = 0.0; // exact by construction
     point.maxBits = simulator.package().system().maxBits();
+    point.peakNodes = simulator.package().peakNodes();
+    point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
+    point.tableFill = simulator.package().system().distinctValues();
     trace.points.push_back(point);
     if (reference != nullptr && amplitudesFeasible) {
       reference->samples.push_back(simulator.package().amplitudes(simulator.state()));
@@ -54,10 +72,8 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
   }
   accumulated += secondsSince(start);
   trace.totalSeconds = accumulated;
-  trace.finalNodes = simulator.stateNodes();
-  trace.peakNodes = simulator.package().peakNodes();
-  trace.collapsedToZero = simulator.package().system().isZero(simulator.state().w);
   trace.finalError = 0.0;
+  finishTrace(trace, simulator);
   return trace;
 }
 
@@ -71,6 +87,7 @@ SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
     label << "numeric eps=" << epsilon;
     trace.label = label.str();
   }
+  const auto traceSpan = obs::Tracer::global().span("traceNumeric", "eval");
   const bool amplitudesFeasible = circuit.qubits() <= options.maxQubitsForAmplitudes;
   std::size_t sampleOrdinal = 0;
 
@@ -83,11 +100,15 @@ SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
       continue;
     }
     accumulated += secondsSince(start);
+    const auto sampleSpan = obs::Tracer::global().span("sample", "eval");
     TracePoint point;
     point.gateIndex = applied;
     point.nodes = simulator.stateNodes();
     point.seconds = accumulated;
     point.maxBits = simulator.package().system().maxBits();
+    point.peakNodes = simulator.package().peakNodes();
+    point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
+    point.tableFill = simulator.package().system().distinctValues();
     point.error = std::numeric_limits<double>::quiet_NaN();
     if (reference != nullptr && amplitudesFeasible &&
         sampleOrdinal < reference->samples.size()) {
@@ -101,10 +122,8 @@ SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
   }
   accumulated += secondsSince(start);
   trace.totalSeconds = accumulated;
-  trace.finalNodes = simulator.stateNodes();
-  trace.peakNodes = simulator.package().peakNodes();
-  trace.collapsedToZero = simulator.package().system().isZero(simulator.state().w);
   trace.finalError = lastError;
+  finishTrace(trace, simulator);
   return trace;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/algebraic_system.hpp"
 #include "core/numeric_system.hpp"
+#include "obs/stats.hpp"
 #include "qc/circuit.hpp"
 
 #include <complex>
@@ -21,6 +22,17 @@ struct TracePoint {
   double seconds = 0.0;      ///< accumulated simulation time (sampling excluded)
   double error = 0.0;        ///< accuracy metric vs the exact reference (NaN if unavailable)
   std::size_t maxBits = 0;   ///< max coefficient bit width (algebraic only; 64 for numeric)
+  std::size_t peakNodes = 0; ///< peak allocated nodes so far (transient multiply blow-up)
+  double cacheHitRate = 0.0; ///< combined add/mv/mm cache hit rate so far
+  std::size_t tableFill = 0; ///< distinct interned weights so far
+};
+
+/// One garbage-collection run observed mid-simulation.
+struct TraceGcEvent {
+  std::size_t gateIndex = 0; ///< gates applied when the run fired
+  std::size_t swept = 0;     ///< nodes reclaimed
+  std::size_t liveAfter = 0; ///< nodes still allocated afterwards
+  double seconds = 0.0;      ///< wall time of the run
 };
 
 struct SimulationTrace {
@@ -31,6 +43,8 @@ struct SimulationTrace {
   std::size_t peakNodes = 0;
   bool collapsedToZero = false; ///< the final state is the zero vector (paper's epsilon=1e-3 failure)
   double finalError = 0.0;
+  std::vector<TraceGcEvent> gcEvents; ///< GC runs, so size series can separate sweeps from growth
+  obs::PackageStats finalStats;       ///< full telemetry snapshot at the end of the run
 };
 
 /// Exact per-gate amplitude snapshots from the algebraic simulation, used as

@@ -20,7 +20,9 @@
 #pragma once
 
 #include "numeric/complex_value.hpp"
+#include "obs/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -66,9 +68,11 @@ public:
     if (exactMode_) {
       if (epsilon_ > 0) {
         if (Value::approxEqual(value, Value::zero(), epsilon_)) {
+          noteUnification(kZeroRef, value);
           return kZeroRef;
         }
         if (Value::approxEqual(value, Value::one(), epsilon_)) {
+          noteUnification(kOneRef, value);
           return kOneRef;
         }
       }
@@ -96,6 +100,7 @@ public:
         }
         for (const ComplexRef ref : it->second) {
           if (Value::approxEqual(entries_[ref], value, epsilon_)) {
+            noteUnification(ref, value);
             return ref;
           }
         }
@@ -117,7 +122,47 @@ public:
   /// Number of distinct interned values (a compactness statistic).
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Number of lookups that unified within ε onto an entry that was *not*
+  /// bit-identical — the paper's accuracy-loss event: information about the
+  /// looked-up value is silently discarded.  Always 0 when telemetry is
+  /// compiled out or ε == 0.
+  [[nodiscard]] std::uint64_t nearMissUnifications() const { return nearMisses_; }
+
+  /// Histogram of bucket occupancy: result[k] = number of hash buckets
+  /// (spatial-grid cells in tolerance mode, bit-pattern buckets in exact
+  /// mode) currently holding exactly k entries; k is clamped to the last
+  /// bin.  Empty buckets are not represented (result[0] == 0).
+  [[nodiscard]] std::vector<std::uint64_t> bucketOccupancyHistogram(std::size_t maxBin = 8) const {
+    std::vector<std::uint64_t> histogram(maxBin + 1, 0);
+    const auto note = [&](std::size_t occupancy) {
+      ++histogram[std::min(occupancy, maxBin)];
+    };
+    if (exactMode_) {
+      for (const auto& [key, bucket] : exact_) {
+        note(bucket.size());
+      }
+    } else {
+      for (const auto& [key, bucket] : grid_) {
+        note(bucket.size());
+      }
+    }
+    return histogram;
+  }
+
 private:
+  /// Telemetry hook for a tolerant hit: counts it as a near miss unless the
+  /// match was bit-exact.
+  void noteUnification(ComplexRef ref, Value value) {
+    if constexpr (qadd::obs::kEnabled) {
+      if (!(entries_[ref] == value)) {
+        ++nearMisses_;
+      }
+    } else {
+      (void)ref;
+      (void)value;
+    }
+  }
+
   static constexpr ComplexRef kZeroRef = 0;
   static constexpr ComplexRef kOneRef = 1;
   static constexpr FloatT kMinCell = static_cast<FloatT>(0x1p-40);
@@ -168,6 +213,7 @@ private:
   FloatT epsilon_;
   FloatT cell_;            // spatial-hash cell edge length (>= epsilon, > 0)
   bool exactMode_ = false; // epsilon below float resolution: bit-exact interning
+  std::uint64_t nearMisses_ = 0;
   std::vector<Value> entries_;
   std::unordered_map<CellKey, std::vector<ComplexRef>, CellKeyHash> grid_;
   std::unordered_map<BitKey, std::vector<ComplexRef>, BitKeyHash> exact_;

@@ -1,0 +1,146 @@
+/// \file stats.hpp
+/// Package-wide telemetry counters (qadd::obs).  Every hot structure of the
+/// DD package — the nine operation caches, the two unique tables, the node
+/// pools and the garbage collector — increments a counter here, so the cost
+/// distribution the paper analyses (cache behaviour, table growth, ε-induced
+/// merges, bit-width blow-up) is measurable on any workload instead of only
+/// on the figure harnesses.
+///
+/// Compile-time switch: building with -DQADD_OBS=0 turns every increment
+/// into a constant-folded no-op (the counters and the reporting API stay
+/// available but read as zero), so release builds that want the last few
+/// percent can opt out without source changes.  The CMake option QADD_OBS
+/// (default ON) drives the define.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef QADD_OBS
+#define QADD_OBS 1
+#endif
+
+namespace qadd::obs {
+
+/// True iff telemetry is compiled in.  All increments are guarded by this
+/// constant, so with QADD_OBS=0 the optimizer removes them entirely.
+inline constexpr bool kEnabled = QADD_OBS != 0;
+
+/// Monotonic event counter; a no-op when telemetry is compiled out.
+struct Counter {
+  std::uint64_t count = 0;
+
+  void inc(std::uint64_t n = 1) {
+    if constexpr (kEnabled) {
+      count += n;
+    } else {
+      (void)n;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return count; }
+  explicit operator std::uint64_t() const { return count; }
+};
+
+/// Hit/miss statistics of one operation cache.  A "miss" is a lookup that
+/// fell through to the recursive computation (and inserted its result).
+struct CacheStats {
+  Counter hits;
+  Counter misses;
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits.value() + misses.value(); }
+  [[nodiscard]] double hitRate() const {
+    const std::uint64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits.value()) / static_cast<double>(total);
+  }
+};
+
+/// Unique-table statistics.  A "collision" is a miss whose hash bucket was
+/// already occupied by a different node (chain lengthening insert).
+struct UniqueTableStats {
+  Counter lookups;
+  Counter hits;
+  Counter collisions;
+
+  [[nodiscard]] double hitRate() const {
+    const std::uint64_t total = lookups.value();
+    return total == 0 ? 0.0 : static_cast<double>(hits.value()) / static_cast<double>(total);
+  }
+};
+
+/// Garbage-collector statistics, accumulated across runs.
+struct GcStats {
+  Counter runs;
+  Counter nodesSwept;
+  double seconds = 0.0;
+};
+
+/// Weight-table gauges, filled at snapshot time by the active weight system.
+/// The numeric system reports the ε-table view (entry count, spatial-hash
+/// bucket occupancy, near-miss unifications — the paper's accuracy-loss
+/// event); the algebraic system reports the interned-value count and the
+/// bit-width histogram of its 𝔻[ω]/ℚ[ω] coefficients (the paper's cost
+/// driver for the GSE blow-up).
+struct WeightTableStats {
+  std::string system;        ///< System::describe() of the producer
+  std::size_t entries = 0;   ///< distinct interned weights
+  std::uint64_t nearMissUnifications = 0; ///< ε-hits that were not bit-exact (numeric)
+  /// bucketOccupancy[k] = number of hash buckets holding exactly k entries
+  /// (k clamped to the last bin); numeric system only.
+  std::vector<std::uint64_t> bucketOccupancy;
+  /// bitWidthHistogram[b] = number of interned values whose widest
+  /// coefficient/denominator uses exactly b bits; algebraic system only.
+  std::vector<std::uint64_t> bitWidthHistogram;
+};
+
+/// The full counter block of one dd::Package.  Counters are maintained
+/// inline by the package; gauges (live/peak nodes, weight-table view) are
+/// filled when a snapshot is taken via Package::stats().
+struct PackageStats {
+  // Per-operation-cache hit/miss counters.
+  CacheStats vAdd;
+  CacheStats mAdd;
+  CacheStats mv;
+  CacheStats mm;
+  CacheStats vKron;
+  CacheStats mKron;
+  CacheStats transpose;
+  CacheStats inner;
+  CacheStats trace;
+
+  UniqueTableStats vUnique;
+  UniqueTableStats mUnique;
+
+  Counter nodeAllocations; ///< nodes taken fresh from the pool
+  Counter nodeReuses;      ///< nodes recycled from the free list
+
+  GcStats gc;
+
+  // Gauges (snapshot time).
+  std::size_t liveNodes = 0;
+  std::size_t peakNodes = 0;
+  WeightTableStats weights;
+
+  /// Named view over the operation caches, for generic emitters.
+  [[nodiscard]] std::vector<std::pair<std::string_view, const CacheStats*>> caches() const {
+    return {{"vAdd", &vAdd},   {"mAdd", &mAdd},           {"mv", &mv},
+            {"mm", &mm},       {"vKron", &vKron},         {"mKron", &mKron},
+            {"transpose", &transpose}, {"inner", &inner}, {"trace", &trace}};
+  }
+
+  /// Aggregate hit rate over the multiplication/addition caches that
+  /// dominate simulation time (the figure CSVs' cache-hit-rate column).
+  [[nodiscard]] double combinedCacheHitRate() const {
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const CacheStats* cache : {&vAdd, &mAdd, &mv, &mm}) {
+      hits += cache->hits.value();
+      total += cache->lookups();
+    }
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+} // namespace qadd::obs

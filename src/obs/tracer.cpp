@@ -1,0 +1,94 @@
+#include "obs/tracer.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace qadd::obs {
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string name, std::string category)
+    : tracer_(tracer), name_(std::move(name)), category_(std::move(category)) {
+  startUs_ = tracer_->nowUs();
+  depth_ = tracer_->depth_++;
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  Event event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.startUs = startUs_;
+  event.durationUs = tracer_->nowUs() - startUs_;
+  event.depth = depth_;
+  --tracer_->depth_;
+  tracer_->record(std::move(event));
+  tracer_ = nullptr;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (names come from gate mnemonics and fixed
+/// labels, but stay safe for arbitrary circuit names).
+void writeEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+    case '"':
+      os << "\\\"";
+      break;
+    case '\\':
+      os << "\\\\";
+      break;
+    case '\n':
+      os << "\\n";
+      break;
+    case '\t':
+      os << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        os << ' ';
+      } else {
+        os << c;
+      }
+    }
+  }
+  os << '"';
+}
+
+} // namespace
+
+void Tracer::writeJson(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":";
+    writeEscaped(os, event.name);
+    os << ",\"cat\":";
+    writeEscaped(os, event.category);
+    os << ",\"ts\":" << event.startUs << ",\"dur\":" << event.durationUs << ",\"args\":{\"depth\":"
+       << event.depth << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::writeJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  writeJson(os);
+  return os.good();
+}
+
+} // namespace qadd::obs

@@ -1,0 +1,111 @@
+/// \file tracer.hpp
+/// Lightweight span tracer (qadd::obs::Tracer): RAII scopes around gate
+/// application, DD operations and garbage collection, emitted as Chrome
+/// trace-event JSON ("traceEvents" with complete "X" events) that loads
+/// directly into chrome://tracing or https://ui.perfetto.dev.
+///
+/// The tracer is disabled by default and costs one branch per span request
+/// while disabled; span names are only materialized once a span is actually
+/// recorded.  With QADD_OBS=0 the recording path compiles out entirely.
+#pragma once
+
+#include "obs/stats.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qadd::obs {
+
+class Tracer {
+public:
+  /// One completed span.  Times are microseconds since the tracer's epoch.
+  struct Event {
+    std::string name;
+    std::string category;
+    double startUs = 0.0;
+    double durationUs = 0.0;
+    std::uint32_t depth = 0; ///< nesting level at the time the span opened
+  };
+
+  /// RAII scope: records an Event on destruction (inert when default
+  /// constructed or obtained from a disabled tracer).
+  class Span {
+  public:
+    Span() = default;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        finish();
+        tracer_ = other.tracer_;
+        name_ = std::move(other.name_);
+        category_ = std::move(other.category_);
+        startUs_ = other.startUs_;
+        depth_ = other.depth_;
+        other.tracer_ = nullptr;
+      }
+      return *this;
+    }
+    ~Span() { finish(); }
+
+    [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name, std::string category);
+    void finish();
+
+    Tracer* tracer_ = nullptr;
+    std::string name_;
+    std::string category_;
+    double startUs_ = 0.0;
+    std::uint32_t depth_ = 0;
+  };
+
+  Tracer() : epoch_(Clock::now()) {}
+
+  /// Process-wide tracer used by the simulator/package instrumentation.
+  [[nodiscard]] static Tracer& global();
+
+  void setEnabled(bool enabled) { enabled_ = enabled && kEnabled; }
+  [[nodiscard]] bool enabled() const { return kEnabled && enabled_; }
+
+  /// Open a span; inert (zero-allocation) when the tracer is disabled.
+  [[nodiscard]] Span span(std::string_view name, std::string_view category = "dd") {
+    if (!enabled()) {
+      return {};
+    }
+    return Span(this, std::string(name), std::string(category));
+  }
+
+  void clear() {
+    events_.clear();
+    depth_ = 0;
+  }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  void writeJson(std::ostream& os) const;
+  /// Convenience overload; returns false if the file could not be opened.
+  bool writeJson(const std::string& path) const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] double nowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
+  }
+  void record(Event event) { events_.push_back(std::move(event)); }
+
+  Clock::time_point epoch_;
+  bool enabled_ = false;
+  std::uint32_t depth_ = 0;
+  std::vector<Event> events_;
+};
+
+} // namespace qadd::obs

@@ -9,10 +9,13 @@
 #include "core/algebraic_system.hpp"
 #include "core/numeric_system.hpp"
 #include "core/package.hpp"
+#include "obs/tracer.hpp"
 #include "qc/circuit.hpp"
+#include "qc/gates.hpp"
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -69,6 +72,13 @@ public:
     std::size_t gcNodeThreshold = 200'000;
   };
 
+  /// One garbage-collection run observed during simulation, tagged with the
+  /// number of gates applied when it fired.
+  struct GcEvent {
+    std::size_t gateIndex = 0;
+    dd::GcReport report;
+  };
+
   explicit Simulator(Circuit circuit, typename System::Config config = {}, Options options = {})
       : circuit_(std::move(circuit)),
         package_(std::make_unique<Package>(circuit_.qubits(), config)), options_(options) {
@@ -84,6 +94,7 @@ public:
     package_->incRef(state_);
     hasState_ = true;
     next_ = 0;
+    gcEvents_.clear();
   }
 
   /// Apply the next gate; false when the circuit is exhausted.
@@ -92,14 +103,22 @@ public:
       return false;
     }
     const Operation& operation = circuit_.operations()[next_];
+    obs::Tracer::Span gateSpan;
+    if (auto& tracer = obs::Tracer::global(); tracer.enabled()) {
+      gateSpan = tracer.span(std::string("gate:") += gateName(operation.kind), "simulate");
+    }
     const auto gate = makeOperationDD(*package_, operation);
-    const VEdge updated = package_->multiply(gate, state_);
+    VEdge updated;
+    {
+      const auto applySpan = obs::Tracer::global().span("mv", "dd");
+      updated = package_->multiply(gate, state_);
+    }
     package_->incRef(updated);
     package_->decRef(state_);
     state_ = updated;
     ++next_;
     if (package_->allocatedNodes() > options_.gcNodeThreshold) {
-      package_->garbageCollect();
+      gcEvents_.push_back({next_, package_->garbageCollect()});
     }
     return true;
   }
@@ -121,6 +140,9 @@ public:
   /// Index of the next gate to apply == number of gates applied so far.
   [[nodiscard]] std::size_t gateIndex() const { return next_; }
 
+  /// Garbage-collection runs triggered so far (cleared by reset()).
+  [[nodiscard]] const std::vector<GcEvent>& gcEvents() const { return gcEvents_; }
+
   /// Number of nodes of the current state DD (the paper's compactness
   /// metric).
   [[nodiscard]] std::size_t stateNodes() const { return package_->countNodes(state_); }
@@ -138,6 +160,7 @@ private:
   VEdge state_{};
   bool hasState_ = false;
   std::size_t next_ = 0;
+  std::vector<GcEvent> gcEvents_;
 };
 
 /// Accumulate the full-circuit unitary U = G_m ... G_2 G_1 as a matrix DD.
@@ -150,7 +173,12 @@ template <class System>
   auto unitary = package.makeIdentity();
   package.incRef(unitary);
   for (const Operation& operation : circuit.operations()) {
+    obs::Tracer::Span gateSpan;
+    if (auto& tracer = obs::Tracer::global(); tracer.enabled()) {
+      gateSpan = tracer.span(std::string("unitary:") += gateName(operation.kind), "simulate");
+    }
     const auto gate = makeOperationDD(package, operation);
+    const auto mmSpan = obs::Tracer::global().span("mm", "dd");
     const auto next = package.multiply(gate, unitary);
     package.incRef(next);
     package.decRef(unitary);

@@ -1,0 +1,368 @@
+/// \file test_obs.cpp
+/// Tests of the qadd::obs telemetry layer: operation-cache counters,
+/// near-miss unification tracking in the ε-table, node gauges, the GC
+/// report, per-kind cache clearing, the bit-width histogram of the
+/// algebraic intern pool, and the Chrome-trace span tracer.
+#include "algorithms/common.hpp"
+#include "core/algebraic_system.hpp"
+#include "core/numeric_system.hpp"
+#include "core/package.hpp"
+#include "eval/report.hpp"
+#include "eval/trace.hpp"
+#include "obs/stats.hpp"
+#include "obs/tracer.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace qadd;
+
+using NumericPackage = dd::Package<dd::NumericSystem>;
+
+dd::NumericSystem::Config tightConfig() {
+  return {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero};
+}
+
+TEST(ObsCounters, RepeatedMultiplyHitsTheCache) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  NumericPackage package(4, tightConfig());
+  const auto state = package.makeZeroState();
+  const qc::Operation h{qc::GateKind::H, 0.0, 1, {}};
+  const auto gate = qc::makeOperationDD(package, h);
+
+  const auto first = package.multiply(gate, state);
+  const obs::PackageStats before = package.counters();
+  EXPECT_GT(before.mv.misses.value(), 0U);
+
+  const auto second = package.multiply(gate, state);
+  const obs::PackageStats after = package.counters();
+  EXPECT_EQ(first, second);
+  // The repeated top-level product is answered entirely from the mv cache:
+  // hits increase, misses do not.
+  EXPECT_GT(after.mv.hits.value(), before.mv.hits.value());
+  EXPECT_EQ(after.mv.misses.value(), before.mv.misses.value());
+}
+
+TEST(ObsCounters, AddCacheAndUniqueTableCount) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  // GHZ followed by Hadamards on the entangled state: the H products add two
+  // non-terminal sub-vectors, exercising the vAdd cache (a bare GHZ ladder
+  // never does — one partial product is always the zero vector, which
+  // short-circuits add() before the cache).
+  qc::Circuit circuit = algos::ghz(6);
+  for (qc::Qubit q = 0; q < 6; ++q) {
+    circuit.h(q);
+  }
+  qc::Simulator<dd::NumericSystem> simulator(circuit, tightConfig());
+  simulator.run();
+  const obs::PackageStats stats = simulator.package().stats();
+  EXPECT_GT(stats.vAdd.lookups(), 0U);
+  EXPECT_GT(stats.vUnique.lookups.value(), 0U);
+  EXPECT_GT(stats.vUnique.hits.value(), 0U);
+  EXPECT_GT(stats.mUnique.lookups.value(), 0U);
+  EXPECT_GT(stats.nodeAllocations.value(), 0U);
+  EXPECT_EQ(stats.weights.entries, simulator.package().system().distinctValues());
+  EXPECT_FALSE(stats.weights.system.empty());
+}
+
+TEST(ObsCounters, NearMissUnificationFires) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  num::ComplexTable table(1e-6);
+  const auto a = table.lookup({0.5, 0.25});
+  EXPECT_EQ(table.nearMissUnifications(), 0U);
+  // Within ε but not bit-equal: unified onto the first entry and counted as
+  // a near miss (the paper's silent accuracy-loss event).
+  const auto b = table.lookup({0.5 + 1e-8, 0.25});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.nearMissUnifications(), 1U);
+  // Bit-exact repeat: a hit, but not a near miss.
+  const auto c = table.lookup({0.5, 0.25});
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(table.nearMissUnifications(), 1U);
+  // Far away: a fresh entry, no near miss.
+  const auto d = table.lookup({0.75, 0.0});
+  EXPECT_NE(a, d);
+  EXPECT_EQ(table.nearMissUnifications(), 1U);
+}
+
+TEST(ObsCounters, NearMissCountsInExactModeSnaps) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  // ε below the bit-exact threshold still snaps to the canonical 0/1 entries.
+  num::ComplexTable table(1e-13);
+  const auto one = table.lookup({1.0 + 1e-14, 0.0});
+  EXPECT_EQ(one, table.oneRef());
+  EXPECT_EQ(table.nearMissUnifications(), 1U);
+}
+
+TEST(ObsGauges, PeakNodesIsMonotoneAndBoundsFinal) {
+  qc::Simulator<dd::NumericSystem> simulator(algos::ghz(6), tightConfig());
+  std::size_t lastPeak = 0;
+  while (simulator.step()) {
+    const std::size_t peak = simulator.package().peakNodes();
+    EXPECT_GE(peak, lastPeak); // monotone over the run
+    lastPeak = peak;
+  }
+  EXPECT_GE(lastPeak, simulator.package().allocatedNodes());
+  EXPECT_GE(lastPeak, simulator.stateNodes());
+  const obs::PackageStats stats = simulator.package().stats();
+  EXPECT_EQ(stats.peakNodes, lastPeak);
+  EXPECT_EQ(stats.liveNodes, simulator.package().allocatedNodes());
+}
+
+TEST(ObsGauges, BucketOccupancyCoversAllEntries) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  qc::Simulator<dd::NumericSystem> simulator(algos::ghz(5), tightConfig());
+  simulator.run();
+  const obs::PackageStats stats = simulator.package().stats();
+  ASSERT_FALSE(stats.weights.bucketOccupancy.empty());
+  std::uint64_t covered = 0;
+  for (std::size_t k = 0; k < stats.weights.bucketOccupancy.size(); ++k) {
+    covered += static_cast<std::uint64_t>(k) * stats.weights.bucketOccupancy[k];
+  }
+  // Every interned entry lives in exactly one bucket (the last bin is
+  // clamped, so covered can only undercount if a bucket exceeds the clamp).
+  EXPECT_GE(covered, 2U); // at least 0 and 1
+  EXPECT_LE(covered, stats.weights.entries);
+}
+
+TEST(ObsGauges, AlgebraicBitWidthHistogram) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  qc::Simulator<dd::AlgebraicSystem> simulator(algos::ghz(4));
+  simulator.run();
+  const obs::PackageStats stats = simulator.package().stats();
+  ASSERT_FALSE(stats.weights.bitWidthHistogram.empty());
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : stats.weights.bitWidthHistogram) {
+    total += count;
+  }
+  EXPECT_EQ(total, stats.weights.entries);
+  EXPECT_TRUE(stats.weights.bucketOccupancy.empty());
+  EXPECT_EQ(stats.weights.nearMissUnifications, 0U);
+}
+
+TEST(GcReport, ReportsSweptNodesAndResetStatsClears) {
+  NumericPackage package(5, tightConfig());
+  auto state = package.makeZeroState();
+  package.incRef(state);
+  const qc::Operation h{qc::GateKind::H, 0.0, 2, {}};
+  const auto gate = qc::makeOperationDD(package, h);
+  const auto next = package.multiply(gate, state);
+  package.incRef(next);
+  package.decRef(state); // old state becomes garbage
+  const std::size_t liveBefore = package.allocatedNodes();
+  const dd::GcReport report = package.garbageCollect();
+  EXPECT_EQ(report.liveBefore, liveBefore);
+  EXPECT_EQ(report.liveAfter, package.allocatedNodes());
+  EXPECT_EQ(report.swept, report.liveBefore - report.liveAfter);
+  EXPECT_GE(report.seconds, 0.0);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(package.counters().gc.runs.value(), 1U);
+    EXPECT_EQ(package.counters().gc.nodesSwept.value(), report.swept);
+    package.resetStats();
+    EXPECT_EQ(package.counters().gc.runs.value(), 0U);
+  }
+}
+
+TEST(CacheKind, PerKindClearOnlyDropsSelectedCache) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  NumericPackage package(4, tightConfig());
+  const auto state = package.makeZeroState();
+  const qc::Operation h{qc::GateKind::H, 0.0, 1, {}};
+  const auto gate = qc::makeOperationDD(package, h);
+  const auto product = package.multiply(gate, state);
+  (void)package.innerProduct(product, product);
+
+  // Clearing only the inner cache leaves the mv cache warm: the repeated
+  // product is a pure hit, no recomputation.
+  package.clearCaches(dd::CacheKind::Inner);
+  const auto mvHitsBefore = package.counters().mv.hits.value();
+  const auto mvMissesBefore = package.counters().mv.misses.value();
+  (void)package.multiply(gate, state);
+  EXPECT_GT(package.counters().mv.hits.value(), mvHitsBefore);
+  EXPECT_EQ(package.counters().mv.misses.value(), mvMissesBefore);
+
+  // Clearing MV forces a recomputation — misses must increase.  (Hits may
+  // too: the cache is keyed on node pairs, and a gate DD with shared
+  // children can re-meet the same sub-product within the one recomputation.)
+  package.clearCaches(dd::CacheKind::MV);
+  const auto missesAfterClear = package.counters().mv.misses.value();
+  (void)package.multiply(gate, state);
+  EXPECT_GT(package.counters().mv.misses.value(), missesAfterClear);
+}
+
+TEST(Tracer, SpansNestAndJsonIsWellFormed) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  {
+    const auto outer = tracer.span("outer", "test");
+    {
+      const auto inner = tracer.span("inner", "test");
+    }
+    const auto sibling = tracer.span("sibling", "test");
+  }
+  ASSERT_EQ(tracer.events().size(), 3U);
+  // Events are recorded at close time: inner, sibling, outer.
+  const auto& inner = tracer.events()[0];
+  const auto& sibling = tracer.events()[1];
+  const auto& outer = tracer.events()[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0U);
+  EXPECT_EQ(inner.depth, 1U);
+  EXPECT_EQ(sibling.depth, 1U);
+  // Nesting: both children lie inside the parent's interval.
+  for (const auto* child : {&inner, &sibling}) {
+    EXPECT_GE(child->startUs, outer.startUs);
+    EXPECT_LE(child->startUs + child->durationUs, outer.startUs + outer.durationUs + 1e-6);
+  }
+  // Siblings do not overlap.
+  EXPECT_GE(sibling.startUs, inner.startUs + inner.durationUs - 1e-6);
+
+  std::ostringstream os;
+  tracer.writeJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  // Balanced braces/brackets => parses as JSON for our emitter's grammar
+  // (no strings containing braces are emitted here).
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;
+  {
+    const auto span = tracer.span("ignored", "test");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, SimulatorEmitsGateSpans) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.setEnabled(true);
+  qc::Simulator<dd::NumericSystem> simulator(algos::ghz(3), tightConfig());
+  simulator.run();
+  tracer.setEnabled(false);
+  bool sawGate = false;
+  bool sawMv = false;
+  for (const auto& event : tracer.events()) {
+    sawGate = sawGate || event.name.starts_with("gate:");
+    sawMv = sawMv || event.name == "mv";
+  }
+  EXPECT_TRUE(sawGate);
+  EXPECT_TRUE(sawMv);
+  tracer.clear();
+}
+
+TEST(TraceIntegration, TracePointsCarryTelemetryColumns) {
+  const qc::Circuit circuit = algos::ghz(5);
+  eval::TraceOptions options;
+  options.sampleEvery = 2;
+  const eval::SimulationTrace trace = eval::traceNumeric(circuit, 1e-12, nullptr, options);
+  ASSERT_FALSE(trace.points.empty());
+  std::size_t lastPeak = 0;
+  for (const auto& point : trace.points) {
+    EXPECT_GE(point.peakNodes, point.nodes);
+    EXPECT_GE(point.peakNodes, lastPeak);
+    lastPeak = point.peakNodes;
+    EXPECT_GT(point.tableFill, 0U);
+    if constexpr (obs::kEnabled) {
+      EXPECT_GE(point.cacheHitRate, 0.0);
+      EXPECT_LE(point.cacheHitRate, 1.0);
+    }
+  }
+  EXPECT_EQ(trace.peakNodes, lastPeak);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(trace.finalStats.mv.lookups(), 0U);
+  }
+}
+
+TEST(TraceIntegration, GcEventsAreRecorded) {
+  // Force frequent GC with a tiny threshold.
+  qc::Simulator<dd::NumericSystem>::Options simOptions;
+  simOptions.gcNodeThreshold = 1;
+  qc::Simulator<dd::NumericSystem> simulator(algos::ghz(4), tightConfig(), simOptions);
+  simulator.run();
+  ASSERT_FALSE(simulator.gcEvents().empty());
+  for (const auto& event : simulator.gcEvents()) {
+    EXPECT_GT(event.gateIndex, 0U);
+    EXPECT_LE(event.gateIndex, simulator.circuit().size());
+    EXPECT_EQ(event.report.swept, event.report.liveBefore - event.report.liveAfter);
+  }
+}
+
+TEST(Emitters, StatsTableJsonAndCsv) {
+  qc::Simulator<dd::NumericSystem> simulator(algos::ghz(4), tightConfig());
+  simulator.run();
+  const obs::PackageStats stats = simulator.package().stats();
+
+  std::ostringstream table;
+  eval::printStatsTable(table, stats);
+  EXPECT_NE(table.str().find("cache"), std::string::npos);
+  EXPECT_NE(table.str().find("mv"), std::string::npos);
+  EXPECT_NE(table.str().find("gc"), std::string::npos);
+
+  std::ostringstream json;
+  eval::writeStatsJson(json, stats);
+  const std::string jsonStr = json.str();
+  EXPECT_NE(jsonStr.find("\"caches\""), std::string::npos);
+  EXPECT_NE(jsonStr.find("\"uniqueTables\""), std::string::npos);
+  EXPECT_NE(jsonStr.find("\"weights\""), std::string::npos);
+  long braces = 0;
+  for (const char c : jsonStr) {
+    braces += (c == '{') - (c == '}');
+  }
+  EXPECT_EQ(braces, 0);
+
+  std::ostringstream csv;
+  eval::writeStatsCsv(csv, stats);
+  EXPECT_NE(csv.str().find("counter,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("cache.mv.hits,"), std::string::npos);
+  EXPECT_NE(csv.str().find("unique.vector.lookups,"), std::string::npos);
+}
+
+TEST(Emitters, TraceCsvHasTelemetryColumns) {
+  const qc::Circuit circuit = algos::ghz(3);
+  eval::TraceOptions options;
+  options.sampleEvery = 1;
+  const eval::SimulationTrace trace = eval::traceNumeric(circuit, 1e-12, nullptr, options);
+  std::ostringstream os;
+  eval::writeCsv(os, {trace});
+  EXPECT_NE(os.str().find("peaknodes,cachehitrate,tablefill"), std::string::npos);
+}
+
+} // namespace
