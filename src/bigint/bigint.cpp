@@ -577,6 +577,30 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   a = a.shiftRight(shiftA);
   b = b.shiftRight(shiftB);
   while (true) {
+    // Word-size operands (the overwhelmingly common case for Q[omega]
+    // coefficients): finish with hardware Euclid instead of limb-vector
+    // subtract-and-shift.
+    if (a.limbs_.size() <= 2 && b.limbs_.size() <= 2) {
+      const auto asUint64 = [](const std::vector<Limb>& limbs) {
+        std::uint64_t value = limbs[0];
+        if (limbs.size() == 2) {
+          value |= static_cast<std::uint64_t>(limbs[1]) << 32U;
+        }
+        return value;
+      };
+      std::uint64_t x = asUint64(a.limbs_);
+      std::uint64_t y = asUint64(b.limbs_);
+      while (y != 0) {
+        x %= y;
+        std::swap(x, y);
+      }
+      BigInt result;
+      result.limbs_.push_back(static_cast<Limb>(x));
+      if ((x >> 32U) != 0) {
+        result.limbs_.push_back(static_cast<Limb>(x >> 32U));
+      }
+      return result.shiftLeft(commonShift);
+    }
     if (compareMagnitude(a.limbs_, b.limbs_) > 0) {
       std::swap(a, b);
     }

@@ -39,14 +39,14 @@ AlgebraicSystem::Weight AlgebraicSystem::add(Weight a, Weight b) {
   if (isZero(b)) {
     return a;
   }
-  return intern(value(a) + value(b));
+  return cachedOp(addCache_, commutativeKey(a, b), [&] { return intern(value(a) + value(b)); });
 }
 
 AlgebraicSystem::Weight AlgebraicSystem::sub(Weight a, Weight b) {
   if (isZero(b)) {
     return a;
   }
-  return intern(value(a) - value(b));
+  return cachedOp(subCache_, WeightPairKey{a, b}, [&] { return intern(value(a) - value(b)); });
 }
 
 AlgebraicSystem::Weight AlgebraicSystem::mul(Weight a, Weight b) {
@@ -59,7 +59,7 @@ AlgebraicSystem::Weight AlgebraicSystem::mul(Weight a, Weight b) {
   if (isOne(b)) {
     return a;
   }
-  return intern(value(a) * value(b));
+  return cachedOp(mulCache_, commutativeKey(a, b), [&] { return intern(value(a) * value(b)); });
 }
 
 AlgebraicSystem::Weight AlgebraicSystem::div(Weight a, Weight b) {
@@ -69,7 +69,16 @@ AlgebraicSystem::Weight AlgebraicSystem::div(Weight a, Weight b) {
   if (isOne(b)) {
     return a;
   }
-  return intern(value(a) / value(b));
+  return cachedOp(divCache_, WeightPairKey{a, b},
+                  [&] { return intern(value(a) * value(inverseOf(b))); });
+}
+
+AlgebraicSystem::Weight AlgebraicSystem::inverseOf(Weight w) {
+  assert(!isZero(w));
+  if (isOne(w)) {
+    return 1;
+  }
+  return cachedOp(invCache_, WeightPairKey{w, w}, [&] { return intern(value(w).inverse()); });
 }
 
 AlgebraicSystem::Weight AlgebraicSystem::neg(Weight a) {
@@ -119,7 +128,7 @@ AlgebraicSystem::Weight AlgebraicSystem::normalize(std::span<Weight> weights) {
     // non-zero Q[omega] value has an exact inverse.
     factor = weights[pivot];
     if (!isOne(factor)) {
-      const QOmega inverse = value(factor).inverse();
+      const QOmega& inverse = value(inverseOf(factor));
       for (std::size_t i = 0; i < weights.size(); ++i) {
         if (isZero(weights[i])) {
           continue;
@@ -144,8 +153,9 @@ AlgebraicSystem::Weight AlgebraicSystem::normalize(std::span<Weight> weights) {
     // eta = leftmost / canonical: dividing by eta maps the leftmost weight to
     // its canonical associate and keeps every weight inside D[omega].
     const QOmega eta = leftmost / QOmega{canonical};
+    factor = intern(eta);
     if (!eta.isOne()) {
-      const QOmega etaInverse = eta.inverse();
+      const QOmega& etaInverse = value(inverseOf(factor));
       for (Weight& w : weights) {
         if (isZero(w)) {
           continue;
@@ -155,7 +165,6 @@ AlgebraicSystem::Weight AlgebraicSystem::normalize(std::span<Weight> weights) {
         w = intern(updated);
       }
     }
-    factor = intern(eta);
   }
 
   for (const Weight w : weights) {

@@ -14,6 +14,8 @@
 
 #include "algebraic/euclidean.hpp"
 #include "algebraic/qomega.hpp"
+#include "core/computed_table.hpp"
+#include "core/dd_node.hpp"
 #include "obs/stats.hpp"
 
 #include <complex>
@@ -47,6 +49,10 @@ public:
 
   struct Config {
     Normalization normalization = Normalization::QOmegaInverse;
+    /// Auto-GC watermark for the package built on this system: when the live
+    /// node count exceeds this after a decRef, the package garbage-collects.
+    /// 0 disables auto-GC (collections only run on demand).
+    std::size_t gcWatermark = 0;
   };
 
   AlgebraicSystem() : AlgebraicSystem(Config{}) {}
@@ -78,6 +84,10 @@ public:
     return value(w).toComplex();
   }
 
+  /// Interning is exact and handles are stable, so memoized results always
+  /// equal a recomputation; lossy caches are safe.
+  [[nodiscard]] bool memoizationOrderDependent() const { return false; }
+
   [[nodiscard]] std::size_t distinctValues() const { return entries_.size(); }
   /// Largest coefficient/denominator bit width ever interned — the cost
   /// driver the paper identifies for the GSE blow-up (Section V-B).
@@ -104,9 +114,40 @@ public:
     out.nearMissUnifications = 0; // interning is exact: no accuracy-loss events
     out.bucketOccupancy.clear();
     out.bitWidthHistogram = bitWidthHistogram_;
+    out.opCache = opStats_;
   }
 
 private:
+  static constexpr std::size_t kOpCacheEntries = std::size_t{1} << 16U;
+  using OpCache = ComputedTable<WeightPairKey, Weight, kOpCacheEntries>;
+
+  [[nodiscard]] static WeightPairKey commutativeKey(Weight a, Weight b) {
+    return a <= b ? WeightPairKey{a, b} : WeightPairKey{b, a};
+  }
+
+  /// Interned handle of 1/value(w), memoized per handle.  The Q[omega]
+  /// inverse (norm computation + gcd canonicalization over huge integers)
+  /// dominates algebraic normalization cost, and the same pivot weights
+  /// recur constantly.  \pre !isZero(w)
+  [[nodiscard]] Weight inverseOf(Weight w);
+
+  /// Memoize a weight operation over interned handles.  Interning is exact
+  /// and handles are stable, so this is strictly behavior-preserving; it
+  /// short-circuits the Q[omega] big-integer arithmetic (+ canonicalization)
+  /// that dominates algebraic simulation.
+  template <class Compute> [[nodiscard]] Weight cachedOp(OpCache& cache, WeightPairKey key, Compute&& compute) {
+    if (const Weight* hit = cache.lookup(key)) {
+      opStats_.hits.inc();
+      return *hit;
+    }
+    opStats_.misses.inc();
+    const Weight result = compute();
+    if (cache.insert(key, result)) {
+      opStats_.evictions.inc();
+    }
+    return result;
+  }
+
   Config config_;
   // Intern pool: map owns the values; entries_ gives O(1) handle -> value.
   std::unordered_map<alg::QOmega, Weight> pool_;
@@ -115,6 +156,12 @@ private:
   std::size_t maxBits_ = 0;
   std::size_t weightsProduced_ = 0;
   std::size_t trivialWeightsProduced_ = 0;
+  OpCache addCache_;
+  OpCache subCache_;
+  OpCache mulCache_;
+  OpCache divCache_;
+  OpCache invCache_;
+  obs::CacheStats opStats_;
 };
 
 } // namespace qadd::dd

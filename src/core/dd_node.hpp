@@ -1,0 +1,106 @@
+/// \file dd_node.hpp
+/// The unified edge/node templates of the QMDD core.  A `Node<Weight, N>` has
+/// N weighted successor edges (N = 2 for state vectors, N = 4 for unitary
+/// matrices); an `Edge<Node, Weight>` is a (node pointer, weight) pair where
+/// node == nullptr denotes the terminal.  Writing both arities through one
+/// template lets the package implement addition, multiplication, Kronecker
+/// product, the GC sweep and node counting once, instantiated per arity.
+///
+/// Nodes carry three pieces of intrusive bookkeeping so that the storage
+/// layers need no auxiliary maps:
+///  - `next`: the unique-table chain link (and, for freed nodes, the
+///    memory-manager free-list link);
+///  - `ref`: the reference count (one per parent edge plus external
+///    incRef/decRef references);
+///  - `visit`: a visit-epoch mark enabling allocation-free traversals
+///    (node counting, export) — a node is "seen" iff its mark equals the
+///    package's current traversal epoch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace qadd::dd {
+
+/// Variable index; 0 is the topmost qubit (root level), as in the paper.
+using Qubit = std::uint32_t;
+
+/// Weighted edge into a DD.  node == nullptr means the edge goes to the
+/// terminal.
+template <class NodeT, class WeightT> struct Edge {
+  using Node = NodeT;
+  using Weight = WeightT;
+
+  NodeT* node = nullptr;
+  WeightT w{};
+
+  [[nodiscard]] bool isTerminal() const { return node == nullptr; }
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// DD node with N weighted successors.
+template <class WeightT, std::size_t N> struct Node {
+  using Weight = WeightT;
+  using EdgeT = Edge<Node, WeightT>;
+  static constexpr std::size_t kBranching = N;
+
+  std::array<EdgeT, N> e;
+  Node* next = nullptr;            ///< unique-table chain / free-list link
+  Qubit var = 0;
+  std::uint32_t ref = 0;
+  mutable std::uint64_t visit = 0; ///< visit-epoch mark (traversal bookkeeping)
+};
+
+namespace detail {
+
+/// Finalizer of splitmix64 / MurmurHash3: full-avalanche 64-bit mixing.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33U;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33U;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33U;
+  return x;
+}
+
+/// Fold `value` into the running hash `h`.
+[[nodiscard]] constexpr std::uint64_t hashCombine(std::uint64_t h, std::uint64_t value) noexcept {
+  return mix64(h ^ (value + 0x9e3779b97f4a7c15ULL + (h << 6U) + (h >> 2U)));
+}
+
+/// Pointers are arena addresses with identical low alignment bits; shift
+/// them out before mixing.
+[[nodiscard]] inline std::uint64_t pointerBits(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) >> 3U;
+}
+
+} // namespace detail
+
+/// Key memoizing a binary operation over interned weight handles — the
+/// weight-op caches both weight systems layer over their intern pools.
+/// Commutative operations should order the operands (min, max) before
+/// building the key so (a, b) and (b, a) share a slot.
+struct WeightPairKey {
+  std::uint32_t a;
+  std::uint32_t b;
+  friend bool operator==(const WeightPairKey&, const WeightPairKey&) = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    return detail::mix64((static_cast<std::uint64_t>(a) << 32U) | b);
+  }
+};
+
+/// Content hash of a prospective node: its variable plus each child's
+/// (pointer, weight) pair.  Weights must be integral handles (both weight
+/// systems intern their values to std::uint32_t refs).
+template <class EdgeT, std::size_t N>
+[[nodiscard]] std::uint64_t hashNodeContents(Qubit var, const std::array<EdgeT, N>& children) noexcept {
+  std::uint64_t h = detail::mix64(var);
+  for (const EdgeT& child : children) {
+    h = detail::hashCombine(h, detail::pointerBits(child.node));
+    h = detail::hashCombine(h, static_cast<std::uint64_t>(child.w));
+  }
+  return h;
+}
+
+} // namespace qadd::dd

@@ -11,8 +11,11 @@
 /// a wider mantissa lowers the error floor but can never reach zero.
 #pragma once
 
+#include "core/computed_table.hpp"
+#include "core/dd_node.hpp"
 #include "numeric/complex_table.hpp"
 #include "numeric/complex_value.hpp"
+#include "obs/stats.hpp"
 
 #include <cassert>
 #include <complex>
@@ -36,6 +39,10 @@ public:
     /// Tolerance epsilon for unifying weights (the paper's central knob).
     double epsilon = 0.0;
     Normalization normalization = Normalization::LeftmostNonzero;
+    /// Auto-GC watermark for the package built on this system: when the live
+    /// node count exceeds this after a decRef, the package garbage-collects.
+    /// 0 disables auto-GC (collections only run on demand).
+    std::size_t gcWatermark = 0;
   };
 
   explicit BasicNumericSystem(Config config)
@@ -47,10 +54,12 @@ public:
   [[nodiscard]] bool isOne(Weight w) const { return w == table_.oneRef(); }
 
   [[nodiscard]] Weight add(Weight a, Weight b) {
-    return table_.lookup(table_.value(a) + table_.value(b));
+    return cachedOp(addCache_, commutativeKey(a, b),
+                    [&] { return table_.lookup(table_.value(a) + table_.value(b)); });
   }
   [[nodiscard]] Weight sub(Weight a, Weight b) {
-    return table_.lookup(table_.value(a) - table_.value(b));
+    return cachedOp(subCache_, WeightPairKey{a, b},
+                    [&] { return table_.lookup(table_.value(a) - table_.value(b)); });
   }
   [[nodiscard]] Weight mul(Weight a, Weight b) {
     if (isZero(a) || isZero(b)) {
@@ -62,7 +71,8 @@ public:
     if (isOne(b)) {
       return a;
     }
-    return table_.lookup(table_.value(a) * table_.value(b));
+    return cachedOp(mulCache_, commutativeKey(a, b),
+                    [&] { return table_.lookup(table_.value(a) * table_.value(b)); });
   }
   [[nodiscard]] Weight div(Weight a, Weight b) {
     if (isZero(a)) {
@@ -71,7 +81,8 @@ public:
     if (isOne(b)) {
       return a;
     }
-    return table_.lookup(table_.value(a) / table_.value(b));
+    return cachedOp(divCache_, WeightPairKey{a, b},
+                    [&] { return table_.lookup(table_.value(a) / table_.value(b)); });
   }
   [[nodiscard]] Weight neg(Weight a) {
     const auto v = table_.value(a);
@@ -127,6 +138,12 @@ public:
     return table_.lookup(Value::fromStd(z));
   }
 
+  /// True iff memoized results of this system's operations may differ from
+  /// a later recomputation (tolerance-mode interning is insertion-order
+  /// dependent).  The package keeps its operation caches lossless in that
+  /// case so a result, once computed, is never recomputed.
+  [[nodiscard]] bool memoizationOrderDependent() const { return !table_.exactMode(); }
+
   [[nodiscard]] std::size_t distinctValues() const { return table_.size(); }
   /// Bit width of the representation (fixed for floats); interface parity
   /// with AlgebraicSystem.
@@ -140,6 +157,7 @@ public:
     out.nearMissUnifications = table_.nearMissUnifications();
     out.bucketOccupancy = table_.bucketOccupancyHistogram();
     out.bitWidthHistogram.clear();
+    out.opCache = opStats_;
   }
 
   [[nodiscard]] const Config& config() const { return config_; }
@@ -152,8 +170,42 @@ public:
   }
 
 private:
+  static constexpr std::size_t kOpCacheEntries = std::size_t{1} << 16U;
+  using OpCache = ComputedTable<WeightPairKey, Weight, kOpCacheEntries>;
+
+  [[nodiscard]] static WeightPairKey commutativeKey(Weight a, Weight b) {
+    return a <= b ? WeightPairKey{a, b} : WeightPairKey{b, a};
+  }
+
+  /// Memoize a weight operation — but only under bit-exact interning.  With
+  /// a tolerance, the ref a value unifies onto depends on what was interned
+  /// in the meantime (the 3x3 grid scan can match a later entry), so a
+  /// cached result could differ from a recomputation and perturb the
+  /// diagrams; the tolerant path always recomputes.
+  template <class Compute>
+  [[nodiscard]] Weight cachedOp(OpCache& cache, WeightPairKey key, Compute&& compute) {
+    if (!table_.exactMode()) {
+      return compute();
+    }
+    if (const Weight* hit = cache.lookup(key)) {
+      opStats_.hits.inc();
+      return *hit;
+    }
+    opStats_.misses.inc();
+    const Weight result = compute();
+    if (cache.insert(key, result)) {
+      opStats_.evictions.inc();
+    }
+    return result;
+  }
+
   Config config_;
   num::BasicComplexTable<FloatT> table_;
+  OpCache addCache_;
+  OpCache subCache_;
+  OpCache mulCache_;
+  OpCache divCache_;
+  obs::CacheStats opStats_;
 };
 
 /// The paper's baseline: IEEE-754 double precision.

@@ -11,12 +11,29 @@
 /// quasi-reduced: every root-to-terminal path visits every variable, which
 /// keeps the algorithms uniform (no level-skipping case analysis).
 ///
+/// Storage architecture (see docs/CORE_STORAGE.md):
+///  - nodes live in chunked arenas (core/memory_manager.hpp) with stable
+///    addresses and intrusive free-list reuse;
+///  - canonicity is enforced by bucket-chained unique tables over node
+///    contents (core/unique_table.hpp), chained through Node::next;
+///  - the operation caches are fixed-size, direct-mapped, lossy
+///    (core/computed_table.hpp); clearing them — on garbageCollect() or
+///    clearCaches() — is an O(1) epoch bump per table;
+///  - both node arities share one set of templated algorithms via the
+///    Edge/Node templates of core/dd_node.hpp.
+///
 /// Reference counting: a node holds one reference per parent edge plus any
-/// external references (incRef/decRef).  garbageCollect() clears the
-/// operation caches and sweeps ref == 0 nodes.
+/// external references (incRef/decRef).  garbageCollect() invalidates the
+/// operation caches and sweeps ref == 0 nodes; it also auto-triggers from
+/// decRef() when the live node count crosses the configured watermark
+/// (System::Config::gcWatermark, 0 = only on demand).
 #pragma once
 
 #include "algebraic/qomega.hpp" // exact amplitude accumulation (algebraic system)
+#include "core/computed_table.hpp"
+#include "core/dd_node.hpp"
+#include "core/memory_manager.hpp"
+#include "core/unique_table.hpp"
 #include "obs/stats.hpp"
 #include "obs/tracer.hpp"
 
@@ -25,24 +42,19 @@
 #include <chrono>
 #include <complex>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
 #include <vector>
 
 namespace qadd::dd {
-
-/// Variable index; 0 is the topmost qubit (root level), as in the paper.
-using Qubit = std::uint32_t;
 
 /// Result of one garbage-collection run.
 struct GcReport {
   std::size_t swept = 0;      ///< nodes returned to the free lists
   std::size_t liveBefore = 0; ///< allocated nodes before the sweep
   std::size_t liveAfter = 0;  ///< allocated nodes after the sweep
-  double seconds = 0.0;       ///< wall time of cache clearing + sweeping
+  double seconds = 0.0;       ///< wall time of cache invalidation + sweeping
 };
 
 /// Bitmask selecting operation caches for Package::clearCaches().
@@ -69,44 +81,40 @@ enum class CacheKind : std::uint16_t {
 template <class System> class Package {
 public:
   using Weight = typename System::Weight;
+  static_assert(std::is_integral_v<Weight>,
+                "Package requires interned integral weight handles (both weight systems "
+                "intern to std::uint32_t refs)");
 
-  struct VNode;
-  struct MNode;
-
+  using VNode = dd::Node<Weight, 2>;
+  using MNode = dd::Node<Weight, 4>;
   /// Weighted edge into a vector DD.  node == nullptr means the edge goes to
   /// the terminal.
-  struct VEdge {
-    VNode* node = nullptr;
-    Weight w{};
-    [[nodiscard]] bool isTerminal() const { return node == nullptr; }
-    friend bool operator==(const VEdge&, const VEdge&) = default;
-  };
-
+  using VEdge = dd::Edge<VNode, Weight>;
   /// Weighted edge into a matrix DD.
-  struct MEdge {
-    MNode* node = nullptr;
-    Weight w{};
-    [[nodiscard]] bool isTerminal() const { return node == nullptr; }
-    friend bool operator==(const MEdge&, const MEdge&) = default;
-  };
-
-  struct VNode {
-    std::array<VEdge, 2> e;
-    Qubit var = 0;
-    std::uint32_t ref = 0;
-  };
-
-  struct MNode {
-    std::array<MEdge, 4> e;
-    Qubit var = 0;
-    std::uint32_t ref = 0;
-  };
+  using MEdge = dd::Edge<MNode, Weight>;
 
   /// 2x2 gate matrix given as weights [u00, u01, u10, u11].
   using GateMatrix = std::array<Weight, 4>;
 
+  // Operation-cache geometry: the add and multiply caches carry the
+  // simulation hot path and get the large tables; Kronecker/inner/unary
+  // traffic is lighter.  All lossy and direct-mapped; sizes are powers of 2.
+  static constexpr std::size_t kAddCacheEntries = std::size_t{1} << 16U;
+  static constexpr std::size_t kMulCacheEntries = std::size_t{1} << 16U;
+  static constexpr std::size_t kKronCacheEntries = std::size_t{1} << 13U;
+  static constexpr std::size_t kInnerCacheEntries = std::size_t{1} << 13U;
+  static constexpr std::size_t kUnaryCacheEntries = std::size_t{1} << 12U;
+
   explicit Package(Qubit nqubits, typename System::Config config = {})
-      : nqubits_(nqubits), system_(config) {}
+      : nqubits_(nqubits), system_(config), gcWatermark_(config.gcWatermark) {
+    if (system_.memoizationOrderDependent()) {
+      // A recomputed result could differ from the cached one (tolerance-mode
+      // interning): keep every memoized result so nothing is ever recomputed.
+      for (const CacheRegistryEntry& entry : kCacheRegistry) {
+        entry.setLossless(*this, true);
+      }
+    }
+  }
 
   Package(const Package&) = delete;
   Package& operator=(const Package&) = delete;
@@ -125,13 +133,13 @@ public:
   /// Create/lookup the canonical vector node; normalizes the children weights
   /// and folds the extracted factor into the returned edge weight.
   [[nodiscard]] VEdge makeVNode(Qubit var, std::array<VEdge, 2> children) {
-    return makeNode<VEdge, VNode, 2>(var, children, vUnique_, vPool_, vFree_);
+    return makeNode<VEdge, 2>(var, children);
   }
 
   /// Create/lookup the canonical matrix node (children in the paper's order:
   /// top-left, top-right, bottom-left, bottom-right).
   [[nodiscard]] MEdge makeMNode(Qubit var, std::array<MEdge, 4> children) {
-    return makeNode<MEdge, MNode, 4>(var, children, mUnique_, mPool_, mFree_);
+    return makeNode<MEdge, 4>(var, children);
   }
 
   // -- reference counting / garbage collection ---------------------------------
@@ -141,37 +149,45 @@ public:
       ++e.node->ref;
     }
   }
+  void incRef(const MEdge& e) {
+    if (e.node != nullptr) {
+      ++e.node->ref;
+    }
+  }
+  /// Release an external reference.  May auto-trigger garbageCollect() when
+  /// the live node count exceeds the watermark — callers must hold an incRef
+  /// on every edge they still need across a decRef (the discipline the
+  /// simulator and unitary builders already follow).
   void decRef(const VEdge& e) {
     if (e.node != nullptr) {
       assert(e.node->ref > 0);
       --e.node->ref;
-    }
-  }
-  void incRef(const MEdge& e) {
-    if (e.node != nullptr) {
-      ++e.node->ref;
+      maybeGarbageCollect();
     }
   }
   void decRef(const MEdge& e) {
     if (e.node != nullptr) {
       assert(e.node->ref > 0);
       --e.node->ref;
+      maybeGarbageCollect();
     }
   }
 
-  /// Drop all operation caches and free every node that is no longer
+  /// Invalidate all operation caches and free every node that is no longer
   /// reachable from an externally referenced edge.
   GcReport garbageCollect() {
     const auto span = obs::Tracer::global().span("gc", "dd");
     const auto start = std::chrono::steady_clock::now();
     GcReport report;
     report.liveBefore = allocatedNodes();
-    clearCaches();
-    sweep<VNode, 2>(vUnique_, vFree_);
-    sweep<MNode, 4>(mUnique_, mFree_);
+    clearCaches(); // O(1) epoch bumps — GC no longer pays a cache teardown
+    vUnique_.sweep([this](VNode* node) { vMem_.free(node); });
+    mUnique_.sweep([this](MNode* node) { mMem_.free(node); });
     report.liveAfter = allocatedNodes();
     report.swept = report.liveBefore - report.liveAfter;
     report.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    ++gcRuns_;
+    lastGcReport_ = report;
     stats_.gc.runs.inc();
     stats_.gc.nodesSwept.inc(report.swept);
     if constexpr (obs::kEnabled) {
@@ -180,41 +196,38 @@ public:
     return report;
   }
 
-  /// Drop the selected operation caches (all of them by default).
+  /// Run garbageCollect() iff the live node count exceeds the watermark.
+  /// Returns true when a collection ran.
+  bool maybeGarbageCollect() {
+    if (gcWatermark_ != 0 && allocatedNodes() > gcWatermark_) {
+      garbageCollect();
+      return true;
+    }
+    return false;
+  }
+
+  /// Watermark for auto-GC (0 disables); initialized from
+  /// System::Config::gcWatermark.
+  void setGcWatermark(std::size_t watermark) { gcWatermark_ = watermark; }
+  [[nodiscard]] std::size_t gcWatermark() const { return gcWatermark_; }
+  /// Collections run so far (manual + auto); always maintained, even with
+  /// telemetry compiled out.
+  [[nodiscard]] std::size_t gcRuns() const { return gcRuns_; }
+  /// Report of the most recent collection (all zeros before the first run).
+  [[nodiscard]] const GcReport& lastGcReport() const { return lastGcReport_; }
+
+  /// Invalidate the selected operation caches (all of them by default),
+  /// driven by the static cache registry — each entry is an O(1) epoch bump.
   void clearCaches(CacheKind kinds = CacheKind::All) {
-    if (contains(kinds, CacheKind::VAdd)) {
-      vAddCache_.clear();
-    }
-    if (contains(kinds, CacheKind::MAdd)) {
-      mAddCache_.clear();
-    }
-    if (contains(kinds, CacheKind::MV)) {
-      mvCache_.clear();
-    }
-    if (contains(kinds, CacheKind::MM)) {
-      mmCache_.clear();
-    }
-    if (contains(kinds, CacheKind::VKron)) {
-      vKronCache_.clear();
-    }
-    if (contains(kinds, CacheKind::MKron)) {
-      mKronCache_.clear();
-    }
-    if (contains(kinds, CacheKind::Transpose)) {
-      transposeCache_.clear();
-    }
-    if (contains(kinds, CacheKind::Inner)) {
-      innerCache_.clear();
-    }
-    if (contains(kinds, CacheKind::Trace)) {
-      traceCache_.clear();
+    for (const CacheRegistryEntry& entry : kCacheRegistry) {
+      if (contains(kinds, entry.kind)) {
+        entry.clear(*this);
+      }
     }
   }
 
   /// Number of live (allocated, not freed) nodes across both node types.
-  [[nodiscard]] std::size_t allocatedNodes() const {
-    return vPool_.size() + mPool_.size() - vFreeCount_ - mFreeCount_;
-  }
+  [[nodiscard]] std::size_t allocatedNodes() const { return vMem_.inUse() + mMem_.inUse(); }
   [[nodiscard]] std::size_t peakNodes() const { return peakNodes_; }
 
   // -- telemetry ----------------------------------------------------------------
@@ -223,14 +236,18 @@ public:
   /// tight loops.
   [[nodiscard]] const obs::PackageStats& counters() const { return stats_; }
 
-  /// Snapshot of all counters plus the gauges: live/peak node counts and the
-  /// weight-table view of the active system (entry count, ε near-misses and
-  /// bucket occupancy for the numeric table; bit-width histogram for the
-  /// algebraic intern pool).
+  /// Snapshot of all counters plus the gauges: live/peak node counts, the
+  /// unique-table fill (entries/buckets), and the weight-table view of the
+  /// active system (entry count, ε near-misses and bucket occupancy for the
+  /// numeric table; bit-width histogram for the algebraic intern pool).
   [[nodiscard]] obs::PackageStats stats() const {
     obs::PackageStats snapshot = stats_;
     snapshot.liveNodes = allocatedNodes();
     snapshot.peakNodes = peakNodes_;
+    snapshot.vUnique.entries = vUnique_.size();
+    snapshot.vUnique.buckets = vUnique_.bucketCount();
+    snapshot.mUnique.entries = mUnique_.size();
+    snapshot.mUnique.buckets = mUnique_.bucketCount();
     system_.collectObs(snapshot.weights);
     return snapshot;
   }
@@ -336,169 +353,21 @@ public:
 
   // -- arithmetic ---------------------------------------------------------------
 
-  [[nodiscard]] VEdge add(const VEdge& a, const VEdge& b) {
-    if (system_.isZero(a.w)) {
-      return b;
-    }
-    if (system_.isZero(b.w)) {
-      return a;
-    }
-    if (a.isTerminal() && b.isTerminal()) {
-      return {nullptr, system_.add(a.w, b.w)};
-    }
-    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
-    // Canonical operand order (addition is commutative).
-    const VEdge& x = orderForAdd(a, b) ? a : b;
-    const VEdge& y = orderForAdd(a, b) ? b : a;
-    const EdgeKey key{x.node, x.w, y.node, y.w};
-    if (const auto it = vAddCache_.find(key); it != vAddCache_.end()) {
-      stats_.vAdd.hits.inc();
-      return it->second;
-    }
-    stats_.vAdd.misses.inc();
-    std::array<VEdge, 2> children;
-    for (std::size_t i = 0; i < 2; ++i) {
-      children[i] = add(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
-    }
-    const VEdge result = makeVNode(x.node->var, children);
-    vAddCache_.emplace(key, result);
-    return result;
-  }
-
-  [[nodiscard]] MEdge add(const MEdge& a, const MEdge& b) {
-    if (system_.isZero(a.w)) {
-      return b;
-    }
-    if (system_.isZero(b.w)) {
-      return a;
-    }
-    if (a.isTerminal() && b.isTerminal()) {
-      return {nullptr, system_.add(a.w, b.w)};
-    }
-    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
-    const bool ordered = std::less<const void*>{}(a.node, b.node) ||
-                         (a.node == b.node && a.w <= b.w);
-    const MEdge& x = ordered ? a : b;
-    const MEdge& y = ordered ? b : a;
-    const EdgeKey key{x.node, x.w, y.node, y.w};
-    if (const auto it = mAddCache_.find(key); it != mAddCache_.end()) {
-      stats_.mAdd.hits.inc();
-      return it->second;
-    }
-    stats_.mAdd.misses.inc();
-    std::array<MEdge, 4> children;
-    for (std::size_t i = 0; i < 4; ++i) {
-      children[i] = add(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
-    }
-    const MEdge result = makeMNode(x.node->var, children);
-    mAddCache_.emplace(key, result);
-    return result;
-  }
+  [[nodiscard]] VEdge add(const VEdge& a, const VEdge& b) { return addImpl(a, b); }
+  [[nodiscard]] MEdge add(const MEdge& a, const MEdge& b) { return addImpl(a, b); }
 
   /// Matrix-vector product M|v>.
-  [[nodiscard]] VEdge multiply(const MEdge& m, const VEdge& v) {
-    if (system_.isZero(m.w) || system_.isZero(v.w)) {
-      return zeroVector();
-    }
-    const Weight w = system_.mul(m.w, v.w);
-    if (m.isTerminal() && v.isTerminal()) {
-      return {nullptr, w};
-    }
-    assert(!m.isTerminal() && !v.isTerminal() && m.node->var == v.node->var);
-    const NodePairKey key{m.node, v.node};
-    if (const auto it = mvCache_.find(key); it != mvCache_.end()) {
-      stats_.mv.hits.inc();
-      return weighted(it->second, w);
-    }
-    stats_.mv.misses.inc();
-    std::array<VEdge, 2> children;
-    for (std::size_t row = 0; row < 2; ++row) {
-      const VEdge partial0 = multiply(m.node->e[2 * row], v.node->e[0]);
-      const VEdge partial1 = multiply(m.node->e[2 * row + 1], v.node->e[1]);
-      children[row] = add(partial0, partial1);
-    }
-    const VEdge result = makeVNode(m.node->var, children);
-    mvCache_.emplace(key, result);
-    return weighted(result, w);
-  }
-
+  [[nodiscard]] VEdge multiply(const MEdge& m, const VEdge& v) { return multiplyImpl(m, v); }
   /// Matrix-matrix product A*B.
-  [[nodiscard]] MEdge multiply(const MEdge& a, const MEdge& b) {
-    if (system_.isZero(a.w) || system_.isZero(b.w)) {
-      return zeroMatrix();
-    }
-    const Weight w = system_.mul(a.w, b.w);
-    if (a.isTerminal() && b.isTerminal()) {
-      return {nullptr, w};
-    }
-    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
-    const NodePairKey key{a.node, b.node};
-    if (const auto it = mmCache_.find(key); it != mmCache_.end()) {
-      stats_.mm.hits.inc();
-      return weighted(it->second, w);
-    }
-    stats_.mm.misses.inc();
-    std::array<MEdge, 4> children;
-    for (std::size_t row = 0; row < 2; ++row) {
-      for (std::size_t col = 0; col < 2; ++col) {
-        const MEdge p0 = multiply(a.node->e[2 * row], b.node->e[col]);
-        const MEdge p1 = multiply(a.node->e[2 * row + 1], b.node->e[2 + col]);
-        children[2 * row + col] = add(p0, p1);
-      }
-    }
-    const MEdge result = makeMNode(a.node->var, children);
-    mmCache_.emplace(key, result);
-    return weighted(result, w);
-  }
+  [[nodiscard]] MEdge multiply(const MEdge& a, const MEdge& b) { return multiplyImpl(a, b); }
 
   /// |top> (x) |bottom>; top's variables must all lie above bottom's.
   [[nodiscard]] VEdge kronecker(const VEdge& top, const VEdge& bottom) {
-    if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
-      return zeroVector();
-    }
-    const Weight w = system_.mul(top.w, bottom.w);
-    if (top.isTerminal()) {
-      return weighted(VEdge{bottom.node, system_.one()}, w);
-    }
-    const NodePairKey key{top.node, bottom.node};
-    if (const auto it = vKronCache_.find(key); it != vKronCache_.end()) {
-      stats_.vKron.hits.inc();
-      return weighted(it->second, w);
-    }
-    stats_.vKron.misses.inc();
-    const VEdge stripBottom{bottom.node, system_.one()};
-    std::array<VEdge, 2> children;
-    for (std::size_t i = 0; i < 2; ++i) {
-      children[i] = kronecker(top.node->e[i], stripBottom);
-    }
-    const VEdge result = makeVNode(top.node->var, children);
-    vKronCache_.emplace(key, result);
-    return weighted(result, w);
+    return kroneckerImpl(top, bottom);
   }
-
   /// A (x) B for matrices; same variable discipline as the vector overload.
   [[nodiscard]] MEdge kronecker(const MEdge& top, const MEdge& bottom) {
-    if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
-      return zeroMatrix();
-    }
-    const Weight w = system_.mul(top.w, bottom.w);
-    if (top.isTerminal()) {
-      return weighted(MEdge{bottom.node, system_.one()}, w);
-    }
-    const NodePairKey key{top.node, bottom.node};
-    if (const auto it = mKronCache_.find(key); it != mKronCache_.end()) {
-      stats_.mKron.hits.inc();
-      return weighted(it->second, w);
-    }
-    stats_.mKron.misses.inc();
-    const MEdge stripBottom{bottom.node, system_.one()};
-    std::array<MEdge, 4> children;
-    for (std::size_t i = 0; i < 4; ++i) {
-      children[i] = kronecker(top.node->e[i], stripBottom);
-    }
-    const MEdge result = makeMNode(top.node->var, children);
-    mKronCache_.emplace(key, result);
-    return weighted(result, w);
+    return kroneckerImpl(top, bottom);
   }
 
   /// Conjugate transpose (adjoint) of a matrix DD.
@@ -510,16 +379,19 @@ public:
     if (a.isTerminal()) {
       return {nullptr, w};
     }
-    if (const auto it = transposeCache_.find(a.node); it != transposeCache_.end()) {
+    const NodeKey key{a.node};
+    if (const MEdge* hit = transposeCache_.lookup(key)) {
       stats_.transpose.hits.inc();
-      return weighted(it->second, w);
+      return weighted(*hit, w);
     }
     stats_.transpose.misses.inc();
     std::array<MEdge, 4> children{
         conjugateTranspose(a.node->e[0]), conjugateTranspose(a.node->e[2]),
         conjugateTranspose(a.node->e[1]), conjugateTranspose(a.node->e[3])};
     const MEdge result = makeMNode(a.node->var, children);
-    transposeCache_.emplace(a.node, result);
+    if (transposeCache_.insert(key, result)) {
+      stats_.transpose.evictions.inc();
+    }
     return weighted(result, w);
   }
 
@@ -569,13 +441,16 @@ public:
       return a.w;
     }
     Weight per = system_.zero();
-    if (const auto it = traceCache_.find(a.node); it != traceCache_.end()) {
+    const NodeKey key{a.node};
+    if (const Weight* hit = traceCache_.lookup(key)) {
       stats_.trace.hits.inc();
-      per = it->second;
+      per = *hit;
     } else {
       stats_.trace.misses.inc();
       per = system_.add(trace(a.node->e[0]), trace(a.node->e[3]));
-      traceCache_.emplace(a.node, per);
+      if (traceCache_.insert(key, per)) {
+        stats_.trace.evictions.inc();
+      }
     }
     return system_.mul(a.w, per);
   }
@@ -600,33 +475,29 @@ public:
     }
     assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
     const NodePairKey key{a.node, b.node};
-    if (const auto it = innerCache_.find(key); it != innerCache_.end()) {
+    if (const Weight* hit = innerCache_.lookup(key)) {
       stats_.inner.hits.inc();
-      return system_.mul(w, it->second);
+      return system_.mul(w, *hit);
     }
     stats_.inner.misses.inc();
     Weight sum = system_.zero();
     for (std::size_t i = 0; i < 2; ++i) {
       sum = system_.add(sum, innerProduct(a.node->e[i], b.node->e[i]));
     }
-    innerCache_.emplace(key, sum);
+    if (innerCache_.insert(key, sum)) {
+      stats_.inner.evictions.inc();
+    }
     return system_.mul(w, sum);
   }
 
   // -- inspection ----------------------------------------------------------------
 
   /// Number of DD nodes reachable from the edge (terminals not counted) —
-  /// the compactness measure plotted in the paper's figures.
-  [[nodiscard]] std::size_t countNodes(const VEdge& e) const {
-    std::unordered_set<const VNode*> visited;
-    countNodesImpl<VNode>(e.node, visited);
-    return visited.size();
-  }
-  [[nodiscard]] std::size_t countNodes(const MEdge& e) const {
-    std::unordered_set<const MNode*> visited;
-    countNodesImpl<MNode>(e.node, visited);
-    return visited.size();
-  }
+  /// the compactness measure plotted in the paper's figures.  Allocation
+  /// free: traversal marks nodes with the package's visit epoch instead of
+  /// materializing a visited set.
+  [[nodiscard]] std::size_t countNodes(const VEdge& e) const { return countReachable(e.node); }
+  [[nodiscard]] std::size_t countNodes(const MEdge& e) const { return countReachable(e.node); }
 
   /// All 2^n amplitudes as complex doubles.  For the algebraic system the
   /// path products are accumulated exactly and converted only at the leaves,
@@ -674,19 +545,21 @@ public:
   }
 
 private:
+  // -- operation-cache keys ------------------------------------------------------
+  // Trivially copyable PODs with strong 64-bit hashes (the computed tables
+  // are direct-mapped, so the hash must avalanche into the low bits).
+
   struct EdgeKey {
     const void* n1;
     Weight w1;
     const void* n2;
     Weight w2;
     friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
-  };
-  struct EdgeKeyHash {
-    std::size_t operator()(const EdgeKey& k) const noexcept {
-      std::size_t h = std::hash<const void*>{}(k.n1);
-      h = h * 0x9e3779b97f4a7c15ULL + k.w1;
-      h = h * 0x9e3779b97f4a7c15ULL + std::hash<const void*>{}(k.n2);
-      h = h * 0x9e3779b97f4a7c15ULL + k.w2;
+    [[nodiscard]] std::uint64_t hash() const noexcept {
+      std::uint64_t h = detail::mix64(detail::pointerBits(n1));
+      h = detail::hashCombine(h, static_cast<std::uint64_t>(w1));
+      h = detail::hashCombine(h, detail::pointerBits(n2));
+      h = detail::hashCombine(h, static_cast<std::uint64_t>(w2));
       return h;
     }
   };
@@ -694,61 +567,212 @@ private:
     const void* n1;
     const void* n2;
     friend bool operator==(const NodePairKey&, const NodePairKey&) = default;
+    [[nodiscard]] std::uint64_t hash() const noexcept {
+      return detail::hashCombine(detail::mix64(detail::pointerBits(n1)), detail::pointerBits(n2));
+    }
   };
-  struct NodePairKeyHash {
-    std::size_t operator()(const NodePairKey& k) const noexcept {
-      return std::hash<const void*>{}(k.n1) * 0x9e3779b97f4a7c15ULL ^
-             std::hash<const void*>{}(k.n2);
+  struct NodeKey {
+    const void* n;
+    friend bool operator==(const NodeKey&, const NodeKey&) = default;
+    [[nodiscard]] std::uint64_t hash() const noexcept {
+      return detail::mix64(detail::pointerBits(n));
     }
   };
 
-  template <std::size_t N> struct UniqueKey {
-    Qubit var;
-    std::array<const void*, N> nodes;
-    std::array<Weight, N> weights;
-    friend bool operator==(const UniqueKey&, const UniqueKey&) = default;
-  };
-  template <std::size_t N> struct UniqueKeyHash {
-    std::size_t operator()(const UniqueKey<N>& k) const noexcept {
-      std::size_t h = k.var;
-      for (std::size_t i = 0; i < N; ++i) {
-        h = h * 0x9e3779b97f4a7c15ULL + std::hash<const void*>{}(k.nodes[i]);
-        h = h * 0x9e3779b97f4a7c15ULL + k.weights[i];
-      }
-      return h;
-    }
-  };
+  // -- per-arity storage selection ----------------------------------------------
 
-  [[nodiscard]] bool orderForAdd(const VEdge& a, const VEdge& b) const {
+  template <class EdgeT> static constexpr bool kIsVector = EdgeT::Node::kBranching == 2;
+
+  template <class EdgeT> [[nodiscard]] auto& uniqueFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return vUnique_;
+    } else {
+      return mUnique_;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] auto& memFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return vMem_;
+    } else {
+      return mMem_;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] obs::UniqueTableStats& uniqueStatsFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return stats_.vUnique;
+    } else {
+      return stats_.mUnique;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] auto& addCacheFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return vAddCache_;
+    } else {
+      return mAddCache_;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] obs::CacheStats& addStatsFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return stats_.vAdd;
+    } else {
+      return stats_.mAdd;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] auto& mulCacheFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return mvCache_;
+    } else {
+      return mmCache_;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] obs::CacheStats& mulStatsFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return stats_.mv;
+    } else {
+      return stats_.mm;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] auto& kronCacheFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return vKronCache_;
+    } else {
+      return mKronCache_;
+    }
+  }
+  template <class EdgeT> [[nodiscard]] obs::CacheStats& kronStatsFor() {
+    if constexpr (kIsVector<EdgeT>) {
+      return stats_.vKron;
+    } else {
+      return stats_.mKron;
+    }
+  }
+
+  // -- unified recursive algorithms ---------------------------------------------
+
+  /// Canonical operand order (addition is commutative).
+  template <class EdgeT> [[nodiscard]] bool orderForAdd(const EdgeT& a, const EdgeT& b) const {
     return std::less<const void*>{}(a.node, b.node) || (a.node == b.node && a.w <= b.w);
   }
 
-  [[nodiscard]] VEdge weighted(const VEdge& e, Weight w) {
-    if (system_.isZero(e.w) || system_.isZero(w)) {
-      return zeroVector();
+  template <class EdgeT> [[nodiscard]] EdgeT addImpl(const EdgeT& a, const EdgeT& b) {
+    if (system_.isZero(a.w)) {
+      return b;
     }
-    return {e.node, system_.mul(w, e.w)};
+    if (system_.isZero(b.w)) {
+      return a;
+    }
+    if (a.isTerminal() && b.isTerminal()) {
+      return {nullptr, system_.add(a.w, b.w)};
+    }
+    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
+    const bool ordered = orderForAdd(a, b);
+    const EdgeT& x = ordered ? a : b;
+    const EdgeT& y = ordered ? b : a;
+    const EdgeKey key{x.node, x.w, y.node, y.w};
+    auto& cache = addCacheFor<EdgeT>();
+    obs::CacheStats& cacheStats = addStatsFor<EdgeT>();
+    if (const EdgeT* hit = cache.lookup(key)) {
+      cacheStats.hits.inc();
+      return *hit;
+    }
+    cacheStats.misses.inc();
+    constexpr std::size_t N = EdgeT::Node::kBranching;
+    std::array<EdgeT, N> children;
+    for (std::size_t i = 0; i < N; ++i) {
+      children[i] = addImpl(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
+    }
+    const EdgeT result = makeNode<EdgeT, N>(x.node->var, children);
+    if (cache.insert(key, result)) {
+      cacheStats.evictions.inc();
+    }
+    return result;
   }
-  [[nodiscard]] MEdge weighted(const MEdge& e, Weight w) {
+
+  /// Matrix-vector (result arity 2) and matrix-matrix (result arity 4)
+  /// product through one recursion: the result has 2 rows and
+  /// N/2 columns, each entry a sum of two partial products.
+  template <class REdge> [[nodiscard]] REdge multiplyImpl(const MEdge& m, const REdge& v) {
+    if (system_.isZero(m.w) || system_.isZero(v.w)) {
+      return REdge{nullptr, system_.zero()};
+    }
+    const Weight w = system_.mul(m.w, v.w);
+    if (m.isTerminal() && v.isTerminal()) {
+      return {nullptr, w};
+    }
+    assert(!m.isTerminal() && !v.isTerminal() && m.node->var == v.node->var);
+    const NodePairKey key{m.node, v.node};
+    auto& cache = mulCacheFor<REdge>();
+    obs::CacheStats& cacheStats = mulStatsFor<REdge>();
+    if (const REdge* hit = cache.lookup(key)) {
+      cacheStats.hits.inc();
+      return weighted(*hit, w);
+    }
+    cacheStats.misses.inc();
+    constexpr std::size_t N = REdge::Node::kBranching;
+    constexpr std::size_t cols = N / 2;
+    std::array<REdge, N> children;
+    for (std::size_t row = 0; row < 2; ++row) {
+      for (std::size_t col = 0; col < cols; ++col) {
+        const REdge p0 = multiplyImpl(m.node->e[2 * row], v.node->e[col]);
+        const REdge p1 = multiplyImpl(m.node->e[2 * row + 1], v.node->e[cols + col]);
+        children[cols * row + col] = addImpl(p0, p1);
+      }
+    }
+    const REdge result = makeNode<REdge, N>(m.node->var, children);
+    if (cache.insert(key, result)) {
+      cacheStats.evictions.inc();
+    }
+    return weighted(result, w);
+  }
+
+  template <class EdgeT> [[nodiscard]] EdgeT kroneckerImpl(const EdgeT& top, const EdgeT& bottom) {
+    if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
+      return EdgeT{nullptr, system_.zero()};
+    }
+    const Weight w = system_.mul(top.w, bottom.w);
+    if (top.isTerminal()) {
+      return weighted(EdgeT{bottom.node, system_.one()}, w);
+    }
+    const NodePairKey key{top.node, bottom.node};
+    auto& cache = kronCacheFor<EdgeT>();
+    obs::CacheStats& cacheStats = kronStatsFor<EdgeT>();
+    if (const EdgeT* hit = cache.lookup(key)) {
+      cacheStats.hits.inc();
+      return weighted(*hit, w);
+    }
+    cacheStats.misses.inc();
+    const EdgeT stripBottom{bottom.node, system_.one()};
+    constexpr std::size_t N = EdgeT::Node::kBranching;
+    std::array<EdgeT, N> children;
+    for (std::size_t i = 0; i < N; ++i) {
+      children[i] = kroneckerImpl(top.node->e[i], stripBottom);
+    }
+    const EdgeT result = makeNode<EdgeT, N>(top.node->var, children);
+    if (cache.insert(key, result)) {
+      cacheStats.evictions.inc();
+    }
+    return weighted(result, w);
+  }
+
+  template <class EdgeT> [[nodiscard]] EdgeT weighted(const EdgeT& e, Weight w) {
     if (system_.isZero(e.w) || system_.isZero(w)) {
-      return zeroMatrix();
+      return EdgeT{nullptr, system_.zero()};
     }
     return {e.node, system_.mul(w, e.w)};
   }
   [[nodiscard]] MEdge scale(const MEdge& e, Weight w) { return weighted(e, w); }
 
-  template <class Edge, class Node, std::size_t N>
-  [[nodiscard]] Edge makeNode(
-      Qubit var, std::array<Edge, N>& children,
-      std::unordered_map<UniqueKey<N>, Node*, UniqueKeyHash<N>>& unique, std::deque<Node>& pool,
-      std::vector<Node*>& freeList) {
+  // -- node construction ---------------------------------------------------------
+
+  template <class EdgeT, std::size_t N>
+  [[nodiscard]] EdgeT makeNode(Qubit var, std::array<EdgeT, N> children) {
     assert(var < nqubits_);
     // Zero-weight edges point to the terminal canonically.
     bool allZero = true;
     std::array<Weight, N> weights;
     for (std::size_t i = 0; i < N; ++i) {
       if (system_.isZero(children[i].w)) {
-        children[i] = Edge{nullptr, system_.zero()};
+        children[i] = EdgeT{nullptr, system_.zero()};
         weights[i] = system_.zero();
       } else {
         allZero = false;
@@ -756,104 +780,70 @@ private:
       }
     }
     if (allZero) {
-      return Edge{nullptr, system_.zero()};
+      return EdgeT{nullptr, system_.zero()};
     }
     const Weight factor = system_.normalize(std::span<Weight>(weights));
     for (std::size_t i = 0; i < N; ++i) {
       // Under a tolerant numeric system, normalization may snap a weight to
       // zero; keep the zero-edge canonical form (terminal stub).
       if (system_.isZero(weights[i])) {
-        children[i] = Edge{nullptr, system_.zero()};
+        children[i] = EdgeT{nullptr, system_.zero()};
         weights[i] = system_.zero();
       } else {
         children[i].w = weights[i];
       }
     }
 
-    UniqueKey<N> key{var, {}, weights};
-    for (std::size_t i = 0; i < N; ++i) {
-      key.nodes[i] = children[i].node;
-    }
-    obs::UniqueTableStats& tableStats =
-        std::is_same_v<Node, VNode> ? stats_.vUnique : stats_.mUnique;
+    auto& unique = uniqueFor<EdgeT>();
+    obs::UniqueTableStats& tableStats = uniqueStatsFor<EdgeT>();
+    const std::uint64_t contentHash = hashNodeContents(var, children);
     tableStats.lookups.inc();
-    if (const auto it = unique.find(key); it != unique.end()) {
+    if (auto* existing = unique.find(var, children, contentHash)) {
       tableStats.hits.inc();
-      return Edge{it->second, factor};
+      return EdgeT{existing, factor};
     }
     if constexpr (obs::kEnabled) {
       // The insert below will lengthen a chain iff the bucket is occupied.
-      if (unique.bucket_count() > 0 && unique.bucket_size(unique.bucket(key)) > 0) {
+      if (unique.wouldCollide(contentHash)) {
         tableStats.collisions.inc();
       }
     }
-    Node* node = nullptr;
-    if (!freeList.empty()) {
-      node = freeList.back();
-      freeList.pop_back();
+    auto& mem = memFor<EdgeT>();
+    if (mem.available() > 0) {
       stats_.nodeReuses.inc();
-      if constexpr (std::is_same_v<Node, VNode>) {
-        --vFreeCount_;
-      } else {
-        --mFreeCount_;
-      }
     } else {
-      node = &pool.emplace_back();
       stats_.nodeAllocations.inc();
     }
+    auto* node = mem.get();
     node->var = var;
     node->ref = 0;
     node->e = children;
-    for (const Edge& child : children) {
+    for (const EdgeT& child : children) {
       if (child.node != nullptr) {
         ++child.node->ref;
       }
     }
-    unique.emplace(std::move(key), node);
+    unique.insert(node, contentHash);
     peakNodes_ = std::max(peakNodes_, allocatedNodes());
-    return Edge{node, factor};
+    return EdgeT{node, factor};
   }
 
-  template <class Node, std::size_t N>
-  void sweep(std::unordered_map<UniqueKey<N>, Node*, UniqueKeyHash<N>>& unique,
-             std::vector<Node*>& freeList) {
-    // Iteratively remove ref == 0 nodes (freeing one decrements its
-    // children, which may become dead in turn).
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (auto it = unique.begin(); it != unique.end();) {
-        Node* node = it->second;
-        if (node->ref == 0) {
-          for (auto& child : node->e) {
-            if (child.node != nullptr) {
-              assert(child.node->ref > 0);
-              --child.node->ref;
-            }
-          }
-          freeList.push_back(node);
-          if constexpr (std::is_same_v<Node, VNode>) {
-            ++vFreeCount_;
-          } else {
-            ++mFreeCount_;
-          }
-          it = unique.erase(it);
-          changed = true;
-        } else {
-          ++it;
-        }
-      }
-    }
-  }
+  // -- traversal (allocation-free, visit-epoch marked) --------------------------
 
-  template <class Node>
-  void countNodesImpl(const Node* node, std::unordered_set<const Node*>& visited) const {
-    if (node == nullptr || !visited.insert(node).second) {
-      return;
+  template <class NodeT> [[nodiscard]] std::size_t countReachable(const NodeT* root) const {
+    ++visitEpoch_;
+    return countVisit(root);
+  }
+  template <class NodeT> [[nodiscard]] std::size_t countVisit(const NodeT* node) const {
+    if (node == nullptr || node->visit == visitEpoch_) {
+      return 0;
     }
+    node->visit = visitEpoch_;
+    std::size_t count = 1;
     for (const auto& child : node->e) {
-      countNodesImpl(child.node, visited);
+      count += countVisit(child.node);
     }
+    return count;
   }
 
   /// Bottom-up construction for makeStateFromWeights: the DD over variables
@@ -900,30 +890,56 @@ private:
     amplitudesApprox(node->e[1].node, acc * system_.toComplex(node->e[1].w), base + stride, out);
   }
 
+  // -- cache registry ------------------------------------------------------------
+  // The single source of truth mapping CacheKind bits to the table instances;
+  // clearCaches() iterates it instead of an if-chain per kind.
+
+  struct CacheRegistryEntry {
+    CacheKind kind;
+    void (*clear)(Package&);
+    void (*setLossless)(Package&, bool);
+  };
+  template <auto MemberPtr> static constexpr CacheRegistryEntry registryEntry(CacheKind kind) {
+    return {kind, [](Package& p) { (p.*MemberPtr).clear(); },
+            [](Package& p, bool on) { (p.*MemberPtr).setLossless(on); }};
+  }
+  static constexpr std::array<CacheRegistryEntry, 9> kCacheRegistry{{
+      registryEntry<&Package::vAddCache_>(CacheKind::VAdd),
+      registryEntry<&Package::mAddCache_>(CacheKind::MAdd),
+      registryEntry<&Package::mvCache_>(CacheKind::MV),
+      registryEntry<&Package::mmCache_>(CacheKind::MM),
+      registryEntry<&Package::vKronCache_>(CacheKind::VKron),
+      registryEntry<&Package::mKronCache_>(CacheKind::MKron),
+      registryEntry<&Package::transposeCache_>(CacheKind::Transpose),
+      registryEntry<&Package::innerCache_>(CacheKind::Inner),
+      registryEntry<&Package::traceCache_>(CacheKind::Trace),
+  }};
+
   Qubit nqubits_;
   System system_;
   obs::PackageStats stats_;
 
-  std::deque<VNode> vPool_;
-  std::deque<MNode> mPool_;
-  std::vector<VNode*> vFree_;
-  std::vector<MNode*> mFree_;
-  std::size_t vFreeCount_ = 0;
-  std::size_t mFreeCount_ = 0;
+  MemoryManager<VNode> vMem_;
+  MemoryManager<MNode> mMem_;
+  UniqueTable<VNode> vUnique_;
+  UniqueTable<MNode> mUnique_;
   std::size_t peakNodes_ = 0;
 
-  std::unordered_map<UniqueKey<2>, VNode*, UniqueKeyHash<2>> vUnique_;
-  std::unordered_map<UniqueKey<4>, MNode*, UniqueKeyHash<4>> mUnique_;
+  std::size_t gcWatermark_ = 0;
+  std::size_t gcRuns_ = 0;
+  GcReport lastGcReport_{};
 
-  std::unordered_map<EdgeKey, VEdge, EdgeKeyHash> vAddCache_;
-  std::unordered_map<EdgeKey, MEdge, EdgeKeyHash> mAddCache_;
-  std::unordered_map<NodePairKey, VEdge, NodePairKeyHash> mvCache_;
-  std::unordered_map<NodePairKey, MEdge, NodePairKeyHash> mmCache_;
-  std::unordered_map<NodePairKey, VEdge, NodePairKeyHash> vKronCache_;
-  std::unordered_map<NodePairKey, MEdge, NodePairKeyHash> mKronCache_;
-  std::unordered_map<const MNode*, MEdge> transposeCache_;
-  std::unordered_map<NodePairKey, Weight, NodePairKeyHash> innerCache_;
-  std::unordered_map<const MNode*, Weight> traceCache_;
+  mutable std::uint64_t visitEpoch_ = 0; ///< current traversal generation
+
+  ComputedTable<EdgeKey, VEdge, kAddCacheEntries> vAddCache_;
+  ComputedTable<EdgeKey, MEdge, kAddCacheEntries> mAddCache_;
+  ComputedTable<NodePairKey, VEdge, kMulCacheEntries> mvCache_;
+  ComputedTable<NodePairKey, MEdge, kMulCacheEntries> mmCache_;
+  ComputedTable<NodePairKey, VEdge, kKronCacheEntries> vKronCache_;
+  ComputedTable<NodePairKey, MEdge, kKronCacheEntries> mKronCache_;
+  ComputedTable<NodeKey, MEdge, kUnaryCacheEntries> transposeCache_;
+  ComputedTable<NodePairKey, Weight, kInnerCacheEntries> innerCache_;
+  ComputedTable<NodeKey, Weight, kUnaryCacheEntries> traceCache_;
 };
 
 } // namespace qadd::dd

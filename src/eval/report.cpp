@@ -146,17 +146,19 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
   }
   os << (obs::kEnabled ? "" : " (QADD_OBS=0: counters compiled out)") << " --\n";
   os << std::left << std::setw(12) << "cache" << std::right << std::setw(14) << "hits"
-     << std::setw(14) << "misses" << std::setw(10) << "hit%" << "\n";
+     << std::setw(14) << "misses" << std::setw(12) << "evictions" << std::setw(10) << "hit%"
+     << "\n";
   for (const auto& [name, cache] : stats.caches()) {
     os << std::left << std::setw(12) << name << std::right << std::setw(14) << cache->hits.value()
-       << std::setw(14) << cache->misses.value() << std::setw(9) << std::fixed
-       << std::setprecision(1) << cache->hitRate() * 100.0 << "%\n";
+       << std::setw(14) << cache->misses.value() << std::setw(12) << cache->evictions.value()
+       << std::setw(9) << std::fixed << std::setprecision(1) << cache->hitRate() * 100.0 << "%\n";
     os.unsetf(std::ios::floatfield);
   }
   const auto uniqueRow = [&](std::string_view name, const obs::UniqueTableStats& table) {
     os << std::left << std::setw(12) << name << std::right << std::setw(14)
        << table.lookups.value() << " lookups" << std::setw(14) << table.hits.value() << " hits"
-       << std::setw(12) << table.collisions.value() << " collisions\n";
+       << std::setw(12) << table.collisions.value() << " collisions  " << table.entries << "/"
+       << table.buckets << " fill\n";
   };
   uniqueRow("vUnique", stats.vUnique);
   uniqueRow("mUnique", stats.mUnique);
@@ -170,6 +172,13 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
     os << ", " << stats.weights.nearMissUnifications << " near-miss unifications";
   }
   os << "\n";
+  if (stats.weights.opCache.hits.value() + stats.weights.opCache.misses.value() > 0) {
+    os << "weight ops  " << stats.weights.opCache.hits.value() << " hits, "
+       << stats.weights.opCache.misses.value() << " misses, "
+       << stats.weights.opCache.evictions.value() << " evictions (" << std::fixed
+       << std::setprecision(1) << stats.weights.opCache.hitRate() * 100.0 << "% hit)\n";
+    os.unsetf(std::ios::floatfield);
+  }
   if (!stats.weights.bucketOccupancy.empty()) {
     os << "buckets     ";
     for (std::size_t k = 1; k < stats.weights.bucketOccupancy.size(); ++k) {
@@ -197,14 +206,16 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
   bool first = true;
   for (const auto& [name, cache] : stats.caches()) {
     os << (first ? "" : ",") << "\"" << name << "\":{\"hits\":" << cache->hits.value()
-       << ",\"misses\":" << cache->misses.value() << ",\"hitRate\":" << cache->hitRate() << "}";
+       << ",\"misses\":" << cache->misses.value()
+       << ",\"evictions\":" << cache->evictions.value() << ",\"hitRate\":" << cache->hitRate()
+       << "}";
     first = false;
   }
   os << "},\"uniqueTables\":{";
   const auto uniqueJson = [&os](const char* name, const obs::UniqueTableStats& table) {
     os << "\"" << name << "\":{\"lookups\":" << table.lookups.value()
        << ",\"hits\":" << table.hits.value() << ",\"collisions\":" << table.collisions.value()
-       << "}";
+       << ",\"entries\":" << table.entries << ",\"buckets\":" << table.buckets << "}";
   };
   uniqueJson("vector", stats.vUnique);
   os << ",";
@@ -218,6 +229,9 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
   os << ",\"weights\":{\"system\":\"" << stats.weights.system
      << "\",\"entries\":" << stats.weights.entries
      << ",\"nearMissUnifications\":" << stats.weights.nearMissUnifications
+     << ",\"opCache\":{\"hits\":" << stats.weights.opCache.hits.value()
+     << ",\"misses\":" << stats.weights.opCache.misses.value()
+     << ",\"evictions\":" << stats.weights.opCache.evictions.value() << "}"
      << ",\"bucketOccupancy\":";
   writeHistogramJson(os, stats.weights.bucketOccupancy);
   os << ",\"bitWidthHistogram\":";
@@ -230,11 +244,14 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   for (const auto& [name, cache] : stats.caches()) {
     os << "cache." << name << ".hits," << cache->hits.value() << "\n";
     os << "cache." << name << ".misses," << cache->misses.value() << "\n";
+    os << "cache." << name << ".evictions," << cache->evictions.value() << "\n";
   }
   const auto uniqueRows = [&os](const char* name, const obs::UniqueTableStats& table) {
     os << "unique." << name << ".lookups," << table.lookups.value() << "\n";
     os << "unique." << name << ".hits," << table.hits.value() << "\n";
     os << "unique." << name << ".collisions," << table.collisions.value() << "\n";
+    os << "unique." << name << ".entries," << table.entries << "\n";
+    os << "unique." << name << ".buckets," << table.buckets << "\n";
   };
   uniqueRows("vector", stats.vUnique);
   uniqueRows("matrix", stats.mUnique);
@@ -247,6 +264,9 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   os << "gc.seconds," << std::setprecision(12) << stats.gc.seconds << "\n";
   os << "weights.entries," << stats.weights.entries << "\n";
   os << "weights.nearMissUnifications," << stats.weights.nearMissUnifications << "\n";
+  os << "weights.opCache.hits," << stats.weights.opCache.hits.value() << "\n";
+  os << "weights.opCache.misses," << stats.weights.opCache.misses.value() << "\n";
+  os << "weights.opCache.evictions," << stats.weights.opCache.evictions.value() << "\n";
 }
 
 ObsCliOptions parseObsCli(int& argc, char** argv) {

@@ -119,6 +119,14 @@ public:
 
   [[nodiscard]] FloatT epsilon() const { return epsilon_; }
 
+  /// True iff interning is bit-exact (ε below the float resolution floor):
+  /// the ref returned for a given value is then stable over the table's
+  /// lifetime, which makes memoizing weight operations behavior-preserving.
+  /// In tolerance mode a later lookup of the same value may unify onto an
+  /// entry inserted in the meantime, so results are insertion-order
+  /// dependent and must not be memoized.
+  [[nodiscard]] bool exactMode() const { return exactMode_; }
+
   /// Number of distinct interned values (a compactness statistic).
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 

@@ -49,6 +49,9 @@ struct Counter {
 struct CacheStats {
   Counter hits;
   Counter misses;
+  /// Inserts that displaced a live entry with a different key — the lossy
+  /// direct-mapped caches overwrite on slot collision instead of chaining.
+  Counter evictions;
 
   [[nodiscard]] std::uint64_t lookups() const { return hits.value() + misses.value(); }
   [[nodiscard]] double hitRate() const {
@@ -63,6 +66,11 @@ struct UniqueTableStats {
   Counter lookups;
   Counter hits;
   Counter collisions;
+
+  // Fill gauges (snapshot time): current entry and bucket counts of the
+  // bucket-chained unique table.
+  std::size_t entries = 0;
+  std::size_t buckets = 0;
 
   [[nodiscard]] double hitRate() const {
     const std::uint64_t total = lookups.value();
@@ -93,6 +101,10 @@ struct WeightTableStats {
   /// bitWidthHistogram[b] = number of interned values whose widest
   /// coefficient/denominator uses exactly b bits; algebraic system only.
   std::vector<std::uint64_t> bitWidthHistogram;
+  /// Aggregated weight-op memoization cache (add/sub/mul/div pair caches the
+  /// systems layer over their intern pools).  For the numeric system these
+  /// run only under bit-exact interning; tolerance mode bypasses them.
+  CacheStats opCache;
 };
 
 /// The full counter block of one dd::Package.  Counters are maintained

@@ -53,6 +53,9 @@ checkEquivalence(const Circuit& first, const Circuit& second,
   dd::Package<System> package(first.qubits(), config);
   EquivalenceResult result;
   const auto identity = package.makeIdentity();
+  // The identity is compared against at the very end; protect it in case a
+  // configured GC watermark triggers a collection inside the decRefs below.
+  package.incRef(identity);
 
   if (strategy == EquivalenceStrategy::Construct) {
     result.strategy = "construct";

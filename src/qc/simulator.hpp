@@ -68,7 +68,8 @@ public:
   using VEdge = typename Package::VEdge;
 
   struct Options {
-    /// Run garbage collection when the live node count exceeds this.
+    /// Run garbage collection when the live node count exceeds this
+    /// (installed as the package's GC watermark; 0 disables auto-GC).
     std::size_t gcNodeThreshold = 200'000;
   };
 
@@ -82,6 +83,10 @@ public:
   explicit Simulator(Circuit circuit, typename System::Config config = {}, Options options = {})
       : circuit_(std::move(circuit)),
         package_(std::make_unique<Package>(circuit_.qubits(), config)), options_(options) {
+    // GC is the package's job now: it auto-collects from decRef once the
+    // live node count crosses the watermark; the simulator only records the
+    // events (see step()).
+    package_->setGcWatermark(options_.gcNodeThreshold);
     reset();
   }
 
@@ -113,12 +118,13 @@ public:
       const auto applySpan = obs::Tracer::global().span("mv", "dd");
       updated = package_->multiply(gate, state_);
     }
+    const std::size_t gcRunsBefore = package_->gcRuns();
     package_->incRef(updated);
-    package_->decRef(state_);
+    package_->decRef(state_); // may auto-GC at the watermark
     state_ = updated;
     ++next_;
-    if (package_->allocatedNodes() > options_.gcNodeThreshold) {
-      gcEvents_.push_back({next_, package_->garbageCollect()});
+    if (package_->gcRuns() != gcRunsBefore) {
+      gcEvents_.push_back({next_, package_->lastGcReport()});
     }
     return true;
   }

@@ -206,6 +206,16 @@ TEST(CacheKind, PerKindClearOnlyDropsSelectedCache) {
   const auto missesAfterClear = package.counters().mv.misses.value();
   (void)package.multiply(gate, state);
   EXPECT_GT(package.counters().mv.misses.value(), missesAfterClear);
+
+  // Epoch semantics: a clear is an O(1) epoch bump, so cleared entries still
+  // physically sit in their slots — but an outdated epoch must never serve a
+  // hit, including across back-to-back clears.
+  package.clearCaches(dd::CacheKind::MV);
+  package.clearCaches(dd::CacheKind::MV);
+  const auto missesAfterDoubleClear = package.counters().mv.misses.value();
+  (void)package.multiply(gate, state);
+  EXPECT_GT(package.counters().mv.misses.value(), missesAfterDoubleClear)
+      << "stale-epoch entry served as a hit after clearing";
 }
 
 TEST(Tracer, SpansNestAndJsonIsWellFormed) {

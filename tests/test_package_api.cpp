@@ -232,5 +232,26 @@ TEST(PackageApi, DenseVectorExport) {
   EXPECT_NEAR(dense.norm(), 1.0, 1e-12);
 }
 
+TEST(PackageApi, CountNodesVisitsSharedSubgraphsOnce) {
+  // countNodes is an allocation-free visit-epoch traversal; a node reachable
+  // along many paths must be counted once.  A uniform superposition is the
+  // extreme case: every level shares one node, so 2^n paths reach the bottom
+  // node of an n-qubit chain.
+  NumPkg p(10, exactConfig());
+  const std::vector<NumericSystem::Weight> uniform(1U << 10U, p.system().one());
+  const auto state = p.makeStateFromWeights(uniform);
+  EXPECT_EQ(p.countNodes(state), 10U);
+  // Back-to-back traversals must agree: each gets a fresh visit epoch, so a
+  // prior traversal's marks cannot leak into the next count.
+  EXPECT_EQ(p.countNodes(state), 10U);
+  // Sharing across two roots: counting one diagram then another that reuses
+  // its nodes still counts the second one fully.
+  const auto identity = p.makeIdentity();
+  const std::size_t identityNodes = p.countNodes(identity);
+  EXPECT_EQ(identityNodes, 10U) << "identity is a diagonal chain";
+  EXPECT_EQ(p.countNodes(state), 10U);
+  EXPECT_EQ(p.countNodes(identity), identityNodes);
+}
+
 } // namespace
 } // namespace qadd::dd

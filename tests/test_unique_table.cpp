@@ -1,0 +1,154 @@
+#include "core/dd_node.hpp"
+#include "core/memory_manager.hpp"
+#include "core/unique_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qadd::dd {
+namespace {
+
+using TestNode = Node<std::uint32_t, 2>;
+using TestEdge = Edge<TestNode, std::uint32_t>;
+using Table = UniqueTable<TestNode>;
+
+/// Build a (not yet inserted) node with the given contents.
+TestNode* makeNode(MemoryManager<TestNode>& mem, Qubit var, TestEdge left, TestEdge right) {
+  TestNode* node = mem.get();
+  node->var = var;
+  node->e = {left, right};
+  node->ref = 0;
+  node->next = nullptr;
+  return node;
+}
+
+TEST(UniqueTable, FindMissesOnEmptyTable) {
+  Table table;
+  const std::array<TestEdge, 2> children{TestEdge{nullptr, 1}, TestEdge{nullptr, 0}};
+  EXPECT_EQ(table.find(0, children, Table::hash(0, children)), nullptr);
+}
+
+TEST(UniqueTable, InsertThenFindReturnsSameNode) {
+  MemoryManager<TestNode> mem;
+  Table table;
+  const std::array<TestEdge, 2> children{TestEdge{nullptr, 1}, TestEdge{nullptr, 0}};
+  TestNode* node = makeNode(mem, 0, children[0], children[1]);
+  const std::uint64_t h = Table::hash(0, children);
+  table.insert(node, h);
+  EXPECT_EQ(table.find(0, children, h), node);
+  EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(UniqueTable, DistinguishesEqualHashBucketNeighbors) {
+  // Chaining must resolve same-bucket residents by full content comparison:
+  // insert many nodes into a tiny table (1 bucket -> everything collides
+  // until growth kicks in) and check each one is still individually found.
+  MemoryManager<TestNode> mem;
+  Table table(1);
+  std::vector<std::array<TestEdge, 2>> contents;
+  std::vector<TestNode*> nodes;
+  for (std::uint32_t w = 1; w <= 64; ++w) {
+    const std::array<TestEdge, 2> children{TestEdge{nullptr, w}, TestEdge{nullptr, 0}};
+    TestNode* node = makeNode(mem, 0, children[0], children[1]);
+    table.insert(node, Table::hash(0, children));
+    contents.push_back(children);
+    nodes.push_back(node);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(table.find(0, contents[i], Table::hash(0, contents[i])), nodes[i]);
+  }
+}
+
+TEST(UniqueTable, WouldCollideReportsOccupiedBucket) {
+  MemoryManager<TestNode> mem;
+  Table table(2); // tiny: second insert below lands in the same bucket
+  bool sawCollision = false;
+  for (std::uint32_t w = 1; w <= 8 && !sawCollision; ++w) {
+    const std::array<TestEdge, 2> children{TestEdge{nullptr, w}, TestEdge{nullptr, 0}};
+    const std::uint64_t h = Table::hash(0, children);
+    sawCollision = table.wouldCollide(h);
+    table.insert(makeNode(mem, 0, children[0], children[1]), h);
+  }
+  EXPECT_TRUE(sawCollision);
+}
+
+TEST(UniqueTable, GrowthRehashPreservesCanonicity) {
+  // Push the table across several load-factor growths and verify every node
+  // inserted before the rehashes is still found under its content hash —
+  // i.e. growth cannot break the "same contents -> same node" guarantee.
+  MemoryManager<TestNode> mem;
+  Table table(4);
+  const std::size_t initialBuckets = table.bucketCount();
+  std::vector<std::array<TestEdge, 2>> contents;
+  std::vector<TestNode*> nodes;
+  for (std::uint32_t w = 1; w <= 4096; ++w) {
+    const std::array<TestEdge, 2> children{TestEdge{nullptr, w}, TestEdge{nullptr, w + 1}};
+    TestNode* node = makeNode(mem, w % 7, children[0], children[1]);
+    table.insert(node, Table::hash(w % 7, children));
+    contents.push_back(children);
+    nodes.push_back(node);
+  }
+  EXPECT_GT(table.bucketCount(), initialBuckets) << "test must actually exercise growth";
+  EXPECT_LE(table.loadFactor(), 0.75 + 1e-9);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Qubit var = static_cast<Qubit>((i + 1) % 7);
+    EXPECT_EQ(table.find(var, contents[i], Table::hash(var, contents[i])), nodes[i]);
+  }
+}
+
+TEST(UniqueTable, SweepRemovesOnlyDeadNodesAndLookupStillWorks) {
+  MemoryManager<TestNode> mem;
+  Table table;
+  std::vector<std::array<TestEdge, 2>> contents;
+  std::vector<TestNode*> nodes;
+  for (std::uint32_t w = 1; w <= 100; ++w) {
+    const std::array<TestEdge, 2> children{TestEdge{nullptr, w}, TestEdge{nullptr, 0}};
+    TestNode* node = makeNode(mem, 0, children[0], children[1]);
+    node->ref = (w % 2 == 0) ? 1 : 0; // odd weights are dead
+    table.insert(node, Table::hash(0, children));
+    contents.push_back(children);
+    nodes.push_back(node);
+  }
+  std::size_t released = 0;
+  const std::size_t swept = table.sweep([&](TestNode* node) {
+    mem.free(node);
+    ++released;
+  });
+  EXPECT_EQ(swept, 50U);
+  EXPECT_EQ(released, 50U);
+  EXPECT_EQ(table.size(), 50U);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    TestNode* found = table.find(0, contents[i], Table::hash(0, contents[i]));
+    if (nodes[i]->ref == 0) {
+      EXPECT_EQ(found, nullptr) << "dead node survived the sweep";
+    } else {
+      EXPECT_EQ(found, nodes[i]) << "live node lost by the sweep";
+    }
+  }
+}
+
+TEST(UniqueTable, SweepCascadesThroughNewlyDeadParents) {
+  // A dead parent must release its children; a child whose only reference
+  // was that parent dies in the same sweep (the iterate-until-fixpoint part).
+  MemoryManager<TestNode> mem;
+  Table table;
+  const std::array<TestEdge, 2> childContents{TestEdge{nullptr, 1}, TestEdge{nullptr, 0}};
+  TestNode* child = makeNode(mem, 1, childContents[0], childContents[1]);
+  child->ref = 1; // held only by the parent below
+  table.insert(child, Table::hash(1, childContents));
+
+  const std::array<TestEdge, 2> parentContents{TestEdge{child, 1}, TestEdge{nullptr, 0}};
+  TestNode* parent = makeNode(mem, 0, parentContents[0], parentContents[1]);
+  parent->ref = 0; // dead
+  table.insert(parent, Table::hash(0, parentContents));
+
+  const std::size_t swept = table.sweep([&](TestNode* node) { mem.free(node); });
+  EXPECT_EQ(swept, 2U);
+  EXPECT_EQ(table.size(), 0U);
+}
+
+} // namespace
+} // namespace qadd::dd
