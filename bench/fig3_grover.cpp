@@ -11,9 +11,13 @@
 /// run-time overhead versus the best-tuned numeric run.
 ///
 ///   ./fig3_grover [nqubits] [--stats] [--trace-json <path>]
+///                 [--checkpoint-every K] [--refresh-reference]
 ///                               (default 10; the paper uses 15)
-/// Writes fig3_grover.csv next to the binary.
+/// Writes fig3_grover.csv next to the binary.  The exact algebraic reference
+/// (the expensive part of the sweep) is cached in fig3_reference.qref and
+/// reused on subsequent runs of the same configuration.
 #include "algorithms/grover.hpp"
+#include "eval/reference_cache.hpp"
 #include "eval/report.hpp"
 #include "eval/trace.hpp"
 
@@ -32,12 +36,17 @@ int main(int argc, char** argv) {
 
   eval::TraceOptions options;
   options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+  obsOptions.applyTo(options);
 
   std::vector<eval::SimulationTrace> traces;
-  eval::ReferenceTrajectory reference;
-  traces.push_back(eval::traceAlgebraic(circuit, options, {}, &reference));
+  eval::CachedAlgebraicReference reference = eval::traceAlgebraicCached(
+      circuit, options, "fig3_reference.qref", obsOptions.refreshReference);
+  std::cout << (reference.fromCache ? "algebraic reference loaded from fig3_reference.qref in "
+                                    : "algebraic reference computed and cached in ")
+            << reference.cacheSeconds << " s\n";
+  traces.push_back(reference.trace);
   for (const double epsilon : {0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3}) {
-    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference, options));
+    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference.trajectory, options));
   }
 
   eval::printSummaryTable(std::cout, traces);

@@ -9,9 +9,14 @@
 /// (little redundancy to find), but its run-time grows disproportionally.
 ///
 ///   ./fig5_gse [systemQubits] [precisionQubits] [--stats] [--trace-json <path>]
+///              [--checkpoint-every K] [--refresh-reference]
 ///                                                  (default 3 / 4)
-/// Writes fig5_gse.csv.
+/// Writes fig5_gse.csv.  The exact algebraic reference is cached in
+/// fig5_reference.qref and reused on subsequent runs of the same
+/// configuration — for GSE the algebraic run dominates the sweep (Section
+/// V-B's bit-width blow-up), so the cache saves the most here.
 #include "algorithms/gse.hpp"
+#include "eval/reference_cache.hpp"
 #include "eval/report.hpp"
 #include "eval/trace.hpp"
 
@@ -33,12 +38,17 @@ int main(int argc, char** argv) {
 
   eval::TraceOptions traceOptions;
   traceOptions.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+  obsOptions.applyTo(traceOptions);
 
   std::vector<eval::SimulationTrace> traces;
-  eval::ReferenceTrajectory reference;
-  traces.push_back(eval::traceAlgebraic(circuit, traceOptions, {}, &reference));
+  eval::CachedAlgebraicReference reference = eval::traceAlgebraicCached(
+      circuit, traceOptions, "fig5_reference.qref", obsOptions.refreshReference);
+  std::cout << (reference.fromCache ? "algebraic reference loaded from fig5_reference.qref in "
+                                    : "algebraic reference computed and cached in ")
+            << reference.cacheSeconds << " s\n";
+  traces.push_back(reference.trace);
   for (const double epsilon : {0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3}) {
-    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference, traceOptions));
+    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference.trajectory, traceOptions));
   }
 
   eval::printSummaryTable(std::cout, traces);

@@ -8,19 +8,23 @@
 /// workload (qadd::obs counters) alongside ops/sec, and the binary writes a
 /// BENCH_obs.json telemetry snapshot (counters + timings of a fixed
 /// reference workload) so future performance PRs have a baseline to diff
-/// against.
+/// against, and a BENCH_io.json snapshot-layer report (QDDS save/load
+/// throughput plus the fig3-style reference-cache speedup).
 #include "algorithms/common.hpp"
 #include "algorithms/grover.hpp"
 #include "core/algebraic_system.hpp"
 #include "core/numeric_system.hpp"
 #include "core/package.hpp"
+#include "eval/reference_cache.hpp"
 #include "eval/report.hpp"
+#include "io/snapshot.hpp"
 #include "qc/simulator.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -123,6 +127,49 @@ template <class System> void BM_InnerProduct(benchmark::State& state) {
 }
 BENCHMARK_TEMPLATE(BM_InnerProduct, dd::NumericSystem)->Arg(12);
 BENCHMARK_TEMPLATE(BM_InnerProduct, dd::AlgebraicSystem)->Arg(12);
+
+/// A nontrivial Grover final state to serialize (rich weight set, deep DD).
+qc::Circuit snapshotWorkload(qc::Qubit nqubits) {
+  algos::GroverOptions options;
+  options.nqubits = nqubits;
+  options.marked = (std::uint64_t{1} << nqubits) - 2;
+  return algos::grover(options);
+}
+
+template <class System> void BM_SnapshotSave(benchmark::State& state) {
+  qc::Simulator<System> simulator(snapshotWorkload(static_cast<qc::Qubit>(state.range(0))),
+                                  defaultConfig<System>());
+  simulator.run();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto blob = io::saveVector(simulator.package(), simulator.state());
+    benchmark::DoNotOptimize(blob.data());
+    bytes = blob.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK_TEMPLATE(BM_SnapshotSave, dd::NumericSystem)->Arg(10);
+BENCHMARK_TEMPLATE(BM_SnapshotSave, dd::AlgebraicSystem)->Arg(10);
+
+template <class System> void BM_SnapshotLoad(benchmark::State& state) {
+  qc::Simulator<System> simulator(snapshotWorkload(static_cast<qc::Qubit>(state.range(0))),
+                                  defaultConfig<System>());
+  simulator.run();
+  const auto blob = io::saveVector(simulator.package(), simulator.state());
+  for (auto _ : state) {
+    // Fresh package per iteration: measure a cold re-intern, not table hits.
+    state.PauseTiming();
+    dd::Package<System> package(simulator.package().qubits(), defaultConfig<System>());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(io::loadVector(package, blob));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(blob.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_TEMPLATE(BM_SnapshotLoad, dd::NumericSystem)->Arg(10);
+BENCHMARK_TEMPLATE(BM_SnapshotLoad, dd::AlgebraicSystem)->Arg(10);
 
 /// Fixed reference workload whose telemetry snapshot becomes the
 /// BENCH_obs.json baseline: a 14-qubit GHZ simulation per weight system.
@@ -258,6 +305,75 @@ void writeBenchCore(const char* path) {
   std::cout << "storage-layer series written to " << path << "\n";
 }
 
+/// Snapshot-layer timings for BENCH_io.json: save/load throughput (MB/s)
+/// over a Grover final state under both weight systems, plus the
+/// reference-cache speedup of a fig3-style run (algebraic trace recomputed
+/// vs reloaded from a QREF file).
+template <class System>
+void writeIoThroughputEntry(std::ostream& os, const char* key, qc::Qubit nqubits) {
+  qc::Simulator<System> simulator(snapshotWorkload(nqubits), defaultConfig<System>());
+  simulator.run();
+  constexpr int kReps = 50;
+
+  std::vector<std::uint8_t> blob;
+  const auto saveStart = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    blob = io::saveVector(simulator.package(), simulator.state());
+  }
+  const double saveSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - saveStart).count() / kReps;
+
+  double loadSeconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    dd::Package<System> fresh(simulator.package().qubits(), defaultConfig<System>());
+    const auto loadStart = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(io::loadVector(fresh, blob));
+    loadSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - loadStart).count();
+  }
+  loadSeconds /= kReps;
+
+  const double megabytes = static_cast<double>(blob.size()) / (1024.0 * 1024.0);
+  os << "\"" << key << "\":{\"workload\":\"grover" << static_cast<unsigned>(nqubits)
+     << " final state\",\"bytes\":" << blob.size()
+     << ",\"nodes\":" << simulator.package().countNodes(simulator.state())
+     << ",\"saveSeconds\":" << saveSeconds << ",\"loadSeconds\":" << loadSeconds
+     << ",\"saveMBps\":" << (saveSeconds > 0.0 ? megabytes / saveSeconds : 0.0)
+     << ",\"loadMBps\":" << (loadSeconds > 0.0 ? megabytes / loadSeconds : 0.0) << "}";
+}
+
+void writeBenchIo(const char* path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "could not write " << path << "\n";
+    return;
+  }
+  os << std::setprecision(6);
+  os << "{\"obsEnabled\":" << (obs::kEnabled ? "true" : "false") << ",\"throughput\":{";
+  writeIoThroughputEntry<dd::NumericSystem>(os, "numeric", 10);
+  os << ",";
+  writeIoThroughputEntry<dd::AlgebraicSystem>(os, "algebraic", 10);
+  os << "},";
+
+  // fig3-style reference-cache speedup: cold compute+save vs warm load.
+  const qc::Circuit circuit = snapshotWorkload(9);
+  eval::TraceOptions options;
+  options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+  const char* cachePath = "BENCH_io_reference.qref";
+  std::remove(cachePath);
+  const auto cold = eval::traceAlgebraicCached(circuit, options, cachePath);
+  const auto warm = eval::traceAlgebraicCached(circuit, options, cachePath);
+  const double coldSeconds = cold.trace.totalSeconds + cold.cacheSeconds;
+  os << "\"referenceCache\":{\"workload\":\"fig3-style grover9 algebraic reference\","
+     << "\"computeSeconds\":" << cold.trace.totalSeconds
+     << ",\"saveSeconds\":" << cold.cacheSeconds << ",\"loadSeconds\":" << warm.cacheSeconds
+     << ",\"hit\":" << (warm.fromCache ? "true" : "false")
+     << ",\"speedup\":" << (warm.cacheSeconds > 0.0 ? coldSeconds / warm.cacheSeconds : 0.0)
+     << "}}\n";
+  std::remove(cachePath);
+  std::cout << "snapshot timings written to " << path << "\n";
+}
+
 void writeBenchObsSnapshot(const char* path) {
   std::ofstream os(path);
   if (!os) {
@@ -283,5 +399,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   writeBenchObsSnapshot("BENCH_obs.json");
   writeBenchCore("BENCH_core.json");
+  writeBenchIo("BENCH_io.json");
   return 0;
 }

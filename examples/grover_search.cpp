@@ -5,6 +5,11 @@
 /// linear in the number of qubits.
 ///
 ///   ./grover_search [nqubits] [marked] [--stats] [--trace-json <path>]
+///                   [--checkpoint-every K] [--checkpoint-prefix P]
+///
+/// With --checkpoint-every K the simulator writes a QCKP checkpoint every K
+/// gates; a later run can resume from one exactly (qadd_snapshot can inspect
+/// the embedded state).
 #include "algorithms/grover.hpp"
 #include "eval/report.hpp"
 #include "obs/tracer.hpp"
@@ -41,7 +46,14 @@ int main(int argc, char** argv) {
   std::cout << std::left << std::setw(12) << "iteration" << std::setw(16) << "P(marked)"
             << std::setw(10) << "nodes" << "\n";
   std::size_t iteration = 0;
+  std::size_t checkpointsWritten = 0;
   while (simulator.step()) {
+    if (obsOptions.checkpointEvery != 0 &&
+        simulator.gateIndex() % obsOptions.checkpointEvery == 0) {
+      simulator.saveCheckpointFile(obsOptions.checkpointPrefix +
+                                   std::to_string(simulator.gateIndex()) + ".qckp");
+      ++checkpointsWritten;
+    }
     if (simulator.gateIndex() != nextReport) {
       continue;
     }
@@ -60,6 +72,10 @@ int main(int argc, char** argv) {
             << algos::groverSuccessProbability(options.nqubits, iterations) << ")\n";
   std::cout << "final DD size   = " << simulator.stateNodes() << " nodes for a state space of "
             << (1ULL << options.nqubits) << " amplitudes\n";
+  if (checkpointsWritten != 0) {
+    std::cout << checkpointsWritten << " checkpoints written to " << obsOptions.checkpointPrefix
+              << "<gate>.qckp\n";
+  }
   if (obsOptions.stats) {
     std::cout << "\n";
     eval::printStatsTable(std::cout, simulator.package().stats());

@@ -153,6 +153,78 @@ std::string BigInt::toString() const {
   return digits;
 }
 
+void BigInt::toBytes(std::vector<std::uint8_t>& out) const {
+  // Magnitude byte count without the trailing zero bytes of the top limb.
+  std::size_t byteCount = 0;
+  if (!limbs_.empty()) {
+    byteCount = (limbs_.size() - 1) * 4;
+    for (Limb top = limbs_.back(); top != 0; top >>= 8U) {
+      ++byteCount;
+    }
+  }
+  // Header varint: (byteCount << 1) | sign.
+  std::uint64_t header = (static_cast<std::uint64_t>(byteCount) << 1U) |
+                         (negative_ ? 1U : 0U);
+  while (header >= 0x80U) {
+    out.push_back(static_cast<std::uint8_t>(header) | 0x80U);
+    header >>= 7U;
+  }
+  out.push_back(static_cast<std::uint8_t>(header));
+  // Little-endian magnitude bytes straight from the little-endian limbs.
+  for (std::size_t i = 0; i < byteCount; ++i) {
+    out.push_back(static_cast<std::uint8_t>(limbs_[i / 4] >> (8U * (i % 4))));
+  }
+}
+
+std::vector<std::uint8_t> BigInt::toBytes() const {
+  std::vector<std::uint8_t> out;
+  toBytes(out);
+  return out;
+}
+
+BigInt BigInt::fromBytes(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  std::uint64_t header = 0;
+  unsigned shift = 0;
+  for (;; shift += 7) {
+    if (shift >= 64 || offset >= bytes.size()) {
+      throw std::invalid_argument("BigInt::fromBytes: truncated or runaway header varint");
+    }
+    const std::uint8_t byte = bytes[offset++];
+    header |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
+    if ((byte & 0x80U) == 0) {
+      break;
+    }
+  }
+  const bool negative = (header & 1U) != 0;
+  const auto byteCount = static_cast<std::size_t>(header >> 1U);
+  if (byteCount > bytes.size() - offset) {
+    throw std::invalid_argument("BigInt::fromBytes: magnitude exceeds buffer");
+  }
+  if (byteCount == 0 && negative) {
+    throw std::invalid_argument("BigInt::fromBytes: negative zero is not canonical");
+  }
+  if (byteCount != 0 && bytes[offset + byteCount - 1] == 0) {
+    throw std::invalid_argument("BigInt::fromBytes: non-minimal magnitude encoding");
+  }
+  BigInt result;
+  result.limbs_.assign((byteCount + 3) / 4, 0);
+  for (std::size_t i = 0; i < byteCount; ++i) {
+    result.limbs_[i / 4] |= static_cast<Limb>(bytes[offset + i]) << (8U * (i % 4));
+  }
+  offset += byteCount;
+  result.negative_ = negative;
+  return result;
+}
+
+BigInt BigInt::fromBytes(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  BigInt result = fromBytes(bytes, offset);
+  if (offset != bytes.size()) {
+    throw std::invalid_argument("BigInt::fromBytes: trailing bytes after value");
+  }
+  return result;
+}
+
 BigInt BigInt::operator-() const {
   BigInt result = *this;
   if (!result.isZero()) {

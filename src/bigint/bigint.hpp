@@ -14,6 +14,7 @@
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,6 +69,27 @@ public:
 
   /// Decimal string ("-123", "0", ...).
   [[nodiscard]] std::string toString() const;
+
+  // -- byte serialization ---------------------------------------------------
+  //
+  // Self-delimiting binary encoding used by the qadd::io snapshot codecs (and
+  // handy for content hashing): one LEB128 varint header
+  //   h = (magnitudeByteCount << 1) | (negative ? 1 : 0)
+  // followed by the magnitude as `magnitudeByteCount` little-endian bytes with
+  // no trailing zero byte.  Zero is the single header byte 0x00.
+
+  /// Append the encoding of this value to `out`.
+  void toBytes(std::vector<std::uint8_t>& out) const;
+  /// The encoding as a fresh buffer.
+  [[nodiscard]] std::vector<std::uint8_t> toBytes() const;
+
+  /// Decode one value from `bytes` starting at `offset`; advances `offset`
+  /// past the consumed encoding.  \throws std::invalid_argument on truncated
+  /// or non-canonical input (trailing zero magnitude byte, negative zero,
+  /// runaway varint header).
+  [[nodiscard]] static BigInt fromBytes(std::span<const std::uint8_t> bytes, std::size_t& offset);
+  /// Decode a value that must occupy the whole buffer.
+  [[nodiscard]] static BigInt fromBytes(std::span<const std::uint8_t> bytes);
 
   // -- arithmetic -----------------------------------------------------------
 

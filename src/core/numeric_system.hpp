@@ -130,6 +130,14 @@ public:
     return factor;
   }
 
+  /// Raw interned component pair of a weight handle, at full FloatT
+  /// precision.  The qadd::io snapshot codecs use this (instead of
+  /// toComplex, which narrows to double) so serialized weights round-trip
+  /// bit-exactly.
+  [[nodiscard]] Value valueOf(Weight w) const { return table_.value(w); }
+  /// Intern a raw component pair (the ordinary ε-tolerance lookup).
+  [[nodiscard]] Weight fromValue(const Value& v) { return table_.lookup(v); }
+
   [[nodiscard]] std::complex<double> toComplex(Weight w) const {
     const auto v = table_.value(w);
     return {static_cast<double>(v.re), static_cast<double>(v.im)};

@@ -255,6 +255,10 @@ public:
   /// Zero all counters (gauges are derived, so they are unaffected).
   void resetStats() { stats_ = {}; }
 
+  /// Mutable snapshot-I/O counter block, maintained by the qadd::io layer
+  /// (save/load volume, load dedup); part of stats()/counters() snapshots.
+  [[nodiscard]] obs::IoStats& ioCounters() { return stats_.io; }
+
   // -- builders -----------------------------------------------------------------
 
   /// |b_0 b_1 ... b_{n-1}> with b_0 the top qubit.

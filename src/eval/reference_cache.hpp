@@ -1,0 +1,65 @@
+/// \file reference_cache.hpp
+/// Disk cache for the exact algebraic reference of a figure sweep (QREF
+/// format).  The fig3/fig5 drivers compare every numeric ε-run against the
+/// algebraic simulation of the same circuit; that reference is by far the
+/// most expensive part of a sweep and is identical across invocations, so it
+/// is computed once and cached: the trace series, the per-sample exact
+/// amplitude trajectory, and a QDDS snapshot of the final exact state.
+///
+/// A cache file is keyed on the circuit's text serialization (CRC-32
+/// fingerprint), its width, and the sampling stride; any mismatch — or any
+/// corruption — silently falls back to recomputation (and refreshes the
+/// file).
+///
+/// Layout: magic "QREF" | u16 version | u32 circuit CRC | u32 qubits |
+/// varint sampleEvery | label | trace fields | trajectory samples |
+/// block QDDS final state | u32 CRC-32 over everything before.
+#pragma once
+
+#include "eval/trace.hpp"
+#include "qc/circuit.hpp"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qadd::eval {
+
+/// Result of traceAlgebraicCached(): the algebraic reference, plus where it
+/// came from and what the cache round cost.
+struct CachedAlgebraicReference {
+  SimulationTrace trace;
+  ReferenceTrajectory trajectory;
+  std::vector<std::uint8_t> finalState; ///< QDDS blob of the final exact state (may be empty)
+  bool fromCache = false;
+  /// Wall time of the cache interaction: the load on a hit, the save on a
+  /// miss.  Compare against trace.totalSeconds for the cache speedup.
+  double cacheSeconds = 0.0;
+};
+
+/// Serialize a computed reference for `circuit` at stride
+/// `options.sampleEvery` as a QREF blob.
+[[nodiscard]] std::vector<std::uint8_t>
+encodeReference(const qc::Circuit& circuit, const TraceOptions& options,
+                const SimulationTrace& trace, const ReferenceTrajectory& trajectory,
+                std::span<const std::uint8_t> finalState);
+
+/// Decode a QREF blob.  Returns false when the blob belongs to a different
+/// circuit or stride (stale cache); throws io::SnapshotError on structural
+/// corruption.
+[[nodiscard]] bool decodeReference(std::span<const std::uint8_t> bytes, const qc::Circuit& circuit,
+                                   const TraceOptions& options, SimulationTrace& trace,
+                                   ReferenceTrajectory& trajectory,
+                                   std::vector<std::uint8_t>& finalState);
+
+/// traceAlgebraic() with a disk cache at `cachePath`: on a hit the stored
+/// reference is returned (label suffixed " [cached]"); on a miss — or when
+/// `refresh` forces one — the reference is computed with captureFinalState
+/// on and the cache file is (re)written.  Cache I/O failures degrade to
+/// recomputation; only the final save surfaces errors.
+[[nodiscard]] CachedAlgebraicReference
+traceAlgebraicCached(const qc::Circuit& circuit, const TraceOptions& options,
+                     const std::string& cachePath, bool refresh = false);
+
+} // namespace qadd::eval

@@ -198,6 +198,14 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
     }
     os << "\n";
   }
+  if (stats.io.any()) {
+    os << "snapshots   " << stats.io.snapshotsSaved.value() << " saved ("
+       << stats.io.nodesWritten.value() << " nodes, " << stats.io.weightsWritten.value()
+       << " weights, " << stats.io.bytesWritten.value() << " B), "
+       << stats.io.snapshotsLoaded.value() << " loaded (" << stats.io.nodesRead.value()
+       << " nodes, " << stats.io.loadDedupNodes.value() << " deduped, "
+       << stats.io.bytesRead.value() << " B)\n";
+  }
 }
 
 void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
@@ -236,7 +244,16 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
   writeHistogramJson(os, stats.weights.bucketOccupancy);
   os << ",\"bitWidthHistogram\":";
   writeHistogramJson(os, stats.weights.bitWidthHistogram);
-  os << "}}";
+  os << "}";
+  os << ",\"io\":{\"snapshotsSaved\":" << stats.io.snapshotsSaved.value()
+     << ",\"snapshotsLoaded\":" << stats.io.snapshotsLoaded.value()
+     << ",\"nodesWritten\":" << stats.io.nodesWritten.value()
+     << ",\"nodesRead\":" << stats.io.nodesRead.value()
+     << ",\"weightsWritten\":" << stats.io.weightsWritten.value()
+     << ",\"weightsRead\":" << stats.io.weightsRead.value()
+     << ",\"bytesWritten\":" << stats.io.bytesWritten.value()
+     << ",\"bytesRead\":" << stats.io.bytesRead.value()
+     << ",\"loadDedupNodes\":" << stats.io.loadDedupNodes.value() << "}}";
 }
 
 void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
@@ -267,20 +284,39 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   os << "weights.opCache.hits," << stats.weights.opCache.hits.value() << "\n";
   os << "weights.opCache.misses," << stats.weights.opCache.misses.value() << "\n";
   os << "weights.opCache.evictions," << stats.weights.opCache.evictions.value() << "\n";
+  os << "io.snapshotsSaved," << stats.io.snapshotsSaved.value() << "\n";
+  os << "io.snapshotsLoaded," << stats.io.snapshotsLoaded.value() << "\n";
+  os << "io.nodesWritten," << stats.io.nodesWritten.value() << "\n";
+  os << "io.nodesRead," << stats.io.nodesRead.value() << "\n";
+  os << "io.weightsWritten," << stats.io.weightsWritten.value() << "\n";
+  os << "io.weightsRead," << stats.io.weightsRead.value() << "\n";
+  os << "io.bytesWritten," << stats.io.bytesWritten.value() << "\n";
+  os << "io.bytesRead," << stats.io.bytesRead.value() << "\n";
+  os << "io.loadDedupNodes," << stats.io.loadDedupNodes.value() << "\n";
 }
 
 ObsCliOptions parseObsCli(int& argc, char** argv) {
   ObsCliOptions options;
+  const auto flagValue = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": " << flag << " requires an argument\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       options.stats = true;
     } else if (std::strcmp(argv[i], "--trace-json") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << argv[0] << ": --trace-json requires a path argument\n";
-        std::exit(2);
-      }
-      options.traceJsonPath = argv[++i];
+      options.traceJsonPath = flagValue(i, "--trace-json");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      options.checkpointEvery =
+          static_cast<std::size_t>(std::strtoull(flagValue(i, "--checkpoint-every"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--checkpoint-prefix") == 0) {
+      options.checkpointPrefix = flagValue(i, "--checkpoint-prefix");
+    } else if (std::strcmp(argv[i], "--refresh-reference") == 0) {
+      options.refreshReference = true;
     } else {
       argv[out++] = argv[i];
     }

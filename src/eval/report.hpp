@@ -46,13 +46,27 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats);
 
 // -- CLI glue -------------------------------------------------------------------
 
-/// Telemetry flags shared by the bench drivers and examples:
-///   --stats              print the per-series counter tables after the run
-///   --trace-json <path>  enable the global span tracer and write Chrome
-///                        trace JSON to <path> at the end
+/// Telemetry and snapshot flags shared by the bench drivers and examples:
+///   --stats                print the per-series counter tables after the run
+///   --trace-json <path>    enable the global span tracer and write Chrome
+///                          trace JSON to <path> at the end
+///   --checkpoint-every K   write a QCKP simulator checkpoint every K gates
+///   --checkpoint-prefix P  checkpoint path prefix (default "checkpoint_g";
+///                          files are <P><gateIndex>.qckp)
+///   --refresh-reference    recompute the figure's algebraic reference even
+///                          when a valid .qref cache file exists
 struct ObsCliOptions {
   bool stats = false;
   std::string traceJsonPath;
+  std::size_t checkpointEvery = 0;
+  std::string checkpointPrefix = "checkpoint_g";
+  bool refreshReference = false;
+
+  /// Copy the checkpoint flags onto trace options.
+  void applyTo(TraceOptions& options) const {
+    options.checkpointEvery = checkpointEvery;
+    options.checkpointPathPrefix = checkpointPrefix;
+  }
 };
 
 /// Strip the telemetry flags from argv (compacting it in place, argc

@@ -1,6 +1,7 @@
 #include "eval/trace.hpp"
 
 #include "eval/accuracy.hpp"
+#include "io/snapshot.hpp"
 #include "obs/tracer.hpp"
 #include "qc/simulator.hpp"
 
@@ -17,6 +18,11 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Checkpoint path for gate index `applied` under `options`.
+std::string checkpointPath(const TraceOptions& options, std::size_t applied) {
+  return options.checkpointPathPrefix + std::to_string(applied) + ".qckp";
 }
 
 template <class Simulator>
@@ -50,29 +56,40 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
   auto start = Clock::now();
   while (simulator.step()) {
     const std::size_t applied = simulator.gateIndex();
-    if (applied % options.sampleEvery != 0 && applied != circuit.size()) {
+    const bool checkpointDue =
+        options.checkpointEvery != 0 && applied % options.checkpointEvery == 0;
+    const bool sampleDue = applied % options.sampleEvery == 0 || applied == circuit.size();
+    if (!checkpointDue && !sampleDue) {
       continue;
     }
-    accumulated += secondsSince(start); // pause the clock during sampling
-    const auto sampleSpan = obs::Tracer::global().span("sample", "eval");
-    TracePoint point;
-    point.gateIndex = applied;
-    point.nodes = simulator.stateNodes();
-    point.seconds = accumulated;
-    point.error = 0.0; // exact by construction
-    point.maxBits = simulator.package().system().maxBits();
-    point.peakNodes = simulator.package().peakNodes();
-    point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
-    point.tableFill = simulator.package().system().distinctValues();
-    trace.points.push_back(point);
-    if (reference != nullptr && amplitudesFeasible) {
-      reference->samples.push_back(simulator.package().amplitudes(simulator.state()));
+    accumulated += secondsSince(start); // pause the clock during sampling/checkpointing
+    if (checkpointDue) {
+      simulator.saveCheckpointFile(checkpointPath(options, applied));
+    }
+    if (sampleDue) {
+      const auto sampleSpan = obs::Tracer::global().span("sample", "eval");
+      TracePoint point;
+      point.gateIndex = applied;
+      point.nodes = simulator.stateNodes();
+      point.seconds = accumulated;
+      point.error = 0.0; // exact by construction
+      point.maxBits = simulator.package().system().maxBits();
+      point.peakNodes = simulator.package().peakNodes();
+      point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
+      point.tableFill = simulator.package().system().distinctValues();
+      trace.points.push_back(point);
+      if (reference != nullptr && amplitudesFeasible) {
+        reference->samples.push_back(simulator.package().amplitudes(simulator.state()));
+      }
     }
     start = Clock::now();
   }
   accumulated += secondsSince(start);
   trace.totalSeconds = accumulated;
   trace.finalError = 0.0;
+  if (options.captureFinalState) {
+    trace.finalStateSnapshot = io::saveVector(simulator.package(), simulator.state());
+  }
   finishTrace(trace, simulator);
   return trace;
 }
@@ -96,33 +113,44 @@ SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
   auto start = Clock::now();
   while (simulator.step()) {
     const std::size_t applied = simulator.gateIndex();
-    if (applied % options.sampleEvery != 0 && applied != circuit.size()) {
+    const bool checkpointDue =
+        options.checkpointEvery != 0 && applied % options.checkpointEvery == 0;
+    const bool sampleDue = applied % options.sampleEvery == 0 || applied == circuit.size();
+    if (!checkpointDue && !sampleDue) {
       continue;
     }
     accumulated += secondsSince(start);
-    const auto sampleSpan = obs::Tracer::global().span("sample", "eval");
-    TracePoint point;
-    point.gateIndex = applied;
-    point.nodes = simulator.stateNodes();
-    point.seconds = accumulated;
-    point.maxBits = simulator.package().system().maxBits();
-    point.peakNodes = simulator.package().peakNodes();
-    point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
-    point.tableFill = simulator.package().system().distinctValues();
-    point.error = std::numeric_limits<double>::quiet_NaN();
-    if (reference != nullptr && amplitudesFeasible &&
-        sampleOrdinal < reference->samples.size()) {
-      const auto numericAmplitudes = simulator.package().amplitudes(simulator.state());
-      point.error = accuracyError(numericAmplitudes, reference->samples[sampleOrdinal]);
-      lastError = point.error;
+    if (checkpointDue) {
+      simulator.saveCheckpointFile(checkpointPath(options, applied));
     }
-    ++sampleOrdinal;
-    trace.points.push_back(point);
+    if (sampleDue) {
+      const auto sampleSpan = obs::Tracer::global().span("sample", "eval");
+      TracePoint point;
+      point.gateIndex = applied;
+      point.nodes = simulator.stateNodes();
+      point.seconds = accumulated;
+      point.maxBits = simulator.package().system().maxBits();
+      point.peakNodes = simulator.package().peakNodes();
+      point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
+      point.tableFill = simulator.package().system().distinctValues();
+      point.error = std::numeric_limits<double>::quiet_NaN();
+      if (reference != nullptr && amplitudesFeasible &&
+          sampleOrdinal < reference->samples.size()) {
+        const auto numericAmplitudes = simulator.package().amplitudes(simulator.state());
+        point.error = accuracyError(numericAmplitudes, reference->samples[sampleOrdinal]);
+        lastError = point.error;
+      }
+      ++sampleOrdinal;
+      trace.points.push_back(point);
+    }
     start = Clock::now();
   }
   accumulated += secondsSince(start);
   trace.totalSeconds = accumulated;
   trace.finalError = lastError;
+  if (options.captureFinalState) {
+    trace.finalStateSnapshot = io::saveVector(simulator.package(), simulator.state());
+  }
   finishTrace(trace, simulator);
   return trace;
 }

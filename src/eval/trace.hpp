@@ -45,6 +45,9 @@ struct SimulationTrace {
   double finalError = 0.0;
   std::vector<TraceGcEvent> gcEvents; ///< GC runs, so size series can separate sweeps from growth
   obs::PackageStats finalStats;       ///< full telemetry snapshot at the end of the run
+  /// QDDS snapshot of the final state DD (filled iff
+  /// TraceOptions::captureFinalState; excluded from the timed sections).
+  std::vector<std::uint8_t> finalStateSnapshot;
 };
 
 /// Exact per-gate amplitude snapshots from the algebraic simulation, used as
@@ -60,6 +63,14 @@ struct TraceOptions {
   std::size_t sampleEvery = 25;
   /// Skip amplitude extraction above this width (2^n blow-up guard).
   qc::Qubit maxQubitsForAmplitudes = 18;
+  /// Serialize the final state DD into SimulationTrace::finalStateSnapshot
+  /// (a QDDS blob) when the run completes.
+  bool captureFinalState = false;
+  /// Write a simulator checkpoint every this many gates (0 = off) to
+  /// `<checkpointPathPrefix><gateIndex>.qckp`; checkpointing time is
+  /// excluded from the trace's timed sections, like sampling.
+  std::size_t checkpointEvery = 0;
+  std::string checkpointPathPrefix = "checkpoint_g";
 };
 
 /// Simulate with the exact algebraic QMDD, recording size/time/bit widths and

@@ -1,0 +1,222 @@
+/// \file codec.hpp
+/// Byte-level primitives of the qadd::io snapshot layer: a little-endian
+/// ByteWriter/ByteReader pair (fixed-width integers, LEB128 varints, zigzag
+/// signed varints, raw IEEE-754 bit patterns) plus an incremental CRC-32
+/// (IEEE 802.3, polynomial 0xEDB88320) used to integrity-check every QDDS
+/// payload.  The reader is fully bounds-checked: any structural violation of
+/// a snapshot (truncation, runaway varint, bad length prefix) surfaces as a
+/// SnapshotError instead of undefined behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qadd::io {
+
+/// Raised for every malformed, truncated, corrupted or incompatible snapshot
+/// artifact (both by the byte codecs and the QDDS/QCKP layers above them).
+class SnapshotError : public std::runtime_error {
+public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error("qadd::io: " + what) {}
+};
+
+// -- CRC-32 -----------------------------------------------------------------------
+
+namespace detail {
+
+/// The reflected CRC-32 table for polynomial 0xEDB88320, generated at compile
+/// time (the standard IEEE 802.3 / zlib crc32 parameterization).
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1U) ^ ((crc & 1U) != 0 ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/// Incremental CRC-32 (IEEE); Crc32{}.update(data).value() of "123456789"
+/// is the well-known check value 0xCBF43926.
+class Crc32 {
+public:
+  Crc32& update(std::span<const std::uint8_t> data) noexcept {
+    for (const std::uint8_t byte : data) {
+      state_ = (state_ >> 8U) ^ detail::kCrc32Table[(state_ ^ byte) & 0xFFU];
+    }
+    return *this;
+  }
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFU; }
+
+  [[nodiscard]] static std::uint32_t of(std::span<const std::uint8_t> data) noexcept {
+    return Crc32{}.update(data).value();
+  }
+
+private:
+  std::uint32_t state_ = 0xFFFFFFFFU;
+};
+
+// -- writer -----------------------------------------------------------------------
+
+/// Append-only little-endian encoder over a growable byte buffer.
+class ByteWriter {
+public:
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  /// Mutable view of the underlying buffer, for encoders that append their
+  /// own bytes (BigInt::toBytes and friends).
+  [[nodiscard]] std::vector<std::uint8_t>& buffer() noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+  void u16(std::uint16_t value) { fixed(value, 2); }
+  void u32(std::uint32_t value) { fixed(value, 4); }
+  void u64(std::uint64_t value) { fixed(value, 8); }
+
+  /// LEB128 unsigned varint (1 byte for values < 128).
+  void varint(std::uint64_t value) {
+    while (value >= 0x80U) {
+      bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80U);
+      value >>= 7U;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  /// Zigzag-mapped signed varint (small magnitudes of either sign stay short).
+  void svarint(std::int64_t value) {
+    varint((static_cast<std::uint64_t>(value) << 1U) ^
+           static_cast<std::uint64_t>(value >> 63));
+  }
+
+  /// IEEE-754 bit pattern of a double (exact round trip).
+  void f64(double value) {
+    std::uint64_t pattern = 0;
+    std::memcpy(&pattern, &value, sizeof(pattern));
+    u64(pattern);
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (varint) byte block.
+  void block(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  /// Length-prefixed (varint) UTF-8/ASCII string.
+  void string(std::string_view text) {
+    varint(text.size());
+    bytes_.insert(bytes_.end(), text.begin(), text.end());
+  }
+
+private:
+  void fixed(std::uint64_t value, std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(value >> (8U * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+// -- reader -----------------------------------------------------------------------
+
+/// Bounds-checked little-endian decoder over a byte span.  Every overrun or
+/// malformed encoding throws SnapshotError.
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  [[nodiscard]] bool atEnd() const noexcept { return offset_ == data_.size(); }
+
+  [[nodiscard]] std::uint8_t u8() { return need(1)[0]; }
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(fixed(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(fixed(4)); }
+  [[nodiscard]] std::uint64_t u64() { return fixed(8); }
+
+  [[nodiscard]] std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      value |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
+      if ((byte & 0x80U) == 0) {
+        return value;
+      }
+    }
+    throw SnapshotError("varint exceeds 64 bits");
+  }
+
+  [[nodiscard]] std::int64_t svarint() {
+    const std::uint64_t zigzag = varint();
+    return static_cast<std::int64_t>((zigzag >> 1U) ^ (~(zigzag & 1U) + 1U));
+  }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t pattern = u64();
+    double value = 0.0;
+    std::memcpy(&value, &pattern, sizeof(value));
+    return value;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> raw(std::size_t count) { return need(count); }
+
+  /// The unread remainder, for decoders that consume their own bytes
+  /// (BigInt::fromBytes and friends); pair with skip() to advance.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(offset_);
+  }
+  void skip(std::size_t count) { (void)need(count); }
+
+  /// Length-prefixed (varint) byte block.
+  [[nodiscard]] std::span<const std::uint8_t> block() {
+    const std::uint64_t length = varint();
+    if (length > remaining()) {
+      throw SnapshotError("block length exceeds remaining payload");
+    }
+    return need(static_cast<std::size_t>(length));
+  }
+
+  [[nodiscard]] std::string string() {
+    const auto bytes = block();
+    return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+  }
+
+private:
+  [[nodiscard]] std::span<const std::uint8_t> need(std::size_t count) {
+    if (count > remaining()) {
+      throw SnapshotError("unexpected end of snapshot data");
+    }
+    const auto view = data_.subspan(offset_, count);
+    offset_ += count;
+    return view;
+  }
+
+  [[nodiscard]] std::uint64_t fixed(std::size_t width) {
+    const auto bytes = need(width);
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      value |= static_cast<std::uint64_t>(bytes[i]) << (8U * i);
+    }
+    return value;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+} // namespace qadd::io

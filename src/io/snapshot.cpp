@@ -1,0 +1,142 @@
+/// \file snapshot.cpp
+/// Non-template half of the QDDS layer: envelope parsing/validation,
+/// package-free metadata inspection (readInfo) and whole-file helpers.
+
+#include "io/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qadd::io {
+
+std::string_view toString(DdKind kind) {
+  switch (kind) {
+  case DdKind::Vector:
+    return "vector";
+  case DdKind::Matrix:
+    return "matrix";
+  }
+  return "unknown";
+}
+
+std::string_view toString(SystemTag tag) {
+  switch (tag) {
+  case SystemTag::Algebraic:
+    return "algebraic";
+  case SystemTag::Numeric:
+    return "numeric";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+ParsedSnapshot parseEnvelope(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kQddsHeaderBytes + kQddsFooterBytes) {
+    throw SnapshotError("snapshot too short to hold a QDDS header");
+  }
+  ByteReader reader(bytes);
+  const auto magic = reader.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kQddsMagic.begin())) {
+    throw SnapshotError("bad magic bytes (not a QDDS snapshot)");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kQddsVersion) {
+    throw SnapshotError("unsupported QDDS version " + std::to_string(version) +
+                        " (this build reads version " + std::to_string(kQddsVersion) + ")");
+  }
+  const std::uint8_t kind = reader.u8();
+  if (kind != static_cast<std::uint8_t>(DdKind::Vector) &&
+      kind != static_cast<std::uint8_t>(DdKind::Matrix)) {
+    throw SnapshotError("unknown DD kind tag in snapshot header");
+  }
+  const std::uint8_t system = reader.u8();
+  if (system != static_cast<std::uint8_t>(SystemTag::Algebraic) &&
+      system != static_cast<std::uint8_t>(SystemTag::Numeric)) {
+    throw SnapshotError("unknown weight-system tag in snapshot header");
+  }
+  const std::uint32_t qubits = reader.u32();
+  const std::uint64_t payloadLength = reader.u64();
+  (void)reader.u32(); // reserved
+  if (payloadLength != bytes.size() - kQddsHeaderBytes - kQddsFooterBytes) {
+    throw SnapshotError("payload length in header does not match snapshot size");
+  }
+  const std::uint32_t storedCrc = ByteReader(bytes.last(kQddsFooterBytes)).u32();
+  const std::uint32_t actualCrc = Crc32::of(bytes.first(bytes.size() - kQddsFooterBytes));
+  if (storedCrc != actualCrc) {
+    std::ostringstream os;
+    os << "CRC mismatch (stored 0x" << std::hex << storedCrc << ", computed 0x" << actualCrc
+       << "): snapshot is corrupted";
+    throw SnapshotError(os.str());
+  }
+  return {static_cast<DdKind>(kind), static_cast<SystemTag>(system), qubits,
+          bytes.subspan(kQddsHeaderBytes, static_cast<std::size_t>(payloadLength))};
+}
+
+} // namespace detail
+
+SnapshotInfo readInfo(std::span<const std::uint8_t> bytes) {
+  const detail::ParsedSnapshot parsed = detail::parseEnvelope(bytes);
+  SnapshotInfo info;
+  info.kind = parsed.kind;
+  info.system = parsed.system;
+  info.qubits = parsed.qubits;
+  info.payloadBytes = parsed.payload.size();
+  info.totalBytes = bytes.size();
+  ByteReader reader(parsed.payload);
+  if (parsed.system == SystemTag::Algebraic) {
+    info.normalization = reader.u8();
+  } else {
+    info.floatDigits = reader.u8();
+    info.epsilon = reader.f64();
+    info.normalization = reader.u8();
+  }
+  info.weightCount = reader.varint();
+  info.nodeCount = reader.varint();
+  return info;
+}
+
+std::string SnapshotInfo::describe() const {
+  std::ostringstream os;
+  os << toString(kind) << " DD, " << qubits << " qubits, " << toString(system) << " weights";
+  if (system == SystemTag::Numeric) {
+    os << " (eps=" << epsilon << ", " << static_cast<int>(floatDigits) << "-bit mantissa)";
+  }
+  os << ": " << nodeCount << " nodes, " << weightCount << " distinct weights, " << totalBytes
+     << " bytes";
+  return os.str();
+}
+
+void writeBytesFile(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw SnapshotError("cannot open '" + path + "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    throw SnapshotError("short write to '" + path + "'");
+  }
+}
+
+std::vector<std::uint8_t> readBytesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw SnapshotError("cannot open '" + path + "' for reading");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+  }
+  if (!in) {
+    throw SnapshotError("short read from '" + path + "'");
+  }
+  return bytes;
+}
+
+} // namespace qadd::io

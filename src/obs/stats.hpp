@@ -107,6 +107,28 @@ struct WeightTableStats {
   CacheStats opCache;
 };
 
+/// Snapshot-I/O statistics (qadd::io): volume written/read through the QDDS
+/// serialization layer and the canonical dedup observed on loads (nodes from
+/// a snapshot that re-interned onto nodes already present in the unique
+/// tables — the measure of how much a load shares with the live package).
+struct IoStats {
+  Counter snapshotsSaved;
+  Counter snapshotsLoaded;
+  Counter nodesWritten;
+  Counter nodesRead;
+  Counter weightsWritten;
+  Counter weightsRead;
+  Counter bytesWritten;
+  Counter bytesRead;
+  Counter loadDedupNodes; ///< loaded node records already canonically present
+
+  [[nodiscard]] bool any() const {
+    return snapshotsSaved.value() + snapshotsLoaded.value() + bytesWritten.value() +
+               bytesRead.value() !=
+           0;
+  }
+};
+
 /// The full counter block of one dd::Package.  Counters are maintained
 /// inline by the package; gauges (live/peak nodes, weight-table view) are
 /// filled when a snapshot is taken via Package::stats().
@@ -129,6 +151,7 @@ struct PackageStats {
   Counter nodeReuses;      ///< nodes recycled from the free list
 
   GcStats gc;
+  IoStats io;
 
   // Gauges (snapshot time).
   std::size_t liveNodes = 0;

@@ -9,11 +9,14 @@
 #include "core/algebraic_system.hpp"
 #include "core/numeric_system.hpp"
 #include "core/package.hpp"
+#include "io/checkpoint.hpp"
+#include "io/snapshot.hpp"
 #include "obs/tracer.hpp"
 #include "qc/circuit.hpp"
 #include "qc/gates.hpp"
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -157,6 +160,51 @@ public:
   [[nodiscard]] double probability(std::span<const bool> bits) const {
     const auto amplitude = package_->amplitude(state_, bits);
     return std::norm(amplitude);
+  }
+
+  // -- checkpoint / restore ------------------------------------------------------
+
+  /// Serialize the simulation position (gate index + circuit identity) and
+  /// the current state DD as a QCKP checkpoint blob.
+  [[nodiscard]] std::vector<std::uint8_t> saveCheckpoint() {
+    io::CheckpointData data;
+    data.gateIndex = next_;
+    data.circuitText = circuit_.toText();
+    data.snapshot = io::saveVector(*package_, state_);
+    return io::writeCheckpoint(data);
+  }
+
+  /// saveCheckpoint() straight to a file.
+  void saveCheckpointFile(const std::string& path) { io::writeBytesFile(path, saveCheckpoint()); }
+
+  /// Restore gate position and state from a checkpoint taken on the *same*
+  /// circuit (verified via the serialized circuit text).  The state DD
+  /// re-interns through this simulator's package, so an algebraic resume is
+  /// bit-identical to the state at checkpoint time.  \throws
+  /// io::SnapshotError on corruption or any circuit/system/width mismatch.
+  void resumeFrom(std::span<const std::uint8_t> bytes) {
+    const io::CheckpointData data = io::readCheckpoint(bytes);
+    if (data.circuitText != circuit_.toText()) {
+      throw io::SnapshotError("checkpoint was taken on a different circuit");
+    }
+    if (data.gateIndex > circuit_.size()) {
+      throw io::SnapshotError("checkpoint gate index exceeds the circuit length");
+    }
+    const VEdge restored = io::loadVector(*package_, std::span<const std::uint8_t>(data.snapshot));
+    package_->incRef(restored);
+    if (hasState_) {
+      package_->decRef(state_);
+    }
+    state_ = restored;
+    hasState_ = true;
+    next_ = static_cast<std::size_t>(data.gateIndex);
+    gcEvents_.clear();
+  }
+
+  /// resumeFrom() straight from a file.
+  void resumeFromFile(const std::string& path) {
+    const auto bytes = io::readBytesFile(path);
+    resumeFrom(bytes);
   }
 
 private:

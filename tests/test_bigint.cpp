@@ -265,6 +265,87 @@ TEST(BigInt, OddEven) {
   EXPECT_TRUE((pow2(100) + BigInt{1}).isOdd());
 }
 
+TEST(BigIntBytes, ZeroIsSingleHeaderByte) {
+  const std::vector<std::uint8_t> bytes = BigInt{0}.toBytes();
+  ASSERT_EQ(bytes.size(), 1U);
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_EQ(BigInt::fromBytes(bytes), BigInt{0});
+}
+
+TEST(BigIntBytes, SmallValuesEncodeCompactly) {
+  // header = (count << 1) | sign, magnitude little-endian.
+  EXPECT_EQ(BigInt{1}.toBytes(), (std::vector<std::uint8_t>{0x02, 0x01}));
+  EXPECT_EQ(BigInt{-1}.toBytes(), (std::vector<std::uint8_t>{0x03, 0x01}));
+  EXPECT_EQ(BigInt{255}.toBytes(), (std::vector<std::uint8_t>{0x02, 0xFF}));
+  EXPECT_EQ(BigInt{256}.toBytes(), (std::vector<std::uint8_t>{0x04, 0x00, 0x01}));
+  EXPECT_EQ(BigInt{-0x1234}.toBytes(), (std::vector<std::uint8_t>{0x05, 0x34, 0x12}));
+}
+
+TEST(BigIntBytes, NegativeRoundTrip) {
+  for (const std::int64_t value : {std::int64_t{-1}, std::int64_t{-255}, std::int64_t{-256},
+                                   std::numeric_limits<std::int64_t>::min()}) {
+    const BigInt original{value};
+    EXPECT_EQ(BigInt::fromBytes(original.toBytes()), original) << value;
+  }
+}
+
+TEST(BigIntBytes, MultiLimbRoundTripMatchesDecimal) {
+  for (const char* text :
+       {"99999999999999999999999999999999999", "-170141183460469231731687303715884105727",
+        "340282366920938463463374607431768211456"}) {
+    const BigInt original{std::string_view{text}};
+    const BigInt decoded = BigInt::fromBytes(original.toBytes());
+    EXPECT_EQ(decoded, original);
+    EXPECT_EQ(decoded.toString(), text);
+  }
+}
+
+TEST(BigIntBytes, RandomRoundTripAllSizes) {
+  std::mt19937_64 rng(29);
+  for (int limbs = 1; limbs <= 40; ++limbs) {
+    for (int i = 0; i < 10; ++i) {
+      BigInt value{static_cast<std::int64_t>(rng())};
+      for (int j = 1; j < limbs; ++j) {
+        value = value * BigInt{static_cast<std::int64_t>(rng() | 1)};
+      }
+      if (rng() % 2 == 0) {
+        value = -value;
+      }
+      EXPECT_EQ(BigInt::fromBytes(value.toBytes()), value);
+    }
+  }
+}
+
+TEST(BigIntBytes, StreamingDecodeAdvancesOffset) {
+  std::vector<std::uint8_t> stream;
+  const BigInt values[] = {BigInt{0}, BigInt{-42}, pow2(200) + BigInt{7}, BigInt{1}};
+  for (const BigInt& value : values) {
+    value.toBytes(stream);
+  }
+  std::size_t offset = 0;
+  for (const BigInt& value : values) {
+    EXPECT_EQ(BigInt::fromBytes(stream, offset), value);
+  }
+  EXPECT_EQ(offset, stream.size());
+}
+
+TEST(BigIntBytes, RejectsMalformedInput) {
+  // Truncated: header promises one magnitude byte, buffer ends.
+  EXPECT_THROW(BigInt::fromBytes(std::vector<std::uint8_t>{0x02}), std::invalid_argument);
+  // Empty buffer.
+  EXPECT_THROW(BigInt::fromBytes(std::vector<std::uint8_t>{}), std::invalid_argument);
+  // Non-canonical: trailing zero magnitude byte (2 encoded as two bytes).
+  EXPECT_THROW(BigInt::fromBytes(std::vector<std::uint8_t>{0x04, 0x02, 0x00}),
+               std::invalid_argument);
+  // Negative zero: sign bit set with no magnitude bytes.
+  EXPECT_THROW(BigInt::fromBytes(std::vector<std::uint8_t>{0x01}), std::invalid_argument);
+  // Whole-buffer decode rejects trailing garbage.
+  EXPECT_THROW(BigInt::fromBytes(std::vector<std::uint8_t>{0x02, 0x01, 0xFF}),
+               std::invalid_argument);
+  // Runaway varint header (continuation bits forever).
+  EXPECT_THROW(BigInt::fromBytes(std::vector<std::uint8_t>(12, 0x80)), std::invalid_argument);
+}
+
 /// Property sweep: (a+b)*c == a*c + b*c over random magnitudes of varying
 /// sizes (crossing the Karatsuba threshold).
 class BigIntDistributivity : public ::testing::TestWithParam<int> {};

@@ -4,6 +4,7 @@
 /// net over the whole stack (gates -> gate DDs -> multiply/add -> normalize
 /// -> unique tables).
 #include "core/export.hpp"
+#include "io/snapshot.hpp"
 #include "qc/simulator.hpp"
 
 #include <gtest/gtest.h>
@@ -118,6 +119,54 @@ TEST_P(FuzzNumericTolerance, ModerateEpsilonStaysAccurateOnShortCircuits) {
 
 INSTANTIATE_TEST_SUITE_P(Epsilons, FuzzNumericTolerance,
                          ::testing::Values(0.0, 1e-15, 1e-12, 1e-9, 1e-7));
+
+/// Snapshot round-trip fuzzing: for random Clifford+T states the QDDS
+/// serialize -> deserialize cycle must reproduce the canonical diagram —
+/// same node count and exact weight equality (the re-serialization of the
+/// reloaded DD is byte-identical) under the algebraic system, and ULP-0
+/// amplitudes under the numeric system at the matching tolerance.
+class FuzzSnapshotRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSnapshotRoundTrip, SerializeDeserializeIsExact) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 31);
+  const auto nqubits = static_cast<qc::Qubit>(2 + rng() % 4); // 2..5
+  const std::size_t gates = 10 + rng() % 40;
+  const qc::Circuit circuit = randomCliffordT(rng, nqubits, gates);
+  const double epsilon = (GetParam() % 2 == 0) ? 0.0 : 1e-10;
+
+  qc::Simulator<AlgebraicSystem> algebraic(circuit);
+  algebraic.run();
+  auto& algebraicPackage = algebraic.package();
+  const auto algebraicBytes = io::saveVector(algebraicPackage, algebraic.state());
+  // Same package: the canonical edge itself comes back.
+  EXPECT_TRUE(io::loadVector(algebraicPackage, algebraicBytes) == algebraic.state());
+  // Fresh package: canonical node count survives and every weight is exactly
+  // reproduced (byte-identical re-serialization).
+  dd::Package<AlgebraicSystem> algebraicFresh(nqubits);
+  const auto algebraicReloaded = io::loadVector(algebraicFresh, algebraicBytes);
+  EXPECT_EQ(algebraicFresh.countNodes(algebraicReloaded),
+            algebraicPackage.countNodes(algebraic.state()));
+  EXPECT_EQ(io::saveVector(algebraicFresh, algebraicReloaded), algebraicBytes);
+
+  qc::Simulator<NumericSystem> numeric(circuit,
+                                       {epsilon, NumericSystem::Normalization::LeftmostNonzero});
+  numeric.run();
+  const auto numericBytes = io::saveVector(numeric.package(), numeric.state());
+  dd::Package<NumericSystem> numericFresh(nqubits,
+                                          {epsilon, NumericSystem::Normalization::LeftmostNonzero});
+  const auto numericReloaded = io::loadVector(numericFresh, numericBytes);
+  EXPECT_EQ(numericFresh.countNodes(numericReloaded),
+            numeric.package().countNodes(numeric.state()));
+  const auto expected = numeric.package().amplitudes(numeric.state());
+  const auto restored = numericFresh.amplitudes(numericReloaded);
+  ASSERT_EQ(expected.size(), restored.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(restored[i].real(), expected[i].real()) << "ULP-0 violated at index " << i;
+    EXPECT_EQ(restored[i].imag(), expected[i].imag()) << "ULP-0 violated at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSnapshotRoundTrip, ::testing::Range(0, 16));
 
 } // namespace
 } // namespace qadd
