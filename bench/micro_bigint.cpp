@@ -1,15 +1,35 @@
 /// \file micro_bigint.cpp
 /// Micro-benchmarks of the BigInt substrate (the GMP replacement): the
 /// primitive operations whose cost drives the algebraic QMDD's overhead.
+///
+/// The binary provides its own main: after the google-benchmark run it
+/// measures a fixed small-operand series (BigInt word ops plus the Z[omega] /
+/// Q[omega] hot operations the int64 kernels accelerate) with the
+/// operator-new probe attached and writes BENCH_bigint.json — ns/op and
+/// allocs/op, against the pre-SSO seed baselines embedded below, plus a
+/// forced-spill column (runtime fast paths disabled) showing the cost of the
+/// general path on the same operands.
+#include "alloc_probe.hpp"
+
+#include "algebraic/euclidean.hpp"
+#include "algebraic/qomega.hpp"
 #include "bigint/bigint.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
 #include <random>
+#include <vector>
 
 namespace {
 
 using qadd::BigInt;
+using qadd::alg::QOmega;
+using qadd::alg::ZOmega;
 
 BigInt randomBigInt(std::mt19937_64& rng, int limbs) {
   BigInt value{static_cast<std::int64_t>(rng() | 1)};
@@ -20,10 +40,26 @@ BigInt randomBigInt(std::mt19937_64& rng, int limbs) {
   return value;
 }
 
+/// allocs/op of the timed loop, attached as a benchmark counter.
+struct AllocScope {
+  explicit AllocScope(benchmark::State& state)
+      : state_(state), start_(qadd::benchprobe::allocationCount()) {}
+  ~AllocScope() {
+    const auto total = qadd::benchprobe::allocationCount() - start_;
+    state_.counters["allocs_per_op"] =
+        state_.iterations() == 0
+            ? 0.0
+            : static_cast<double>(total) / static_cast<double>(state_.iterations());
+  }
+  benchmark::State& state_;
+  std::uint64_t start_;
+};
+
 void BM_BigIntAdd(benchmark::State& state) {
   std::mt19937_64 rng(3);
   const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
   const BigInt b = randomBigInt(rng, static_cast<int>(state.range(0)));
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a + b);
   }
@@ -34,6 +70,7 @@ void BM_BigIntMul(benchmark::State& state) {
   std::mt19937_64 rng(5);
   const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
   const BigInt b = randomBigInt(rng, static_cast<int>(state.range(0)));
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a * b);
   }
@@ -46,6 +83,7 @@ void BM_BigIntDivMod(benchmark::State& state) {
   const BigInt b = randomBigInt(rng, static_cast<int>(state.range(0)) / 2 + 1);
   BigInt q;
   BigInt r;
+  AllocScope allocs(state);
   for (auto _ : state) {
     BigInt::divMod(a, b, q, r);
     benchmark::DoNotOptimize(q);
@@ -58,6 +96,7 @@ void BM_BigIntGcd(benchmark::State& state) {
   const BigInt g = randomBigInt(rng, 2);
   const BigInt a = g * randomBigInt(rng, static_cast<int>(state.range(0)));
   const BigInt b = g * randomBigInt(rng, static_cast<int>(state.range(0)));
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(BigInt::gcd(a, b));
   }
@@ -67,10 +106,210 @@ BENCHMARK(BM_BigIntGcd)->Arg(2)->Arg(8)->Arg(24);
 void BM_BigIntToString(benchmark::State& state) {
   std::mt19937_64 rng(11);
   const BigInt a = randomBigInt(rng, static_cast<int>(state.range(0)));
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.toString());
   }
 }
 BENCHMARK(BM_BigIntToString)->Arg(4)->Arg(32);
 
+// ---------------------------------------------------------------------------
+// BENCH_bigint.json: the small-operand before/after series.
+// ---------------------------------------------------------------------------
+
+/// One measured operation of the series harness.
+struct SeriesResult {
+  double nsPerOp = 0.0;
+  double allocsPerOp = 0.0;
+};
+
+/// Time `op` over `iters` iterations (after a 10% warmup) with the
+/// allocation probe attached.
+template <class Op> SeriesResult measure(std::size_t iters, Op op) {
+  for (std::size_t i = 0; i < iters / 10 + 1; ++i) {
+    op(i);
+  }
+  const std::uint64_t allocs0 = qadd::benchprobe::allocationCount();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    op(i);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const std::uint64_t allocs1 = qadd::benchprobe::allocationCount();
+  SeriesResult result;
+  result.nsPerOp = std::chrono::duration<double, std::nano>(stop - start).count() /
+                   static_cast<double>(iters);
+  result.allocsPerOp =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(iters);
+  return result;
+}
+
+/// Operand pools shared by the series: |BigInt| < 2^62 (the word-kernel
+/// domain), odd < 2^31 divisors, and Z[omega]/Q[omega] values with |coeff|
+/// <= 10^6 — representative of Clifford+T coefficient magnitudes.
+struct Pools {
+  static constexpr std::size_t kCount = 256;
+  std::vector<BigInt> wide;   // |v| < 2^62
+  std::vector<BigInt> narrow; // odd, |v| < 2^31
+  std::vector<ZOmega> rings;
+  std::vector<QOmega> fields;
+
+  Pools() {
+    std::mt19937_64 rng(42);
+    std::uniform_int_distribution<std::int64_t> d62(-(std::int64_t{1} << 61),
+                                                    std::int64_t{1} << 61);
+    std::uniform_int_distribution<std::int64_t> d31(-(std::int64_t{1} << 30),
+                                                    std::int64_t{1} << 30);
+    std::uniform_int_distribution<std::int64_t> dz(-1000000, 1000000);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      wide.push_back(BigInt{d62(rng)});
+      narrow.push_back(BigInt{d31(rng) | 1});
+      rings.push_back(
+          ZOmega{BigInt{dz(rng)}, BigInt{dz(rng)}, BigInt{dz(rng)}, BigInt{dz(rng)}});
+      fields.push_back(QOmega{
+          ZOmega{BigInt{dz(rng)}, BigInt{dz(rng)}, BigInt{dz(rng)}, BigInt{dz(rng)}},
+          static_cast<long>(i % 7) - 3, BigInt{(i % 2 == 0) ? 9 : 15}});
+    }
+  }
+};
+
+struct SeriesSpec {
+  const char* name;
+  std::size_t iters;
+  double baselineNs;     // pre-SSO seed, same harness/host class
+  double baselineAllocs; // pre-SSO seed allocs/op
+};
+
+/// Pre-change (PR-3 seed) measurements of exactly this harness: -O2, glibc
+/// malloc, 256-operand pools, best of 3 interleaved rounds.
+constexpr SeriesSpec kSeries[] = {
+    {"bigint_add", 2000000, 117.3, 3.0},
+    {"bigint_mul", 2000000, 127.1, 3.0},
+    {"bigint_divmod", 1000000, 129.9, 2.0},
+    {"bigint_gcd", 200000, 658.9, 6.0},
+    {"zomega_mul", 500000, 3569.0, 80.0},
+    {"zomega_norm", 500000, 1787.0, 36.0},
+    {"qomega_mul_canon", 200000, 6013.6, 106.668},
+    {"qomega_add", 200000, 5041.5, 106.782},
+    {"euclidean_quotient", 100000, 10902.6, 217.68},
+};
+constexpr std::size_t kSeriesCount = sizeof(kSeries) / sizeof(kSeries[0]);
+
+/// Run the whole series once in declaration order.
+void runSeriesRound(const Pools& pools, SeriesResult (&out)[kSeriesCount]) {
+  constexpr std::size_t N = Pools::kCount;
+  volatile std::int64_t sink = 0;
+  std::size_t index = 0;
+  const auto record = [&](SeriesResult r) { out[index++] = r; };
+  record(measure(kSeries[0].iters, [&](std::size_t i) {
+    BigInt r = pools.wide[i % N] + pools.wide[(i + 1) % N];
+    sink = sink + static_cast<std::int64_t>(r.isNegative());
+  }));
+  record(measure(kSeries[1].iters, [&](std::size_t i) {
+    BigInt r = pools.narrow[i % N] * pools.narrow[(i + 1) % N];
+    sink = sink + static_cast<std::int64_t>(r.isNegative());
+  }));
+  record(measure(kSeries[2].iters, [&](std::size_t i) {
+    BigInt q;
+    BigInt r;
+    BigInt::divMod(pools.wide[i % N], pools.narrow[(i + 1) % N], q, r);
+    sink = sink + static_cast<std::int64_t>(q.isNegative());
+  }));
+  record(measure(kSeries[3].iters, [&](std::size_t i) {
+    sink = sink + static_cast<std::int64_t>(
+                      BigInt::gcd(pools.wide[i % N], pools.wide[(i + 1) % N]).isOne());
+  }));
+  record(measure(kSeries[4].iters, [&](std::size_t i) {
+    ZOmega r = pools.rings[i % N] * pools.rings[(i + 1) % N];
+    sink = sink + static_cast<std::int64_t>(r.isZero());
+  }));
+  record(measure(kSeries[5].iters, [&](std::size_t i) {
+    BigInt u;
+    BigInt v;
+    pools.rings[i % N].norm(u, v);
+    sink = sink + static_cast<std::int64_t>(u.isNegative());
+  }));
+  record(measure(kSeries[6].iters, [&](std::size_t i) {
+    QOmega r = pools.fields[i % N] * pools.fields[(i + 1) % N];
+    sink = sink + static_cast<std::int64_t>(r.isZero());
+  }));
+  record(measure(kSeries[7].iters, [&](std::size_t i) {
+    QOmega r = pools.fields[i % N] + pools.fields[(i + 1) % N];
+    sink = sink + static_cast<std::int64_t>(r.isZero());
+  }));
+  record(measure(kSeries[8].iters, [&](std::size_t i) {
+    ZOmega r = qadd::alg::euclideanQuotient(pools.rings[i % N], pools.rings[(i + 1) % N]);
+    sink = sink + static_cast<std::int64_t>(r.isZero());
+  }));
+}
+
+/// Best ns/op of `rounds` interleaved rounds (allocs/op is deterministic, so
+/// the last round's value stands).
+void runSeries(const Pools& pools, int rounds, SeriesResult (&best)[kSeriesCount]) {
+  for (int round = 0; round < rounds; ++round) {
+    SeriesResult current[kSeriesCount];
+    runSeriesRound(pools, current);
+    for (std::size_t i = 0; i < kSeriesCount; ++i) {
+      if (round == 0 || current[i].nsPerOp < best[i].nsPerOp) {
+        best[i].nsPerOp = current[i].nsPerOp;
+      }
+      best[i].allocsPerOp = current[i].allocsPerOp;
+    }
+  }
+}
+
+void writeBenchBigint(const char* path) {
+  constexpr int kRounds = 3;
+  Pools pools;
+
+  SeriesResult fast[kSeriesCount];
+  runSeries(pools, kRounds, fast);
+
+  // Forced-spill column: same operands through the general BigInt/limb-vector
+  // path (storage stays SSO; only the word kernels are bypassed).  A no-op
+  // toggle in QADD_BIGINT_SSO=0 builds, where this equals the primary series.
+  const bool hadFastPaths = qadd::detail::setSmallFastPaths(false);
+  SeriesResult spill[kSeriesCount];
+  runSeries(pools, kRounds, spill);
+  qadd::detail::setSmallFastPaths(hadFastPaths);
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "could not write " << path << "\n";
+    return;
+  }
+  os << std::setprecision(6);
+  os << "{\"ssoEnabled\":" << (QADD_BIGINT_SSO != 0 ? "true" : "false")
+     << ",\"allocProbe\":" << (qadd::benchprobe::kProbeActive ? "true" : "false")
+     << ",\"methodology\":\"best ns/op of " << kRounds
+     << " interleaved rounds, 256-operand pools, <= 62-bit operands\""
+     << ",\"series\":{";
+  for (std::size_t i = 0; i < kSeriesCount; ++i) {
+    if (i != 0) {
+      os << ",";
+    }
+    const SeriesSpec& spec = kSeries[i];
+    os << "\"" << spec.name << "\":{\"nsPerOp\":" << fast[i].nsPerOp
+       << ",\"allocsPerOp\":" << fast[i].allocsPerOp
+       << ",\"baselineNsPerOp\":" << spec.baselineNs
+       << ",\"baselineAllocsPerOp\":" << spec.baselineAllocs << ",\"speedup\":"
+       << (fast[i].nsPerOp > 0.0 ? spec.baselineNs / fast[i].nsPerOp : 0.0)
+       << ",\"spillNsPerOp\":" << spill[i].nsPerOp
+       << ",\"spillAllocsPerOp\":" << spill[i].allocsPerOp << "}";
+  }
+  os << "}}\n";
+  std::cout << "bigint small-path series written to " << path << "\n";
+}
+
 } // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeBenchBigint("BENCH_bigint.json");
+  return 0;
+}

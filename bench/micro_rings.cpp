@@ -2,7 +2,11 @@
 /// Micro-benchmarks of the algebraic number tower: Z[omega] / Q[omega]
 /// arithmetic, canonicalization (Algorithm 1), inversion (Algorithm 2's
 /// workhorse) and GCD computation (Algorithm 3's workhorse) — against the
-/// interned numeric complex table for context.
+/// interned numeric complex table for context.  Each benchmark also reports
+/// allocs_per_op via the operator-new probe (zero on the small-coefficient
+/// configurations is the SSO acceptance criterion).
+#include "alloc_probe.hpp"
+
 #include "algebraic/euclidean.hpp"
 #include "algebraic/qomega.hpp"
 #include "numeric/complex_table.hpp"
@@ -17,6 +21,21 @@ using namespace qadd;
 using alg::QOmega;
 using alg::ZOmega;
 
+/// Attach allocs/op of the timed loop as a benchmark counter.
+struct AllocScope {
+  explicit AllocScope(benchmark::State& state)
+      : state_(state), start_(benchprobe::allocationCount()) {}
+  ~AllocScope() {
+    const auto total = benchprobe::allocationCount() - start_;
+    state_.counters["allocs_per_op"] =
+        state_.iterations() == 0
+            ? 0.0
+            : static_cast<double>(total) / static_cast<double>(state_.iterations());
+  }
+  benchmark::State& state_;
+  std::uint64_t start_;
+};
+
 ZOmega randomZOmega(std::mt19937_64& rng, int bound) {
   std::uniform_int_distribution<std::int64_t> d(-bound, bound);
   return {BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}, BigInt{d(rng)}};
@@ -26,6 +45,7 @@ void BM_ZOmegaMul(benchmark::State& state) {
   std::mt19937_64 rng(3);
   const ZOmega a = randomZOmega(rng, static_cast<int>(state.range(0)));
   const ZOmega b = randomZOmega(rng, static_cast<int>(state.range(0)));
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a * b);
   }
@@ -36,6 +56,7 @@ void BM_QOmegaMulCanonicalize(benchmark::State& state) {
   std::mt19937_64 rng(5);
   const QOmega a{randomZOmega(rng, 1000), 3, BigInt{9}};
   const QOmega b{randomZOmega(rng, 1000), -2, BigInt{15}};
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a * b);
   }
@@ -46,6 +67,7 @@ void BM_QOmegaAdd(benchmark::State& state) {
   std::mt19937_64 rng(7);
   const QOmega a{randomZOmega(rng, 1000), 3, BigInt{9}};
   const QOmega b{randomZOmega(rng, 1000), -2, BigInt{15}};
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a + b);
   }
@@ -55,6 +77,7 @@ BENCHMARK(BM_QOmegaAdd);
 void BM_QOmegaInverse(benchmark::State& state) {
   std::mt19937_64 rng(9);
   const QOmega a{randomZOmega(rng, static_cast<int>(state.range(0))), 2, BigInt{7}};
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.inverse());
   }
@@ -66,6 +89,7 @@ void BM_ZOmegaGcd(benchmark::State& state) {
   const ZOmega common = randomZOmega(rng, 50);
   const ZOmega a = common * randomZOmega(rng, static_cast<int>(state.range(0)));
   const ZOmega b = common * randomZOmega(rng, static_cast<int>(state.range(0)));
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(alg::gcdZOmega(a, b));
   }
@@ -75,6 +99,7 @@ BENCHMARK(BM_ZOmegaGcd)->Arg(10)->Arg(1000);
 void BM_CanonicalAssociate(benchmark::State& state) {
   std::mt19937_64 rng(13);
   const QOmega a{randomZOmega(rng, 1000), 1};
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(alg::canonicalAssociate(a));
   }
@@ -84,6 +109,7 @@ BENCHMARK(BM_CanonicalAssociate);
 void BM_QOmegaToComplex(benchmark::State& state) {
   std::mt19937_64 rng(15);
   const QOmega a{randomZOmega(rng, 1000000), 11, BigInt{12345}};
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.toComplex());
   }
@@ -99,6 +125,7 @@ void BM_ComplexTableLookup(benchmark::State& state) {
     values.push_back({d(rng), d(rng)});
   }
   std::size_t i = 0;
+  AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.lookup(values[i++ % values.size()]));
   }

@@ -1,5 +1,7 @@
 #include "algebraic/euclidean.hpp"
 
+#include "algebraic/small_kernels.hpp"
+
 #include <array>
 #include <cassert>
 #include <utility>
@@ -7,6 +9,60 @@
 namespace qadd::alg {
 
 namespace {
+
+#if QADD_BIGINT_SSO
+
+using detail::I128;
+using detail::SmallZ;
+
+/// Bound for the Euclidean-division inner loop.  With |coefficients| < 2^30:
+/// the product z1 * conj(z2) and the norm components u, v of z2 stay below
+/// 4 * 2^60 = 2^62; the rationalized numerator (a four-term sum of products
+/// of those) stays below 4 * 2^124 = 2^126; and |den| = |u^2 - 2 v^2| stays
+/// below 2^125 — everything fits a signed int128.
+constexpr std::size_t kQuotientBits = 30;
+
+/// Word-kernel version of rationalizedQuotient + divRound.  Returns false
+/// when the operands exceed the bound (or the general path must run).
+bool euclideanQuotientSmall(const ZOmega& z1, const ZOmega& z2, ZOmega& out) {
+  SmallZ x;
+  SmallZ y;
+  if (!detail::load(z1, x, kQuotientBits) || !detail::load(z2, y, kQuotientBits)) {
+    return false;
+  }
+  ++detail::smallPathStats().hits;
+  // p = z1 * conj(z2), conj(z2) = (-c2, -b2, -a2, d2).
+  const auto mul = [](const SmallZ& l, const SmallZ& r) {
+    return SmallZ{
+        static_cast<std::int64_t>(l.a * r.d + l.b * r.c + l.c * r.b + l.d * r.a),
+        static_cast<std::int64_t>(l.b * r.d + l.c * r.c + l.d * r.b - l.a * r.a),
+        static_cast<std::int64_t>(l.c * r.d + l.d * r.c - l.a * r.b - l.b * r.a),
+        static_cast<std::int64_t>(l.d * r.d - l.a * r.c - l.b * r.b - l.c * r.a)};
+  };
+  const SmallZ conj2{-y.c, -y.b, -y.a, y.d};
+  const SmallZ p = mul(x, conj2);
+  // N(z2) = u + v sqrt2.
+  const std::int64_t u = y.a * y.a + y.b * y.b + y.c * y.c + y.d * y.d;
+  const std::int64_t v = y.a * y.b + y.b * y.c + y.c * y.d - y.d * y.a;
+  // numerator = p * (v w^3 - v w + u);  denominator = u^2 - 2 v^2.
+  const SmallZ uMinusVSqrt2{v, 0, -v, u};
+  const I128 na = I128{p.a} * uMinusVSqrt2.d + I128{p.b} * uMinusVSqrt2.c +
+                  I128{p.c} * uMinusVSqrt2.b + I128{p.d} * uMinusVSqrt2.a;
+  const I128 nb = I128{p.b} * uMinusVSqrt2.d + I128{p.c} * uMinusVSqrt2.c +
+                  I128{p.d} * uMinusVSqrt2.b - I128{p.a} * uMinusVSqrt2.a;
+  const I128 nc = I128{p.c} * uMinusVSqrt2.d + I128{p.d} * uMinusVSqrt2.c -
+                  I128{p.a} * uMinusVSqrt2.b - I128{p.b} * uMinusVSqrt2.a;
+  const I128 nd = I128{p.d} * uMinusVSqrt2.d - I128{p.a} * uMinusVSqrt2.c -
+                  I128{p.b} * uMinusVSqrt2.b - I128{p.c} * uMinusVSqrt2.a;
+  const I128 den = I128{u} * u - 2 * (I128{v} * v);
+  out = ZOmega{BigInt::fromInt128(detail::divRoundI128(na, den)),
+               BigInt::fromInt128(detail::divRoundI128(nb, den)),
+               BigInt::fromInt128(detail::divRoundI128(nc, den)),
+               BigInt::fromInt128(detail::divRoundI128(nd, den))};
+  return true;
+}
+
+#endif // QADD_BIGINT_SSO
 
 /// Numerator and (rational, possibly negative) denominator of z1/z2 so that
 /// z1/z2 = numerator / denominator with numerator in Z[omega], denominator in Z.
@@ -113,6 +169,15 @@ ZOmega rotationCanonical(const ZOmega& z) {
 
 ZOmega euclideanQuotient(const ZOmega& z1, const ZOmega& z2) {
   assert(!z2.isZero());
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    ZOmega quotient;
+    if (euclideanQuotientSmall(z1, z2, quotient)) {
+      return quotient;
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   ZOmega numerator;
   BigInt denominator;
   rationalizedQuotient(z1, z2, numerator, denominator);

@@ -1,7 +1,10 @@
 #include "algebraic/qomega.hpp"
 
+#include "algebraic/small_kernels.hpp"
+
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -32,12 +35,87 @@ std::size_t QOmega::maxBits() const noexcept {
   return std::max(num_.maxCoefficientBits(), den_.bitLength());
 }
 
+#if QADD_BIGINT_SSO
+
+bool QOmega::canonicalizeSmall() {
+  // Coefficients below 2^62 keep every intermediate (negation, the halving
+  // steps of divide-by-sqrt2, the u64 Euclid content GCD) inside int64.
+  constexpr std::size_t kCanonBits = 62;
+  detail::SmallZ n{};
+  std::int64_t den = 0;
+  if (!detail::load(num_, n, kCanonBits) || !detail::load(den_, den, kCanonBits)) {
+    return false;
+  }
+  ++detail::smallPathStats().hits;
+  // (a) denominator: positive sign, powers of two folded into k (2 = sqrt2^2).
+  if (den < 0) {
+    den = -den;
+    n.a = -n.a;
+    n.b = -n.b;
+    n.c = -n.c;
+    n.d = -n.d;
+  }
+  if ((den & 1) == 0) {
+    const int twos = __builtin_ctzll(static_cast<unsigned long long>(den));
+    den >>= twos;
+    k_ += 2L * twos;
+  }
+  // (b) smallest denominator exponent (Algorithm 1): divide by sqrt(2) while
+  // the parity criterion a == c, b == d (mod 2) holds.  The differences are
+  // even by construction, so the halvings are exact.
+  while (((n.a ^ n.c) & 1) == 0 && ((n.b ^ n.d) & 1) == 0) {
+    const std::int64_t a2 = (n.b - n.d) / 2;
+    const std::int64_t b2 = (n.a + n.c) / 2;
+    const std::int64_t c2 = (n.b + n.d) / 2;
+    const std::int64_t d2 = (n.c - n.a) / 2;
+    n = {a2, b2, c2, d2};
+    --k_;
+  }
+  // (c) cancel the odd content shared between numerator and denominator.
+  if (den != 1) {
+    const auto absU64 = [](std::int64_t v) {
+      return v < 0 ? ~static_cast<std::uint64_t>(v) + 1U : static_cast<std::uint64_t>(v);
+    };
+    const auto gcdU64 = [](std::uint64_t x, std::uint64_t y) {
+      while (y != 0) {
+        x %= y;
+        std::swap(x, y);
+      }
+      return x;
+    };
+    std::uint64_t g = gcdU64(gcdU64(absU64(n.a), absU64(n.b)),
+                             gcdU64(absU64(n.c), absU64(n.d)));
+    g = gcdU64(g, static_cast<std::uint64_t>(den));
+    if (g != 1) {
+      const auto divisor = static_cast<std::int64_t>(g);
+      n.a /= divisor;
+      n.b /= divisor;
+      n.c /= divisor;
+      n.d /= divisor;
+      den /= divisor;
+    }
+  }
+  num_ = ZOmega{BigInt{n.a}, BigInt{n.b}, BigInt{n.c}, BigInt{n.d}};
+  den_ = BigInt{den};
+  return true;
+}
+
+#endif // QADD_BIGINT_SSO
+
 void QOmega::canonicalize() {
   if (num_.isZero()) {
     k_ = 0;
     den_ = BigInt{1};
     return;
   }
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    if (canonicalizeSmall()) {
+      return;
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   // (a) denominator: positive sign, powers of two folded into k (2 = sqrt2^2).
   if (den_.isNegative()) {
     den_ = -den_;

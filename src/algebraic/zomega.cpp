@@ -1,11 +1,30 @@
 #include "algebraic/zomega.hpp"
 
+#include "algebraic/small_kernels.hpp"
+
 #include <cassert>
 #include <cmath>
 #include <ostream>
 #include <sstream>
 
 namespace qadd::alg {
+
+#if QADD_BIGINT_SSO
+namespace {
+
+using detail::I128;
+using detail::SmallZ;
+
+/// Coefficients below 2^62 keep int64 sums below 2^63 and keep the four-term
+/// int128 accumulations of mul/norm below 2^126.
+constexpr std::size_t kAddBits = 62;
+constexpr std::size_t kMulBits = 62;
+/// euclideanValue squares the norm components (themselves quadratic in the
+/// coefficients):  u, |v| <= 4 * (2^30)^2 = 2^62, so u^2, 2v^2 < 2^126.
+constexpr std::size_t kEuclideanBits = 30;
+
+} // namespace
+#endif
 
 std::size_t ZOmega::maxCoefficientBits() const noexcept {
   return std::max(std::max(a_.bitLength(), b_.bitLength()),
@@ -15,6 +34,21 @@ std::size_t ZOmega::maxCoefficientBits() const noexcept {
 ZOmega ZOmega::operator-() const { return {-a_, -b_, -c_, -d_}; }
 
 ZOmega& ZOmega::operator+=(const ZOmega& rhs) {
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    SmallZ x;
+    SmallZ y;
+    if (detail::load(*this, x, kAddBits) && detail::load(rhs, y, kAddBits)) {
+      ++detail::smallPathStats().hits;
+      a_ = BigInt{x.a + y.a};
+      b_ = BigInt{x.b + y.b};
+      c_ = BigInt{x.c + y.c};
+      d_ = BigInt{x.d + y.d};
+      return *this;
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   a_ += rhs.a_;
   b_ += rhs.b_;
   c_ += rhs.c_;
@@ -23,6 +57,21 @@ ZOmega& ZOmega::operator+=(const ZOmega& rhs) {
 }
 
 ZOmega& ZOmega::operator-=(const ZOmega& rhs) {
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    SmallZ x;
+    SmallZ y;
+    if (detail::load(*this, x, kAddBits) && detail::load(rhs, y, kAddBits)) {
+      ++detail::smallPathStats().hits;
+      a_ = BigInt{x.a - y.a};
+      b_ = BigInt{x.b - y.b};
+      c_ = BigInt{x.c - y.c};
+      d_ = BigInt{x.d - y.d};
+      return *this;
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   a_ -= rhs.a_;
   b_ -= rhs.b_;
   c_ -= rhs.c_;
@@ -31,6 +80,26 @@ ZOmega& ZOmega::operator-=(const ZOmega& rhs) {
 }
 
 ZOmega& ZOmega::operator*=(const ZOmega& rhs) {
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    SmallZ x;
+    SmallZ y;
+    if (detail::load(*this, x, kMulBits) && detail::load(rhs, y, kMulBits)) {
+      // Four products of < 2^62 magnitudes sum to < 2^126: no int128 overflow.
+      ++detail::smallPathStats().hits;
+      const I128 a = I128{x.a} * y.d + I128{x.b} * y.c + I128{x.c} * y.b + I128{x.d} * y.a;
+      const I128 b = I128{x.b} * y.d + I128{x.c} * y.c + I128{x.d} * y.b - I128{x.a} * y.a;
+      const I128 c = I128{x.c} * y.d + I128{x.d} * y.c - I128{x.a} * y.b - I128{x.b} * y.a;
+      const I128 d = I128{x.d} * y.d - I128{x.a} * y.c - I128{x.b} * y.b - I128{x.c} * y.a;
+      a_ = BigInt::fromInt128(a);
+      b_ = BigInt::fromInt128(b);
+      c_ = BigInt::fromInt128(c);
+      d_ = BigInt::fromInt128(d);
+      return *this;
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   // Expand on the basis {w^3, w^2, w, 1} using w^4 = -1:
   //   w^3*w^3 = -w^2, w^3*w^2 = -w, w^3*w = -1, w^2*w^2 = -1, w^2*w = w^3.
   const BigInt& a1 = a_;
@@ -88,12 +157,39 @@ ZOmega ZOmega::divideBySqrt2() const {
 }
 
 void ZOmega::norm(BigInt& u, BigInt& v) const {
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    SmallZ z;
+    if (detail::load(*this, z, kMulBits)) {
+      ++detail::smallPathStats().hits;
+      u = BigInt::fromInt128(I128{z.a} * z.a + I128{z.b} * z.b + I128{z.c} * z.c +
+                             I128{z.d} * z.d);
+      v = BigInt::fromInt128(I128{z.a} * z.b + I128{z.b} * z.c + I128{z.c} * z.d -
+                             I128{z.d} * z.a);
+      return;
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   // N(z) = z*conj(z) = (a^2+b^2+c^2+d^2) + (ab + bc + cd - da) * sqrt(2).
   u = a_ * a_ + b_ * b_ + c_ * c_ + d_ * d_;
   v = a_ * b_ + b_ * c_ + c_ * d_ - d_ * a_;
 }
 
 BigInt ZOmega::euclideanValue() const {
+#if QADD_BIGINT_SSO
+  if (qadd::detail::smallFastPathsEnabled()) {
+    SmallZ z;
+    if (detail::load(*this, z, kEuclideanBits)) {
+      ++detail::smallPathStats().hits;
+      const I128 u = I128{z.a} * z.a + I128{z.b} * z.b + I128{z.c} * z.c + I128{z.d} * z.d;
+      const I128 v = I128{z.a} * z.b + I128{z.b} * z.c + I128{z.c} * z.d - I128{z.d} * z.a;
+      const I128 value = u * u - 2 * (v * v);
+      return BigInt::fromInt128(value < 0 ? -value : value);
+    }
+    ++detail::smallPathStats().spills;
+  }
+#endif
   BigInt u;
   BigInt v;
   norm(u, v);

@@ -5,8 +5,24 @@
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace qadd {
+
+namespace detail {
+
+bool gSmallFastPaths = QADD_BIGINT_SSO != 0;
+
+bool setSmallFastPaths(bool enabled) noexcept {
+#if QADD_BIGINT_SSO
+  return std::exchange(gSmallFastPaths, enabled);
+#else
+  (void)enabled;
+  return false; // no kernels compiled in; the flag stays off
+#endif
+}
+
+} // namespace detail
 
 namespace {
 
@@ -21,17 +37,68 @@ int trailingZeros(std::uint32_t x) noexcept {
   return __builtin_ctz(x);
 }
 
+#if QADD_BIGINT_SSO
+/// Shorthand for "the word kernels may run": compiled in and not disabled by
+/// the differential-testing toggle.
+bool fastPath() noexcept { return detail::smallFastPathsEnabled(); }
+#endif
+
 } // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  negative_ = value < 0;
-  // Avoid UB on INT64_MIN: negate in unsigned space.
-  auto magnitude = negative_ ? ~static_cast<std::uint64_t>(value) + 1U
-                             : static_cast<std::uint64_t>(value);
-  while (magnitude != 0) {
-    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffU));
-    magnitude >>= 32;
+std::uint64_t BigInt::magU64() const noexcept {
+  assert(magFitsU64());
+  switch (limbs_.size()) {
+  case 0:
+    return 0;
+  case 1:
+    return limbs_[0];
+  default:
+    return static_cast<std::uint64_t>(limbs_[1]) << 32 | limbs_[0];
   }
+}
+
+void BigInt::setMagU64(std::uint64_t magnitude, bool negative) {
+  limbs_.clear();
+  if (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffU));
+    if ((magnitude >> 32) != 0) {
+      limbs_.push_back(static_cast<Limb>(magnitude >> 32));
+    }
+  }
+  negative_ = negative && magnitude != 0;
+}
+
+void BigInt::setMagU128(unsigned __int128 magnitude, bool negative) {
+  const auto high = static_cast<std::uint64_t>(magnitude >> 64);
+  if (high == 0) {
+    setMagU64(static_cast<std::uint64_t>(magnitude), negative);
+    return;
+  }
+  const auto low = static_cast<std::uint64_t>(magnitude);
+  limbs_.clear();
+  limbs_.reserve(4);
+  limbs_.push_back(static_cast<Limb>(low & 0xffffffffU));
+  limbs_.push_back(static_cast<Limb>(low >> 32));
+  limbs_.push_back(static_cast<Limb>(high & 0xffffffffU));
+  if ((high >> 32) != 0) {
+    limbs_.push_back(static_cast<Limb>(high >> 32));
+  }
+  negative_ = negative;
+}
+
+BigInt::BigInt(std::int64_t value) {
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  const auto magnitude = value < 0 ? ~static_cast<std::uint64_t>(value) + 1U
+                                   : static_cast<std::uint64_t>(value);
+  setMagU64(magnitude, value < 0);
+}
+
+BigInt BigInt::fromInt128(__int128 value) {
+  const auto magnitude = value < 0 ? ~static_cast<unsigned __int128>(value) + 1U
+                                   : static_cast<unsigned __int128>(value);
+  BigInt result;
+  result.setMagU128(magnitude, value < 0);
+  return result;
 }
 
 BigInt::BigInt(std::string_view decimal) {
@@ -126,7 +193,7 @@ std::string BigInt::toString() const {
     return "0";
   }
   // Repeated division by 10^9 to peel off 9 decimal digits at a time.
-  std::vector<Limb> work = limbs_;
+  LimbVec work = limbs_;
   std::string digits;
   while (!work.empty()) {
     DoubleLimb remainder = 0;
@@ -248,7 +315,7 @@ void BigInt::trim() noexcept {
   }
 }
 
-int BigInt::compareMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept {
+int BigInt::compareMagnitude(const LimbVec& a, const LimbVec& b) noexcept {
   if (a.size() != b.size()) {
     return a.size() < b.size() ? -1 : 1;
   }
@@ -260,11 +327,10 @@ int BigInt::compareMagnitude(const std::vector<Limb>& a, const std::vector<Limb>
   return 0;
 }
 
-std::vector<BigInt::Limb> BigInt::addMagnitude(const std::vector<Limb>& a,
-                                               const std::vector<Limb>& b) {
+BigInt::LimbVec BigInt::addMagnitude(const LimbVec& a, const LimbVec& b) {
   const auto& longer = a.size() >= b.size() ? a : b;
   const auto& shorter = a.size() >= b.size() ? b : a;
-  std::vector<Limb> result;
+  LimbVec result;
   result.reserve(longer.size() + 1);
   DoubleLimb carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
@@ -281,10 +347,9 @@ std::vector<BigInt::Limb> BigInt::addMagnitude(const std::vector<Limb>& a,
   return result;
 }
 
-std::vector<BigInt::Limb> BigInt::subMagnitude(const std::vector<Limb>& a,
-                                               const std::vector<Limb>& b) {
+BigInt::LimbVec BigInt::subMagnitude(const LimbVec& a, const LimbVec& b) {
   assert(compareMagnitude(a, b) >= 0);
-  std::vector<Limb> result;
+  LimbVec result;
   result.reserve(a.size());
   std::int64_t borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -306,12 +371,11 @@ std::vector<BigInt::Limb> BigInt::subMagnitude(const std::vector<Limb>& a,
   return result;
 }
 
-std::vector<BigInt::Limb> BigInt::mulSchoolbook(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
+BigInt::LimbVec BigInt::mulSchoolbook(const LimbVec& a, const LimbVec& b) {
   if (a.empty() || b.empty()) {
     return {};
   }
-  std::vector<Limb> result(a.size() + b.size(), 0);
+  LimbVec result(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     DoubleLimb carry = 0;
     const DoubleLimb ai = a[i];
@@ -328,16 +392,16 @@ std::vector<BigInt::Limb> BigInt::mulSchoolbook(const std::vector<Limb>& a,
   return result;
 }
 
-std::vector<BigInt::Limb> BigInt::mulMagnitude(const std::vector<Limb>& a,
-                                               const std::vector<Limb>& b) {
+BigInt::LimbVec BigInt::mulMagnitude(const LimbVec& a, const LimbVec& b) {
   if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
     return mulSchoolbook(a, b);
   }
   // Karatsuba: split at half of the longer operand.
   const std::size_t half = std::max(a.size(), b.size()) / 2;
-  const auto split = [half](const std::vector<Limb>& v) {
-    std::vector<Limb> low(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())));
-    std::vector<Limb> high(v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())), v.end());
+  const auto split = [half](const LimbVec& v) {
+    const std::size_t cut = std::min(half, v.size());
+    LimbVec low(v.data(), v.data() + cut);
+    LimbVec high(v.data() + cut, v.data() + v.size());
     while (!low.empty() && low.back() == 0) {
       low.pop_back();
     }
@@ -354,8 +418,8 @@ std::vector<BigInt::Limb> BigInt::mulMagnitude(const std::vector<Limb>& a,
   z1 = subMagnitude(z1, z2);
 
   // result = z0 + z1 << (32*half) + z2 << (64*half)
-  std::vector<Limb> result(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1, 0);
-  const auto accumulate = [&result](const std::vector<Limb>& part, std::size_t offset) {
+  LimbVec result(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1, 0);
+  const auto accumulate = [&result](const LimbVec& part, std::size_t offset) {
     DoubleLimb carry = 0;
     std::size_t i = 0;
     for (; i < part.size(); ++i) {
@@ -379,6 +443,21 @@ std::vector<BigInt::Limb> BigInt::mulMagnitude(const std::vector<Limb>& a,
 }
 
 BigInt& BigInt::operator+=(const BigInt& rhs) {
+#if QADD_BIGINT_SSO
+  if (fastPath() && magFitsU64() && rhs.magFitsU64()) {
+    const std::uint64_t x = magU64();
+    const std::uint64_t y = rhs.magU64();
+    if (negative_ == rhs.negative_) {
+      // Same sign: magnitudes add; a 65-bit carry spills to three limbs.
+      setMagU128(static_cast<unsigned __int128>(x) + y, negative_);
+    } else if (x >= y) {
+      setMagU64(x - y, negative_);
+    } else {
+      setMagU64(y - x, rhs.negative_);
+    }
+    return *this;
+  }
+#endif
   if (negative_ == rhs.negative_) {
     limbs_ = addMagnitude(limbs_, rhs.limbs_);
   } else if (compareMagnitude(limbs_, rhs.limbs_) >= 0) {
@@ -392,6 +471,21 @@ BigInt& BigInt::operator+=(const BigInt& rhs) {
 }
 
 BigInt& BigInt::operator-=(const BigInt& rhs) {
+#if QADD_BIGINT_SSO
+  if (fastPath() && magFitsU64() && rhs.magFitsU64()) {
+    const std::uint64_t x = magU64();
+    const std::uint64_t y = rhs.magU64();
+    const bool rhsNegated = !rhs.negative_;
+    if (negative_ == rhsNegated) {
+      setMagU128(static_cast<unsigned __int128>(x) + y, negative_);
+    } else if (x >= y) {
+      setMagU64(x - y, negative_);
+    } else {
+      setMagU64(y - x, rhsNegated);
+    }
+    return *this;
+  }
+#endif
   if (negative_ != rhs.negative_) {
     limbs_ = addMagnitude(limbs_, rhs.limbs_);
   } else if (compareMagnitude(limbs_, rhs.limbs_) >= 0) {
@@ -405,14 +499,24 @@ BigInt& BigInt::operator-=(const BigInt& rhs) {
 }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
+#if QADD_BIGINT_SSO
+  if (fastPath() && magFitsU64() && rhs.magFitsU64()) {
+    // One hardware 64x64 -> 128 multiply replaces the schoolbook limb loop;
+    // products past 64 bits spill to up to four limbs.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(magU64()) * rhs.magU64();
+    setMagU128(product, negative_ != rhs.negative_);
+    return *this;
+  }
+#endif
   negative_ = negative_ != rhs.negative_;
   limbs_ = mulMagnitude(limbs_, rhs.limbs_);
   trim();
   return *this;
 }
 
-void BigInt::divModMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b,
-                             std::vector<Limb>& quotient, std::vector<Limb>& remainder) {
+void BigInt::divModMagnitude(const LimbVec& a, const LimbVec& b,
+                             LimbVec& quotient, LimbVec& remainder) {
   assert(!b.empty());
   quotient.clear();
   remainder.clear();
@@ -444,8 +548,8 @@ void BigInt::divModMagnitude(const std::vector<Limb>& a, const std::vector<Limb>
   const std::size_t m = a.size() - n;
 
   // u = a << shift (with one extra limb), v = b << shift.
-  std::vector<Limb> u(a.size() + 1, 0);
-  std::vector<Limb> v(n, 0);
+  LimbVec u(a.size() + 1, 0);
+  LimbVec v(n, 0);
   if (shift == 0) {
     std::copy(a.begin(), a.end(), u.begin());
     v = b;
@@ -537,8 +641,20 @@ void BigInt::divMod(const BigInt& numerator, const BigInt& denominator,
   if (denominator.isZero()) {
     throw std::domain_error("BigInt: division by zero");
   }
-  std::vector<Limb> q;
-  std::vector<Limb> r;
+#if QADD_BIGINT_SSO
+  if (fastPath() && numerator.magFitsU64() && denominator.magFitsU64()) {
+    // Read both operands before writing: quotient/remainder may alias them.
+    const std::uint64_t x = numerator.magU64();
+    const std::uint64_t y = denominator.magU64();
+    const bool quotientNegative = numerator.negative_ != denominator.negative_;
+    const bool remainderNegative = numerator.negative_;
+    quotient.setMagU64(x / y, quotientNegative);
+    remainder.setMagU64(x % y, remainderNegative);
+    return;
+  }
+#endif
+  LimbVec q;
+  LimbVec r;
   divModMagnitude(numerator.limbs_, denominator.limbs_, q, r);
   quotient.limbs_ = std::move(q);
   quotient.negative_ = numerator.negative_ != denominator.negative_;
@@ -549,6 +665,21 @@ void BigInt::divMod(const BigInt& numerator, const BigInt& denominator,
 }
 
 BigInt BigInt::divRound(const BigInt& numerator, const BigInt& denominator) {
+#if QADD_BIGINT_SSO
+  if (fastPath() && numerator.magFitsU64() && denominator.magFitsU64() &&
+      !denominator.isZero()) {
+    const std::uint64_t x = numerator.magU64();
+    const std::uint64_t y = denominator.magU64();
+    std::uint64_t q = x / y;
+    const std::uint64_t r = x % y;
+    if (r != 0 && r >= y - r) { // 2r >= y without overflowing: round away
+      ++q;
+    }
+    BigInt result;
+    result.setMagU64(q, numerator.negative_ != denominator.negative_);
+    return result;
+  }
+#endif
   BigInt quotient;
   BigInt remainder;
   divMod(numerator, denominator, quotient, remainder);
@@ -584,6 +715,13 @@ BigInt BigInt::shiftLeft(std::size_t bits) const {
   if (isZero() || bits == 0) {
     return *this;
   }
+#if QADD_BIGINT_SSO
+  if (fastPath() && magFitsU64() && bits < 64) {
+    BigInt result;
+    result.setMagU128(static_cast<unsigned __int128>(magU64()) << bits, negative_);
+    return result;
+  }
+#endif
   const std::size_t limbShift = bits / kLimbBits;
   const std::size_t bitShift = bits % kLimbBits;
   BigInt result;
@@ -599,6 +737,13 @@ BigInt BigInt::shiftLeft(std::size_t bits) const {
 }
 
 BigInt BigInt::shiftRight(std::size_t bits) const {
+#if QADD_BIGINT_SSO
+  if (fastPath() && magFitsU64()) {
+    BigInt result;
+    result.setMagU64(bits >= 64 ? 0 : magU64() >> bits, negative_);
+    return result;
+  }
+#endif
   const std::size_t limbShift = bits / kLimbBits;
   if (limbShift >= limbs_.size()) {
     return BigInt{};
@@ -633,6 +778,25 @@ std::size_t BigInt::countTrailingZeroBits() const {
   return count;
 }
 
+namespace {
+
+/// (value >> shift) truncated to 64 bits; `shift` must leave at most 63
+/// significant bits, which the Lehmer caller guarantees.  Reads straight from
+/// the limb array — no temporary BigInt.
+std::uint64_t topWindow(const qadd::detail::LimbVec& limbs, std::size_t shift) noexcept {
+  const std::size_t limbIndex = shift / 32;
+  const std::size_t bitIndex = shift % 32;
+  unsigned __int128 window = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (limbIndex + i < limbs.size()) {
+      window |= static_cast<unsigned __int128>(limbs[limbIndex + i]) << (32 * i);
+    }
+  }
+  return static_cast<std::uint64_t>(window >> bitIndex);
+}
+
+} // namespace
+
 BigInt BigInt::gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
@@ -642,47 +806,103 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   if (b.isZero()) {
     return a;
   }
-  // Binary GCD: factor out common powers of two, then subtract-and-shift.
-  const std::size_t shiftA = a.countTrailingZeroBits();
-  const std::size_t shiftB = b.countTrailingZeroBits();
-  const std::size_t commonShift = std::min(shiftA, shiftB);
-  a = a.shiftRight(shiftA);
-  b = b.shiftRight(shiftB);
-  while (true) {
-    // Word-size operands (the overwhelmingly common case for Q[omega]
-    // coefficients): finish with hardware Euclid instead of limb-vector
-    // subtract-and-shift.
-    if (a.limbs_.size() <= 2 && b.limbs_.size() <= 2) {
-      const auto asUint64 = [](const std::vector<Limb>& limbs) {
-        std::uint64_t value = limbs[0];
-        if (limbs.size() == 2) {
-          value |= static_cast<std::uint64_t>(limbs[1]) << 32U;
-        }
-        return value;
-      };
-      std::uint64_t x = asUint64(a.limbs_);
-      std::uint64_t y = asUint64(b.limbs_);
-      while (y != 0) {
-        x %= y;
-        std::swap(x, y);
-      }
-      BigInt result;
-      result.limbs_.push_back(static_cast<Limb>(x));
-      if ((x >> 32U) != 0) {
-        result.limbs_.push_back(static_cast<Limb>(x >> 32U));
-      }
-      return result.shiftLeft(commonShift);
+#if QADD_BIGINT_SSO
+  if (fastPath() && a.magFitsU64() && b.magFitsU64()) {
+    // Hardware Euclid straight away — no multi-limb setup needed.
+    std::uint64_t x = a.magU64();
+    std::uint64_t y = b.magU64();
+    while (y != 0) {
+      x %= y;
+      std::swap(x, y);
     }
-    if (compareMagnitude(a.limbs_, b.limbs_) > 0) {
+    a.setMagU64(x, false);
+    return a;
+  }
+#endif
+  // Lehmer's GCD: run Euclid on the aligned top 63 bits of both operands with
+  // int64 cofactors, then apply the accumulated 2x2 matrix (determinant +-1,
+  // so the gcd is preserved) to the full values in one O(limbs) pass.  Each
+  // round retires ~31 bits, against 1 bit per subtract-and-shift round of the
+  // binary GCD this replaces — the difference dominated whole-simulation
+  // profiles via the canonicalization content gcd.
+  while (a.limbs_.size() > 2 || b.limbs_.size() > 2) {
+    if (compareMagnitude(a.limbs_, b.limbs_) < 0) {
       std::swap(a, b);
     }
-    b -= a; // both odd -> difference even
     if (b.isZero()) {
-      break;
+      return a;
     }
-    b = b.shiftRight(b.countTrailingZeroBits());
+    const std::size_t bits = a.bitLength();
+    const std::size_t shift = bits > 63 ? bits - 63 : 0;
+    std::int64_t xh = static_cast<std::int64_t>(topWindow(a.limbs_, shift));
+    std::int64_t yh = static_cast<std::int64_t>(topWindow(b.limbs_, shift));
+    std::int64_t mA = 1;
+    std::int64_t mB = 0;
+    std::int64_t mC = 0;
+    std::int64_t mD = 1;
+    // Simulate Euclid while the quotient is provably independent of the bits
+    // truncated away (Knuth 4.5.2 L: the quotients computed from the two
+    // extreme completions of the window must agree).
+    while (yh + mC != 0 && yh + mD != 0) {
+      const std::int64_t q = (xh + mA) / (yh + mC);
+      if (q != (xh + mB) / (yh + mD)) {
+        break;
+      }
+      // 128-bit intermediates: the continuant recurrences can brush past
+      // int64 at the very end of a window.
+      const auto nextC = static_cast<__int128>(mA) - static_cast<__int128>(q) * mC;
+      const auto nextD = static_cast<__int128>(mB) - static_cast<__int128>(q) * mD;
+      const auto nextY = static_cast<__int128>(xh) - static_cast<__int128>(q) * yh;
+      constexpr auto kBound = static_cast<__int128>(1) << 62;
+      if (nextC > kBound || nextC < -kBound || nextD > kBound || nextD < -kBound) {
+        break;
+      }
+      mA = mC;
+      mB = mD;
+      mC = static_cast<std::int64_t>(nextC);
+      mD = static_cast<std::int64_t>(nextD);
+      xh = yh;
+      yh = static_cast<std::int64_t>(nextY);
+    }
+    if (mB == 0) {
+      // The window carried no usable quotient (e.g. |a| >> |b|): take one
+      // full division step instead.
+      LimbVec quotient;
+      LimbVec remainder;
+      divModMagnitude(a.limbs_, b.limbs_, quotient, remainder);
+      a.limbs_ = std::move(b.limbs_);
+      b.limbs_ = std::move(remainder);
+    } else {
+      BigInt nextA = a * BigInt{mA} + b * BigInt{mB};
+      BigInt nextB = a * BigInt{mC} + b * BigInt{mD};
+      nextA.negative_ = false;
+      nextB.negative_ = false;
+      if (compareMagnitude(nextB.limbs_, b.limbs_) >= 0) {
+        // No reduction (pathological window): force progress by division.
+        LimbVec quotient;
+        LimbVec remainder;
+        divModMagnitude(a.limbs_, b.limbs_, quotient, remainder);
+        a.limbs_ = std::move(b.limbs_);
+        b.limbs_ = std::move(remainder);
+      } else {
+        a = std::move(nextA);
+        b = std::move(nextB);
+      }
+    }
   }
-  return a.shiftLeft(commonShift);
+  // Word-size finish with hardware Euclid.
+  std::uint64_t x = a.magU64();
+  std::uint64_t y = b.magU64();
+  if (x < y) {
+    std::swap(x, y);
+  }
+  while (y != 0) {
+    x %= y;
+    std::swap(x, y);
+  }
+  BigInt result;
+  result.setMagU64(x, false);
+  return result;
 }
 
 std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept {

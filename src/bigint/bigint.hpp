@@ -4,8 +4,18 @@
 /// This is the repository's replacement for GMP (which the paper uses for the
 /// integer coefficients of its algebraic number representation).  The design
 /// is a classic sign-magnitude big integer: the magnitude is a little-endian
-/// vector of 32-bit limbs, multiplication switches to Karatsuba above a
+/// sequence of 32-bit limbs, multiplication switches to Karatsuba above a
 /// threshold, and division implements Knuth's Algorithm D.
+///
+/// Storage is small-size optimized (QADD_BIGINT_SSO, default on): magnitudes
+/// of up to two limbs — i.e. |value| < 2^64, the overwhelmingly common case
+/// for the Q[omega] coefficients of Clifford+T workloads — live inline in the
+/// object with no heap allocation; larger magnitudes spill to a heap buffer.
+/// On top of the storage layout, the arithmetic operators take single-word
+/// (u64/u128) fast paths for small operands and fall back to the general
+/// limb-vector algorithms on overflow.  Building with -DQADD_BIGINT_SSO=0
+/// restores the plain std::vector representation and disables every word
+/// kernel (the escape hatch CI exercises); results are identical either way.
 ///
 /// The class is a regular value type: copyable, movable, totally ordered,
 /// hashable, and streamable.  All operations are exact.
@@ -13,19 +23,198 @@
 
 #include <compare>
 #include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#ifndef QADD_BIGINT_SSO
+#define QADD_BIGINT_SSO 1
+#endif
+
 namespace qadd {
+
+namespace detail {
+
+/// Differential-testing escape hatch: when false, every small-value fast path
+/// (the BigInt word kernels and the Z[omega]/Q[omega] int64 kernels) is
+/// skipped and the same operands run through the general limb-vector
+/// algorithms.  Storage stays small-size optimized either way.  Not
+/// thread-safe; intended for the fuzzer and the allocation benchmarks only.
+/// Returns the previous setting.
+bool setSmallFastPaths(bool enabled) noexcept;
+
+extern bool gSmallFastPaths; ///< use smallFastPathsEnabled(), not this
+[[nodiscard]] inline bool smallFastPathsEnabled() noexcept { return gSmallFastPaths; }
+
+#if QADD_BIGINT_SSO
+
+/// Small-size-optimized limb buffer: up to kInlineLimbs 32-bit limbs inline,
+/// larger magnitudes in a heap array.  Deliberately minimal — exactly the
+/// std::vector surface the BigInt algorithms use, so QADD_BIGINT_SSO=0 can
+/// swap std::vector back in.
+class LimbVec {
+public:
+  using value_type = std::uint32_t;
+  static constexpr std::size_t kInlineLimbs = 2;
+
+  LimbVec() noexcept : storage_{} {}
+  LimbVec(std::size_t count, value_type value) : storage_{} { assign(count, value); }
+  LimbVec(const value_type* first, const value_type* last) : storage_{} { assign(first, last); }
+  LimbVec(const LimbVec& other) : storage_{} {
+    assign(other.data(), other.data() + other.size_);
+  }
+  LimbVec(LimbVec&& other) noexcept
+      : storage_(other.storage_), size_(other.size_), capacity_(other.capacity_) {
+    other.size_ = 0;
+    other.capacity_ = kInlineLimbs;
+  }
+  LimbVec& operator=(const LimbVec& other) {
+    if (this != &other) {
+      assign(other.data(), other.data() + other.size_);
+    }
+    return *this;
+  }
+  LimbVec& operator=(LimbVec&& other) noexcept {
+    if (this != &other) {
+      if (isHeap()) {
+        delete[] storage_.heap;
+      }
+      storage_ = other.storage_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.size_ = 0;
+      other.capacity_ = kInlineLimbs;
+    }
+    return *this;
+  }
+  ~LimbVec() {
+    if (isHeap()) {
+      delete[] storage_.heap;
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True iff the limbs live inside the object (no heap buffer).
+  [[nodiscard]] bool isInline() const noexcept { return !isHeap(); }
+
+  [[nodiscard]] value_type* data() noexcept {
+    return isHeap() ? storage_.heap : storage_.inlineLimbs;
+  }
+  [[nodiscard]] const value_type* data() const noexcept {
+    return isHeap() ? storage_.heap : storage_.inlineLimbs;
+  }
+  [[nodiscard]] value_type* begin() noexcept { return data(); }
+  [[nodiscard]] const value_type* begin() const noexcept { return data(); }
+  [[nodiscard]] value_type* end() noexcept { return data() + size_; }
+  [[nodiscard]] const value_type* end() const noexcept { return data() + size_; }
+
+  [[nodiscard]] value_type& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] value_type operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] value_type& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] value_type back() const noexcept { return data()[size_ - 1]; }
+
+  void clear() noexcept { size_ = 0; }
+  void pop_back() noexcept { --size_; }
+  void push_back(value_type value) {
+    if (size_ == capacity_) {
+      grow(std::size_t{size_} + 1);
+    }
+    data()[size_++] = value;
+  }
+  /// Grow capacity to at least `count`, preserving contents.
+  void reserve(std::size_t count) {
+    if (count > capacity_) {
+      grow(count);
+    }
+  }
+  void assign(std::size_t count, value_type value) {
+    discardingReserve(count);
+    value_type* out = data();
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = value;
+    }
+    size_ = static_cast<std::uint32_t>(count);
+  }
+  void assign(const value_type* first, const value_type* last) {
+    const auto count = static_cast<std::size_t>(last - first);
+    if (count <= capacity_) {
+      // memmove: the source range may alias this buffer (e.g. self-assign).
+      std::memmove(data(), first, count * sizeof(value_type));
+      size_ = static_cast<std::uint32_t>(count);
+      return;
+    }
+    auto* fresh = new value_type[count];
+    std::memcpy(fresh, first, count * sizeof(value_type));
+    if (isHeap()) {
+      delete[] storage_.heap;
+    }
+    storage_.heap = fresh;
+    capacity_ = static_cast<std::uint32_t>(count);
+    size_ = static_cast<std::uint32_t>(count);
+  }
+
+  friend bool operator==(const LimbVec& lhs, const LimbVec& rhs) noexcept {
+    return lhs.size_ == rhs.size_ &&
+           std::memcmp(lhs.data(), rhs.data(), lhs.size_ * sizeof(value_type)) == 0;
+  }
+
+private:
+  [[nodiscard]] bool isHeap() const noexcept { return capacity_ > kInlineLimbs; }
+
+  /// Ensure capacity >= count without preserving contents (cheaper than
+  /// reserve when the caller overwrites everything anyway).
+  void discardingReserve(std::size_t count) {
+    if (count > capacity_) {
+      auto* fresh = new value_type[count];
+      if (isHeap()) {
+        delete[] storage_.heap;
+      }
+      storage_.heap = fresh;
+      capacity_ = static_cast<std::uint32_t>(count);
+    }
+  }
+
+  void grow(std::size_t minCapacity) {
+    std::size_t newCapacity = std::size_t{capacity_} * 2;
+    if (newCapacity < minCapacity) {
+      newCapacity = minCapacity;
+    }
+    auto* fresh = new value_type[newCapacity];
+    std::memcpy(fresh, data(), size_ * sizeof(value_type));
+    if (isHeap()) {
+      delete[] storage_.heap;
+    }
+    storage_.heap = fresh;
+    capacity_ = static_cast<std::uint32_t>(newCapacity);
+  }
+
+  union Storage {
+    value_type inlineLimbs[kInlineLimbs];
+    value_type* heap;
+  };
+  Storage storage_;
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = kInlineLimbs;
+};
+
+#else // !QADD_BIGINT_SSO — escape hatch: the plain heap representation.
+
+using LimbVec = std::vector<std::uint32_t>;
+
+#endif
+
+} // namespace detail
 
 /// Arbitrary-precision signed integer (sign + magnitude, 32-bit limbs).
 ///
 /// Invariants:
 ///  - `limbs_` has no trailing (most-significant) zero limbs.
-///  - zero is represented as an empty limb vector with `negative_ == false`.
+///  - zero is represented as an empty limb sequence with `negative_ == false`.
 class BigInt {
 public:
   /// Zero.
@@ -37,6 +226,10 @@ public:
   /// Construct from a decimal string, optionally signed ("-123", "+7", "0").
   /// \throws std::invalid_argument on malformed input.
   explicit BigInt(std::string_view decimal);
+
+  /// Exact value of a signed 128-bit integer (the widest result the
+  /// algebraic small-value kernels produce).
+  [[nodiscard]] static BigInt fromInt128(__int128 value);
 
   // -- observers ------------------------------------------------------------
 
@@ -60,6 +253,17 @@ public:
   /// Value as int64_t. \pre fitsInt64()
   [[nodiscard]] std::int64_t toInt64() const;
 
+  /// True iff the magnitude is stored inline (no heap buffer) — i.e. the
+  /// small-size-optimized representation is active for this value.  Always
+  /// false in QADD_BIGINT_SSO=0 builds.  Exposed for tests and benchmarks.
+  [[nodiscard]] bool isInline() const noexcept {
+#if QADD_BIGINT_SSO
+    return limbs_.isInline();
+#else
+    return false;
+#endif
+  }
+
   /// Closest double (may overflow to +-inf for huge magnitudes).
   [[nodiscard]] double toDouble() const noexcept;
 
@@ -76,7 +280,10 @@ public:
   // handy for content hashing): one LEB128 varint header
   //   h = (magnitudeByteCount << 1) | (negative ? 1 : 0)
   // followed by the magnitude as `magnitudeByteCount` little-endian bytes with
-  // no trailing zero byte.  Zero is the single header byte 0x00.
+  // no trailing zero byte.  Zero is the single header byte 0x00.  The encoding
+  // depends only on the value, never on the storage representation (inline vs
+  // spilled), so QDDS snapshots are byte-identical across QADD_BIGINT_SSO
+  // configurations.
 
   /// Append the encoding of this value to `out`.
   void toBytes(std::vector<std::uint8_t>& out) const;
@@ -138,7 +345,9 @@ public:
   }
   friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept;
 
-  /// FNV-style hash of the canonical representation.
+  /// FNV-style hash of the canonical representation.  Small values hash
+  /// entirely from inline storage — no pointer chase on the unique-table and
+  /// computed-table lookups that hash algebraic weights.
   [[nodiscard]] std::size_t hash() const noexcept;
 
   friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
@@ -146,24 +355,38 @@ public:
 private:
   using Limb = std::uint32_t;
   using DoubleLimb = std::uint64_t;
+  using LimbVec = detail::LimbVec;
 
   static constexpr std::size_t kLimbBits = 32;
   static constexpr std::size_t kKaratsubaThreshold = 32; // limbs
 
-  std::vector<Limb> limbs_; // little-endian magnitude
+  LimbVec limbs_; // little-endian magnitude
   bool negative_ = false;
 
   void trim() noexcept;
 
+  // -- word-kernel helpers (fast paths over <= 2-limb magnitudes) -----------
+
+  /// Magnitude fits in one machine word (|value| < 2^64).
+  [[nodiscard]] bool magFitsU64() const noexcept { return limbs_.size() <= 2; }
+  /// Magnitude as u64. \pre magFitsU64()
+  [[nodiscard]] std::uint64_t magU64() const noexcept;
+  /// Overwrite with a <= 2-limb magnitude; never allocates under SSO
+  /// (inline capacity is always two limbs).
+  void setMagU64(std::uint64_t magnitude, bool negative);
+  /// Overwrite with a <= 4-limb magnitude (allocates only when spilling
+  /// past two limbs).
+  void setMagU128(unsigned __int128 magnitude, bool negative);
+
   // magnitude helpers (ignore signs)
-  static int compareMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept;
-  static std::vector<Limb> addMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static int compareMagnitude(const LimbVec& a, const LimbVec& b) noexcept;
+  static LimbVec addMagnitude(const LimbVec& a, const LimbVec& b);
   /// \pre |a| >= |b|
-  static std::vector<Limb> subMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
-  static std::vector<Limb> mulMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
-  static std::vector<Limb> mulSchoolbook(const std::vector<Limb>& a, const std::vector<Limb>& b);
-  static void divModMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b,
-                              std::vector<Limb>& quotient, std::vector<Limb>& remainder);
+  static LimbVec subMagnitude(const LimbVec& a, const LimbVec& b);
+  static LimbVec mulMagnitude(const LimbVec& a, const LimbVec& b);
+  static LimbVec mulSchoolbook(const LimbVec& a, const LimbVec& b);
+  static void divModMagnitude(const LimbVec& a, const LimbVec& b,
+                              LimbVec& quotient, LimbVec& remainder);
 };
 
 /// Convenience literal-ish factory: 2^exponent.

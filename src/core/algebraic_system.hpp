@@ -14,6 +14,7 @@
 
 #include "algebraic/euclidean.hpp"
 #include "algebraic/qomega.hpp"
+#include "algebraic/small_kernels.hpp"
 #include "core/computed_table.hpp"
 #include "core/dd_node.hpp"
 #include "obs/stats.hpp"
@@ -115,6 +116,10 @@ public:
     out.bucketOccupancy.clear();
     out.bitWidthHistogram = bitWidthHistogram_;
     out.opCache = opStats_;
+    // The word-kernel tallies are process-wide (the arithmetic layer has no
+    // handle on which system drove it), matching the other global counters.
+    out.smallPathHits = alg::detail::smallPathStats().hits;
+    out.smallPathSpills = alg::detail::smallPathStats().spills;
   }
 
 private:

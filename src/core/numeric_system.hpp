@@ -166,6 +166,8 @@ public:
     out.bucketOccupancy = table_.bucketOccupancyHistogram();
     out.bitWidthHistogram.clear();
     out.opCache = opStats_;
+    out.smallPathHits = 0; // word kernels are an algebraic-layer concern
+    out.smallPathSpills = 0;
   }
 
   [[nodiscard]] const Config& config() const { return config_; }

@@ -179,6 +179,14 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
        << std::setprecision(1) << stats.weights.opCache.hitRate() * 100.0 << "% hit)\n";
     os.unsetf(std::ios::floatfield);
   }
+  if (stats.weights.smallPathHits + stats.weights.smallPathSpills > 0) {
+    const double total =
+        static_cast<double>(stats.weights.smallPathHits + stats.weights.smallPathSpills);
+    os << "alg small   " << stats.weights.smallPathHits << " kernel hits, "
+       << stats.weights.smallPathSpills << " spills (" << std::fixed << std::setprecision(1)
+       << static_cast<double>(stats.weights.smallPathHits) / total * 100.0 << "% small)\n";
+    os.unsetf(std::ios::floatfield);
+  }
   if (!stats.weights.bucketOccupancy.empty()) {
     os << "buckets     ";
     for (std::size_t k = 1; k < stats.weights.bucketOccupancy.size(); ++k) {
@@ -240,6 +248,8 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
      << ",\"opCache\":{\"hits\":" << stats.weights.opCache.hits.value()
      << ",\"misses\":" << stats.weights.opCache.misses.value()
      << ",\"evictions\":" << stats.weights.opCache.evictions.value() << "}"
+     << ",\"smallPathHits\":" << stats.weights.smallPathHits
+     << ",\"smallPathSpills\":" << stats.weights.smallPathSpills
      << ",\"bucketOccupancy\":";
   writeHistogramJson(os, stats.weights.bucketOccupancy);
   os << ",\"bitWidthHistogram\":";
@@ -284,6 +294,8 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   os << "weights.opCache.hits," << stats.weights.opCache.hits.value() << "\n";
   os << "weights.opCache.misses," << stats.weights.opCache.misses.value() << "\n";
   os << "weights.opCache.evictions," << stats.weights.opCache.evictions.value() << "\n";
+  os << "alg.smallPathHits," << stats.weights.smallPathHits << "\n";
+  os << "alg.smallPathSpills," << stats.weights.smallPathSpills << "\n";
   os << "io.snapshotsSaved," << stats.io.snapshotsSaved.value() << "\n";
   os << "io.snapshotsLoaded," << stats.io.snapshotsLoaded.value() << "\n";
   os << "io.nodesWritten," << stats.io.nodesWritten.value() << "\n";

@@ -105,6 +105,13 @@ struct WeightTableStats {
   /// systems layer over their intern pools).  For the numeric system these
   /// run only under bit-exact interning; tolerance mode bypasses them.
   CacheStats opCache;
+  /// Small-value fast-path tallies of the algebraic arithmetic layer
+  /// (process-wide, see src/algebraic/small_kernels.hpp): ring operations
+  /// served entirely by the int64/int128 word kernels vs operations that
+  /// probed the fast path and fell back to BigInt.  Zero for the numeric
+  /// system and in QADD_BIGINT_SSO=0 builds.
+  std::uint64_t smallPathHits = 0;
+  std::uint64_t smallPathSpills = 0;
 };
 
 /// Snapshot-I/O statistics (qadd::io): volume written/read through the QDDS

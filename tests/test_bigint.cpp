@@ -372,5 +372,133 @@ TEST_P(BigIntDistributivity, Holds) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BigIntDistributivity, ::testing::Values(1, 2, 4, 8, 20, 40, 70));
 
+// ---------------------------------------------------------------------------
+// int64 / storage boundary behaviour.  These pin the edges the word kernels
+// and the small-size-optimized storage switch on: INT64_MIN/MAX, 2^63, 2^64,
+// and the 62-bit fast-path bounds.
+// ---------------------------------------------------------------------------
+
+TEST(BigIntBoundary, Int64EdgesRoundTripExactly) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const struct {
+    std::int64_t value;
+    const char* text;
+  } cases[] = {
+      {kMax, "9223372036854775807"},
+      {kMin, "-9223372036854775808"},
+      {kMax - 1, "9223372036854775806"},
+      {kMin + 1, "-9223372036854775807"},
+  };
+  for (const auto& c : cases) {
+    const BigInt b{c.value};
+    EXPECT_TRUE(b.fitsInt64()) << c.text;
+    EXPECT_EQ(b.toInt64(), c.value);
+    EXPECT_EQ(b.toString(), c.text);
+    EXPECT_EQ(BigInt::fromBytes(b.toBytes()), b);
+  }
+}
+
+TEST(BigIntBoundary, JustOutsideInt64DoesNotFit) {
+  const BigInt twoPow63 = pow2(63);              // == -INT64_MIN as magnitude
+  const BigInt twoPow64 = pow2(64);
+  EXPECT_FALSE(twoPow63.fitsInt64());            // 2^63 > INT64_MAX
+  EXPECT_TRUE((-twoPow63).fitsInt64());          // -2^63 == INT64_MIN
+  EXPECT_EQ((-twoPow63).toInt64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE((twoPow63 + BigInt{1}).fitsInt64());
+  EXPECT_FALSE((-twoPow63 - BigInt{1}).fitsInt64());
+  EXPECT_TRUE((twoPow63 - BigInt{1}).fitsInt64());
+  EXPECT_EQ((twoPow63 - BigInt{1}).toInt64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(twoPow64.fitsInt64());
+  EXPECT_FALSE((twoPow64 + BigInt{1}).fitsInt64());
+  EXPECT_FALSE((twoPow64 - BigInt{1}).fitsInt64());
+  EXPECT_EQ((twoPow64 - BigInt{1}).toString(), "18446744073709551615");
+}
+
+TEST(BigIntBoundary, InlineStorageCoversTwoLimbs) {
+  // With QADD_BIGINT_SSO on, every <= 64-bit magnitude lives inline; the
+  // first 65-bit magnitude spills to the heap.  With SSO off isInline() is
+  // always false and only the value-level assertions apply.
+  const BigInt small{42};
+  const BigInt oneLimb{std::int64_t{0x7FFFFFFF}};
+  const BigInt twoLimbs = pow2(64) - BigInt{1};
+  const BigInt threeLimbs = pow2(64);
+#if QADD_BIGINT_SSO
+  EXPECT_TRUE(BigInt{0}.isInline());
+  EXPECT_TRUE(small.isInline());
+  EXPECT_TRUE(oneLimb.isInline());
+  EXPECT_TRUE(twoLimbs.isInline());
+  EXPECT_TRUE((-twoLimbs).isInline());
+  EXPECT_FALSE(threeLimbs.isInline());
+  // Shrinking a spilled value back under the threshold keeps correctness
+  // (re-inlining is not required, only value equality).
+  const BigInt shrunk = threeLimbs - pow2(64) + BigInt{7};
+  EXPECT_EQ(shrunk.toInt64(), 7);
+#else
+  EXPECT_FALSE(small.isInline());
+  EXPECT_FALSE(twoLimbs.isInline());
+#endif
+  EXPECT_EQ(threeLimbs.bitLength(), 65U);
+  EXPECT_EQ(twoLimbs.bitLength(), 64U);
+}
+
+TEST(BigIntBoundary, FromInt128Edges) {
+  const __int128 one = 1;
+  EXPECT_EQ(BigInt::fromInt128(0), BigInt{0});
+  EXPECT_EQ(BigInt::fromInt128(-1), BigInt{-1});
+  EXPECT_EQ(BigInt::fromInt128(one << 64), pow2(64));
+  EXPECT_EQ(BigInt::fromInt128(-(one << 64)), -pow2(64));
+  EXPECT_EQ(BigInt::fromInt128((one << 126) - 1), pow2(126) - BigInt{1});
+  // INT128_MIN = -2^127: the magnitude is not representable as +int128, so
+  // the negation must be done in unsigned arithmetic internally.
+  const __int128 int128Min = -(one << 126) - (one << 126);
+  EXPECT_EQ(BigInt::fromInt128(int128Min), -pow2(127));
+  EXPECT_EQ(BigInt::fromInt128(int128Min + 1), -(pow2(127) - BigInt{1}));
+  const std::int64_t raw = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(BigInt::fromInt128(static_cast<__int128>(raw)), BigInt{raw});
+}
+
+TEST(BigIntBoundary, KernelOverflowEdgesAddMul) {
+  // Operands on each side of the 62-bit fast-path bound and the 64-bit
+  // storage bound: sums/products that overflow the word kernels must be
+  // detected and produce the same value the multi-limb path computes.
+  const BigInt near62 = pow2(62) - BigInt{1};
+  const BigInt at63 = pow2(63);
+  const BigInt near64 = pow2(64) - BigInt{1};
+  EXPECT_EQ((near62 + near62).toString(), (pow2(63) - BigInt{2}).toString());
+  EXPECT_EQ(near64 + BigInt{1}, pow2(64));             // u64 carry-out
+  EXPECT_EQ(near64 + near64, pow2(65) - BigInt{2});
+  EXPECT_EQ(-near64 - near64, -(pow2(65) - BigInt{2}));
+  EXPECT_EQ(at63 - near64, -(pow2(63) - BigInt{1}));   // sign flip on subtract
+  EXPECT_EQ(near64 * near64, pow2(128) - pow2(65) + BigInt{1});
+  EXPECT_EQ(near62 * BigInt{4} + BigInt{4}, pow2(64)); // product crosses u64
+  const BigInt minInt64{std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ(minInt64 * minInt64, pow2(126));
+  EXPECT_EQ(minInt64 * BigInt{-1}, pow2(63));
+}
+
+TEST(BigIntBoundary, KernelOverflowEdgesDivShift) {
+  const BigInt near64 = pow2(64) - BigInt{1};
+  BigInt q, r;
+  BigInt::divMod(near64, BigInt{1}, q, r);
+  EXPECT_EQ(q, near64);
+  EXPECT_TRUE(r.isZero());
+  BigInt::divMod(pow2(64), near64, q, r);
+  EXPECT_EQ(q.toInt64(), 1);
+  EXPECT_EQ(r.toInt64(), 1);
+  BigInt::divMod(-pow2(64), near64, q, r);
+  EXPECT_EQ(q.toInt64(), -1);
+  EXPECT_EQ(r.toInt64(), -1); // remainder carries numerator sign
+  EXPECT_EQ(BigInt::divRound(near64, BigInt{2}), pow2(63)); // .5 away from 0
+  EXPECT_EQ(BigInt::divRound(-near64, BigInt{2}), -pow2(63));
+  // Shifts across the 64-bit word boundary.
+  EXPECT_EQ(BigInt{1}.shiftLeft(63).shiftLeft(1), pow2(64));
+  EXPECT_EQ(near64.shiftLeft(64).shiftRight(64), near64);
+  EXPECT_EQ(near64.shiftRight(63).toInt64(), 1);
+  EXPECT_EQ(near64.shiftRight(64).toInt64(), 0);
+  EXPECT_EQ(BigInt::gcd(pow2(64), pow2(63)), pow2(63));
+  EXPECT_EQ(BigInt::gcd(near64, near64), near64);
+}
+
 } // namespace
 } // namespace qadd

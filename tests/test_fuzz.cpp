@@ -3,12 +3,16 @@
 /// dense reference; all three must agree.  This is the broadest correctness
 /// net over the whole stack (gates -> gate DDs -> multiply/add -> normalize
 /// -> unique tables).
+#include "algebraic/euclidean.hpp"
+#include "algebraic/qomega.hpp"
+#include "bigint/bigint.hpp"
 #include "core/export.hpp"
 #include "io/snapshot.hpp"
 #include "qc/simulator.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
@@ -167,6 +171,196 @@ TEST_P(FuzzSnapshotRoundTrip, SerializeDeserializeIsExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSnapshotRoundTrip, ::testing::Range(0, 16));
+
+/// Differential fuzzing of the int64/int128 word kernels: every BigInt /
+/// Z[omega] / Q[omega] operation with a small-coefficient fast path is run on
+/// the SAME operands twice — once with the kernels enabled (small path) and
+/// once with them force-disabled (the multi-limb spill path) — and the two
+/// results must be bit-identical.  Operand magnitudes sweep across the kernel
+/// bit bounds (62-bit add/mul, 30-bit Euclidean/quotient loads) so both the
+/// engaged-kernel and the overflow-detected spill branches are exercised.
+/// With QADD_BIGINT_SSO=0 the toggle is inert and both runs take the spill
+/// path; the assertions then degenerate to determinism checks.
+class FastPathGuard {
+public:
+  explicit FastPathGuard(bool enabled) : previous_(detail::setSmallFastPaths(enabled)) {}
+  ~FastPathGuard() { detail::setSmallFastPaths(previous_); }
+  FastPathGuard(const FastPathGuard&) = delete;
+  FastPathGuard& operator=(const FastPathGuard&) = delete;
+
+private:
+  bool previous_;
+};
+
+/// Random BigInt whose magnitude is `bits` wide (so sweeps cross the 62-bit
+/// kernel bounds from both sides).
+BigInt randomBigInt(std::mt19937_64& rng, unsigned bits) {
+  BigInt value{0};
+  for (unsigned produced = 0; produced < bits; produced += 32) {
+    const unsigned chunk = std::min(32U, bits - produced);
+    const auto limb = static_cast<std::int64_t>(rng() & ((std::uint64_t{1} << chunk) - 1));
+    value = value.shiftLeft(chunk) + BigInt{limb};
+  }
+  return rng() % 2 == 0 ? value : -value;
+}
+
+class FuzzSmallPathDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSmallPathDifferential, BigIntOpsMatchSpillPath) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  for (int round = 0; round < 40; ++round) {
+    // Bit widths straddle the 62/63/64-bit kernel and storage boundaries.
+    const unsigned widths[] = {1, 8, 31, 32, 61, 62, 63, 64, 65, 96, 128};
+    const BigInt a = randomBigInt(rng, widths[rng() % std::size(widths)]);
+    const BigInt b = randomBigInt(rng, widths[rng() % std::size(widths)]);
+    const unsigned shift = static_cast<unsigned>(rng() % 70);
+
+    BigInt sumSmall, difSmall, prodSmall, gcdSmall, shlSmall, shrSmall;
+    BigInt quotSmall, remSmall, roundSmall;
+    {
+      FastPathGuard guard(true);
+      sumSmall = a + b;
+      difSmall = a - b;
+      prodSmall = a * b;
+      gcdSmall = BigInt::gcd(a, b);
+      shlSmall = a.shiftLeft(shift);
+      shrSmall = a.shiftRight(shift);
+      if (!b.isZero()) {
+        BigInt::divMod(a, b, quotSmall, remSmall);
+        roundSmall = BigInt::divRound(a, b);
+      }
+    }
+    FastPathGuard guard(false);
+    EXPECT_EQ(sumSmall, a + b);
+    EXPECT_EQ(difSmall, a - b);
+    EXPECT_EQ(prodSmall, a * b);
+    EXPECT_EQ(gcdSmall, BigInt::gcd(a, b));
+    EXPECT_EQ(shlSmall, a.shiftLeft(shift));
+    EXPECT_EQ(shrSmall, a.shiftRight(shift));
+    if (!b.isZero()) {
+      BigInt quot, rem;
+      BigInt::divMod(a, b, quot, rem);
+      EXPECT_EQ(quotSmall, quot);
+      EXPECT_EQ(remSmall, rem);
+      EXPECT_EQ(roundSmall, BigInt::divRound(a, b));
+      EXPECT_EQ(quot * b + rem, a);
+    }
+    // GCD properties hold regardless of which algorithm/path produced it.
+    if (!gcdSmall.isZero()) {
+      EXPECT_TRUE((a % gcdSmall).isZero());
+      EXPECT_TRUE((b % gcdSmall).isZero());
+      EXPECT_FALSE(gcdSmall.isNegative());
+    }
+  }
+}
+
+TEST_P(FuzzSmallPathDifferential, RingOpsMatchSpillPath) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 12289 + 17);
+  const auto randomRing = [&rng](unsigned bits) {
+    return alg::ZOmega{randomBigInt(rng, bits), randomBigInt(rng, bits),
+                       randomBigInt(rng, bits), randomBigInt(rng, bits)};
+  };
+  for (int round = 0; round < 30; ++round) {
+    // Coefficient widths straddle the kernel bounds: 30-bit Euclidean loads,
+    // 62-bit add/mul loads.
+    const unsigned widths[] = {4, 20, 29, 30, 31, 60, 61, 62, 63, 80};
+    const alg::ZOmega x = randomRing(widths[rng() % std::size(widths)]);
+    const alg::ZOmega y = randomRing(widths[rng() % std::size(widths)]);
+
+    alg::ZOmega sumSmall, difSmall, prodSmall, quotSmall, remSmall, gcdSmall;
+    BigInt normUSmall, normVSmall;
+    {
+      FastPathGuard guard(true);
+      sumSmall = x + y;
+      difSmall = x - y;
+      prodSmall = x * y;
+      x.norm(normUSmall, normVSmall);
+      if (!y.isZero()) {
+        quotSmall = alg::euclideanQuotient(x, y);
+        remSmall = alg::euclideanRemainder(x, y);
+        gcdSmall = alg::gcdZOmega(x, y);
+      }
+    }
+    FastPathGuard guard(false);
+    EXPECT_EQ(sumSmall, x + y);
+    EXPECT_EQ(difSmall, x - y);
+    EXPECT_EQ(prodSmall, x * y);
+    BigInt normU, normV;
+    x.norm(normU, normV);
+    EXPECT_EQ(normUSmall, normU);
+    EXPECT_EQ(normVSmall, normV);
+    if (!y.isZero()) {
+      EXPECT_EQ(quotSmall, alg::euclideanQuotient(x, y));
+      EXPECT_EQ(remSmall, alg::euclideanRemainder(x, y));
+      EXPECT_EQ(gcdSmall, alg::gcdZOmega(x, y));
+      // Euclidean contract: remainder strictly smaller in E() = |u^2 - 2 v^2|.
+      EXPECT_EQ(remSmall, x - quotSmall * y);
+    }
+  }
+}
+
+TEST_P(FuzzSmallPathDifferential, QOmegaCanonicalizationMatchesSpillPath) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 24593 + 29);
+  const auto randomRing = [&rng](unsigned bits) {
+    return alg::ZOmega{randomBigInt(rng, bits), randomBigInt(rng, bits),
+                       randomBigInt(rng, bits), randomBigInt(rng, bits)};
+  };
+  const auto expectCanonical = [](const alg::QOmega& value) {
+    // Algorithm 1 invariants: positive denominator with all 2-content folded
+    // into the sqrt2 exponent, numerator not divisible by sqrt2 (minimal k),
+    // and no odd common content left between numerator and denominator.
+    if (value.isZero()) {
+      return;
+    }
+    EXPECT_FALSE(value.den().isNegative());
+    EXPECT_TRUE(value.den().isOdd());
+    EXPECT_FALSE(value.num().divisibleBySqrt2());
+    if (!value.den().isOne()) {
+      BigInt content = BigInt::gcd(value.num().a(), value.num().b());
+      content = BigInt::gcd(content, value.num().c());
+      content = BigInt::gcd(content, value.num().d());
+      EXPECT_TRUE(BigInt::gcd(content, value.den()).isOne());
+    }
+  };
+  for (int round = 0; round < 25; ++round) {
+    const unsigned widths[] = {4, 16, 31, 59, 61, 62, 63, 70};
+    const alg::ZOmega n1 = randomRing(widths[rng() % std::size(widths)]);
+    const alg::ZOmega n2 = randomRing(widths[rng() % std::size(widths)]);
+    const long k1 = static_cast<long>(rng() % 9) - 4;
+    const long k2 = static_cast<long>(rng() % 9) - 4;
+    const BigInt d1 = randomBigInt(rng, 1U + static_cast<unsigned>(rng() % 40)).abs() + BigInt{1};
+    const BigInt d2 = randomBigInt(rng, 1U + static_cast<unsigned>(rng() % 40)).abs() + BigInt{1};
+
+    alg::QOmega xSmall, ySmall, sumSmall, prodSmall, invSmall;
+    {
+      FastPathGuard guard(true);
+      xSmall = alg::QOmega{n1, k1, d1}; // constructor canonicalizes (Alg. 1)
+      ySmall = alg::QOmega{n2, k2, d2};
+      sumSmall = xSmall + ySmall;
+      prodSmall = xSmall * ySmall;
+      if (!xSmall.isZero()) {
+        invSmall = xSmall.inverse();
+      }
+    }
+    FastPathGuard guard(false);
+    const alg::QOmega x{n1, k1, d1};
+    const alg::QOmega y{n2, k2, d2};
+    EXPECT_TRUE(xSmall == x);
+    EXPECT_TRUE(ySmall == y);
+    EXPECT_TRUE(sumSmall == x + y);
+    EXPECT_TRUE(prodSmall == x * y);
+    expectCanonical(x);
+    expectCanonical(sumSmall);
+    expectCanonical(prodSmall);
+    if (!x.isZero()) {
+      EXPECT_TRUE(invSmall == x.inverse());
+      expectCanonical(invSmall);
+      EXPECT_TRUE((x * invSmall).isOne());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSmallPathDifferential, ::testing::Range(0, 8));
 
 } // namespace
 } // namespace qadd

@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <random>
 
 namespace qadd {
@@ -475,6 +477,31 @@ TEST(Fig3Regression, ToleranceModeReloadMatchesRecompute) {
   const auto reloaded = io::loadVector(recomputed.package(), snapshot);
   EXPECT_TRUE(reloaded == recomputed.state());
   EXPECT_DOUBLE_EQ(recomputed.package().fidelity(reloaded, recomputed.state()), 1.0);
+}
+
+// -- golden snapshot regression ---------------------------------------------------
+
+/// Byte-level format pin: a QDDS file written by an earlier release (PR 3
+/// seed build: 5-qubit random Clifford+T state, 31 nodes, 83-bit worst-case
+/// coefficients) must still load, and re-serializing the loaded state must
+/// reproduce the file byte for byte.  This locks the on-disk encoding —
+/// BigInt::toBytes headers included — against representation changes such as
+/// the small-size-optimized BigInt storage.
+TEST(IoGolden, Pr3SnapshotLoadsAndResavesByteIdentical) {
+  const std::string path = std::string(QADD_TESTDATA_DIR) + "/golden_pr3.qdds";
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.is_open()) << "missing golden file: " << path;
+  const std::vector<std::uint8_t> golden{std::istreambuf_iterator<char>(file),
+                                         std::istreambuf_iterator<char>()};
+  ASSERT_EQ(golden.size(), 1973U) << "golden file changed on disk";
+
+  dd::Package<AlgebraicSystem> package(5);
+  const auto state = io::loadVector(package, golden);
+  EXPECT_EQ(package.countNodes(state), 31U);
+  EXPECT_EQ(io::saveVector(package, state), golden);
+
+  // The state is a unit vector (the generator applied only unitary gates).
+  EXPECT_TRUE(package.system().isOne(package.innerProduct(state, state)));
 }
 
 } // namespace
