@@ -5,25 +5,32 @@
 /// precise) and eps = 1e-3 (collapses to an all-zero vector: perfectly
 /// compact, completely wrong).
 ///
-///   ./fig2_gse_size [systemQubits] [precisionQubits] [--stats] [--trace-json <path>]
-///                                                     (default 3 / 6)
-/// Writes fig2_gse_size.csv.
+///   ./fig2_gse_size [systemQubits] [precisionQubits] [--jobs N] [--stats]
+///                   [--trace-json <path>] [--help]
+/// Writes fig2_gse_size.csv.  The five tolerance runs fan out across --jobs
+/// workers; Fig. 2 studies sizes only, so no algebraic reference is run.
 #include "algorithms/gse.hpp"
+#include "eval/driver_cli.hpp"
 #include "eval/report.hpp"
-#include "eval/trace.hpp"
+#include "eval/sweep.hpp"
 
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 int main(int argc, char** argv) {
   using namespace qadd;
 
-  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
+  const eval::DriverSpec spec{
+      "fig2_gse_size",
+      "Fig. 2: numeric QMDD size while simulating GSE across tolerance values.",
+      {{"systemQubits", 3, "Ising system register width"},
+       {"precisionQubits", 6, "phase-estimation ancilla width"}},
+      false};
+  const eval::DriverCli cli = eval::parseDriverCli(argc, argv, spec);
   algos::GseOptions options;
-  options.systemQubits = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3;
-  options.precisionQubits = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 6;
+  options.systemQubits = static_cast<unsigned>(cli.positionals[0]);
+  options.precisionQubits = static_cast<unsigned>(cli.positionals[1]);
   // Place the eigenphase a hair (3e-5) off a grid point of the ancilla
   // register: the exact post-QFT state then carries small-but-real leakage
   // tails.  Tight eps must represent them (dense diagram); eps >= the tail
@@ -38,18 +45,22 @@ int main(int argc, char** argv) {
             << options.systemQubits + options.precisionQubits << " qubits, " << circuit.size()
             << " gates, T-count " << circuit.tCount() << " ==\n";
 
-  eval::TraceOptions traceOptions;
-  traceOptions.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+  eval::SweepSpec sweep(circuit);
+  sweep.options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+  cli.obs.applyTo(sweep.options);
+  sweep.reference = eval::ReferencePolicy::None;
+  sweep.addEpsilons({0.0, 1e-10, 1e-6, 1e-4, 1e-3});
 
-  std::vector<eval::SimulationTrace> traces;
-  for (const double epsilon : {0.0, 1e-10, 1e-6, 1e-4, 1e-3}) {
-    traces.push_back(eval::traceNumeric(circuit, epsilon, nullptr, traceOptions));
-  }
+  const auto pool = cli.makePool();
+  const eval::SweepResult result = eval::runSweep(sweep, pool.get());
+  std::cout << "numeric sweep: " << sweep.points.size() << " runs on " << result.jobs
+            << (result.jobs == 1 ? " worker in " : " workers in ") << result.numericSweepSeconds
+            << " s\n";
 
-  eval::printSummaryTable(std::cout, traces);
-  eval::printAsciiChart(std::cout, "Fig. 2: QMDD size while simulating GSE", traces,
+  eval::printSummaryTable(std::cout, result.traces);
+  eval::printAsciiChart(std::cout, "Fig. 2: QMDD size while simulating GSE", result.traces,
                         eval::Series::Nodes, false);
-  for (const auto& trace : traces) {
+  for (const auto& trace : result.traces) {
     if (trace.collapsedToZero) {
       std::cout << "NOTE: " << trace.label
                 << " collapsed to the all-zero vector (the paper's bold worst case).\n";
@@ -57,8 +68,8 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream csv("fig2_gse_size.csv");
-  eval::writeCsv(csv, traces);
+  eval::writeCsv(csv, result.traces);
   std::cout << "\nseries written to fig2_gse_size.csv\n";
-  eval::finishObsCli(obsOptions, std::cout, traces);
+  eval::finishDriverCli(cli, std::cout, result);
   return 0;
 }

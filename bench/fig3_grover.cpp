@@ -10,55 +10,63 @@
 /// wrong; the algebraic diagram is compact AND exact at a modest constant
 /// run-time overhead versus the best-tuned numeric run.
 ///
-///   ./fig3_grover [nqubits] [--stats] [--trace-json <path>]
-///                 [--checkpoint-every K] [--refresh-reference]
-///                               (default 10; the paper uses 15)
+///   ./fig3_grover [nqubits] [--jobs N] [--stats] [--trace-json <path>]
+///                 [--checkpoint-every K] [--refresh-reference] [--help]
 /// Writes fig3_grover.csv next to the binary.  The exact algebraic reference
 /// (the expensive part of the sweep) is cached in fig3_reference.qref and
-/// reused on subsequent runs of the same configuration.
+/// reused on subsequent runs; the six numeric runs fan out across --jobs
+/// workers (value columns of the CSV are identical for any worker count).
 #include "algorithms/grover.hpp"
-#include "eval/reference_cache.hpp"
+#include "eval/driver_cli.hpp"
 #include "eval/report.hpp"
-#include "eval/trace.hpp"
+#include "eval/sweep.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 int main(int argc, char** argv) {
   using namespace qadd;
 
-  const eval::ObsCliOptions obsOptions = eval::parseObsCli(argc, argv);
-  const auto nqubits = static_cast<qc::Qubit>(argc > 1 ? std::atoi(argv[1]) : 10);
+  const eval::DriverSpec spec{
+      "fig3_grover",
+      "Fig. 3: Grover's algorithm under the numeric ε sweep vs the exact algebraic QMDD.",
+      {{"nqubits", 10, "circuit width (the paper uses 15)"}},
+      true};
+  const eval::DriverCli cli = eval::parseDriverCli(argc, argv, spec);
+  const auto nqubits = static_cast<qc::Qubit>(cli.positionals[0]);
   const qc::Circuit circuit = algos::grover({nqubits, (1ULL << nqubits) / 3, 0});
   std::cout << "== Fig. 3: Grover's algorithm, " << nqubits << " qubits, " << circuit.size()
             << " gates ==\n";
 
-  eval::TraceOptions options;
-  options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
-  obsOptions.applyTo(options);
+  eval::SweepSpec sweep(circuit);
+  sweep.options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 60);
+  cli.obs.applyTo(sweep.options);
+  sweep.reference = eval::ReferencePolicy::Cached;
+  sweep.referenceCachePath = "fig3_reference.qref";
+  sweep.refreshReference = cli.obs.refreshReference;
+  sweep.addEpsilons({0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3});
 
-  std::vector<eval::SimulationTrace> traces;
-  eval::CachedAlgebraicReference reference = eval::traceAlgebraicCached(
-      circuit, options, "fig3_reference.qref", obsOptions.refreshReference);
-  std::cout << (reference.fromCache ? "algebraic reference loaded from fig3_reference.qref in "
-                                    : "algebraic reference computed and cached in ")
-            << reference.cacheSeconds << " s\n";
-  traces.push_back(reference.trace);
-  for (const double epsilon : {0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3}) {
-    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference.trajectory, options));
-  }
+  const auto pool = cli.makePool();
+  const eval::SweepResult result = eval::runSweep(sweep, pool.get());
+  std::cout << (result.referenceFromCache
+                    ? "algebraic reference loaded from fig3_reference.qref in "
+                    : "algebraic reference computed and cached in ")
+            << result.referenceCacheSeconds << " s\n";
+  std::cout << "numeric sweep: " << sweep.points.size() << " runs on " << result.jobs
+            << (result.jobs == 1 ? " worker in " : " workers in ") << result.numericSweepSeconds
+            << " s\n";
 
-  eval::printSummaryTable(std::cout, traces);
-  eval::printAsciiChart(std::cout, "Fig. 3a: QMDD size (nodes)", traces, eval::Series::Nodes,
-                        false);
-  eval::printAsciiChart(std::cout, "Fig. 3b: accuracy error", traces, eval::Series::Error, true);
-  eval::printAsciiChart(std::cout, "Fig. 3c: run-time [s]", traces, eval::Series::Seconds,
+  eval::printSummaryTable(std::cout, result.traces);
+  eval::printAsciiChart(std::cout, "Fig. 3a: QMDD size (nodes)", result.traces,
+                        eval::Series::Nodes, false);
+  eval::printAsciiChart(std::cout, "Fig. 3b: accuracy error", result.traces, eval::Series::Error,
+                        true);
+  eval::printAsciiChart(std::cout, "Fig. 3c: run-time [s]", result.traces, eval::Series::Seconds,
                         false);
 
   std::ofstream csv("fig3_grover.csv");
-  eval::writeCsv(csv, traces);
+  eval::writeCsv(csv, result.traces);
   std::cout << "\nseries written to fig3_grover.csv\n";
-  eval::finishObsCli(obsOptions, std::cout, traces);
+  eval::finishDriverCli(cli, std::cout, result);
   return 0;
 }

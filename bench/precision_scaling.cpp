@@ -10,60 +10,59 @@
 /// mantissa-width ratio and costs extra run-time, but the error never
 /// reaches zero — only the algebraic representation does.
 ///
-///   ./precision_scaling [nqubits]     (default 8)
+///   ./precision_scaling [nqubits] [--jobs N] [--stats] [--trace-json <path>]
+///                       [--help]
+/// The two numeric runs are sweep points of eval::runSweep and fan out
+/// across --jobs workers once the algebraic reference is computed.
 #include "algorithms/grover.hpp"
-#include "eval/accuracy.hpp"
-#include "qc/simulator.hpp"
+#include "eval/driver_cli.hpp"
+#include "eval/sweep.hpp"
 
-#include <chrono>
-#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
-namespace {
-
-using namespace qadd;
-using Clock = std::chrono::steady_clock;
-
-template <class System>
-std::pair<std::vector<std::complex<double>>, double>
-simulate(const qc::Circuit& circuit, typename System::Config config) {
-  const auto start = Clock::now();
-  qc::Simulator<System> simulator(circuit, config);
-  simulator.run();
-  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  return {simulator.package().amplitudes(simulator.state()), seconds};
-}
-
-} // namespace
-
 int main(int argc, char** argv) {
-  const auto nqubits = static_cast<qc::Qubit>(argc > 1 ? std::atoi(argv[1]) : 8);
+  using namespace qadd;
+
+  const eval::DriverSpec spec{
+      "precision_scaling",
+      "Sec. V-A: double vs long-double vs exact algebraic Grover at eps = 0.",
+      {{"nqubits", 8, "circuit width"}},
+      false};
+  const eval::DriverCli cli = eval::parseDriverCli(argc, argv, spec);
+  const auto nqubits = static_cast<qc::Qubit>(cli.positionals[0]);
   const qc::Circuit circuit = algos::grover({nqubits, (1ULL << nqubits) - 5, 0});
   std::cout << "== Precision scaling (Sec. V-A): Grover, " << nqubits << " qubits, "
             << circuit.size() << " gates, eps = 0 ==\n";
 
-  const auto [exact, exactSeconds] = simulate<dd::AlgebraicSystem>(circuit, {});
-  const auto [dbl, dblSeconds] = simulate<dd::NumericSystem>(
-      circuit, {0.0, dd::NumericSystem::Normalization::LeftmostNonzero});
-  const auto [ext, extSeconds] = simulate<dd::ExtendedNumericSystem>(
-      circuit, {0.0, dd::ExtendedNumericSystem::Normalization::LeftmostNonzero});
+  eval::SweepSpec sweep(circuit);
+  // Only the final amplitudes matter here: sample once, at the last gate.
+  sweep.options.sampleEvery = std::max<std::size_t>(1, circuit.size());
+  cli.obs.applyTo(sweep.options);
+  sweep.reference = eval::ReferencePolicy::Inline;
+  sweep.points.push_back({0.0, false}); // IEEE-754 double
+  sweep.points.push_back({0.0, true});  // x87 long double
 
-  const double dblError = eval::accuracyError(dbl, exact);
-  const double extError = eval::accuracyError(ext, exact);
+  const auto pool = cli.makePool();
+  const eval::SweepResult result = eval::runSweep(sweep, pool.get());
+  const eval::SimulationTrace& exact = result.traces[0];
+  const eval::SimulationTrace& dbl = result.traces[1];
+  const eval::SimulationTrace& ext = result.traces[2];
+  const double dblError = dbl.finalError;
+  const double extError = ext.finalError;
 
   std::cout << std::left << std::setw(28) << "representation" << std::right << std::setw(14)
             << "mantissa" << std::setw(16) << "error" << std::setw(12) << "time [s]" << "\n";
   std::cout << std::left << std::setw(28) << "numeric double" << std::right << std::setw(14)
             << "53 bits" << std::setw(16) << std::scientific << std::setprecision(2) << dblError
-            << std::setw(12) << std::fixed << std::setprecision(3) << dblSeconds << "\n";
+            << std::setw(12) << std::fixed << std::setprecision(3) << dbl.totalSeconds << "\n";
   std::cout << std::left << std::setw(28) << "numeric long double" << std::right << std::setw(14)
             << (sizeof(long double) > 8 ? "64 bits" : "53 bits") << std::setw(16)
             << std::scientific << std::setprecision(2) << extError << std::setw(12) << std::fixed
-            << std::setprecision(3) << extSeconds << "\n";
+            << std::setprecision(3) << ext.totalSeconds << "\n";
   std::cout << std::left << std::setw(28) << "algebraic (exact)" << std::right << std::setw(14)
             << "unbounded" << std::setw(16) << std::scientific << std::setprecision(2) << 0.0
-            << std::setw(12) << std::fixed << std::setprecision(3) << exactSeconds << "\n";
+            << std::setw(12) << std::fixed << std::setprecision(3) << exact.totalSeconds << "\n";
 
   std::cout << "\nExpected: the 64-bit mantissa lowers the error floor but does not\n"
                "eliminate it; only the algebraic representation reaches zero.  (The\n"
@@ -73,5 +72,6 @@ int main(int argc, char** argv) {
     std::cout << "observed floor improvement: " << std::setprecision(1) << std::scientific
               << dblError / extError << "x, error still non-zero -> claim reproduced\n";
   }
+  eval::finishDriverCli(cli, std::cout, result);
   return 0;
 }

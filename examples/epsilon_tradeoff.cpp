@@ -4,38 +4,45 @@
 /// value, the final diagram size and accuracy — side by side with the
 /// algebraic representation, which needs no such knob.
 ///
-///   ./epsilon_tradeoff [nqubits]
+///   ./epsilon_tradeoff [nqubits] [--jobs N] [--stats] [--trace-json <path>]
+///                      [--help]
 #include "algorithms/grover.hpp"
+#include "eval/driver_cli.hpp"
 #include "eval/report.hpp"
-#include "eval/trace.hpp"
+#include "eval/sweep.hpp"
 
-#include <cstdlib>
 #include <iostream>
 
 int main(int argc, char** argv) {
   using namespace qadd;
 
-  const auto nqubits = static_cast<qc::Qubit>(argc > 1 ? std::atoi(argv[1]) : 8);
+  const eval::DriverSpec spec{
+      "epsilon_tradeoff",
+      "The paper's core trade-off: numeric ε sweep vs the knob-free algebraic QMDD.",
+      {{"nqubits", 8, "circuit width"}},
+      false};
+  const eval::DriverCli cli = eval::parseDriverCli(argc, argv, spec);
+  const auto nqubits = static_cast<qc::Qubit>(cli.positionals[0]);
   const qc::Circuit circuit = algos::grover({nqubits, (1ULL << nqubits) - 2, 0});
   std::cout << "Grover, " << nqubits << " qubits, " << circuit.size() << " gates\n";
 
-  eval::TraceOptions options;
-  options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 40);
+  eval::SweepSpec sweep(circuit);
+  sweep.options.sampleEvery = std::max<std::size_t>(1, circuit.size() / 40);
+  cli.obs.applyTo(sweep.options);
+  sweep.reference = eval::ReferencePolicy::Inline;
+  sweep.addEpsilons({0.0, 1e-15, 1e-10, 1e-5, 1e-2});
 
-  std::vector<eval::SimulationTrace> traces;
-  eval::ReferenceTrajectory reference;
-  traces.push_back(eval::traceAlgebraic(circuit, options, {}, &reference));
-  for (const double epsilon : {0.0, 1e-15, 1e-10, 1e-5, 1e-2}) {
-    traces.push_back(eval::traceNumeric(circuit, epsilon, &reference, options));
-  }
+  const auto pool = cli.makePool();
+  const eval::SweepResult result = eval::runSweep(sweep, pool.get());
 
-  eval::printSummaryTable(std::cout, traces);
-  eval::printAsciiChart(std::cout, "state DD size over the simulation", traces,
+  eval::printSummaryTable(std::cout, result.traces);
+  eval::printAsciiChart(std::cout, "state DD size over the simulation", result.traces,
                         eval::Series::Nodes, false);
-  eval::printAsciiChart(std::cout, "accuracy error (numeric flavors)", traces,
+  eval::printAsciiChart(std::cout, "accuracy error (numeric flavors)", result.traces,
                         eval::Series::Error, true);
   std::cout << "\nReading the table: eps = 0 is accurate but bloated; large eps is\n"
                "compact but wrong (down to a zero vector); the algebraic diagram is\n"
                "compact AND exact — the trade-off is gone (paper, Sections III & V).\n";
+  eval::finishDriverCli(cli, std::cout, result);
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "bigint/bigint.hpp"
 
+#include <atomic>
 #include <cstdint>
 
 namespace qadd::alg::detail {
@@ -25,11 +26,14 @@ namespace qadd::alg::detail {
 /// obs::WeightTableStats as `alg.smallPathHit` / `alg.smallPathSpill`.
 /// `hits` counts ring operations served entirely by a word kernel; `spills`
 /// counts operations that probed the fast path but fell back to BigInt
-/// because a coefficient exceeded the kernel's bit bound.  Single-threaded by
-/// design, like the DD packages that drive it.
+/// because a coefficient exceeded the kernel's bit bound.  The counters are
+/// atomic because the tally is shared by every DD package in the process and
+/// the parallel ε-sweep executor (qadd::exec) runs packages on concurrent
+/// workers; on x86 the increment is the same `lock xadd` either way, and the
+/// algebraic reference of a sweep runs serially, so contention is nil.
 struct SmallPathStats {
-  std::uint64_t hits = 0;
-  std::uint64_t spills = 0;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> spills{0};
 };
 
 [[nodiscard]] inline SmallPathStats& smallPathStats() noexcept {

@@ -1,0 +1,70 @@
+/// \file driver_cli.hpp
+/// One command line for all figure drivers (eval::DriverCli).  The fig2–fig5
+/// harnesses, precision_scaling and examples/epsilon_tradeoff used to carry
+/// six hand-rolled argv loops; they now declare their positional arguments
+/// in a DriverSpec and get, uniformly:
+///   [positionals...]       integer arguments with per-driver defaults
+///                          (old invocations keep working unchanged)
+///   --jobs N               worker threads for the ε fan-out (default:
+///                          QADD_JOBS env, else hardware concurrency;
+///                          --jobs 1 is the strictly serial path)
+///   --stats / --trace-json / --checkpoint-every / --checkpoint-prefix /
+///   --refresh-reference    the ObsCliOptions telemetry + snapshot flags
+///   --help                 per-driver usage text generated from the spec
+#pragma once
+
+#include "eval/report.hpp"
+#include "eval/sweep.hpp"
+#include "exec/thread_pool.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qadd::eval {
+
+/// One positional integer argument of a driver.
+struct DriverPositional {
+  const char* name;
+  long defaultValue;
+  const char* description;
+};
+
+/// Static description of a driver's command line, used for parsing and for
+/// the generated --help text.
+struct DriverSpec {
+  const char* binary;  ///< binary name shown in the usage line
+  const char* summary; ///< one-line description of what the driver measures
+  std::vector<DriverPositional> positionals;
+  /// Document --refresh-reference in --help (drivers with a QREF cache).
+  bool referenceFlags = false;
+};
+
+/// Parsed command line of a figure driver.
+struct DriverCli {
+  ObsCliOptions obs;
+  /// Resolved worker count: --jobs, else QADD_JOBS, else hardware threads.
+  std::size_t jobs = 1;
+  /// One value per DriverSpec positional (defaults filled in).
+  std::vector<long> positionals;
+
+  /// Thread pool for runSweep(), or nullptr for the serial --jobs 1 path.
+  [[nodiscard]] std::unique_ptr<exec::ThreadPool> makePool() const {
+    return jobs <= 1 ? nullptr : std::make_unique<exec::ThreadPool>(jobs);
+  }
+};
+
+/// Parse argv against `spec`.  Prints usage and exits 0 on --help; prints an
+/// error plus usage and exits 2 on unknown flags, malformed integers, or
+/// excess positionals.  Enables the global tracer when --trace-json is
+/// given (like parseObsCli, which handles the telemetry flags).
+[[nodiscard]] DriverCli parseDriverCli(int argc, char** argv, const DriverSpec& spec);
+
+/// Honour the parsed flags after a sweep: per-series telemetry tables plus
+/// the aggregated cross-worker snapshot under --stats, and the span-trace
+/// JSON for --trace-json.
+void finishDriverCli(const DriverCli& cli, std::ostream& os, const SweepResult& result);
+
+} // namespace qadd::eval

@@ -167,6 +167,7 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
      << " peak\n";
   os << "gc          " << stats.gc.runs.value() << " runs, " << stats.gc.nodesSwept.value()
      << " nodes swept, " << std::setprecision(3) << stats.gc.seconds << " s\n";
+  os << "threads     " << stats.threads << "\n";
   os << "weights     " << stats.weights.entries << " distinct";
   if (stats.weights.nearMissUnifications > 0) {
     os << ", " << stats.weights.nearMissUnifications << " near-miss unifications";
@@ -242,6 +243,7 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
   os << ",\"gc\":{\"runs\":" << stats.gc.runs.value()
      << ",\"nodesSwept\":" << stats.gc.nodesSwept.value() << ",\"seconds\":" << stats.gc.seconds
      << "}";
+  os << ",\"threads\":" << stats.threads;
   os << ",\"weights\":{\"system\":\"" << stats.weights.system
      << "\",\"entries\":" << stats.weights.entries
      << ",\"nearMissUnifications\":" << stats.weights.nearMissUnifications
@@ -289,6 +291,7 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   os << "gc.runs," << stats.gc.runs.value() << "\n";
   os << "gc.nodesSwept," << stats.gc.nodesSwept.value() << "\n";
   os << "gc.seconds," << std::setprecision(12) << stats.gc.seconds << "\n";
+  os << "threads," << stats.threads << "\n";
   os << "weights.entries," << stats.weights.entries << "\n";
   os << "weights.nearMissUnifications," << stats.weights.nearMissUnifications << "\n";
   os << "weights.opCache.hits," << stats.weights.opCache.hits.value() << "\n";
@@ -341,7 +344,8 @@ ObsCliOptions parseObsCli(int& argc, char** argv) {
 }
 
 void finishObsCli(const ObsCliOptions& options, std::ostream& os,
-                  const std::vector<SimulationTrace>& traces) {
+                  const std::vector<SimulationTrace>& traces,
+                  const obs::PackageStats* aggregated) {
   if (options.stats) {
     for (const SimulationTrace& trace : traces) {
       os << "\n== telemetry: " << trace.label << " ==\n";
@@ -353,6 +357,11 @@ void finishObsCli(const ObsCliOptions& options, std::ostream& os,
         }
         os << "\n";
       }
+    }
+    if (aggregated != nullptr && traces.size() > 1) {
+      os << "\n== telemetry: aggregate (" << traces.size() << " series, " << aggregated->threads
+         << (aggregated->threads == 1 ? " worker) ==\n" : " workers) ==\n");
+      printStatsTable(os, *aggregated);
     }
   }
   if (!options.traceJsonPath.empty()) {

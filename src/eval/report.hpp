@@ -74,8 +74,12 @@ struct ObsCliOptions {
 [[nodiscard]] ObsCliOptions parseObsCli(int& argc, char** argv);
 
 /// Honour the parsed flags after a run: print per-series stats tables and/or
-/// write the collected trace JSON.
+/// write the collected trace JSON.  When `aggregated` is non-null (the
+/// parallel sweep drivers pass SweepResult::aggregated), an extra
+/// cross-series table of the merged snapshot — including its `threads` row —
+/// is printed after the per-series ones.
 void finishObsCli(const ObsCliOptions& options, std::ostream& os,
-                  const std::vector<SimulationTrace>& traces);
+                  const std::vector<SimulationTrace>& traces,
+                  const obs::PackageStats* aggregated = nullptr);
 
 } // namespace qadd::eval

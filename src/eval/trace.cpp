@@ -94,14 +94,20 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
   return trace;
 }
 
-SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
-                             const ReferenceTrajectory* reference, const TraceOptions& options,
-                             dd::NumericSystem::Normalization normalization) {
-  qc::Simulator<dd::NumericSystem> simulator(circuit, {epsilon, normalization});
+namespace {
+
+/// Shared body of traceNumeric/traceNumericExtended, generic over the
+/// numeric system's float width.
+template <class System>
+SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
+                              const ReferenceTrajectory* reference, const TraceOptions& options,
+                              typename System::Normalization normalization,
+                              const char* labelPrefix) {
+  qc::Simulator<System> simulator(circuit, {epsilon, normalization});
   SimulationTrace trace;
   {
     std::ostringstream label;
-    label << "numeric eps=" << epsilon;
+    label << labelPrefix << epsilon;
     trace.label = label.str();
   }
   const auto traceSpan = obs::Tracer::global().span("traceNumeric", "eval");
@@ -153,6 +159,25 @@ SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
   }
   finishTrace(trace, simulator);
   return trace;
+}
+
+} // namespace
+
+SimulationTrace traceNumeric(const qc::Circuit& circuit, double epsilon,
+                             const ReferenceTrajectory* reference, const TraceOptions& options,
+                             dd::NumericSystem::Normalization normalization) {
+  return traceNumericT<dd::NumericSystem>(circuit, epsilon, reference, options, normalization,
+                                          "numeric eps=");
+}
+
+SimulationTrace traceNumericExtended(const qc::Circuit& circuit, double epsilon,
+                                     const ReferenceTrajectory* reference,
+                                     const TraceOptions& options,
+                                     dd::NumericSystem::Normalization normalization) {
+  return traceNumericT<dd::ExtendedNumericSystem>(
+      circuit, epsilon, reference, options,
+      static_cast<dd::ExtendedNumericSystem::Normalization>(static_cast<int>(normalization)),
+      "numeric-ext eps=");
 }
 
 } // namespace qadd::eval

@@ -88,4 +88,12 @@ traceNumeric(const qc::Circuit& circuit, double epsilon, const ReferenceTrajecto
              dd::NumericSystem::Normalization normalization =
                  dd::NumericSystem::Normalization::LeftmostNonzero);
 
+/// traceNumeric() on the extended-precision (long double) numeric system —
+/// Section V-A's "scale up the mantissa" experiment as a sweep point.
+[[nodiscard]] SimulationTrace
+traceNumericExtended(const qc::Circuit& circuit, double epsilon,
+                     const ReferenceTrajectory* reference, const TraceOptions& options = {},
+                     dd::NumericSystem::Normalization normalization =
+                         dd::NumericSystem::Normalization::LeftmostNonzero);
+
 } // namespace qadd::eval

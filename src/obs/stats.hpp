@@ -13,6 +13,7 @@
 /// (default ON) drives the define.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -42,6 +43,11 @@ struct Counter {
   }
   [[nodiscard]] std::uint64_t value() const { return count; }
   explicit operator std::uint64_t() const { return count; }
+
+  Counter& operator+=(const Counter& other) {
+    count += other.count;
+    return *this;
+  }
 };
 
 /// Hit/miss statistics of one operation cache.  A "miss" is a lookup that
@@ -57,6 +63,13 @@ struct CacheStats {
   [[nodiscard]] double hitRate() const {
     const std::uint64_t total = lookups();
     return total == 0 ? 0.0 : static_cast<double>(hits.value()) / static_cast<double>(total);
+  }
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    return *this;
   }
 };
 
@@ -76,6 +89,18 @@ struct UniqueTableStats {
     const std::uint64_t total = lookups.value();
     return total == 0 ? 0.0 : static_cast<double>(hits.value()) / static_cast<double>(total);
   }
+
+  /// Counters sum; the fill gauges take the per-table maximum (the tables
+  /// being merged are independent, so "largest table seen" is the honest
+  /// aggregate — summing snapshots of different tables means nothing).
+  UniqueTableStats& operator+=(const UniqueTableStats& other) {
+    lookups += other.lookups;
+    hits += other.hits;
+    collisions += other.collisions;
+    entries = std::max(entries, other.entries);
+    buckets = std::max(buckets, other.buckets);
+    return *this;
+  }
 };
 
 /// Garbage-collector statistics, accumulated across runs.
@@ -83,6 +108,13 @@ struct GcStats {
   Counter runs;
   Counter nodesSwept;
   double seconds = 0.0;
+
+  GcStats& operator+=(const GcStats& other) {
+    runs += other.runs;
+    nodesSwept += other.nodesSwept;
+    seconds += other.seconds;
+    return *this;
+  }
 };
 
 /// Weight-table gauges, filled at snapshot time by the active weight system.
@@ -112,6 +144,35 @@ struct WeightTableStats {
   /// system and in QADD_BIGINT_SSO=0 builds.
   std::uint64_t smallPathHits = 0;
   std::uint64_t smallPathSpills = 0;
+
+  /// Merge a second weight-table snapshot: event counters sum, fill gauges
+  /// max, histograms add element-wise.  The small-path tallies are snapshots
+  /// of one process-wide counter, so merging them takes the max (summing
+  /// would double-count the shared counter).
+  WeightTableStats& operator+=(const WeightTableStats& other) {
+    if (system.empty()) {
+      system = other.system;
+    } else if (!other.system.empty() && other.system != system) {
+      system = "mixed";
+    }
+    entries = std::max(entries, other.entries);
+    nearMissUnifications += other.nearMissUnifications;
+    opCache += other.opCache;
+    smallPathHits = std::max(smallPathHits, other.smallPathHits);
+    smallPathSpills = std::max(smallPathSpills, other.smallPathSpills);
+    const auto addHistogram = [](std::vector<std::uint64_t>& into,
+                                 const std::vector<std::uint64_t>& from) {
+      if (into.size() < from.size()) {
+        into.resize(from.size(), 0);
+      }
+      for (std::size_t i = 0; i < from.size(); ++i) {
+        into[i] += from[i];
+      }
+    };
+    addHistogram(bucketOccupancy, other.bucketOccupancy);
+    addHistogram(bitWidthHistogram, other.bitWidthHistogram);
+    return *this;
+  }
 };
 
 /// Snapshot-I/O statistics (qadd::io): volume written/read through the QDDS
@@ -133,6 +194,19 @@ struct IoStats {
     return snapshotsSaved.value() + snapshotsLoaded.value() + bytesWritten.value() +
                bytesRead.value() !=
            0;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    snapshotsSaved += other.snapshotsSaved;
+    snapshotsLoaded += other.snapshotsLoaded;
+    nodesWritten += other.nodesWritten;
+    nodesRead += other.nodesRead;
+    weightsWritten += other.weightsWritten;
+    weightsRead += other.weightsRead;
+    bytesWritten += other.bytesWritten;
+    bytesRead += other.bytesRead;
+    loadDedupNodes += other.loadDedupNodes;
+    return *this;
   }
 };
 
@@ -165,6 +239,11 @@ struct PackageStats {
   std::size_t peakNodes = 0;
   WeightTableStats weights;
 
+  /// Worker threads that contributed to this snapshot: 1 for a single
+  /// package, and the sweep's `--jobs` count on the aggregated snapshot a
+  /// parallel ε-sweep reports (eval::runSweep sets it explicitly).
+  std::size_t threads = 1;
+
   /// Named view over the operation caches, for generic emitters.
   [[nodiscard]] std::vector<std::pair<std::string_view, const CacheStats*>> caches() const {
     return {{"vAdd", &vAdd},   {"mAdd", &mAdd},           {"mv", &mv},
@@ -182,6 +261,41 @@ struct PackageStats {
       total += cache->lookups();
     }
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  /// Merge another package's counter block into this one: event counters
+  /// sum, gauges (live/peak nodes, table fills, weight-table view) take the
+  /// maximum, `threads` takes the max of the two views (callers aggregating
+  /// a parallel sweep overwrite it with the actual worker count).  This is
+  /// how per-worker packages of a parallel ε-sweep fold into the one
+  /// aggregated snapshot the report emitters print.
+  PackageStats& operator+=(const PackageStats& other) {
+    vAdd += other.vAdd;
+    mAdd += other.mAdd;
+    mv += other.mv;
+    mm += other.mm;
+    vKron += other.vKron;
+    mKron += other.mKron;
+    transpose += other.transpose;
+    inner += other.inner;
+    trace += other.trace;
+    vUnique += other.vUnique;
+    mUnique += other.mUnique;
+    nodeAllocations += other.nodeAllocations;
+    nodeReuses += other.nodeReuses;
+    gc += other.gc;
+    io += other.io;
+    liveNodes = std::max(liveNodes, other.liveNodes);
+    peakNodes = std::max(peakNodes, other.peakNodes);
+    weights += other.weights;
+    threads = std::max(threads, other.threads);
+    return *this;
+  }
+
+  /// Value-returning flavour of operator+= for expression use.
+  [[nodiscard]] friend PackageStats merge(PackageStats a, const PackageStats& b) {
+    a += b;
+    return a;
   }
 };
 

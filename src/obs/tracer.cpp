@@ -5,6 +5,25 @@
 
 namespace qadd::obs {
 
+namespace {
+
+/// Dense per-thread id for trace events: 1 for the first thread that records
+/// a span (the driver's main thread in practice), then 2, 3, ... in
+/// first-span order.  Chrome-trace viewers sort rows by tid, so sweep
+/// workers line up under the main thread.
+std::uint32_t currentTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Per-thread span nesting depth.  Depth is cosmetic metadata (emitted into
+/// the event args), so sharing the counter across Tracer instances on the
+/// same thread is fine — instances are not traced into concurrently.
+thread_local std::uint32_t tlsDepth = 0;
+
+} // namespace
+
 Tracer& Tracer::global() {
   static Tracer instance;
   return instance;
@@ -13,7 +32,7 @@ Tracer& Tracer::global() {
 Tracer::Span::Span(Tracer* tracer, std::string name, std::string category)
     : tracer_(tracer), name_(std::move(name)), category_(std::move(category)) {
   startUs_ = tracer_->nowUs();
-  depth_ = tracer_->depth_++;
+  depth_ = tlsDepth++;
 }
 
 void Tracer::Span::finish() {
@@ -26,7 +45,8 @@ void Tracer::Span::finish() {
   event.startUs = startUs_;
   event.durationUs = tracer_->nowUs() - startUs_;
   event.depth = depth_;
-  --tracer_->depth_;
+  event.tid = currentTid();
+  --tlsDepth;
   tracer_->record(std::move(event));
   tracer_ = nullptr;
 }
@@ -65,14 +85,15 @@ void writeEscaped(std::ostream& os, const std::string& s) {
 } // namespace
 
 void Tracer::writeJson(std::ostream& os) const {
+  const std::vector<Event> events = eventsSnapshot();
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const Event& event : events_) {
+  for (const Event& event : events) {
     if (!first) {
       os << ",";
     }
     first = false;
-    os << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":";
+    os << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid << ",\"name\":";
     writeEscaped(os, event.name);
     os << ",\"cat\":";
     writeEscaped(os, event.category);

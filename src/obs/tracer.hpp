@@ -7,13 +7,23 @@
 /// The tracer is disabled by default and costs one branch per span request
 /// while disabled; span names are only materialized once a span is actually
 /// recorded.  With QADD_OBS=0 the recording path compiles out entirely.
+///
+/// Thread safety: the span buffer is mutex-guarded and every span records
+/// the id of the thread that opened it (a small dense integer, emitted as
+/// the Chrome-trace "tid" so parallel ε-sweep workers show up as separate
+/// rows in the timeline).  Span nesting depth is tracked per thread.  A Span
+/// must be finished on the thread that opened it; enabling/disabling and
+/// clear()/writeJson() are safe at any time, though a JSON snapshot taken
+/// while workers are still tracing only contains the spans finished so far.
 #pragma once
 
 #include "obs/stats.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,7 +38,8 @@ public:
     std::string category;
     double startUs = 0.0;
     double durationUs = 0.0;
-    std::uint32_t depth = 0; ///< nesting level at the time the span opened
+    std::uint32_t depth = 0; ///< per-thread nesting level when the span opened
+    std::uint32_t tid = 0;   ///< dense id of the recording thread (1 = first seen)
   };
 
   /// RAII scope: records an Event on destruction (inert when default
@@ -72,8 +83,8 @@ public:
   /// Process-wide tracer used by the simulator/package instrumentation.
   [[nodiscard]] static Tracer& global();
 
-  void setEnabled(bool enabled) { enabled_ = enabled && kEnabled; }
-  [[nodiscard]] bool enabled() const { return kEnabled && enabled_; }
+  void setEnabled(bool enabled) { enabled_.store(enabled && kEnabled, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return kEnabled && enabled_.load(std::memory_order_relaxed); }
 
   /// Open a span; inert (zero-allocation) when the tracer is disabled.
   [[nodiscard]] Span span(std::string_view name, std::string_view category = "dd") {
@@ -84,10 +95,16 @@ public:
   }
 
   void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
-    depth_ = 0;
   }
+  /// Completed spans so far.  The reference is only stable while no other
+  /// thread is recording; prefer eventsSnapshot() if workers may be live.
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::vector<Event> eventsSnapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
 
   /// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...},...]}.
   void writeJson(std::ostream& os) const;
@@ -100,11 +117,14 @@ private:
   [[nodiscard]] double nowUs() const {
     return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
   }
-  void record(Event event) { events_.push_back(std::move(event)); }
+  void record(Event event) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+  }
 
   Clock::time_point epoch_;
-  bool enabled_ = false;
-  std::uint32_t depth_ = 0;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
   std::vector<Event> events_;
 };
 
