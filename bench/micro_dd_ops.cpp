@@ -18,6 +18,7 @@
 #include "eval/reference_cache.hpp"
 #include "eval/report.hpp"
 #include "io/snapshot.hpp"
+#include "obs/timeline.hpp"
 #include "qc/simulator.hpp"
 
 #include <benchmark/benchmark.h>
@@ -28,6 +29,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 
 namespace {
 
@@ -374,16 +376,82 @@ void writeBenchIo(const char* path) {
   std::cout << "snapshot timings written to " << path << "\n";
 }
 
+/// Per-gate timeline-sampling overhead: the ratio of the sampler's direct
+/// per-sample cost (building a Kind::Gate sample, reading every package
+/// gauge, and recording it into the global ring — the exact per-gate path
+/// the simulator runs) to the workload's per-gate simulation cost.  Both
+/// sides are min-of-five of long timed loops, so the ratio is stable on
+/// noisy shared machines where differencing two nearly-equal whole-run wall
+/// times (sampler off vs on) swings by several percent between invocations.
+/// The reported `overhead` ratio is the number the <= 3% sampler-cost budget
+/// is checked against; `samples` is the (deterministic) gate count of one
+/// instrumented run.
+void writeTimelineOverheadEntry(std::ostream& os) {
+  algos::GroverOptions options;
+  options.nqubits = 10;
+  options.marked = (std::uint64_t{1} << 10) - 2;
+  const qc::Circuit circuit = algos::grover(options);
+  const std::size_t gates = circuit.size();
+  constexpr int kRounds = 5;
+
+  // Per-gate simulation cost with the sampler off.
+  auto& timeline = obs::Timeline::global();
+  timeline.setEnabled(false);
+  double gateSeconds = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kRounds; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    qc::Simulator<dd::NumericSystem> simulator(circuit, defaultConfig<dd::NumericSystem>());
+    simulator.run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    gateSeconds = std::min(gateSeconds, seconds / static_cast<double>(gates));
+  }
+
+  // Per-sample cost against the finished run's package (live gauges, full
+  // ring including wrap-around drops).
+  qc::Simulator<dd::NumericSystem> simulator(circuit, defaultConfig<dd::NumericSystem>());
+  simulator.run();
+  const auto& package = simulator.package();
+  timeline.setEnabled(true);
+  constexpr int kSamplesPerRound = 200000;
+  double sampleSeconds = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kRounds; ++round) {
+    timeline.clear();
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSamplesPerRound; ++i) {
+      obs::Timeline::Sample sample;
+      sample.kind = obs::Timeline::Kind::Gate;
+      sample.gateIndex = static_cast<std::size_t>(i);
+      obs::Timeline::fillSeriesContext(sample);
+      package.sampleTimeline(sample);
+      timeline.record(std::move(sample));
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    sampleSeconds = std::min(sampleSeconds, seconds / kSamplesPerRound);
+  }
+  timeline.setEnabled(false);
+  timeline.clear();
+
+  os << "\"timelineOverhead\":{\"workload\":\"grover10 numeric\",\"perSampleSeconds\":"
+     << sampleSeconds << ",\"perGateSeconds\":" << gateSeconds
+     << ",\"overhead\":" << (gateSeconds > 0.0 ? sampleSeconds / gateSeconds : 0.0)
+     << ",\"samples\":" << gates << "}";
+}
+
 void writeBenchObsSnapshot(const char* path) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "could not write " << path << "\n";
     return;
   }
+  os << std::setprecision(6);
   os << "{\"obsEnabled\":" << (obs::kEnabled ? "true" : "false") << ",";
   writeSnapshotEntry<dd::NumericSystem>(os, "numeric");
   os << ",";
   writeSnapshotEntry<dd::AlgebraicSystem>(os, "algebraic");
+  os << ",";
+  writeTimelineOverheadEntry(os);
   os << "}\n";
   std::cout << "telemetry baseline written to " << path << "\n";
 }

@@ -90,6 +90,12 @@ public:
   [[nodiscard]] bool memoizationOrderDependent() const { return false; }
 
   [[nodiscard]] std::size_t distinctValues() const { return entries_.size(); }
+  /// O(1) view of the process-wide word-kernel fast-path tallies (see
+  /// collectObs), cheap enough for per-gate timeline sampling.
+  [[nodiscard]] std::uint64_t smallPathHits() const { return alg::detail::smallPathStats().hits; }
+  [[nodiscard]] std::uint64_t smallPathSpills() const {
+    return alg::detail::smallPathStats().spills;
+  }
   /// Largest coefficient/denominator bit width ever interned — the cost
   /// driver the paper identifies for the GSE blow-up (Section V-B).
   [[nodiscard]] std::size_t maxBits() const { return maxBits_; }

@@ -67,11 +67,15 @@ public:
   [[nodiscard]] std::size_t allocatedTotal() const { return bumpAllocated_; }
   /// Number of chunks backing the arena.
   [[nodiscard]] std::size_t chunkCount() const { return chunks_.size(); }
+  /// Total arena capacity in bytes (all chunks, used or not) — the memory
+  /// footprint gauge of the timeline sampler.
+  [[nodiscard]] std::size_t arenaBytes() const { return capacityTotal_ * sizeof(NodeT); }
 
 private:
   void grow() {
     chunks_.push_back(std::make_unique<NodeT[]>(nextChunkSize_));
     chunkCapacity_ = nextChunkSize_;
+    capacityTotal_ += nextChunkSize_;
     chunkUsed_ = 0;
     nextChunkSize_ = nextChunkSize_ * kGrowthNumerator / kGrowthDenominator;
   }
@@ -79,6 +83,7 @@ private:
   std::vector<std::unique_ptr<NodeT[]>> chunks_;
   std::size_t chunkUsed_ = 0;     ///< bump index into the current chunk
   std::size_t chunkCapacity_ = 0; ///< size of the current chunk
+  std::size_t capacityTotal_ = 0; ///< summed size of all chunks
   std::size_t nextChunkSize_;
   NodeT* freeList_ = nullptr;
   std::size_t freeCount_ = 0;

@@ -153,6 +153,10 @@ public:
   [[nodiscard]] bool memoizationOrderDependent() const { return !table_.exactMode(); }
 
   [[nodiscard]] std::size_t distinctValues() const { return table_.size(); }
+  /// Interface parity with AlgebraicSystem for the timeline sampler: the
+  /// numeric table never touches the algebraic word kernels.
+  [[nodiscard]] std::uint64_t smallPathHits() const { return 0; }
+  [[nodiscard]] std::uint64_t smallPathSpills() const { return 0; }
   /// Bit width of the representation (fixed for floats); interface parity
   /// with AlgebraicSystem.
   [[nodiscard]] std::size_t maxBits() const { return sizeof(FloatT) * 8; }

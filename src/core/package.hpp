@@ -35,6 +35,7 @@
 #include "core/memory_manager.hpp"
 #include "core/unique_table.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
 #include <array>
@@ -229,6 +230,8 @@ public:
   /// Number of live (allocated, not freed) nodes across both node types.
   [[nodiscard]] std::size_t allocatedNodes() const { return vMem_.inUse() + mMem_.inUse(); }
   [[nodiscard]] std::size_t peakNodes() const { return peakNodes_; }
+  /// Node-arena capacity in bytes across both pools (O(1)).
+  [[nodiscard]] std::size_t arenaBytes() const { return vMem_.arenaBytes() + mMem_.arenaBytes(); }
 
   // -- telemetry ----------------------------------------------------------------
 
@@ -244,12 +247,32 @@ public:
     obs::PackageStats snapshot = stats_;
     snapshot.liveNodes = allocatedNodes();
     snapshot.peakNodes = peakNodes_;
+    snapshot.arenaBytes = arenaBytes();
     snapshot.vUnique.entries = vUnique_.size();
     snapshot.vUnique.buckets = vUnique_.bucketCount();
     snapshot.mUnique.entries = mUnique_.size();
     snapshot.mUnique.buckets = mUnique_.bucketCount();
     system_.collectObs(snapshot.weights);
     return snapshot;
+  }
+
+  /// Fill the gauge fields of a timeline sample from this package — every
+  /// read is O(1) (no DD traversals, no histogram walks), so this is cheap
+  /// enough to run after every gate.  The caller sets the context fields
+  /// (series, kind, gateIndex, epsilon); record() stamps tid and seconds.
+  void sampleTimeline(obs::Timeline::Sample& sample) const {
+    sample.liveNodes = allocatedNodes();
+    sample.peakNodes = peakNodes_;
+    sample.arenaBytes = arenaBytes();
+    sample.uniqueEntries = vUnique_.size() + mUnique_.size();
+    sample.uniqueBuckets = vUnique_.bucketCount() + mUnique_.bucketCount();
+    sample.uniqueCollisions =
+        stats_.vUnique.collisions.value() + stats_.mUnique.collisions.value();
+    sample.cacheHitRate = stats_.combinedCacheHitRate();
+    sample.gcRuns = gcRuns_;
+    sample.smallPathHits = system_.smallPathHits();
+    sample.smallPathSpills = system_.smallPathSpills();
+    sample.weightEntries = system_.distinctValues();
   }
 
   /// Zero all counters (gauges are derived, so they are unaffected).

@@ -30,7 +30,18 @@ void printUsage(std::ostream& os, const DriverSpec& spec) {
         "  --stats                print the telemetry counter tables (per\n"
         "                         series + aggregated across workers)\n"
         "  --trace-json <path>    write Chrome-trace span JSON (workers show\n"
-        "                         up as separate tid rows)\n"
+        "                         up as separate tid rows; flushed\n"
+        "                         incrementally, so crashes keep a partial\n"
+        "                         trace)\n"
+        "  --timeline <base>      sample the package gauges per gate and per\n"
+        "                         sweep point; writes <base>.json and\n"
+        "                         <base>.csv (tid column matches --trace-json)\n"
+        "  --profile-final        print the per-level structural profile of\n"
+        "                         each series' final state DD\n"
+        "  --obs-deterministic    zero the wall-clock-derived output columns\n"
+        "                         (CSV seconds/cachehitrate, gc seconds,\n"
+        "                         timeline seconds) for byte-stable output;\n"
+        "                         QADD_OBS_DETERMINISTIC=1 does the same\n"
         "  --checkpoint-every K   write a QCKP checkpoint every K gates\n"
         "  --checkpoint-prefix P  checkpoint path prefix (default\n"
         "                         \"checkpoint_g\"; numeric point k writes\n"

@@ -1,5 +1,8 @@
 #include "eval/report.hpp"
 
+#include "obs/deterministic.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
 #include <algorithm>
@@ -32,13 +35,18 @@ double component(const TracePoint& point, Series series) {
 } // namespace
 
 void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces) {
+  // In deterministic-output mode the wall-clock column and the cache-hit-rate
+  // column (sensitive to pointer-hash layout) are written as 0, so two runs
+  // produce byte-identical CSVs.
+  const bool deterministic = obs::deterministic();
   os << "series,gate,nodes,seconds,error,maxbits,peaknodes,cachehitrate,tablefill\n";
   os << std::setprecision(12);
   for (const SimulationTrace& trace : traces) {
     for (const TracePoint& point : trace.points) {
-      os << trace.label << "," << point.gateIndex << "," << point.nodes << "," << point.seconds
-         << "," << point.error << "," << point.maxBits << "," << point.peakNodes << ","
-         << point.cacheHitRate << "," << point.tableFill << "\n";
+      os << trace.label << "," << point.gateIndex << "," << point.nodes << ","
+         << (deterministic ? 0.0 : point.seconds) << "," << point.error << "," << point.maxBits
+         << "," << point.peakNodes << "," << (deterministic ? 0.0 : point.cacheHitRate) << ","
+         << point.tableFill << "\n";
     }
   }
 }
@@ -164,9 +172,10 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
   uniqueRow("mUnique", stats.mUnique);
   os << "nodes       " << stats.nodeAllocations.value() << " allocated, "
      << stats.nodeReuses.value() << " reused, " << stats.liveNodes << " live, " << stats.peakNodes
-     << " peak\n";
+     << " peak, " << stats.arenaBytes << " arena B\n";
   os << "gc          " << stats.gc.runs.value() << " runs, " << stats.gc.nodesSwept.value()
-     << " nodes swept, " << std::setprecision(3) << stats.gc.seconds << " s\n";
+     << " nodes swept, " << std::setprecision(3)
+     << (obs::deterministic() ? 0.0 : stats.gc.seconds) << " s\n";
   os << "threads     " << stats.threads << "\n";
   os << "weights     " << stats.weights.entries << " distinct";
   if (stats.weights.nearMissUnifications > 0) {
@@ -239,10 +248,10 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
   uniqueJson("matrix", stats.mUnique);
   os << "},\"nodes\":{\"allocations\":" << stats.nodeAllocations.value()
      << ",\"reuses\":" << stats.nodeReuses.value() << ",\"live\":" << stats.liveNodes
-     << ",\"peak\":" << stats.peakNodes << "}";
+     << ",\"peak\":" << stats.peakNodes << ",\"arenaBytes\":" << stats.arenaBytes << "}";
   os << ",\"gc\":{\"runs\":" << stats.gc.runs.value()
-     << ",\"nodesSwept\":" << stats.gc.nodesSwept.value() << ",\"seconds\":" << stats.gc.seconds
-     << "}";
+     << ",\"nodesSwept\":" << stats.gc.nodesSwept.value()
+     << ",\"seconds\":" << (obs::deterministic() ? 0.0 : stats.gc.seconds) << "}";
   os << ",\"threads\":" << stats.threads;
   os << ",\"weights\":{\"system\":\"" << stats.weights.system
      << "\",\"entries\":" << stats.weights.entries
@@ -288,9 +297,11 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   os << "nodes.reuses," << stats.nodeReuses.value() << "\n";
   os << "nodes.live," << stats.liveNodes << "\n";
   os << "nodes.peak," << stats.peakNodes << "\n";
+  os << "nodes.arenaBytes," << stats.arenaBytes << "\n";
   os << "gc.runs," << stats.gc.runs.value() << "\n";
   os << "gc.nodesSwept," << stats.gc.nodesSwept.value() << "\n";
-  os << "gc.seconds," << std::setprecision(12) << stats.gc.seconds << "\n";
+  os << "gc.seconds," << std::setprecision(12)
+     << (obs::deterministic() ? 0.0 : stats.gc.seconds) << "\n";
   os << "threads," << stats.threads << "\n";
   os << "weights.entries," << stats.weights.entries << "\n";
   os << "weights.nearMissUnifications," << stats.weights.nearMissUnifications << "\n";
@@ -325,6 +336,12 @@ ObsCliOptions parseObsCli(int& argc, char** argv) {
       options.stats = true;
     } else if (std::strcmp(argv[i], "--trace-json") == 0) {
       options.traceJsonPath = flagValue(i, "--trace-json");
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      options.timelinePath = flagValue(i, "--timeline");
+    } else if (std::strcmp(argv[i], "--profile-final") == 0) {
+      options.profileFinal = true;
+    } else if (std::strcmp(argv[i], "--obs-deterministic") == 0) {
+      obs::setDeterministic(true);
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
       options.checkpointEvery =
           static_cast<std::size_t>(std::strtoull(flagValue(i, "--checkpoint-every"), nullptr, 10));
@@ -339,6 +356,12 @@ ObsCliOptions parseObsCli(int& argc, char** argv) {
   argc = out;
   if (!options.traceJsonPath.empty()) {
     obs::Tracer::global().setEnabled(true);
+    // Flush periodically (and at exit), so a crashed run keeps a partial
+    // trace instead of losing everything.
+    obs::Tracer::global().setAutoFlush(options.traceJsonPath);
+  }
+  if (!options.timelinePath.empty()) {
+    obs::Timeline::global().setEnabled(true);
   }
   return options;
 }
@@ -362,6 +385,28 @@ void finishObsCli(const ObsCliOptions& options, std::ostream& os,
       os << "\n== telemetry: aggregate (" << traces.size() << " series, " << aggregated->threads
          << (aggregated->threads == 1 ? " worker) ==\n" : " workers) ==\n");
       printStatsTable(os, *aggregated);
+    }
+  }
+  if (options.profileFinal) {
+    for (const SimulationTrace& trace : traces) {
+      if (trace.finalStateSnapshot.empty()) {
+        continue;
+      }
+      os << "\n== final-state profile: " << trace.label << " ==\n";
+      obs::printProfileTable(os, obs::profileSnapshot(trace.finalStateSnapshot));
+    }
+  }
+  if (!options.timelinePath.empty()) {
+    const std::string jsonPath = options.timelinePath + ".json";
+    const std::string csvPath = options.timelinePath + ".csv";
+    const bool jsonOk = obs::Timeline::global().writeJson(jsonPath);
+    const bool csvOk = obs::Timeline::global().writeCsv(csvPath);
+    if (jsonOk && csvOk) {
+      os << "\ntimeline written to " << jsonPath << " and " << csvPath << " ("
+         << obs::Timeline::global().size() << " samples, " << obs::Timeline::global().dropped()
+         << " dropped)\n";
+    } else {
+      os << "\nERROR: could not write timeline to " << options.timelinePath << ".{json,csv}\n";
     }
   }
   if (!options.traceJsonPath.empty()) {

@@ -49,7 +49,15 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats);
 /// Telemetry and snapshot flags shared by the bench drivers and examples:
 ///   --stats                print the per-series counter tables after the run
 ///   --trace-json <path>    enable the global span tracer and write Chrome
-///                          trace JSON to <path> at the end
+///                          trace JSON to <path> at the end (flushed
+///                          incrementally, so a crash keeps a partial trace)
+///   --timeline <base>      enable the global timeline sampler and write
+///                          <base>.json + <base>.csv at the end of the run
+///   --profile-final        capture each series' final state and print its
+///                          per-level structural profile (obs::profileDd)
+///   --obs-deterministic    zero the wall-clock-derived columns of every
+///                          emitter (CSV seconds/cachehitrate, gc.seconds,
+///                          timeline seconds) for byte-comparable output
 ///   --checkpoint-every K   write a QCKP simulator checkpoint every K gates
 ///   --checkpoint-prefix P  checkpoint path prefix (default "checkpoint_g";
 ///                          files are <P><gateIndex>.qckp)
@@ -58,14 +66,20 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats);
 struct ObsCliOptions {
   bool stats = false;
   std::string traceJsonPath;
+  std::string timelinePath; ///< base path; empty = timeline sampler off
+  bool profileFinal = false;
   std::size_t checkpointEvery = 0;
   std::string checkpointPrefix = "checkpoint_g";
   bool refreshReference = false;
 
-  /// Copy the checkpoint flags onto trace options.
+  /// Copy the checkpoint flags onto trace options; --profile-final needs the
+  /// final-state snapshot captured.
   void applyTo(TraceOptions& options) const {
     options.checkpointEvery = checkpointEvery;
     options.checkpointPathPrefix = checkpointPrefix;
+    if (profileFinal) {
+      options.captureFinalState = true;
+    }
   }
 };
 

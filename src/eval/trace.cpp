@@ -2,6 +2,7 @@
 
 #include "eval/accuracy.hpp"
 #include "io/snapshot.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 #include "qc/simulator.hpp"
 
@@ -37,6 +38,23 @@ void finishTrace(SimulationTrace& trace, const Simulator& simulator) {
   }
 }
 
+/// End-of-run timeline sample of one series (Kind::Point): taken right next
+/// to the finalStats snapshot, so its gauges match the --stats counters of
+/// the run exactly.
+template <class Simulator>
+void recordTimelinePoint(const SimulationTrace& trace, const Simulator& simulator,
+                         double epsilon) {
+  if (auto& timeline = obs::Timeline::global(); timeline.enabled()) {
+    obs::Timeline::Sample sample;
+    sample.kind = obs::Timeline::Kind::Point;
+    sample.series = trace.label;
+    sample.epsilon = epsilon;
+    sample.gateIndex = simulator.gateIndex();
+    simulator.package().sampleTimeline(sample);
+    timeline.record(std::move(sample));
+  }
+}
+
 } // namespace
 
 SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& options,
@@ -46,6 +64,9 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
   SimulationTrace trace;
   trace.label = simulator.package().system().describe();
   const auto traceSpan = obs::Tracer::global().span("traceAlgebraic", "eval");
+  // Per-gate timeline samples recorded by the simulator carry this series'
+  // label (ε = 0: exact) while the context is open.
+  const obs::Timeline::ScopedSeries timelineSeries(trace.label, 0.0);
   if (reference != nullptr) {
     reference->sampleEvery = options.sampleEvery;
     reference->samples.clear();
@@ -91,6 +112,7 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
     trace.finalStateSnapshot = io::saveVector(simulator.package(), simulator.state());
   }
   finishTrace(trace, simulator);
+  recordTimelinePoint(trace, simulator, 0.0);
   return trace;
 }
 
@@ -111,6 +133,7 @@ SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
     trace.label = label.str();
   }
   const auto traceSpan = obs::Tracer::global().span("traceNumeric", "eval");
+  const obs::Timeline::ScopedSeries timelineSeries(trace.label, epsilon);
   const bool amplitudesFeasible = circuit.qubits() <= options.maxQubitsForAmplitudes;
   std::size_t sampleOrdinal = 0;
 
@@ -158,6 +181,7 @@ SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
     trace.finalStateSnapshot = io::saveVector(simulator.package(), simulator.state());
   }
   finishTrace(trace, simulator);
+  recordTimelinePoint(trace, simulator, epsilon);
   return trace;
 }
 

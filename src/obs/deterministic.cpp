@@ -1,0 +1,28 @@
+#include "obs/deterministic.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qadd::obs {
+
+namespace {
+
+/// -1 = not yet resolved from the environment; 0/1 = off/on.
+std::atomic<int> gDeterministic{-1};
+
+} // namespace
+
+bool deterministic() {
+  int state = gDeterministic.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("QADD_OBS_DETERMINISTIC");
+    state = (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) ? 1 : 0;
+    gDeterministic.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void setDeterministic(bool on) { gDeterministic.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+} // namespace qadd::obs

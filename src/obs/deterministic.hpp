@@ -1,0 +1,26 @@
+/// \file deterministic.hpp
+/// Process-wide deterministic-output mode for the telemetry emitters
+/// (qadd::obs).  Structural series (node counts, bytes, table fills) are
+/// run-deterministic, but wall-clock columns (seconds) and address-sensitive
+/// ones (computed-table hit rates, which depend on pointer hashes under
+/// ASLR) wobble between runs, which used to force the byte-comparison tests
+/// to mask CSV columns.  With deterministic mode on, every emitter zeroes
+/// exactly those columns, so two runs of the same workload produce
+/// byte-identical CSV/JSON output.
+///
+/// The mode is read once from the QADD_OBS_DETERMINISTIC environment
+/// variable (any value except "" and "0" enables it) and can be overridden
+/// programmatically — the drivers map --obs-deterministic onto
+/// setDeterministic(true).  It is independent of the QADD_OBS compile switch:
+/// the wall-clock columns exist even with the counters compiled out.
+#pragma once
+
+namespace qadd::obs {
+
+/// True iff deterministic-output mode is active (env or setDeterministic).
+[[nodiscard]] bool deterministic();
+
+/// Force the mode on or off, overriding the environment.
+void setDeterministic(bool on);
+
+} // namespace qadd::obs

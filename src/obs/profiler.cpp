@@ -1,0 +1,135 @@
+#include "obs/profiler.hpp"
+
+#include "core/algebraic_system.hpp"
+#include "core/export.hpp"
+#include "core/numeric_system.hpp"
+#include "io/snapshot.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace qadd::obs {
+
+namespace {
+
+/// Run `action(package, info)` on a fresh package matching the snapshot's
+/// system meta — the same dispatch qadd_snapshot uses.
+template <class Action> auto withMatchingPackage(std::span<const std::uint8_t> bytes, Action&& action) {
+  const io::SnapshotInfo info = io::readInfo(bytes);
+  if (info.system == io::SystemTag::Algebraic) {
+    dd::AlgebraicSystem::Config config;
+    config.normalization = static_cast<dd::AlgebraicSystem::Normalization>(info.normalization);
+    dd::Package<dd::AlgebraicSystem> package(info.qubits, config);
+    return action(package, info);
+  }
+  if (info.floatDigits == std::numeric_limits<double>::digits) {
+    dd::NumericSystem::Config config;
+    config.epsilon = info.epsilon;
+    config.normalization = static_cast<dd::NumericSystem::Normalization>(info.normalization);
+    dd::Package<dd::NumericSystem> package(info.qubits, config);
+    return action(package, info);
+  }
+  if (info.floatDigits == std::numeric_limits<long double>::digits) {
+    dd::ExtendedNumericSystem::Config config;
+    config.epsilon = info.epsilon;
+    config.normalization =
+        static_cast<dd::ExtendedNumericSystem::Normalization>(info.normalization);
+    dd::Package<dd::ExtendedNumericSystem> package(info.qubits, config);
+    return action(package, info);
+  }
+  throw io::SnapshotError("profiler: unsupported float precision (" +
+                          std::to_string(static_cast<int>(info.floatDigits)) +
+                          " mantissa bits) on this platform");
+}
+
+} // namespace
+
+DdProfile profileSnapshot(std::span<const std::uint8_t> bytes) {
+  return withMatchingPackage(bytes, [&](auto& package, const io::SnapshotInfo& info) {
+    if (info.kind == io::DdKind::Vector) {
+      return profileDd(package, io::loadVector(package, bytes));
+    }
+    return profileDd(package, io::loadMatrix(package, bytes));
+  });
+}
+
+DdProfile profileSnapshotFile(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = io::readBytesFile(path);
+  return profileSnapshot(bytes);
+}
+
+std::string snapshotToDot(std::span<const std::uint8_t> bytes) {
+  return withMatchingPackage(bytes, [&](auto& package, const io::SnapshotInfo& info) {
+    if (info.kind == io::DdKind::Vector) {
+      return dd::toDot(package, io::loadVector(package, bytes));
+    }
+    return dd::toDot(package, io::loadMatrix(package, bytes));
+  });
+}
+
+namespace {
+
+void writeHistogram(std::ostream& os, const std::vector<std::uint64_t>& histogram) {
+  os << "[";
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    os << (i == 0 ? "" : ",") << histogram[i];
+  }
+  os << "]";
+}
+
+} // namespace
+
+void writeProfileJson(std::ostream& os, const DdProfile& profile) {
+  os << std::setprecision(12);
+  os << "{\"system\":\"" << profile.system << "\",\"kind\":\"" << profile.kind
+     << "\",\"qubits\":" << profile.qubits << ",\"totalNodes\":" << profile.totalNodes
+     << ",\"totalEdges\":" << profile.totalEdges
+     << ",\"distinctEdgeWeights\":" << profile.distinctEdgeWeights
+     << ",\"weightHistogramKind\":\"" << profile.weightHistogramKind << "\",\"levels\":[";
+  for (std::size_t k = 0; k < profile.levels.size(); ++k) {
+    const LevelProfile& level = profile.levels[k];
+    os << (k == 0 ? "" : ",") << "\n{\"level\":" << k << ",\"nodes\":" << level.nodes
+       << ",\"edges\":" << level.edges << ",\"edgesToTerminal\":" << level.edgesToTerminal
+       << ",\"zeroEdges\":" << level.zeroEdges << ",\"incomingEdges\":" << level.incomingEdges
+       << ",\"fanOut\":" << level.fanOut() << ",\"sharing\":" << level.sharing()
+       << ",\"weightHistogram\":";
+    writeHistogram(os, level.weightHistogram);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void printProfileTable(std::ostream& os, const DdProfile& profile) {
+  os << "-- DD profile: " << profile.kind << ", " << profile.qubits << " qubits ["
+     << profile.system << "] --\n";
+  os << profile.totalNodes << " nodes, " << profile.totalEdges << " edges, "
+     << profile.distinctEdgeWeights << " distinct edge weights\n";
+  os << std::left << std::setw(7) << "level" << std::right << std::setw(8) << "nodes"
+     << std::setw(8) << "edges" << std::setw(8) << "->term" << std::setw(8) << "zero"
+     << std::setw(9) << "fan-out" << std::setw(9) << "sharing" << "  "
+     << (profile.weightHistogramKind == "bits" ? "weight bits" : "weight magnitude bands")
+     << "\n";
+  for (std::size_t k = 0; k < profile.levels.size(); ++k) {
+    const LevelProfile& level = profile.levels[k];
+    os << std::left << std::setw(7) << k << std::right << std::setw(8) << level.nodes
+       << std::setw(8) << level.edges << std::setw(8) << level.edgesToTerminal << std::setw(8)
+       << level.zeroEdges << std::setw(9) << std::fixed << std::setprecision(2) << level.fanOut()
+       << std::setw(9) << level.sharing() << "  ";
+    os.unsetf(std::ios::floatfield);
+    bool any = false;
+    for (std::size_t b = 0; b < level.weightHistogram.size(); ++b) {
+      if (level.weightHistogram[b] != 0) {
+        os << (profile.weightHistogramKind == "bits" ? "" : "2^-") << b << ":"
+           << level.weightHistogram[b] << (profile.weightHistogramKind == "bits" ? "b " : " ");
+        any = true;
+      }
+    }
+    if (!any) {
+      os << "-";
+    }
+    os << "\n";
+  }
+}
+
+} // namespace qadd::obs

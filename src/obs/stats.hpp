@@ -237,6 +237,7 @@ struct PackageStats {
   // Gauges (snapshot time).
   std::size_t liveNodes = 0;
   std::size_t peakNodes = 0;
+  std::size_t arenaBytes = 0; ///< node-arena capacity (both pools) in bytes
   WeightTableStats weights;
 
   /// Worker threads that contributed to this snapshot: 1 for a single
@@ -287,6 +288,7 @@ struct PackageStats {
     io += other.io;
     liveNodes = std::max(liveNodes, other.liveNodes);
     peakNodes = std::max(peakNodes, other.peakNodes);
+    arenaBytes = std::max(arenaBytes, other.arenaBytes);
     weights += other.weights;
     threads = std::max(threads, other.threads);
     return *this;

@@ -1,21 +1,15 @@
 #include "obs/tracer.hpp"
 
+#include "obs/timeline.hpp" // currentThreadId — the shared dense tid
+
+#include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 
 namespace qadd::obs {
 
 namespace {
-
-/// Dense per-thread id for trace events: 1 for the first thread that records
-/// a span (the driver's main thread in practice), then 2, 3, ... in
-/// first-span order.  Chrome-trace viewers sort rows by tid, so sweep
-/// workers line up under the main thread.
-std::uint32_t currentTid() {
-  static std::atomic<std::uint32_t> next{1};
-  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
-  return tid;
-}
 
 /// Per-thread span nesting depth.  Depth is cosmetic metadata (emitted into
 /// the event args), so sharing the counter across Tracer instances on the
@@ -27,6 +21,39 @@ thread_local std::uint32_t tlsDepth = 0;
 Tracer& Tracer::global() {
   static Tracer instance;
   return instance;
+}
+
+Tracer::~Tracer() {
+  // Flush on destruction so stack-local tracers keep their spans through
+  // exception unwind (the global tracer additionally flushes via atexit).
+  flushNow();
+}
+
+void Tracer::setAutoFlush(const std::string& path, std::size_t everyEvents) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    autoFlushPath_ = path;
+    autoFlushEvery_ = everyEvents == 0 ? 1 : everyEvents;
+  }
+  if (this == &global()) {
+    // atexit does not run on _exit/abort — the periodic flush in record()
+    // covers those — but it does cover exit() and returning from main before
+    // the driver's own writeJson call.
+    static std::once_flag registered;
+    std::call_once(registered, [] { std::atexit([] { Tracer::global().flushNow(); }); });
+  }
+}
+
+bool Tracer::flushNow() const {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path = autoFlushPath_;
+  }
+  if (path.empty()) {
+    return false;
+  }
+  return writeJson(path);
 }
 
 Tracer::Span::Span(Tracer* tracer, std::string name, std::string category)
@@ -45,7 +72,7 @@ void Tracer::Span::finish() {
   event.startUs = startUs_;
   event.durationUs = tracer_->nowUs() - startUs_;
   event.depth = depth_;
-  event.tid = currentTid();
+  event.tid = currentThreadId();
   --tlsDepth;
   tracer_->record(std::move(event));
   tracer_ = nullptr;

@@ -79,9 +79,22 @@ public:
   };
 
   Tracer() : epoch_(Clock::now()) {}
+  /// Flushes (see setAutoFlush) so spans survive exception unwind.
+  ~Tracer();
 
   /// Process-wide tracer used by the simulator/package instrumentation.
   [[nodiscard]] static Tracer& global();
+
+  /// Crash resilience: rewrite the trace JSON to `path` every `everyEvents`
+  /// recorded spans, on destruction, and — for the global tracer — at normal
+  /// process exit (std::atexit).  The periodic rewrite is what saves partial
+  /// traces on abnormal exits (_exit, abort, signals), where no handler
+  /// runs; the drivers enable it with the --trace-json path so a crashed run
+  /// still leaves the spans recorded so far on disk.
+  void setAutoFlush(const std::string& path, std::size_t everyEvents = 64);
+  /// Write the trace to the auto-flush path now; false if no path is set or
+  /// the write failed.
+  bool flushNow() const;
 
   void setEnabled(bool enabled) { enabled_.store(enabled && kEnabled, std::memory_order_relaxed); }
   [[nodiscard]] bool enabled() const { return kEnabled && enabled_.load(std::memory_order_relaxed); }
@@ -118,14 +131,23 @@ private:
     return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
   }
   void record(Event event) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back(std::move(event));
+    bool flushDue = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      events_.push_back(std::move(event));
+      flushDue = autoFlushEvery_ != 0 && events_.size() % autoFlushEvery_ == 0;
+    }
+    if (flushDue) {
+      flushNow();
+    }
   }
 
   Clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<Event> events_;
+  std::string autoFlushPath_;
+  std::size_t autoFlushEvery_ = 0; ///< 0 = auto-flush off
 };
 
 } // namespace qadd::obs

@@ -11,6 +11,7 @@
 #include "core/package.hpp"
 #include "io/checkpoint.hpp"
 #include "io/snapshot.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 #include "qc/circuit.hpp"
 #include "qc/gates.hpp"
@@ -128,6 +129,14 @@ public:
     ++next_;
     if (package_->gcRuns() != gcRunsBefore) {
       gcEvents_.push_back({next_, package_->lastGcReport()});
+    }
+    if (auto& timeline = obs::Timeline::global(); timeline.enabled()) {
+      obs::Timeline::Sample sample;
+      sample.kind = obs::Timeline::Kind::Gate;
+      sample.gateIndex = next_;
+      obs::Timeline::fillSeriesContext(sample);
+      package_->sampleTimeline(sample);
+      timeline.record(std::move(sample));
     }
     return true;
   }

@@ -9,6 +9,7 @@
 #include "eval/report.hpp"
 #include "eval/sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/deterministic.hpp"
 #include "obs/stats.hpp"
 #include "obs/tracer.hpp"
 
@@ -191,6 +192,79 @@ TEST(StatsMerge, SmallPathSnapshotsTakeMaxNotSum) {
   EXPECT_EQ(a.weights.smallPathHits, 250U);
 }
 
+TEST(StatsMerge, MismatchedHistogramSizesResizeEitherDirection) {
+  // Shorter += longer grows the destination; longer += shorter leaves the
+  // tail untouched.  Both directions must add element-wise, never truncate.
+  obs::PackageStats shorter;
+  shorter.weights.bitWidthHistogram = {5, 5};
+  obs::PackageStats longer;
+  longer.weights.bitWidthHistogram = {1, 1, 1, 1, 1};
+  shorter += longer;
+  EXPECT_EQ(shorter.weights.bitWidthHistogram, (std::vector<std::uint64_t>{6, 6, 1, 1, 1}));
+
+  obs::PackageStats wide;
+  wide.weights.bucketOccupancy = {2, 2, 2, 2};
+  obs::PackageStats narrow;
+  narrow.weights.bucketOccupancy = {3};
+  wide += narrow;
+  EXPECT_EQ(wide.weights.bucketOccupancy, (std::vector<std::uint64_t>{5, 2, 2, 2}));
+
+  // Empty rhs histogram: nothing changes.
+  obs::PackageStats untouched;
+  untouched.weights.bitWidthHistogram = {9};
+  untouched += obs::PackageStats{};
+  EXPECT_EQ(untouched.weights.bitWidthHistogram, (std::vector<std::uint64_t>{9}));
+}
+
+TEST(StatsMerge, GaugeMaxAgainstEmptyRhsKeepsValues) {
+  // Merging a default-constructed (all-zero) snapshot must be an identity on
+  // the gauges — max semantics, not overwrite-with-last.
+  obs::PackageStats stats;
+  stats.liveNodes = 12;
+  stats.peakNodes = 34;
+  stats.arenaBytes = 4096;
+  stats.vUnique.entries = 5;
+  stats.vUnique.buckets = 64;
+  stats.weights.entries = 8;
+  stats.weights.smallPathHits = 77;
+  stats.threads = 3;
+  stats += obs::PackageStats{};
+  EXPECT_EQ(stats.liveNodes, 12U);
+  EXPECT_EQ(stats.peakNodes, 34U);
+  EXPECT_EQ(stats.arenaBytes, 4096U);
+  EXPECT_EQ(stats.vUnique.entries, 5U);
+  EXPECT_EQ(stats.vUnique.buckets, 64U);
+  EXPECT_EQ(stats.weights.entries, 8U);
+  EXPECT_EQ(stats.weights.smallPathHits, 77U);
+  EXPECT_EQ(stats.threads, 3U);
+}
+
+TEST(StatsMerge, SystemNamePromotesToMixed) {
+  // "" adopts the other side's name; equal names stay; different names
+  // promote to "mixed" (and "mixed" is then sticky).
+  obs::PackageStats unset;
+  obs::PackageStats numeric;
+  numeric.weights.system = "numeric(eps=1e-12)";
+  unset += numeric;
+  EXPECT_EQ(unset.weights.system, "numeric(eps=1e-12)");
+
+  obs::PackageStats same = unset;
+  same += numeric;
+  EXPECT_EQ(same.weights.system, "numeric(eps=1e-12)");
+
+  obs::PackageStats algebraic;
+  algebraic.weights.system = "algebraic";
+  unset += algebraic;
+  EXPECT_EQ(unset.weights.system, "mixed");
+  unset += numeric;
+  EXPECT_EQ(unset.weights.system, "mixed");
+
+  // Merging an empty-name rhs never erases an established name.
+  obs::PackageStats blank;
+  numeric += blank;
+  EXPECT_EQ(numeric.weights.system, "numeric(eps=1e-12)");
+}
+
 TEST(StatsMerge, EmittersRenderThreadsRow) {
   obs::PackageStats stats;
   stats.threads = 4;
@@ -245,31 +319,17 @@ TEST(TracerThreads, ConcurrentSpansRecordDistinctTids) {
 
 namespace {
 
-/// writeCsv output with the wall-clock (`seconds`) and address-sensitive
-/// (`cachehitrate`) columns blanked: everything that must be byte-identical
-/// between serial and parallel sweeps.
-std::string maskedCsv(const std::vector<eval::SimulationTrace>& traces) {
+/// writeCsv output in obs deterministic-output mode: the emitter itself
+/// zeroes the wall-clock (`seconds`) and address-sensitive (`cachehitrate`)
+/// columns — the same switch --obs-deterministic / QADD_OBS_DETERMINISTIC
+/// flips — so the remaining bytes must be identical between serial and
+/// parallel sweeps.
+std::string deterministicCsv(const std::vector<eval::SimulationTrace>& traces) {
+  obs::setDeterministic(true);
   std::ostringstream os;
   eval::writeCsv(os, traces);
-  std::istringstream in(os.str());
-  std::ostringstream out;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::vector<std::string> columns;
-    std::string column;
-    std::istringstream row(line);
-    while (std::getline(row, column, ',')) {
-      columns.push_back(column);
-    }
-    for (std::size_t i = 0; i < columns.size(); ++i) {
-      if (i == 3 || i == 7) { // seconds, cachehitrate
-        columns[i] = "_";
-      }
-      out << (i == 0 ? "" : ",") << columns[i];
-    }
-    out << "\n";
-  }
-  return out.str();
+  obs::setDeterministic(false);
+  return os.str();
 }
 
 eval::SweepSpec groverSweep() {
@@ -306,7 +366,7 @@ TEST(RunSweep, ParallelMatchesSerialByteForByte) {
   EXPECT_EQ(serial.jobs, 1U);
   EXPECT_EQ(parallel.jobs, 4U);
   ASSERT_EQ(serial.traces.size(), parallel.traces.size());
-  EXPECT_EQ(maskedCsv(serial.traces), maskedCsv(parallel.traces));
+  EXPECT_EQ(deterministicCsv(serial.traces), deterministicCsv(parallel.traces));
   for (std::size_t i = 0; i < serial.traces.size(); ++i) {
     EXPECT_EQ(serial.traces[i].finalStateSnapshot, parallel.traces[i].finalStateSnapshot)
         << "final state of " << serial.traces[i].label;
@@ -358,7 +418,7 @@ TEST(RunSweep, CachedPolicyRoundTripsThroughQref) {
                                                         first.traces.end());
   const std::vector<eval::SimulationTrace> secondNumeric(second.traces.begin() + 1,
                                                          second.traces.end());
-  EXPECT_EQ(maskedCsv(firstNumeric), maskedCsv(secondNumeric));
+  EXPECT_EQ(deterministicCsv(firstNumeric), deterministicCsv(secondNumeric));
   std::remove("test_exec_reference.qref");
 }
 

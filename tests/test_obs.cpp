@@ -9,13 +9,21 @@
 #include "core/package.hpp"
 #include "eval/report.hpp"
 #include "eval/trace.hpp"
+#include "obs/deterministic.hpp"
+#include "obs/exposition.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 #include "qc/simulator.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace {
 
@@ -373,6 +381,217 @@ TEST(Emitters, TraceCsvHasTelemetryColumns) {
   std::ostringstream os;
   eval::writeCsv(os, {trace});
   EXPECT_NE(os.str().find("peaknodes,cachehitrate,tablefill"), std::string::npos);
+}
+
+/// Restores the deterministic-output switch on scope exit.
+struct DeterministicGuard {
+  explicit DeterministicGuard(bool value) { obs::setDeterministic(value); }
+  ~DeterministicGuard() { obs::setDeterministic(false); }
+};
+
+TEST(Timeline, FinalPointSampleMatchesEndOfRunStats) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  auto& timeline = obs::Timeline::global();
+  timeline.clear();
+  timeline.setEnabled(true);
+  const qc::Circuit circuit = algos::ghz(5);
+  eval::TraceOptions options;
+  options.sampleEvery = 2;
+  const eval::SimulationTrace trace = eval::traceNumeric(circuit, 1e-12, nullptr, options);
+  timeline.setEnabled(false);
+
+  const auto samples = timeline.samplesSnapshot();
+  timeline.clear();
+  std::size_t gateSamples = 0;
+  const obs::Timeline::Sample* point = nullptr;
+  for (const auto& sample : samples) {
+    if (sample.kind == obs::Timeline::Kind::Gate) {
+      ++gateSamples;
+      EXPECT_EQ(sample.series, trace.label); // ScopedSeries context reached the simulator
+      EXPECT_EQ(sample.epsilon, 1e-12);
+    } else {
+      point = &sample;
+    }
+  }
+  EXPECT_EQ(gateSamples, circuit.size()); // one Gate sample per applied gate
+  ASSERT_NE(point, nullptr);
+
+  // The Point sample is taken right next to the finalStats snapshot, so its
+  // gauges must agree with the --stats end-of-run counters exactly.
+  const obs::PackageStats& stats = trace.finalStats;
+  EXPECT_EQ(point->series, trace.label);
+  EXPECT_EQ(point->liveNodes, stats.liveNodes);
+  EXPECT_EQ(point->peakNodes, stats.peakNodes);
+  EXPECT_EQ(point->arenaBytes, stats.arenaBytes);
+  EXPECT_EQ(point->uniqueEntries, stats.vUnique.entries + stats.mUnique.entries);
+  EXPECT_EQ(point->uniqueBuckets, stats.vUnique.buckets + stats.mUnique.buckets);
+  EXPECT_EQ(point->uniqueCollisions,
+            stats.vUnique.collisions.value() + stats.mUnique.collisions.value());
+  EXPECT_EQ(point->cacheHitRate, stats.combinedCacheHitRate());
+  EXPECT_EQ(point->gcRuns, stats.gc.runs.value());
+  EXPECT_EQ(point->weightEntries, stats.weights.entries);
+  EXPECT_EQ(point->gateIndex, circuit.size());
+}
+
+TEST(Timeline, RingDropsOldestAndCountsThem) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  obs::Timeline timeline;
+  timeline.setEnabled(true);
+  timeline.setCapacity(4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    obs::Timeline::Sample sample;
+    sample.gateIndex = i;
+    timeline.record(std::move(sample));
+  }
+  EXPECT_EQ(timeline.size(), 4U);
+  EXPECT_EQ(timeline.dropped(), 6U);
+  const auto samples = timeline.samplesSnapshot();
+  ASSERT_EQ(samples.size(), 4U);
+  // Chronological order with the oldest six gone: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].gateIndex, 6 + i);
+    EXPECT_GE(samples[i].tid, 1U); // record() stamps the dense thread id
+  }
+}
+
+TEST(Timeline, DeterministicModeZeroesWallClockColumns) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  obs::Timeline timeline;
+  timeline.setEnabled(true);
+  obs::Timeline::Sample sample;
+  sample.series = "s";
+  sample.kind = obs::Timeline::Kind::Point;
+  sample.liveNodes = 7;
+  sample.cacheHitRate = 0.5;
+  timeline.record(std::move(sample));
+  ASSERT_EQ(timeline.size(), 1U);
+
+  const DeterministicGuard guard(true);
+  ASSERT_TRUE(obs::deterministic());
+  std::ostringstream csv;
+  timeline.writeCsv(csv);
+  // Last two columns (seconds) and cachehitrate are zeroed; structural
+  // gauges survive.
+  EXPECT_NE(csv.str().find("s,point"), std::string::npos);
+  EXPECT_NE(csv.str().find(",7,"), std::string::npos);
+  EXPECT_EQ(csv.str().find("0.5"), std::string::npos);
+  std::ostringstream json;
+  timeline.writeJson(json);
+  EXPECT_NE(json.str().find("\"deterministic\":true"), std::string::npos);
+  EXPECT_NE(json.str().find("\"cacheHitRate\":0,"), std::string::npos);
+  EXPECT_NE(json.str().find("\"seconds\":0"), std::string::npos);
+}
+
+TEST(Timeline, CsvAndJsonAreWellFormed) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  obs::Timeline timeline;
+  timeline.setEnabled(true);
+  obs::Timeline::Sample sample;
+  sample.series = "numeric eps=0.001";
+  sample.kind = obs::Timeline::Kind::Gate;
+  sample.gateIndex = 3;
+  timeline.record(std::move(sample));
+
+  std::ostringstream csv;
+  timeline.writeCsv(csv);
+  EXPECT_NE(csv.str().find("series,kind,tid,gate,epsilon"), std::string::npos);
+  EXPECT_NE(csv.str().find("numeric eps=0.001,gate,"), std::string::npos);
+
+  std::ostringstream json;
+  timeline.writeJson(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"samples\":["), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"gate\""), std::string::npos);
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : text) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Exposition, PrometheusTextHasTypedFamilies) {
+  qc::Simulator<dd::NumericSystem> simulator(algos::ghz(4), tightConfig());
+  simulator.run();
+  std::ostringstream os;
+  obs::renderPrometheus(os, simulator.package().stats());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE qadd_cache_hits_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qadd_nodes_live gauge"), std::string::npos);
+  EXPECT_NE(text.find("qadd_cache_hits_total{cache=\"mv\"}"), std::string::npos);
+  EXPECT_NE(text.find("qadd_unique_entries{table=\"vector\"}"), std::string::npos);
+  EXPECT_NE(text.find("qadd_arena_bytes"), std::string::npos);
+  // Every exposed line is either a comment or "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_TRUE(line[0] == '#' || line.find(' ') != std::string::npos) << line;
+  }
+}
+
+TEST(Exposition, TimelineOverloadAddsSamplerFamilies) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  obs::Timeline timeline;
+  timeline.setEnabled(true);
+  obs::Timeline::Sample sample;
+  sample.liveNodes = 11;
+  timeline.record(std::move(sample));
+  std::ostringstream os;
+  obs::renderPrometheus(os, obs::PackageStats{}, timeline);
+  EXPECT_NE(os.str().find("qadd_timeline_samples 1"), std::string::npos);
+  EXPECT_NE(os.str().find("qadd_timeline_dropped_total 0"), std::string::npos);
+  EXPECT_NE(os.str().find("qadd_timeline_last_live_nodes 11"), std::string::npos);
+}
+
+TEST(Tracer, AutoFlushSurvivesAbruptExit) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with QADD_OBS=0";
+  }
+  const std::string path = "trace_crash_test.json";
+  std::remove(path.c_str());
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: flush after every finished span, then die mid-span without
+    // running atexit handlers (_exit) — like a crash would.
+    auto& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+    tracer.setAutoFlush(path, 1);
+    {
+      const auto finished = tracer.span("finished-span", "test");
+    }
+    const auto unfinished = tracer.span("unfinished-span", "test");
+    _exit(42);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "periodic flush did not write a partial trace";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("finished-span"), std::string::npos);
+  // The span still open at _exit time was never recorded — a partial trace,
+  // not a corrupted one.
+  EXPECT_EQ(buffer.str().find("unfinished-span"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 } // namespace

@@ -1,0 +1,153 @@
+/// \file test_profiler.cpp
+/// The structural DD profiler (qadd::obs::profileDd and the snapshot entry
+/// points behind the qadd_prof CLI): per-level accounting must tie out
+/// against the package's own node counts, fan-out/sharing factors must obey
+/// their structural bounds, the weight histograms must classify by the right
+/// complexity measure per system, and the JSON/DOT emitters must be
+/// well-formed.
+#include "algorithms/common.hpp"
+#include "algorithms/grover.hpp"
+#include "core/algebraic_system.hpp"
+#include "core/numeric_system.hpp"
+#include "core/package.hpp"
+#include "io/snapshot.hpp"
+#include "obs/profiler.hpp"
+#include "qc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace qadd;
+
+dd::NumericSystem::Config tightConfig() {
+  return {1e-12, dd::NumericSystem::Normalization::LeftmostNonzero};
+}
+
+std::vector<std::uint8_t> goldenSnapshot() {
+  const std::string path = std::string(QADD_TESTDATA_DIR) + "/golden_pr3.qdds";
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.is_open()) << "missing golden file: " << path;
+  return {std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>()};
+}
+
+std::size_t levelNodeSum(const obs::DdProfile& profile) {
+  std::size_t sum = 0;
+  for (const auto& level : profile.levels) {
+    sum += level.nodes;
+  }
+  return sum;
+}
+
+TEST(Profiler, LiveVectorProfileTiesOutAgainstPackageCounts) {
+  qc::Simulator<dd::NumericSystem> simulator(algos::grover({6, (1ULL << 6) - 2, 0}),
+                                             tightConfig());
+  simulator.run();
+  const auto& package = simulator.package();
+  const obs::DdProfile profile = obs::profileDd(package, simulator.state());
+
+  EXPECT_EQ(profile.kind, "vector");
+  EXPECT_EQ(profile.qubits, 6U);
+  EXPECT_EQ(profile.weightHistogramKind, "neglog2magnitude");
+  EXPECT_EQ(profile.totalNodes, package.countNodes(simulator.state()));
+  EXPECT_EQ(levelNodeSum(profile), profile.totalNodes);
+  ASSERT_EQ(profile.levels.size(), 6U);
+  // The root (level 0) of a connected vector DD is a single node whose only
+  // incoming edge is the root edge.
+  EXPECT_EQ(profile.levels[0].nodes, 1U);
+  EXPECT_EQ(profile.levels[0].incomingEdges, 1U);
+
+  std::size_t edgeSum = 0;
+  std::size_t terminalSum = 0;
+  std::size_t incomingSum = 0;
+  for (const auto& level : profile.levels) {
+    // Vector nodes have at most two non-zero successors; every counted edge
+    // is classified into exactly one histogram bucket.
+    EXPECT_LE(level.edges + level.zeroEdges, 2 * level.nodes);
+    EXPECT_LE(level.fanOut(), 2.0);
+    std::uint64_t histogramTotal = 0;
+    for (const std::uint64_t count : level.weightHistogram) {
+      histogramTotal += count;
+    }
+    EXPECT_EQ(histogramTotal, level.edges);
+    edgeSum += level.edges;
+    terminalSum += level.edgesToTerminal;
+    incomingSum += level.incomingEdges;
+  }
+  // totalEdges = per-level outgoing edges + the root edge; every edge that
+  // does not end at the terminal is an incoming edge of some level.
+  EXPECT_EQ(profile.totalEdges, edgeSum + 1);
+  EXPECT_EQ(incomingSum, profile.totalEdges - terminalSum);
+  EXPECT_GT(profile.distinctEdgeWeights, 0U);
+}
+
+TEST(Profiler, MatrixProfileCountsGateDd) {
+  dd::Package<dd::NumericSystem> package(4, tightConfig());
+  const qc::Operation cx{qc::GateKind::X, 0.0, 2, {qc::ControlSpec{0}}};
+  const auto gate = qc::makeOperationDD(package, cx);
+  const obs::DdProfile profile = obs::profileDd(package, gate);
+  EXPECT_EQ(profile.kind, "matrix");
+  EXPECT_EQ(profile.totalNodes, package.countNodes(gate));
+  EXPECT_EQ(levelNodeSum(profile), profile.totalNodes);
+  for (const auto& level : profile.levels) {
+    EXPECT_LE(level.fanOut(), 4.0); // matrix nodes have up to four successors
+  }
+}
+
+TEST(Profiler, AlgebraicHistogramUsesCoefficientBits) {
+  qc::Simulator<dd::AlgebraicSystem> simulator(algos::ghz(4));
+  simulator.run();
+  const obs::DdProfile profile =
+      obs::profileDd(simulator.package(), simulator.state());
+  EXPECT_EQ(profile.weightHistogramKind, "bits");
+  EXPECT_EQ(profile.totalNodes, simulator.package().countNodes(simulator.state()));
+  EXPECT_EQ(levelNodeSum(profile), profile.totalNodes);
+}
+
+TEST(Profiler, GoldenSnapshotLevelsSumToStoredNodeCount) {
+  // The acceptance tie-out: profiling the PR 3 golden QDDS snapshot must
+  // report per-level node counts that sum to the snapshot's own node total.
+  const std::vector<std::uint8_t> golden = goldenSnapshot();
+  ASSERT_FALSE(golden.empty());
+  const io::SnapshotInfo info = io::readInfo(golden);
+  const obs::DdProfile profile = obs::profileSnapshot(golden);
+  EXPECT_EQ(profile.totalNodes, info.nodeCount);
+  EXPECT_EQ(levelNodeSum(profile), info.nodeCount);
+  EXPECT_EQ(profile.qubits, info.qubits);
+  EXPECT_EQ(profile.kind, "vector");
+  EXPECT_EQ(profile.weightHistogramKind, "bits"); // algebraic golden state
+}
+
+TEST(Profiler, JsonEmitterIsBalancedAndCarriesLevels) {
+  const obs::DdProfile profile = obs::profileSnapshot(goldenSnapshot());
+  std::ostringstream os;
+  obs::writeProfileJson(os, profile);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"levels\":["), std::string::npos);
+  EXPECT_NE(json.find("\"fanOut\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sharing\":"), std::string::npos);
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  std::ostringstream table;
+  obs::printProfileTable(table, profile);
+  EXPECT_NE(table.str().find("level"), std::string::npos);
+  EXPECT_NE(table.str().find("fan-out"), std::string::npos);
+}
+
+TEST(Profiler, SnapshotToDotProducesGraphviz) {
+  const std::string dot = obs::snapshotToDot(goldenSnapshot());
+  EXPECT_EQ(dot.rfind("digraph", 0), 0U) << "DOT output must start with 'digraph'";
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+} // namespace

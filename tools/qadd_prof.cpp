@@ -1,0 +1,163 @@
+/// \file qadd_prof.cpp
+/// Command-line structural profiler for QDDS snapshots and QCKP checkpoints
+/// (the CLI face of obs::profileDd and obs::renderPrometheus):
+///
+///   qadd_prof profile <file> [--json]      per-level node/edge/sharing table
+///                                          (or the JSON object with --json)
+///   qadd_prof dot <file> [--max-nodes N]   Graphviz DOT on stdout (refuses
+///                                          diagrams above N nodes, default
+///                                          256 — DOT is for small DDs)
+///   qadd_prof metrics <file>               load the snapshot into a matching
+///                                          package and render the resulting
+///                                          telemetry in Prometheus text
+///                                          format
+///
+/// Checkpoints are unwrapped to their embedded state snapshot, like
+/// qadd_snapshot.  Exit codes: 0 success, 2 usage error, 3 bad file.
+#include "io/checkpoint.hpp"
+#include "io/snapshot.hpp"
+#include "obs/exposition.hpp"
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace qadd;
+
+/// True iff the blob is a QCKP checkpoint (vs a bare QDDS snapshot).
+bool isCheckpoint(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= io::kQckpMagic.size() &&
+         std::equal(io::kQckpMagic.begin(), io::kQckpMagic.end(), bytes.begin());
+}
+
+/// Extract the QDDS blob: checkpoints are unwrapped, snapshots pass through.
+std::vector<std::uint8_t> snapshotBytes(const std::string& path) {
+  std::vector<std::uint8_t> bytes = io::readBytesFile(path);
+  if (isCheckpoint(bytes)) {
+    return io::readCheckpoint(bytes).snapshot;
+  }
+  return bytes;
+}
+
+int cmdProfile(const std::string& path, bool json) {
+  const std::vector<std::uint8_t> bytes = snapshotBytes(path);
+  const obs::DdProfile profile = obs::profileSnapshot(bytes);
+  if (json) {
+    obs::writeProfileJson(std::cout, profile);
+  } else {
+    std::cout << path << ": " << io::readInfo(bytes).describe() << "\n";
+    obs::printProfileTable(std::cout, profile);
+  }
+  return 0;
+}
+
+int cmdDot(const std::string& path, std::size_t maxNodes) {
+  const std::vector<std::uint8_t> bytes = snapshotBytes(path);
+  const io::SnapshotInfo info = io::readInfo(bytes);
+  if (info.nodeCount > maxNodes) {
+    std::cerr << "qadd_prof: " << path << " has " << info.nodeCount
+              << " nodes; refusing to render DOT above " << maxNodes
+              << " (raise with --max-nodes)\n";
+    return 2;
+  }
+  std::cout << obs::snapshotToDot(bytes);
+  return 0;
+}
+
+/// Load the snapshot into a fresh matching package and render that package's
+/// telemetry snapshot (io counters, live nodes, weight-table view) in
+/// Prometheus text format.
+int cmdMetrics(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = snapshotBytes(path);
+  const io::SnapshotInfo info = io::readInfo(bytes);
+  const auto render = [&](auto& package) {
+    if (info.kind == io::DdKind::Vector) {
+      (void)io::loadVector(package, bytes);
+    } else {
+      (void)io::loadMatrix(package, bytes);
+    }
+    obs::renderPrometheus(std::cout, package.stats());
+    return 0;
+  };
+  if (info.system == io::SystemTag::Algebraic) {
+    dd::AlgebraicSystem::Config config;
+    config.normalization = static_cast<dd::AlgebraicSystem::Normalization>(info.normalization);
+    dd::Package<dd::AlgebraicSystem> package(info.qubits, config);
+    return render(package);
+  }
+  if (info.floatDigits == std::numeric_limits<double>::digits) {
+    dd::NumericSystem::Config config;
+    config.epsilon = info.epsilon;
+    config.normalization = static_cast<dd::NumericSystem::Normalization>(info.normalization);
+    dd::Package<dd::NumericSystem> package(info.qubits, config);
+    return render(package);
+  }
+  if (info.floatDigits == std::numeric_limits<long double>::digits) {
+    dd::ExtendedNumericSystem::Config config;
+    config.epsilon = info.epsilon;
+    config.normalization =
+        static_cast<dd::ExtendedNumericSystem::Normalization>(info.normalization);
+    dd::Package<dd::ExtendedNumericSystem> package(info.qubits, config);
+    return render(package);
+  }
+  std::cerr << "qadd_prof: unsupported float precision (" << static_cast<int>(info.floatDigits)
+            << " mantissa bits) on this platform\n";
+  return 3;
+}
+
+int usage() {
+  std::cerr << "usage: qadd_prof profile <file> [--json]\n"
+               "       qadd_prof dot <file> [--max-nodes N]\n"
+               "       qadd_prof metrics <file>\n"
+               "<file> is a QDDS snapshot or a QCKP checkpoint (embedded state\n"
+               "is profiled).\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  try {
+    if (command == "profile") {
+      bool json = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+          json = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmdProfile(path, json);
+    }
+    if (command == "dot") {
+      std::size_t maxNodes = 256;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+          maxNodes = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+        } else {
+          return usage();
+        }
+      }
+      return cmdDot(path, maxNodes);
+    }
+    if (command == "metrics") {
+      return cmdMetrics(path);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "qadd_prof: " << error.what() << "\n";
+    return 3;
+  }
+  return usage();
+}
