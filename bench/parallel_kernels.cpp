@@ -1,0 +1,178 @@
+/// \file parallel_kernels.cpp
+/// Before/after series for the fork-join DD kernels (intra-operation
+/// parallelism): runs the exact algebraic Grover simulation (matrix-vector
+/// kernels) and the full-circuit unitary accumulation (matrix-matrix
+/// kernels) serially and on 2- and 4-worker pools, checks the results are
+/// byte-identical across worker counts, and writes BENCH_parallel.json.
+///
+/// The speedup gate (>= 1.5x at four workers) is only enforced when the
+/// machine actually has four hardware threads — on smaller runners the
+/// numbers are recorded but the gate is skipped, since a 4-worker pool on
+/// one core measures oversubscription, not the kernels.
+///
+///   ./parallel_kernels [nqubits] [--help]   (default: 11 qubits)
+#include "algorithms/grover.hpp"
+#include "eval/driver_cli.hpp"
+#include "exec/thread_pool.hpp"
+#include "io/snapshot.hpp"
+#include "qc/simulator.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace qadd;
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  double seconds = 0.0;
+  std::size_t finalNodes = 0;
+  std::vector<std::uint8_t> snapshot;
+};
+
+/// One timed algebraic Grover simulation (the mv kernel workload).
+RunResult runGroverMv(const qc::Circuit& circuit, exec::ThreadPool* pool) {
+  qc::Simulator<dd::AlgebraicSystem> simulator(circuit);
+  if (pool != nullptr) {
+    simulator.setExecutor(pool);
+  }
+  const auto start = Clock::now();
+  while (simulator.step()) {
+  }
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.finalNodes = simulator.stateNodes();
+  result.snapshot = io::saveVector(simulator.package(), simulator.state());
+  return result;
+}
+
+/// One timed full-circuit unitary accumulation (the mm kernel workload).
+RunResult runUnitaryMm(const qc::Circuit& circuit, exec::ThreadPool* pool) {
+  dd::Package<dd::AlgebraicSystem> package(circuit.qubits());
+  if (pool != nullptr) {
+    package.setExecutor(pool);
+  }
+  const auto start = Clock::now();
+  const auto unitary = qc::buildUnitary(package, circuit);
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.finalNodes = package.countNodes(unitary);
+  result.snapshot = io::saveMatrix(package, unitary);
+  return result;
+}
+
+struct Series {
+  std::string name;
+  RunResult jobs1;
+  RunResult jobs2;
+  RunResult jobs4;
+  [[nodiscard]] bool identical() const {
+    return jobs1.snapshot == jobs2.snapshot && jobs1.snapshot == jobs4.snapshot &&
+           jobs1.finalNodes == jobs2.finalNodes && jobs1.finalNodes == jobs4.finalNodes;
+  }
+  [[nodiscard]] double speedup2() const {
+    return jobs2.seconds > 0.0 ? jobs1.seconds / jobs2.seconds : 0.0;
+  }
+  [[nodiscard]] double speedup4() const {
+    return jobs4.seconds > 0.0 ? jobs1.seconds / jobs4.seconds : 0.0;
+  }
+};
+
+template <class Workload>
+Series measure(const std::string& name, const qc::Circuit& circuit, Workload&& workload) {
+  Series series;
+  series.name = name;
+  (void)workload(circuit, nullptr); // warm-up: page cache, lazy allocations
+  series.jobs1 = workload(circuit, nullptr);
+  {
+    exec::ThreadPool pool(2);
+    series.jobs2 = workload(circuit, &pool);
+  }
+  {
+    exec::ThreadPool pool(4);
+    series.jobs4 = workload(circuit, &pool);
+  }
+  std::cout << std::fixed << std::setprecision(3) << name << ": jobs1 " << series.jobs1.seconds
+            << " s, jobs2 " << series.jobs2.seconds << " s (" << std::setprecision(2)
+            << series.speedup2() << "x), jobs4 " << std::setprecision(3)
+            << series.jobs4.seconds << " s (" << std::setprecision(2) << series.speedup4()
+            << "x), " << series.jobs1.finalNodes << " final nodes\n";
+  return series;
+}
+
+void emitSeries(std::ofstream& os, const Series& series, bool last) {
+  os << "    \"" << series.name << "\": {\n"
+     << "      \"jobs1Seconds\": " << series.jobs1.seconds << ",\n"
+     << "      \"jobs2Seconds\": " << series.jobs2.seconds << ",\n"
+     << "      \"jobs4Seconds\": " << series.jobs4.seconds << ",\n"
+     << "      \"speedup2\": " << series.speedup2() << ",\n"
+     << "      \"speedup4\": " << series.speedup4() << ",\n"
+     << "      \"finalNodes\": " << series.jobs1.finalNodes << ",\n"
+     << "      \"identicalValueSeries\": " << (series.identical() ? "true" : "false") << "\n"
+     << "    }" << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const eval::DriverSpec spec{
+      "parallel_kernels",
+      "BENCH_parallel.json: serial vs 2/4-worker fork-join DD kernel wall-clock.",
+      {{"nqubits", 11, "Grover circuit width"}},
+      false};
+  const eval::DriverCli cli = eval::parseDriverCli(argc, argv, spec);
+  const auto nqubits = static_cast<qc::Qubit>(cli.positionals[0]);
+  const qc::Circuit mvCircuit = algos::grover({nqubits, (1ULL << nqubits) / 3, 0});
+  // The unitary workload squares the DD sizes; keep it two qubits narrower.
+  const auto mmQubits = static_cast<qc::Qubit>(nqubits > 2 ? nqubits - 2 : 1);
+  const qc::Circuit mmCircuit = algos::grover({mmQubits, (1ULL << mmQubits) / 3, 0});
+
+  std::cout << "== parallel_kernels: algebraic Grover, mv " << nqubits << "q/"
+            << mvCircuit.size() << "g, mm " << mmQubits << "q/" << mmCircuit.size() << "g ==\n";
+
+  const Series mv = measure("groverMv", mvCircuit, runGroverMv);
+  const Series mm = measure("unitaryMm", mmCircuit, runUnitaryMm);
+
+  for (const Series* series : {&mv, &mm}) {
+    if (!series->identical()) {
+      std::cerr << "FAIL: " << series->name
+                << " results differ across worker counts (determinism contract broken)\n";
+      return 1;
+    }
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const bool enforceGate = hardware >= 4;
+  std::ofstream os("BENCH_parallel.json");
+  os << std::setprecision(6) << std::fixed;
+  os << "{\n  \"bench\": \"parallel_kernels\",\n"
+     << "  \"workload\": \"fork-join DD kernels, exact algebraic grover\",\n"
+     << "  \"qubits\": " << nqubits << ",\n  \"gates\": " << mvCircuit.size() << ",\n"
+     << "  \"workers\": 4,\n"
+     << "  \"series\": {\n";
+  emitSeries(os, mv, false);
+  emitSeries(os, mm, true);
+  os << "  }\n}\n";
+  std::cout << "report written to BENCH_parallel.json\n";
+
+  if (enforceGate) {
+    const double best = std::max(mv.speedup4(), mm.speedup4());
+    if (best < 1.5) {
+      std::cerr << "FAIL: best 4-worker speedup " << std::setprecision(2) << best
+                << "x is below the 1.5x gate (" << hardware << " hardware threads)\n";
+      return 1;
+    }
+    std::cout << "speedup gate passed (best " << std::setprecision(2) << best << "x)\n";
+  } else {
+    std::cout << "speedup gate skipped: only " << hardware << " hardware thread(s)\n";
+  }
+  return 0;
+}

@@ -17,11 +17,14 @@
 #include "algebraic/small_kernels.hpp"
 #include "core/computed_table.hpp"
 #include "core/dd_node.hpp"
+#include "core/stable_vector.hpp"
 #include "obs/stats.hpp"
 
+#include <atomic>
 #include <complex>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -54,6 +57,10 @@ public:
     /// node count exceeds this after a decRef, the package garbage-collects.
     /// 0 disables auto-GC (collections only run on demand).
     std::size_t gcWatermark = 0;
+    /// Fork-join recursion cutoff for the package's parallel kernels: fork
+    /// down to this many levels below each kernel root.  0 derives
+    /// ceil(log2(workers)) + 2 when an executor is attached.
+    std::size_t parallelDepth = 0;
   };
 
   AlgebraicSystem() : AlgebraicSystem(Config{}) {}
@@ -89,6 +96,20 @@ public:
   /// equal a recomputation; lossy caches are safe.
   [[nodiscard]] bool memoizationOrderDependent() const { return false; }
 
+  /// Switch the intern pool and the op caches between serial and concurrent
+  /// operation (quiescent-point only).  Concurrent interning serializes on
+  /// one mutex while value(w) reads stay lock-free (entries_ is a
+  /// StableVector, so published handles never move).
+  void setConcurrent(bool concurrent) {
+    concurrent_ = concurrent;
+    addCache_.setConcurrent(concurrent);
+    subCache_.setConcurrent(concurrent);
+    mulCache_.setConcurrent(concurrent);
+    divCache_.setConcurrent(concurrent);
+    invCache_.setConcurrent(concurrent);
+  }
+  [[nodiscard]] bool concurrent() const { return concurrent_; }
+
   [[nodiscard]] std::size_t distinctValues() const { return entries_.size(); }
   /// O(1) view of the process-wide word-kernel fast-path tallies (see
   /// collectObs), cheap enough for per-gate timeline sampling.
@@ -98,14 +119,14 @@ public:
   }
   /// Largest coefficient/denominator bit width ever interned — the cost
   /// driver the paper identifies for the GSE blow-up (Section V-B).
-  [[nodiscard]] std::size_t maxBits() const { return maxBits_; }
+  [[nodiscard]] std::size_t maxBits() const { return maxBits_.load(std::memory_order_relaxed); }
   /// Fraction of normalizations whose produced weights were all 0 or 1
   /// (trivial); the paper reports Q[omega]-inverse normalization keeps at
   /// least half the weights trivial.
   [[nodiscard]] double trivialWeightFraction() const {
-    return weightsProduced_ == 0
-               ? 1.0
-               : static_cast<double>(trivialWeightsProduced_) / static_cast<double>(weightsProduced_);
+    const std::uint64_t produced = weightsProduced_.load(std::memory_order_relaxed);
+    const std::uint64_t trivial = trivialWeightsProduced_.load(std::memory_order_relaxed);
+    return produced == 0 ? 1.0 : static_cast<double>(trivial) / static_cast<double>(produced);
   }
 
   [[nodiscard]] const Config& config() const { return config_; }
@@ -147,9 +168,10 @@ private:
   /// short-circuits the Q[omega] big-integer arithmetic (+ canonicalization)
   /// that dominates algebraic simulation.
   template <class Compute> [[nodiscard]] Weight cachedOp(OpCache& cache, WeightPairKey key, Compute&& compute) {
-    if (const Weight* hit = cache.lookup(key)) {
+    Weight hit;
+    if (cache.lookup(key, hit)) {
       opStats_.hits.inc();
-      return *hit;
+      return hit;
     }
     opStats_.misses.inc();
     const Weight result = compute();
@@ -161,12 +183,17 @@ private:
 
   Config config_;
   // Intern pool: map owns the values; entries_ gives O(1) handle -> value.
+  // In concurrent mode intern() serializes on internMutex_ while value(w)
+  // reads stay lock-free (StableVector entries never move; workers only hold
+  // handles that were published through a synchronizing structure).
   std::unordered_map<alg::QOmega, Weight> pool_;
-  std::vector<const alg::QOmega*> entries_;
+  StableVector<const alg::QOmega*> entries_;
   std::vector<std::uint64_t> bitWidthHistogram_;
-  std::size_t maxBits_ = 0;
-  std::size_t weightsProduced_ = 0;
-  std::size_t trivialWeightsProduced_ = 0;
+  std::mutex internMutex_;
+  bool concurrent_ = false;
+  std::atomic<std::size_t> maxBits_{0};
+  std::atomic<std::uint64_t> weightsProduced_{0};
+  std::atomic<std::uint64_t> trivialWeightsProduced_{0};
   OpCache addCache_;
   OpCache subCache_;
   OpCache mulCache_;

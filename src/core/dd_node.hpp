@@ -6,12 +6,15 @@
 /// template lets the package implement addition, multiplication, Kronecker
 /// product, the GC sweep and node counting once, instantiated per arity.
 ///
-/// Nodes carry three pieces of intrusive bookkeeping so that the storage
+/// Nodes carry four pieces of intrusive bookkeeping so that the storage
 /// layers need no auxiliary maps:
 ///  - `next`: the unique-table chain link (and, for freed nodes, the
 ///    memory-manager free-list link);
 ///  - `ref`: the reference count (one per parent edge plus external
 ///    incRef/decRef references);
+///  - `seq`: the package's insert serial, a heap-layout-independent stand-in
+///    for address order wherever a total order over nodes is needed
+///    (add-operand canonicalization);
 ///  - `visit`: a visit-epoch mark enabling allocation-free traversals
 ///    (node counting, export) — a node is "seen" iff its mark equals the
 ///    package's current traversal epoch.
@@ -49,6 +52,7 @@ template <class WeightT, std::size_t N> struct Node {
   Node* next = nullptr;            ///< unique-table chain / free-list link
   Qubit var = 0;
   std::uint32_t ref = 0;
+  std::uint64_t seq = 0;           ///< per-package insert serial (stable operand order)
   mutable std::uint64_t visit = 0; ///< visit-epoch mark (traversal bookkeeping)
 };
 

@@ -43,6 +43,11 @@ public:
     /// node count exceeds this after a decRef, the package garbage-collects.
     /// 0 disables auto-GC (collections only run on demand).
     std::size_t gcWatermark = 0;
+    /// Fork-join recursion cutoff for the package's parallel kernels: fork
+    /// down to this many levels below each kernel root.  0 derives
+    /// ceil(log2(workers)) + 2 when an executor is attached.  Only effective
+    /// in exact mode (tolerance-mode kernels always run serially).
+    std::size_t parallelDepth = 0;
   };
 
   explicit BasicNumericSystem(Config config)
@@ -152,6 +157,18 @@ public:
   /// case so a result, once computed, is never recomputed.
   [[nodiscard]] bool memoizationOrderDependent() const { return !table_.exactMode(); }
 
+  /// Switch the interning table and the op caches between serial and
+  /// concurrent operation (quiescent-point only).  The package only requests
+  /// concurrency when memoization is order-independent, i.e. exact mode.
+  void setConcurrent(bool concurrent) {
+    assert(!concurrent || table_.exactMode());
+    table_.setConcurrent(concurrent);
+    addCache_.setConcurrent(concurrent);
+    subCache_.setConcurrent(concurrent);
+    mulCache_.setConcurrent(concurrent);
+    divCache_.setConcurrent(concurrent);
+  }
+
   [[nodiscard]] std::size_t distinctValues() const { return table_.size(); }
   /// Interface parity with AlgebraicSystem for the timeline sampler: the
   /// numeric table never touches the algebraic word kernels.
@@ -201,9 +218,10 @@ private:
     if (!table_.exactMode()) {
       return compute();
     }
-    if (const Weight* hit = cache.lookup(key)) {
+    Weight hit;
+    if (cache.lookup(key, hit)) {
       opStats_.hits.inc();
-      return *hit;
+      return hit;
     }
     opStats_.misses.inc();
     const Weight result = compute();

@@ -27,6 +27,17 @@
 /// operation caches and sweeps ref == 0 nodes; it also auto-triggers from
 /// decRef() when the live node count crosses the configured watermark
 /// (System::Config::gcWatermark, 0 = only on demand).
+///
+/// Intra-operation parallelism (see docs/PARALLELISM.md): setExecutor()
+/// attaches an exec::ThreadPool and — when the weight system's memoization
+/// is order-independent (algebraic, or numeric in exact mode) — switches the
+/// package into concurrent mode: add/multiply/kronecker fork their child
+/// subproblems onto the pool down to a depth cutoff (Config::parallelDepth;
+/// 0 derives ceil(log2(workers)) + 2), the unique tables take stripe locks
+/// around find-or-insert, the operation caches publish entries through
+/// per-slot seqlocks, and the arenas hand out per-worker spans.  With no
+/// executor (or a 1-worker pool, or an order-dependent system) every one of
+/// those paths collapses to the exact pre-concurrency serial code.
 #pragma once
 
 #include "algebraic/qomega.hpp" // exact amplitude accumulation (algebraic system)
@@ -34,11 +45,14 @@
 #include "core/dd_node.hpp"
 #include "core/memory_manager.hpp"
 #include "core/unique_table.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <complex>
@@ -107,7 +121,8 @@ public:
   static constexpr std::size_t kUnaryCacheEntries = std::size_t{1} << 12U;
 
   explicit Package(Qubit nqubits, typename System::Config config = {})
-      : nqubits_(nqubits), system_(config), gcWatermark_(config.gcWatermark) {
+      : nqubits_(nqubits), system_(config), gcWatermark_(config.gcWatermark),
+        configParallelDepth_(config.parallelDepth) {
     if (system_.memoizationOrderDependent()) {
       // A recomputed result could differ from the cached one (tolerance-mode
       // interning): keep every memoized result so nothing is ever recomputed.
@@ -123,6 +138,47 @@ public:
   [[nodiscard]] Qubit qubits() const { return nqubits_; }
   [[nodiscard]] System& system() { return system_; }
   [[nodiscard]] const System& system() const { return system_; }
+
+  // -- intra-operation parallelism ----------------------------------------------
+
+  /// Attach (or detach, with nullptr) the thread pool the DD kernels fork
+  /// onto.  Concurrent mode engages only when the pool has more than one
+  /// worker AND the weight system's memoization is order-independent —
+  /// tolerance-mode numeric interning stays serial so its lossless-cache
+  /// determinism contract is untouched.  Quiescent-point only (never while a
+  /// kernel is running); a package binds to at most one pool at a time.
+  void setExecutor(exec::ThreadPool* pool) {
+    assert(activeKernels_ == 0 && "setExecutor during a running kernel");
+    executor_ = pool;
+    const std::size_t workers = pool != nullptr ? pool->workers() : 0;
+    const bool wantConcurrent = workers > 1 && !system_.memoizationOrderDependent();
+    if (wantConcurrent == concurrent_ && !wantConcurrent) {
+      return;
+    }
+    concurrent_ = wantConcurrent;
+    if (concurrent_) {
+      parallelDepth_ = configParallelDepth_ != 0
+                           ? configParallelDepth_
+                           : static_cast<std::size_t>(std::bit_width(workers - 1)) + 2;
+    } else {
+      parallelDepth_ = 0;
+    }
+    vUnique_.setConcurrent(concurrent_);
+    mUnique_.setConcurrent(concurrent_);
+    if (concurrent_) {
+      vMem_.setConcurrent(workers);
+      mMem_.setConcurrent(workers);
+    }
+    for (const CacheRegistryEntry& entry : kCacheRegistry) {
+      entry.setConcurrent(*this, concurrent_);
+    }
+    system_.setConcurrent(concurrent_);
+  }
+  [[nodiscard]] exec::ThreadPool* executor() const { return executor_; }
+  /// True iff the kernels currently run the forked, striped, seqlocked paths.
+  [[nodiscard]] bool concurrentKernels() const { return concurrent_; }
+  /// Recursion depth down to which kernels fork (0 in serial mode).
+  [[nodiscard]] std::size_t parallelDepth() const { return parallelDepth_; }
 
   // -- canonical edges ---------------------------------------------------------
 
@@ -177,6 +233,10 @@ public:
   /// Invalidate all operation caches and free every node that is no longer
   /// reachable from an externally referenced edge.
   GcReport garbageCollect() {
+    // GC is a stop-the-world quiescent-point operation: it is only ever
+    // entered from decRef/explicit calls outside the kernels, never while a
+    // fork-join recursion holds nodes that carry no ref count yet.
+    assert(activeKernels_ == 0 && "garbageCollect during a running kernel");
     const auto span = obs::Tracer::global().span("gc", "dd");
     const auto start = std::chrono::steady_clock::now();
     GcReport report;
@@ -380,21 +440,35 @@ public:
 
   // -- arithmetic ---------------------------------------------------------------
 
-  [[nodiscard]] VEdge add(const VEdge& a, const VEdge& b) { return addImpl(a, b); }
-  [[nodiscard]] MEdge add(const MEdge& a, const MEdge& b) { return addImpl(a, b); }
+  [[nodiscard]] VEdge add(const VEdge& a, const VEdge& b) {
+    const KernelScope scope(*this);
+    return addImpl(a, b, parallelDepth_);
+  }
+  [[nodiscard]] MEdge add(const MEdge& a, const MEdge& b) {
+    const KernelScope scope(*this);
+    return addImpl(a, b, parallelDepth_);
+  }
 
   /// Matrix-vector product M|v>.
-  [[nodiscard]] VEdge multiply(const MEdge& m, const VEdge& v) { return multiplyImpl(m, v); }
+  [[nodiscard]] VEdge multiply(const MEdge& m, const VEdge& v) {
+    const KernelScope scope(*this);
+    return multiplyImpl(m, v, parallelDepth_);
+  }
   /// Matrix-matrix product A*B.
-  [[nodiscard]] MEdge multiply(const MEdge& a, const MEdge& b) { return multiplyImpl(a, b); }
+  [[nodiscard]] MEdge multiply(const MEdge& a, const MEdge& b) {
+    const KernelScope scope(*this);
+    return multiplyImpl(a, b, parallelDepth_);
+  }
 
   /// |top> (x) |bottom>; top's variables must all lie above bottom's.
   [[nodiscard]] VEdge kronecker(const VEdge& top, const VEdge& bottom) {
-    return kroneckerImpl(top, bottom);
+    const KernelScope scope(*this);
+    return kroneckerImpl(top, bottom, parallelDepth_);
   }
   /// A (x) B for matrices; same variable discipline as the vector overload.
   [[nodiscard]] MEdge kronecker(const MEdge& top, const MEdge& bottom) {
-    return kroneckerImpl(top, bottom);
+    const KernelScope scope(*this);
+    return kroneckerImpl(top, bottom, parallelDepth_);
   }
 
   /// Conjugate transpose (adjoint) of a matrix DD.
@@ -407,9 +481,10 @@ public:
       return {nullptr, w};
     }
     const NodeKey key{a.node};
-    if (const MEdge* hit = transposeCache_.lookup(key)) {
+    MEdge hit;
+    if (transposeCache_.lookup(key, hit)) {
       stats_.transpose.hits.inc();
-      return weighted(*hit, w);
+      return weighted(hit, w);
     }
     stats_.transpose.misses.inc();
     std::array<MEdge, 4> children{
@@ -469,9 +544,8 @@ public:
     }
     Weight per = system_.zero();
     const NodeKey key{a.node};
-    if (const Weight* hit = traceCache_.lookup(key)) {
+    if (traceCache_.lookup(key, per)) {
       stats_.trace.hits.inc();
-      per = *hit;
     } else {
       stats_.trace.misses.inc();
       per = system_.add(trace(a.node->e[0]), trace(a.node->e[3]));
@@ -502,9 +576,10 @@ public:
     }
     assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
     const NodePairKey key{a.node, b.node};
-    if (const Weight* hit = innerCache_.lookup(key)) {
+    Weight hit;
+    if (innerCache_.lookup(key, hit)) {
       stats_.inner.hits.inc();
-      return system_.mul(w, *hit);
+      return system_.mul(w, hit);
     }
     stats_.inner.misses.inc();
     Weight sum = system_.zero();
@@ -676,12 +751,43 @@ private:
 
   // -- unified recursive algorithms ---------------------------------------------
 
-  /// Canonical operand order (addition is commutative).
+  /// RAII bracket around one public kernel invocation.  Tracks nesting so the
+  /// quiescent-point work (deferred unique-table growth, the peak-node gauge)
+  /// runs exactly when the outermost kernel exits — the only moment in
+  /// concurrent mode when no worker can still be probing the tables.
+  class KernelScope {
+  public:
+    explicit KernelScope(Package& pkg) : pkg_(pkg) { ++pkg_.activeKernels_; }
+    ~KernelScope() {
+      if (--pkg_.activeKernels_ == 0 && pkg_.concurrent_) {
+        pkg_.peakNodes_ = std::max(pkg_.peakNodes_, pkg_.allocatedNodes());
+        pkg_.vUnique_.growIfPending();
+        pkg_.mUnique_.growIfPending();
+      }
+    }
+    KernelScope(const KernelScope&) = delete;
+    KernelScope& operator=(const KernelScope&) = delete;
+
+  private:
+    Package& pkg_;
+  };
+
+  /// Canonical operand order (addition is commutative).  Keyed on the nodes'
+  /// insert serials, not their addresses: under a tolerance-mode system the
+  /// operand order steers interning, and heap addresses shift with thread
+  /// arenas and allocation interleaving while the serial-mode insert order
+  /// does not.  Callers guarantee both operands are non-terminal.
   template <class EdgeT> [[nodiscard]] bool orderForAdd(const EdgeT& a, const EdgeT& b) const {
-    return std::less<const void*>{}(a.node, b.node) || (a.node == b.node && a.w <= b.w);
+    return a.node->seq < b.node->seq || (a.node == b.node && a.w <= b.w);
   }
 
-  template <class EdgeT> [[nodiscard]] EdgeT addImpl(const EdgeT& a, const EdgeT& b) {
+  /// `depth` is the remaining fork budget: while nonzero, the child
+  /// subproblems are split across exec::forkJoin (one half enqueued as a
+  /// stealable pool task, the other half run inline); at zero — and always in
+  /// serial mode, where parallelDepth_ is 0 — the loop below is the exact
+  /// pre-concurrency recursion.
+  template <class EdgeT>
+  [[nodiscard]] EdgeT addImpl(const EdgeT& a, const EdgeT& b, std::size_t depth = 0) {
     if (system_.isZero(a.w)) {
       return b;
     }
@@ -698,15 +804,25 @@ private:
     const EdgeKey key{x.node, x.w, y.node, y.w};
     auto& cache = addCacheFor<EdgeT>();
     obs::CacheStats& cacheStats = addStatsFor<EdgeT>();
-    if (const EdgeT* hit = cache.lookup(key)) {
+    EdgeT hit;
+    if (cache.lookup(key, hit)) {
       cacheStats.hits.inc();
-      return *hit;
+      return hit;
     }
     cacheStats.misses.inc();
     constexpr std::size_t N = EdgeT::Node::kBranching;
     std::array<EdgeT, N> children;
-    for (std::size_t i = 0; i < N; ++i) {
-      children[i] = addImpl(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w));
+    const auto computeRange = [&](std::size_t begin, std::size_t end, std::size_t d) {
+      for (std::size_t i = begin; i < end; ++i) {
+        children[i] = addImpl(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w), d);
+      }
+    };
+    if (depth != 0) {
+      const std::size_t d = depth - 1;
+      exec::forkJoin(
+          executor_, [&]() { computeRange(0, N / 2, d); }, [&]() { computeRange(N / 2, N, d); });
+    } else {
+      computeRange(0, N, 0);
     }
     const EdgeT result = makeNode<EdgeT, N>(x.node->var, children);
     if (cache.insert(key, result)) {
@@ -717,8 +833,10 @@ private:
 
   /// Matrix-vector (result arity 2) and matrix-matrix (result arity 4)
   /// product through one recursion: the result has 2 rows and
-  /// N/2 columns, each entry a sum of two partial products.
-  template <class REdge> [[nodiscard]] REdge multiplyImpl(const MEdge& m, const REdge& v) {
+  /// N/2 columns, each entry a sum of two partial products.  Forks split the
+  /// two result rows (each row's products + additions form one task).
+  template <class REdge>
+  [[nodiscard]] REdge multiplyImpl(const MEdge& m, const REdge& v, std::size_t depth = 0) {
     if (system_.isZero(m.w) || system_.isZero(v.w)) {
       return REdge{nullptr, system_.zero()};
     }
@@ -730,20 +848,29 @@ private:
     const NodePairKey key{m.node, v.node};
     auto& cache = mulCacheFor<REdge>();
     obs::CacheStats& cacheStats = mulStatsFor<REdge>();
-    if (const REdge* hit = cache.lookup(key)) {
+    REdge hit;
+    if (cache.lookup(key, hit)) {
       cacheStats.hits.inc();
-      return weighted(*hit, w);
+      return weighted(hit, w);
     }
     cacheStats.misses.inc();
     constexpr std::size_t N = REdge::Node::kBranching;
     constexpr std::size_t cols = N / 2;
     std::array<REdge, N> children;
-    for (std::size_t row = 0; row < 2; ++row) {
+    const auto computeRow = [&](std::size_t row, std::size_t d) {
       for (std::size_t col = 0; col < cols; ++col) {
-        const REdge p0 = multiplyImpl(m.node->e[2 * row], v.node->e[col]);
-        const REdge p1 = multiplyImpl(m.node->e[2 * row + 1], v.node->e[cols + col]);
-        children[cols * row + col] = addImpl(p0, p1);
+        const REdge p0 = multiplyImpl(m.node->e[2 * row], v.node->e[col], d);
+        const REdge p1 = multiplyImpl(m.node->e[2 * row + 1], v.node->e[cols + col], d);
+        children[cols * row + col] = addImpl(p0, p1, d);
       }
+    };
+    if (depth != 0) {
+      const std::size_t d = depth - 1;
+      exec::forkJoin(
+          executor_, [&]() { computeRow(0, d); }, [&]() { computeRow(1, d); });
+    } else {
+      computeRow(0, 0);
+      computeRow(1, 0);
     }
     const REdge result = makeNode<REdge, N>(m.node->var, children);
     if (cache.insert(key, result)) {
@@ -752,7 +879,8 @@ private:
     return weighted(result, w);
   }
 
-  template <class EdgeT> [[nodiscard]] EdgeT kroneckerImpl(const EdgeT& top, const EdgeT& bottom) {
+  template <class EdgeT>
+  [[nodiscard]] EdgeT kroneckerImpl(const EdgeT& top, const EdgeT& bottom, std::size_t depth = 0) {
     if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
       return EdgeT{nullptr, system_.zero()};
     }
@@ -763,16 +891,26 @@ private:
     const NodePairKey key{top.node, bottom.node};
     auto& cache = kronCacheFor<EdgeT>();
     obs::CacheStats& cacheStats = kronStatsFor<EdgeT>();
-    if (const EdgeT* hit = cache.lookup(key)) {
+    EdgeT hit;
+    if (cache.lookup(key, hit)) {
       cacheStats.hits.inc();
-      return weighted(*hit, w);
+      return weighted(hit, w);
     }
     cacheStats.misses.inc();
     const EdgeT stripBottom{bottom.node, system_.one()};
     constexpr std::size_t N = EdgeT::Node::kBranching;
     std::array<EdgeT, N> children;
-    for (std::size_t i = 0; i < N; ++i) {
-      children[i] = kroneckerImpl(top.node->e[i], stripBottom);
+    const auto computeRange = [&](std::size_t begin, std::size_t end, std::size_t d) {
+      for (std::size_t i = begin; i < end; ++i) {
+        children[i] = kroneckerImpl(top.node->e[i], stripBottom, d);
+      }
+    };
+    if (depth != 0) {
+      const std::size_t d = depth - 1;
+      exec::forkJoin(
+          executor_, [&]() { computeRange(0, N / 2, d); }, [&]() { computeRange(N / 2, N, d); });
+    } else {
+      computeRange(0, N, 0);
     }
     const EdgeT result = makeNode<EdgeT, N>(top.node->var, children);
     if (cache.insert(key, result)) {
@@ -824,6 +962,11 @@ private:
     auto& unique = uniqueFor<EdgeT>();
     obs::UniqueTableStats& tableStats = uniqueStatsFor<EdgeT>();
     const std::uint64_t contentHash = hashNodeContents(var, children);
+    // In concurrent mode the whole find-or-insert sequence holds the bucket's
+    // stripe lock, making the probe-then-link atomic per bucket; the guard is
+    // a no-op handle in serial mode.  Lock order: stripe before the arena's
+    // refill mutex (mem.get may refill), never the reverse.
+    const auto stripe = unique.lockStripe(contentHash);
     tableStats.lookups.inc();
     if (auto* existing = unique.find(var, children, contentHash)) {
       tableStats.hits.inc();
@@ -841,17 +984,34 @@ private:
     } else {
       stats_.nodeAllocations.inc();
     }
-    auto* node = mem.get();
+    auto* node = concurrent_ ? mem.get(exec::workerSlot()) : mem.get();
     node->var = var;
     node->ref = 0;
+    node->seq = concurrent_
+                    ? std::atomic_ref<std::uint64_t>(nodeSeq_).fetch_add(
+                          1, std::memory_order_relaxed)
+                    : nodeSeq_++;
     node->e = children;
     for (const EdgeT& child : children) {
       if (child.node != nullptr) {
-        ++child.node->ref;
+        if (concurrent_) {
+          // Another worker interning a sibling node may bump the same child
+          // concurrently; the count itself is only *read* at quiescent
+          // points (GC sweep), so relaxed is enough.
+          std::atomic_ref<std::uint32_t>(child.node->ref)
+              .fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++child.node->ref;
+        }
       }
     }
     unique.insert(node, contentHash);
-    peakNodes_ = std::max(peakNodes_, allocatedNodes());
+    if (!concurrent_) {
+      // Concurrent mode samples the peak once per outermost kernel exit
+      // (KernelScope) instead of per insert — the gauge is monotone, so the
+      // only loss is intra-kernel resolution.
+      peakNodes_ = std::max(peakNodes_, allocatedNodes());
+    }
     return EdgeT{node, factor};
   }
 
@@ -925,10 +1085,12 @@ private:
     CacheKind kind;
     void (*clear)(Package&);
     void (*setLossless)(Package&, bool);
+    void (*setConcurrent)(Package&, bool);
   };
   template <auto MemberPtr> static constexpr CacheRegistryEntry registryEntry(CacheKind kind) {
     return {kind, [](Package& p) { (p.*MemberPtr).clear(); },
-            [](Package& p, bool on) { (p.*MemberPtr).setLossless(on); }};
+            [](Package& p, bool on) { (p.*MemberPtr).setLossless(on); },
+            [](Package& p, bool on) { (p.*MemberPtr).setConcurrent(on); }};
   }
   static constexpr std::array<CacheRegistryEntry, 9> kCacheRegistry{{
       registryEntry<&Package::vAddCache_>(CacheKind::VAdd),
@@ -951,10 +1113,17 @@ private:
   UniqueTable<VNode> vUnique_;
   UniqueTable<MNode> mUnique_;
   std::size_t peakNodes_ = 0;
+  std::uint64_t nodeSeq_ = 0; ///< next insert serial (atomic_ref'd when concurrent)
 
   std::size_t gcWatermark_ = 0;
   std::size_t gcRuns_ = 0;
   GcReport lastGcReport_{};
+
+  exec::ThreadPool* executor_ = nullptr;     ///< kernel fork target (not owned)
+  std::size_t configParallelDepth_ = 0;      ///< Config::parallelDepth (0 = derive)
+  std::size_t parallelDepth_ = 0;            ///< active fork cutoff (0 = serial)
+  bool concurrent_ = false;                  ///< kernels run the parallel paths
+  int activeKernels_ = 0;                    ///< KernelScope nesting depth
 
   mutable std::uint64_t visitEpoch_ = 0; ///< current traversal generation
 

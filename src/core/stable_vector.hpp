@@ -1,0 +1,102 @@
+/// \file stable_vector.hpp
+/// Append-only vector with stable element addresses and lock-free reads —
+/// the storage the weight systems' intern pools need once the fork-join
+/// kernels read interned values (`System::value(ref)`) from every worker
+/// while new values are still being interned.
+///
+/// A std::vector cannot serve that role: push_back reallocates, so a reader
+/// holding an index can race the element move.  Here elements live in
+/// geometrically growing chunks (4096, 8192, 16384, ... — chunk k holds
+/// 4096·2^k elements) referenced from a fixed array of atomic chunk
+/// pointers, so nothing is ever moved and `operator[]` is two loads plus
+/// index arithmetic.
+///
+/// Concurrency contract:
+///  - writers (push_back) must be externally serialized — both intern pools
+///    already append under their table mutex;
+///  - readers may run concurrently with one writer, but must obtain the
+///    index they read through some synchronizing structure (the unique
+///    table's stripe mutexes, a computed table's seqlock publish, or
+///    size() which is released by push_back) — exactly how interned weight
+///    handles travel between kernel workers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+
+namespace qadd::dd {
+
+template <class T> class StableVector {
+  static_assert(std::is_nothrow_copy_assignable_v<T> || std::is_copy_assignable_v<T>,
+                "StableVector stores by copy assignment");
+
+public:
+  /// First chunk holds 2^kBaseShift elements.
+  static constexpr std::size_t kBaseShift = 12;
+  static constexpr std::size_t kMaxChunks = 40;
+
+  StableVector() = default;
+  ~StableVector() {
+    for (auto& chunk : chunks_) {
+      delete[] chunk.load(std::memory_order_relaxed);
+    }
+  }
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] const T& operator[](std::size_t index) const {
+    const Location loc = locate(index);
+    return chunks_[loc.chunk].load(std::memory_order_acquire)[loc.offset];
+  }
+  [[nodiscard]] T& operator[](std::size_t index) {
+    const Location loc = locate(index);
+    return chunks_[loc.chunk].load(std::memory_order_acquire)[loc.offset];
+  }
+
+  /// Append an element; returns its index.  Writers must be externally
+  /// serialized (see the file comment).
+  std::size_t push_back(const T& value) {
+    const std::size_t index = size_.load(std::memory_order_relaxed);
+    const Location loc = locate(index);
+    assert(loc.chunk < kMaxChunks);
+    T* chunk = chunks_[loc.chunk].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[chunkSize(loc.chunk)]();
+      chunks_[loc.chunk].store(chunk, std::memory_order_release);
+    }
+    chunk[loc.offset] = value;
+    size_.store(index + 1, std::memory_order_release);
+    return index;
+  }
+
+private:
+  struct Location {
+    std::size_t chunk;
+    std::size_t offset;
+  };
+
+  [[nodiscard]] static constexpr std::size_t chunkSize(std::size_t chunk) {
+    return (std::size_t{1} << kBaseShift) << chunk;
+  }
+
+  /// Chunk k covers indices [B·(2^k - 1), B·(2^{k+1} - 1)) with B = 2^12.
+  [[nodiscard]] static constexpr Location locate(std::size_t index) {
+    const std::size_t j = (index >> kBaseShift) + 1;
+    const std::size_t chunk = static_cast<std::size_t>(std::bit_width(j)) - 1;
+    const std::size_t offset = index - (((std::size_t{1} << chunk) - 1) << kBaseShift);
+    return {chunk, offset};
+  }
+
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<std::size_t> size_{0};
+};
+
+} // namespace qadd::dd

@@ -290,23 +290,45 @@ template <class System, class EdgeT>
   };
   visit(visit, root.node);
 
-  // Used weights, dumped sorted ascending by handle: deterministic content,
-  // and (for the numeric system) reload in original interning order.
-  std::set<Weight> used{root.w};
-  for (const NodeT* node : order) {
-    for (const auto& child : node->e) {
-      used.insert(child.w);
-    }
-  }
+  // Used weights.  Order-dependent (tolerance-mode) systems dump sorted
+  // ascending by handle — the original interning order — so a reload into a
+  // fresh table replays the same unification decisions.  Order-independent
+  // systems dump in first-use order of the topological walk instead: their
+  // handle values shift with kernel scheduling under the parallel kernels,
+  // but the walk depends only on the DD itself, so snapshot bytes stay
+  // identical between serial and parallel runs (reload order is immaterial
+  // when interning is exact).
+  std::vector<Weight> dumpOrder;
   std::unordered_map<Weight, std::uint64_t> weightIndex;
-  weightIndex.reserve(used.size());
+  auto noteWeight = [&](Weight handle) {
+    if (weightIndex.emplace(handle, dumpOrder.size()).second) {
+      dumpOrder.push_back(handle);
+    }
+  };
+  if (package.system().memoizationOrderDependent()) {
+    std::set<Weight> used{root.w};
+    for (const NodeT* node : order) {
+      for (const auto& child : node->e) {
+        used.insert(child.w);
+      }
+    }
+    for (const Weight handle : used) {
+      noteWeight(handle);
+    }
+  } else {
+    for (const NodeT* node : order) {
+      for (const auto& child : node->e) {
+        noteWeight(child.w);
+      }
+    }
+    noteWeight(root.w);
+  }
 
   ByteWriter payload;
   SystemCodec<System>::writeMeta(payload, package.system());
-  payload.varint(used.size());
+  payload.varint(dumpOrder.size());
   payload.varint(order.size());
-  for (const Weight handle : used) {
-    weightIndex.emplace(handle, weightIndex.size());
+  for (const Weight handle : dumpOrder) {
     SystemCodec<System>::writeWeight(payload, package.system(), handle);
   }
   for (const NodeT* node : order) {
@@ -333,7 +355,7 @@ template <class System, class EdgeT>
   obs::IoStats& io = package.ioCounters();
   io.snapshotsSaved.inc();
   io.nodesWritten.inc(order.size());
-  io.weightsWritten.inc(used.size());
+  io.weightsWritten.inc(dumpOrder.size());
   io.bytesWritten.inc(out.size());
   return out.take();
 }

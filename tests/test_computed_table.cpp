@@ -20,16 +20,17 @@ using SmallTable = ComputedTable<RawKey, std::uint64_t, 64>;
 
 TEST(ComputedTable, MissesBeforeAnyInsert) {
   SmallTable table;
-  EXPECT_EQ(table.lookup(RawKey{1}), nullptr);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(table.lookup(RawKey{1}, out));
 }
 
 TEST(ComputedTable, InsertThenLookupRoundTrips) {
   SmallTable table;
   EXPECT_FALSE(table.insert(RawKey{7}, 70));
-  const std::uint64_t* hit = table.lookup(RawKey{7});
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(*hit, 70U);
-  EXPECT_EQ(table.lookup(RawKey{8}), nullptr);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(table.lookup(RawKey{7}, out));
+  EXPECT_EQ(out, 70U);
+  EXPECT_FALSE(table.lookup(RawKey{8}, out));
 }
 
 TEST(ComputedTable, IndexCollisionEvictsPriorEntry) {
@@ -38,19 +39,19 @@ TEST(ComputedTable, IndexCollisionEvictsPriorEntry) {
   EXPECT_FALSE(table.insert(RawKey{3}, 30));
   EXPECT_EQ(SmallTable::slotOf(RawKey{3}), SmallTable::slotOf(RawKey{3 + 64}));
   EXPECT_TRUE(table.insert(RawKey{3 + 64}, 670)) << "displacing a live entry is an eviction";
-  EXPECT_EQ(table.lookup(RawKey{3}), nullptr) << "lossy mode drops the displaced entry";
-  const std::uint64_t* hit = table.lookup(RawKey{3 + 64});
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(*hit, 670U);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(table.lookup(RawKey{3}, out)) << "lossy mode drops the displaced entry";
+  ASSERT_TRUE(table.lookup(RawKey{3 + 64}, out));
+  EXPECT_EQ(out, 670U);
 }
 
 TEST(ComputedTable, OverwritingSameKeyIsNotAnEviction) {
   SmallTable table;
   EXPECT_FALSE(table.insert(RawKey{5}, 1));
   EXPECT_FALSE(table.insert(RawKey{5}, 2)) << "same key refresh is not an eviction";
-  const std::uint64_t* hit = table.lookup(RawKey{5});
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(*hit, 2U);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(table.lookup(RawKey{5}, out));
+  EXPECT_EQ(out, 2U);
 }
 
 TEST(ComputedTable, ClearInvalidatesInConstantTimeViaEpoch) {
@@ -61,14 +62,14 @@ TEST(ComputedTable, ClearInvalidatesInConstantTimeViaEpoch) {
   const std::uint32_t epochBefore = table.epoch();
   table.clear();
   EXPECT_EQ(table.epoch(), epochBefore + 1) << "clear is an epoch bump, not a wipe";
+  std::uint64_t out = 0;
   for (std::uint64_t k = 0; k < 64; ++k) {
-    EXPECT_EQ(table.lookup(RawKey{k}), nullptr) << "stale epoch entry served after clear";
+    EXPECT_FALSE(table.lookup(RawKey{k}, out)) << "stale epoch entry served after clear";
   }
   // The table is fully usable after the bump.
   table.insert(RawKey{9}, 99);
-  const std::uint64_t* hit = table.lookup(RawKey{9});
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(*hit, 99U);
+  ASSERT_TRUE(table.lookup(RawKey{9}, out));
+  EXPECT_EQ(out, 99U);
 }
 
 TEST(ComputedTable, StaleEntryIsOverwrittenWithoutEvictionAfterClear) {
@@ -86,12 +87,11 @@ TEST(ComputedTable, LosslessModeSpillsDisplacedEntries) {
   table.insert(RawKey{3}, 30);
   EXPECT_TRUE(table.insert(RawKey{3 + 64}, 670)) << "displacement still counts as spilled";
   // Both the displaced and the displacing entry remain retrievable.
-  const std::uint64_t* displaced = table.lookup(RawKey{3});
-  ASSERT_NE(displaced, nullptr);
-  EXPECT_EQ(*displaced, 30U);
-  const std::uint64_t* current = table.lookup(RawKey{3 + 64});
-  ASSERT_NE(current, nullptr);
-  EXPECT_EQ(*current, 670U);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(table.lookup(RawKey{3}, out));
+  EXPECT_EQ(out, 30U);
+  ASSERT_TRUE(table.lookup(RawKey{3 + 64}, out));
+  EXPECT_EQ(out, 670U);
 }
 
 TEST(ComputedTable, ClearAlsoDropsSpilledEntries) {
@@ -100,8 +100,9 @@ TEST(ComputedTable, ClearAlsoDropsSpilledEntries) {
   table.insert(RawKey{3}, 30);
   table.insert(RawKey{3 + 64}, 670);
   table.clear();
-  EXPECT_EQ(table.lookup(RawKey{3}), nullptr);
-  EXPECT_EQ(table.lookup(RawKey{3 + 64}), nullptr);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(table.lookup(RawKey{3}, out));
+  EXPECT_FALSE(table.lookup(RawKey{3 + 64}, out));
 }
 
 TEST(ComputedTable, WorksWithWeightPairKeys) {
@@ -109,11 +110,45 @@ TEST(ComputedTable, WorksWithWeightPairKeys) {
   // handles.
   ComputedTable<WeightPairKey, std::uint32_t, 1024> table;
   table.insert(WeightPairKey{2, 3}, 6);
-  const std::uint32_t* hit = table.lookup(WeightPairKey{2, 3});
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(*hit, 6U);
-  EXPECT_EQ(table.lookup(WeightPairKey{3, 2}), nullptr)
+  std::uint32_t out = 0;
+  ASSERT_TRUE(table.lookup(WeightPairKey{2, 3}, out));
+  EXPECT_EQ(out, 6U);
+  EXPECT_FALSE(table.lookup(WeightPairKey{3, 2}, out))
       << "the table itself is not commutative; callers order the operands";
+}
+
+TEST(ComputedTable, ConcurrentModeRoundTripsThroughSeqlock) {
+  SmallTable table;
+  table.setConcurrent(true);
+  EXPECT_TRUE(table.concurrent());
+  std::uint64_t out = 0;
+  EXPECT_FALSE(table.lookup(RawKey{1}, out));
+  EXPECT_FALSE(table.insert(RawKey{7}, 70));
+  ASSERT_TRUE(table.lookup(RawKey{7}, out));
+  EXPECT_EQ(out, 70U);
+  // Same-slot displacement still works (and still reports the eviction).
+  EXPECT_TRUE(table.insert(RawKey{7 + 64}, 99));
+  EXPECT_FALSE(table.lookup(RawKey{7}, out));
+  ASSERT_TRUE(table.lookup(RawKey{7 + 64}, out));
+  EXPECT_EQ(out, 99U);
+  // Epoch clears behave identically in concurrent mode.
+  table.clear();
+  EXPECT_FALSE(table.lookup(RawKey{7 + 64}, out));
+}
+
+TEST(ComputedTable, SetConcurrentDropsExistingEntries) {
+  SmallTable table;
+  table.insert(RawKey{3}, 30);
+  table.setConcurrent(true);
+  // Entries written before the switch carry no sequence word, so the switch
+  // clears the table rather than serve unpublished slots.
+  std::uint64_t out = 0;
+  EXPECT_FALSE(table.lookup(RawKey{3}, out));
+  // Switching back to serial keeps working.
+  table.setConcurrent(false);
+  table.insert(RawKey{4}, 40);
+  ASSERT_TRUE(table.lookup(RawKey{4}, out));
+  EXPECT_EQ(out, 40U);
 }
 
 } // namespace
