@@ -1,0 +1,311 @@
+/// \file serve_load.cpp
+/// Latency-SLO load bench for the qadd_serve daemon: boots a server
+/// in-process (port 0), drives it with N concurrent TCP clients running a
+/// mixed workload (exact algebraic + ε-tolerance numeric sessions, snapshot
+/// and plain jobs, the occasional metrics scrape), and writes
+/// BENCH_serve.json with p50/p95/p99 request latency, throughput, and the
+/// correctness gates:
+///
+///   - zero transport errors and zero dropped connections (admission control
+///     bounds load with 429s, which clients retry — overload must never
+///     surface as broken connections),
+///   - every distinct workload's final state byte-identical to an offline
+///     qc::Simulator run of the same circuit/ε (fresh verification sessions,
+///     so ε-tolerance results are compared on equal weight-table history —
+///     see docs/SERVE.md).
+///
+///   ./serve_load [clients] [perClient] [qubits] [--help]
+#include "core/algebraic_system.hpp"
+#include "core/numeric_system.hpp"
+#include "algorithms/grover.hpp"
+#include "eval/driver_cli.hpp"
+#include "io/snapshot.hpp"
+#include "qc/simulator.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace qadd;
+using Clock = std::chrono::steady_clock;
+
+/// One distinct job shape of the mixed workload.
+struct Workload {
+  std::string name;
+  std::string system; ///< "alg" or "num"
+  double epsilon = 0.0;
+  qc::Circuit circuit{0};
+};
+
+/// Offline reference: simulate the workload's circuit with its own package
+/// (exactly what docs/SERVE.md promises a fresh session matches) and return
+/// the QDDS state snapshot.
+template <class System>
+std::vector<std::uint8_t> offlineSnapshot(const Workload& workload,
+                                          typename System::Config config) {
+  qc::Simulator<System> simulator(workload.circuit, config);
+  simulator.run();
+  return io::saveVector(simulator.package(), simulator.state());
+}
+
+struct ClientStats {
+  std::vector<double> latenciesMs;
+  std::uint64_t completed = 0;
+  std::uint64_t retries429 = 0;
+  std::uint64_t errors = 0;
+  std::string firstError;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const eval::DriverSpec spec{
+      "serve_load",
+      "BENCH_serve.json: qadd_serve latency percentiles + throughput under concurrent load.",
+      {{"clients", 8, "concurrent TCP clients"},
+       {"perClient", 24, "requests per client"},
+       {"qubits", 8, "workload circuit width"}},
+      false};
+  const eval::DriverCli cli = eval::parseDriverCli(argc, argv, spec);
+  const auto clients = static_cast<std::size_t>(cli.positionals[0]);
+  const auto perClient = static_cast<std::size_t>(cli.positionals[1]);
+  const auto qubits = static_cast<qc::Qubit>(cli.positionals[2]);
+
+  // Mixed workload: two widths of exact algebraic Grover plus an ε-tolerance
+  // numeric run of the wider one.  All deterministic.
+  const auto narrow = static_cast<qc::Qubit>(qubits > 2 ? qubits - 2 : 1);
+  std::vector<Workload> workloads;
+  workloads.push_back({"algWide", "alg", 0.0, algos::grover({qubits, (1ULL << qubits) / 3, 0})});
+  workloads.push_back(
+      {"algNarrow", "alg", 0.0, algos::grover({narrow, (1ULL << narrow) / 3, 0})});
+  workloads.push_back(
+      {"numEps", "num", 1e-4, algos::grover({qubits, (1ULL << qubits) / 3, 0})});
+
+  serve::ServerConfig serverConfig;
+  serverConfig.port = 0;
+  serverConfig.workers = 4;
+  serverConfig.maxQueueDepth = 2 * clients; // small enough that 429s actually fire under burst
+  serverConfig.maxSessions = clients + workloads.size() + 4;
+  serverConfig.idleTimeoutSeconds = 120.0;
+  serve::Server server(serverConfig);
+  server.start();
+  const std::uint16_t port = server.port();
+  std::cout << "== serve_load: " << clients << " clients x " << perClient << " requests, "
+            << qubits << "q workloads, port " << port << " ==\n";
+
+  const auto runClient = [&](std::size_t clientIndex, ClientStats& stats) {
+    try {
+      serve::Client client;
+      client.connect("127.0.0.1", port, 60.0);
+      // Each client owns one session; system alternates across clients so
+      // both weight systems are under load concurrently.
+      const Workload& workload = workloads[clientIndex % workloads.size()];
+      const std::string sessionName = "load-" + std::to_string(clientIndex);
+      {
+        serve::json::Value open = serve::json::Value::object();
+        open.set("id", std::string("open"));
+        open.set("op", "open");
+        open.set("session", sessionName);
+        open.set("system", workload.system);
+        open.set("eps", workload.epsilon);
+        open.set("qubits", static_cast<std::size_t>(workload.circuit.qubits()));
+        const serve::json::Value reply = client.call(open);
+        if (!reply.getBool("ok")) {
+          throw std::runtime_error("open failed: " + serve::json::dump(reply));
+        }
+      }
+      const std::string circuitText = workload.circuit.toText();
+      for (std::size_t r = 0; r < perClient; ++r) {
+        serve::json::Value request = serve::json::Value::object();
+        request.set("id", std::to_string(clientIndex) + ":" + std::to_string(r));
+        if (r % 13 == 12) { // the occasional metrics scrape rides along
+          request.set("op", "metrics");
+        } else {
+          request.set("op", "run");
+          request.set("session", sessionName);
+          request.set("circuit", circuitText);
+          if (r % 5 == 4) {
+            request.set("snapshot", true); // exercise the QDDS payload path
+          }
+        }
+        while (true) {
+          const auto start = Clock::now();
+          const serve::json::Value reply = client.call(request);
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+          if (reply.getBool("ok")) {
+            stats.latenciesMs.push_back(ms);
+            ++stats.completed;
+            break;
+          }
+          const auto* error = reply.find("error");
+          const int code =
+              error != nullptr ? static_cast<int>(error->getNumber("code")) : 0;
+          if (code == 429) { // admission control: back off and retry
+            ++stats.retries429;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          throw std::runtime_error("request failed: " + serve::json::dump(reply));
+        }
+      }
+    } catch (const std::exception& error) {
+      ++stats.errors;
+      if (stats.firstError.empty()) {
+        stats.firstError = error.what();
+      }
+    }
+  };
+
+  std::vector<ClientStats> stats(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto loadStart = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back(runClient, c, std::ref(stats[c]));
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double loadSeconds = std::chrono::duration<double>(Clock::now() - loadStart).count();
+
+  std::vector<double> latencies;
+  std::uint64_t completed = 0;
+  std::uint64_t retries429 = 0;
+  std::uint64_t errors = 0;
+  for (const ClientStats& s : stats) {
+    latencies.insert(latencies.end(), s.latenciesMs.begin(), s.latenciesMs.end());
+    completed += s.completed;
+    retries429 += s.retries429;
+    errors += s.errors;
+    if (!s.firstError.empty()) {
+      std::cerr << "client error: " << s.firstError << "\n";
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+  const double throughput = loadSeconds > 0 ? static_cast<double>(completed) / loadSeconds : 0.0;
+
+  // Byte-identity verification: for each workload, a FRESH session's state
+  // snapshot must equal the offline simulator's (fresh, so ε-tolerance
+  // results are compared on equal weight-table history).
+  std::size_t identicalResults = 0;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const Workload& workload = workloads[w];
+    std::vector<std::uint8_t> offline;
+    if (workload.system == "alg") {
+      offline = offlineSnapshot<dd::AlgebraicSystem>(workload, {});
+    } else {
+      dd::NumericSystem::Config config;
+      config.epsilon = workload.epsilon;
+      offline = offlineSnapshot<dd::NumericSystem>(workload, config);
+    }
+    serve::Client client;
+    client.connect("127.0.0.1", port, 60.0);
+    serve::json::Value open = serve::json::Value::object();
+    open.set("op", "open");
+    open.set("session", "verify-" + workload.name);
+    open.set("system", workload.system);
+    open.set("eps", workload.epsilon);
+    open.set("qubits", static_cast<std::size_t>(workload.circuit.qubits()));
+    if (!client.call(open).getBool("ok")) {
+      std::cerr << "FAIL: verify session open failed for " << workload.name << "\n";
+      continue;
+    }
+    serve::json::Value run = serve::json::Value::object();
+    run.set("op", "run");
+    run.set("session", "verify-" + workload.name);
+    run.set("circuit", workload.circuit.toText());
+    run.set("snapshot", true);
+    const serve::json::Value reply = client.call(run);
+    const auto served = serve::decodeBase64(reply.getString("snapshot_b64"));
+    if (reply.getBool("ok") && served == offline) {
+      ++identicalResults;
+    } else {
+      std::cerr << "FAIL: " << workload.name << " served snapshot differs from offline ("
+                << served.size() << " vs " << offline.size() << " bytes)\n";
+    }
+  }
+
+  const auto& counters = server.counters();
+  const std::uint64_t dropped = counters.droppedConnections.load();
+  const std::uint64_t cacheHits = counters.resultCacheHits.load();
+  const std::uint64_t coalesced = counters.resultCacheCoalesced.load();
+  const std::uint64_t rejected = server.jobQueue().rejected();
+  server.stop();
+
+  std::cout << std::fixed << std::setprecision(3) << "completed " << completed << " requests in "
+            << loadSeconds << " s (" << std::setprecision(1) << throughput << " req/s), p50 "
+            << std::setprecision(3) << p50 << " ms, p95 " << p95 << " ms, p99 " << p99
+            << " ms\n"
+            << "429 retries " << retries429 << " (server rejected " << rejected
+            << "), result cache " << cacheHits << " hits / " << coalesced << " coalesced, "
+            << identicalResults << "/" << workloads.size() << " workloads byte-identical\n";
+
+  std::ofstream os("BENCH_serve.json");
+  os << std::setprecision(6) << std::fixed;
+  os << "{\n  \"bench\": \"serve_load\",\n"
+     << "  \"workload\": \"mixed alg/num grover over TCP, admission-controlled\",\n"
+     << "  \"clients\": " << clients << ",\n"
+     << "  \"perClient\": " << perClient << ",\n"
+     << "  \"qubits\": " << static_cast<std::size_t>(qubits) << ",\n"
+     << "  \"completed\": " << completed << ",\n"
+     << "  \"errors\": " << errors << ",\n"
+     << "  \"droppedConnections\": " << dropped << ",\n"
+     << "  \"identicalResults\": " << identicalResults << ",\n"
+     << "  \"workloads\": " << workloads.size() << ",\n"
+     << "  \"retries429\": " << retries429 << ",\n"
+     << "  \"latency\": {\n"
+     << "    \"p50Ms\": " << p50 << ",\n"
+     << "    \"p95Ms\": " << p95 << ",\n"
+     << "    \"p99Ms\": " << p99 << "\n"
+     << "  },\n"
+     << "  \"throughputRps\": " << throughput << ",\n"
+     << "  \"loadSeconds\": " << loadSeconds << ",\n"
+     << "  \"resultCacheHits\": " << cacheHits << ",\n"
+     << "  \"resultCacheCoalesced\": " << coalesced << "\n"
+     << "}\n";
+  std::cout << "report written to BENCH_serve.json\n";
+
+  if (errors != 0) {
+    std::cerr << "FAIL: " << errors << " client(s) hit transport/protocol errors\n";
+    return 1;
+  }
+  if (dropped != 0) {
+    std::cerr << "FAIL: server dropped " << dropped << " connection(s) under load\n";
+    return 1;
+  }
+  if (identicalResults != workloads.size()) {
+    std::cerr << "FAIL: only " << identicalResults << "/" << workloads.size()
+              << " workloads byte-identical to the offline simulator\n";
+    return 1;
+  }
+  std::cout << "serve_load gates passed (0 errors, 0 dropped, " << identicalResults
+            << "/" << workloads.size() << " identical)\n";
+  return 0;
+}

@@ -19,23 +19,39 @@ void family(std::ostream& os, std::string_view name, std::string_view type,
 
 } // namespace
 
+std::string promEscapeLabel(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+    case '\\': escaped += "\\\\"; break;
+    case '"': escaped += "\\\""; break;
+    case '\n': escaped += "\\n"; break;
+    default: escaped += c; break;
+    }
+  }
+  return escaped;
+}
+
 void renderPrometheus(std::ostream& os, const PackageStats& stats) {
   os << std::setprecision(12);
 
   family(os, "qadd_cache_hits_total", "counter", "Operation-cache lookups served from the cache.");
   for (const auto& [name, cache] : stats.caches()) {
-    os << "qadd_cache_hits_total{cache=\"" << name << "\"} " << cache->hits.value() << "\n";
+    os << "qadd_cache_hits_total{cache=\"" << promEscapeLabel(name) << "\"} "
+       << cache->hits.value() << "\n";
   }
   family(os, "qadd_cache_misses_total", "counter",
          "Operation-cache lookups that fell through to the recursive computation.");
   for (const auto& [name, cache] : stats.caches()) {
-    os << "qadd_cache_misses_total{cache=\"" << name << "\"} " << cache->misses.value() << "\n";
+    os << "qadd_cache_misses_total{cache=\"" << promEscapeLabel(name) << "\"} "
+       << cache->misses.value() << "\n";
   }
   family(os, "qadd_cache_evictions_total", "counter",
          "Direct-mapped cache inserts that displaced a live entry.");
   for (const auto& [name, cache] : stats.caches()) {
-    os << "qadd_cache_evictions_total{cache=\"" << name << "\"} " << cache->evictions.value()
-       << "\n";
+    os << "qadd_cache_evictions_total{cache=\"" << promEscapeLabel(name) << "\"} "
+       << cache->evictions.value() << "\n";
   }
 
   family(os, "qadd_unique_lookups_total", "counter", "Unique-table lookups.");

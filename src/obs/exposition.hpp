@@ -14,10 +14,19 @@
 #include "obs/stats.hpp"
 
 #include <iosfwd>
+#include <string>
+#include <string_view>
 
 namespace qadd::obs {
 
 class Timeline;
+
+/// Escape a label value per the Prometheus exposition spec: backslash,
+/// double-quote and newline become \\, \" and \n.  Every label value in the
+/// families below goes through this, so exposition stays parseable even when
+/// a label value comes from untrusted input (qadd_serve session names in
+/// particular).
+[[nodiscard]] std::string promEscapeLabel(std::string_view value);
 
 /// Render one PackageStats snapshot.
 void renderPrometheus(std::ostream& os, const PackageStats& stats);

@@ -12,24 +12,62 @@ namespace qadd::qc {
 
 namespace {
 
+std::string renderMessage(std::size_t line, std::size_t column, const std::string& token,
+                          const std::string& message) {
+  std::string rendered = "qasm:" + std::to_string(line) + ":" + std::to_string(column) + ": " +
+                         message;
+  if (!token.empty()) {
+    rendered += " (near '" + token + "')";
+  }
+  return rendered;
+}
+
+/// 1-based line/column of a byte offset in the original source.
+std::pair<std::size_t, std::size_t> lineColumn(std::string_view source, std::size_t offset) {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  const std::size_t end = std::min(offset, source.size());
+  for (std::size_t i = 0; i < end; ++i) {
+    if (source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return {line, column};
+}
+
+[[noreturn]] void failAt(std::string_view source, std::size_t offset, std::string token,
+                         const std::string& message) {
+  const auto [line, column] = lineColumn(source, offset);
+  throw ParseError(line, column, std::move(token), message);
+}
+
 /// Minimal arithmetic-expression evaluator for gate arguments: numbers, pi,
 /// + - * / and parentheses (covers what qelib-style sources use, e.g.
-/// "-pi/4", "3*pi/8").
+/// "-pi/4", "3*pi/8").  `baseOffset` is the position of the expression in the
+/// original source, so errors carry exact coordinates.
 class ExpressionParser {
 public:
-  explicit ExpressionParser(std::string_view text) : text_(text) {}
+  ExpressionParser(std::string_view source, std::string_view text, std::size_t baseOffset)
+      : source_(source), text_(text), baseOffset_(baseOffset) {}
 
   double parse() {
     const double value = parseSum();
     skipSpace();
     if (position_ != text_.size()) {
-      throw std::invalid_argument("qasm: trailing characters in expression '" +
-                                  std::string{text_} + "'");
+      fail(position_, std::string{text_.substr(position_)},
+           "trailing characters in expression");
     }
     return value;
   }
 
 private:
+  [[noreturn]] void fail(std::size_t position, std::string token, const std::string& message) {
+    failAt(source_, baseOffset_ + position, std::move(token), message);
+  }
+
   void skipSpace() {
     while (position_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[position_])) != 0) {
       ++position_;
@@ -81,7 +119,7 @@ private:
     if (consume('(')) {
       const double value = parseSum();
       if (!consume(')')) {
-        throw std::invalid_argument("qasm: missing ')' in expression");
+        fail(position_, std::string{text_}, "missing ')' in expression");
       }
       return value;
     }
@@ -98,129 +136,196 @@ private:
       ++position_;
     }
     if (position_ == start) {
-      throw std::invalid_argument("qasm: expected number in expression '" + std::string{text_} +
-                                  "'");
+      fail(start, std::string{text_}, "expected number in expression");
     }
     return std::stod(std::string{text_.substr(start, position_ - start)});
   }
 
+  std::string_view source_;
   std::string_view text_;
+  std::size_t baseOffset_ = 0;
   std::size_t position_ = 0;
 };
 
-std::string trim(std::string s) {
-  const auto notSpace = [](unsigned char c) { return std::isspace(c) == 0; };
-  s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
-  s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
-  return s;
+/// One ';'-delimited statement: its trimmed text plus the byte offset of that
+/// text in the original source (comment stripping is offset-preserving).
+struct Statement {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+/// Parse a decimal unsigned integer; the whole token must be digits.
+std::size_t parseIndex(std::string_view source, std::string_view digits, std::size_t offset,
+                       const std::string& what) {
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    failAt(source, offset, std::string{digits}, "expected an unsigned integer " + what);
+  }
+  return std::stoul(std::string{digits});
 }
 
 } // namespace
 
+ParseError::ParseError(std::size_t line, std::size_t column, std::string token,
+                       const std::string& message)
+    : std::invalid_argument(renderMessage(line, column, token, message)), line_(line),
+      column_(column), token_(std::move(token)) {}
+
 Circuit fromQasm(const std::string& source) {
-  // Strip comments and split on ';'.
-  std::string cleaned;
-  cleaned.reserve(source.size());
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    if (source[i] == '/' && i + 1 < source.size() && source[i + 1] == '/') {
-      while (i < source.size() && source[i] != '\n') {
-        ++i;
+  // Blank out comments in place of deleting them, so every byte offset in
+  // `cleaned` is also a byte offset in `source` — that equivalence is what
+  // lets every error below report exact line/column coordinates.
+  std::string cleaned = source;
+  for (std::size_t i = 0; i + 1 < cleaned.size(); ++i) {
+    if (cleaned[i] == '/' && cleaned[i + 1] == '/') {
+      while (i < cleaned.size() && cleaned[i] != '\n') {
+        cleaned[i++] = ' ';
       }
-    }
-    if (i < source.size()) {
-      cleaned.push_back(source[i]);
     }
   }
 
-  std::map<std::string, Qubit> registerOffsets; // qreg name -> base qubit
+  std::map<std::string, std::pair<Qubit, Qubit>> registers; // qreg name -> {base, width}
   Qubit totalQubits = 0;
-  std::vector<std::string> statements;
+  std::vector<Statement> statements;
   {
-    std::string current;
-    for (const char c : cleaned) {
-      if (c == ';') {
-        statements.push_back(trim(current));
-        current.clear();
-      } else {
-        current.push_back(c);
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= cleaned.size(); ++i) {
+      if (i < cleaned.size() && cleaned[i] != ';') {
+        continue;
       }
-    }
-    if (!trim(current).empty()) {
-      throw std::invalid_argument("qasm: missing ';' after last statement");
+      // [start, i) is one raw statement; trim it while keeping the offset of
+      // the first retained character.
+      std::size_t first = start;
+      while (first < i && std::isspace(static_cast<unsigned char>(cleaned[first])) != 0) {
+        ++first;
+      }
+      std::size_t last = i;
+      while (last > first && std::isspace(static_cast<unsigned char>(cleaned[last - 1])) != 0) {
+        --last;
+      }
+      if (first < last) {
+        if (i == cleaned.size()) {
+          failAt(source, first, cleaned.substr(first, last - first),
+                 "missing ';' after last statement");
+        }
+        statements.push_back({cleaned.substr(first, last - first), first});
+      }
+      start = i + 1;
     }
   }
 
   // First pass: collect qreg declarations (so the Circuit width is known).
-  std::vector<std::string> bodyStatements;
-  for (const std::string& statement : statements) {
-    if (statement.empty() || statement.starts_with("OPENQASM") ||
-        statement.starts_with("include") || statement.starts_with("creg") ||
-        statement.starts_with("barrier") || statement.starts_with("measure")) {
+  std::vector<Statement> bodyStatements;
+  for (const Statement& statement : statements) {
+    if (statement.text.starts_with("OPENQASM") || statement.text.starts_with("include") ||
+        statement.text.starts_with("creg") || statement.text.starts_with("barrier") ||
+        statement.text.starts_with("measure")) {
       continue;
     }
-    if (statement.starts_with("qreg")) {
-      const auto open = statement.find('[');
-      const auto close = statement.find(']');
+    if (statement.text.starts_with("qreg")) {
+      const auto open = statement.text.find('[');
+      const auto close = statement.text.find(']');
       if (open == std::string::npos || close == std::string::npos || close < open) {
-        throw std::invalid_argument("qasm: malformed qreg: " + statement);
+        failAt(source, statement.offset, statement.text, "malformed qreg");
       }
-      const std::string name = trim(statement.substr(4, open - 4));
-      const auto width = static_cast<Qubit>(std::stoul(statement.substr(open + 1, close - open - 1)));
-      registerOffsets[name] = totalQubits;
+      const std::string name = [&] {
+        std::string n = statement.text.substr(4, open - 4);
+        n.erase(n.begin(), std::find_if(n.begin(), n.end(), [](unsigned char c) {
+                  return std::isspace(c) == 0;
+                }));
+        n.erase(std::find_if(n.rbegin(), n.rend(),
+                             [](unsigned char c) { return std::isspace(c) == 0; })
+                    .base(),
+                n.end());
+        return n;
+      }();
+      const auto width = static_cast<Qubit>(
+          parseIndex(source, std::string_view{statement.text}.substr(open + 1, close - open - 1),
+                     statement.offset + open + 1, "as the register width"));
+      registers[name] = {totalQubits, width};
       totalQubits += width;
       continue;
     }
     bodyStatements.push_back(statement);
   }
   if (totalQubits == 0) {
-    throw std::invalid_argument("qasm: no qreg declared");
+    failAt(source, 0, "", "no qreg declared");
   }
 
   Circuit circuit(totalQubits, "qasm");
-  const auto parseQubit = [&](std::string token) {
-    token = trim(std::move(token));
+  // `token` is a slice of a statement's text; `localOffset` its position
+  // within that statement.
+  const auto parseQubit = [&](const Statement& statement, std::string_view token,
+                              std::size_t localOffset) {
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(token.front())) != 0) {
+      token.remove_prefix(1);
+      ++localOffset;
+    }
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(token.back())) != 0) {
+      token.remove_suffix(1);
+    }
+    const std::size_t tokenOffset = statement.offset + localOffset;
     const auto open = token.find('[');
     const auto close = token.find(']');
-    if (open == std::string::npos || close == std::string::npos) {
-      throw std::invalid_argument("qasm: expected qubit reference, got '" + token + "'");
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      failAt(source, tokenOffset, std::string{token}, "expected a qubit reference");
     }
-    const std::string name = trim(token.substr(0, open));
-    const auto it = registerOffsets.find(name);
-    if (it == registerOffsets.end()) {
-      throw std::invalid_argument("qasm: unknown register '" + name + "'");
+    std::string name{token.substr(0, open)};
+    name.erase(std::find_if(name.rbegin(), name.rend(),
+                            [](unsigned char c) { return std::isspace(c) == 0; })
+                   .base(),
+               name.end());
+    const auto it = registers.find(name);
+    if (it == registers.end()) {
+      failAt(source, tokenOffset, name, "unknown register");
     }
-    const auto index = static_cast<Qubit>(std::stoul(token.substr(open + 1, close - open - 1)));
-    return static_cast<Qubit>(it->second + index);
+    const std::size_t index = parseIndex(source, token.substr(open + 1, close - open - 1),
+                                         tokenOffset + open + 1, "as the qubit index");
+    if (index >= it->second.second) {
+      failAt(source, tokenOffset, std::string{token}, "qubit index out of range for register");
+    }
+    return static_cast<Qubit>(it->second.first + index);
   };
 
-  for (const std::string& statement : bodyStatements) {
+  for (const Statement& statement : bodyStatements) {
     // <name>[(args)] operand {, operand}
     std::size_t nameEnd = 0;
-    while (nameEnd < statement.size() && statement[nameEnd] != ' ' && statement[nameEnd] != '(') {
+    while (nameEnd < statement.text.size() && statement.text[nameEnd] != ' ' &&
+           statement.text[nameEnd] != '(') {
       ++nameEnd;
     }
-    const std::string name = statement.substr(0, nameEnd);
+    const std::string name = statement.text.substr(0, nameEnd);
     double angle = 0.0;
     std::size_t operandStart = nameEnd;
-    if (nameEnd < statement.size() && statement[nameEnd] == '(') {
-      const auto close = statement.find(')', nameEnd);
+    if (nameEnd < statement.text.size() && statement.text[nameEnd] == '(') {
+      const auto close = statement.text.find(')', nameEnd);
       if (close == std::string::npos) {
-        throw std::invalid_argument("qasm: missing ')' in " + statement);
+        failAt(source, statement.offset + nameEnd, statement.text, "missing ')' in gate call");
       }
-      angle = ExpressionParser(statement.substr(nameEnd + 1, close - nameEnd - 1)).parse();
+      angle = ExpressionParser(source, statement.text.substr(nameEnd + 1, close - nameEnd - 1),
+                               statement.offset + nameEnd + 1)
+                  .parse();
       operandStart = close + 1;
     }
     std::vector<Qubit> operands;
     {
-      std::stringstream operandStream(statement.substr(operandStart));
-      std::string token;
-      while (std::getline(operandStream, token, ',')) {
-        operands.push_back(parseQubit(token));
+      std::string_view rest{statement.text};
+      std::size_t position = operandStart;
+      while (position < rest.size()) {
+        std::size_t comma = rest.find(',', position);
+        if (comma == std::string::npos) {
+          comma = rest.size();
+        }
+        operands.push_back(parseQubit(statement, rest.substr(position, comma - position), position));
+        position = comma + 1;
       }
     }
     const auto need = [&](std::size_t count) {
       if (operands.size() != count) {
-        throw std::invalid_argument("qasm: wrong operand count in " + statement);
+        failAt(source, statement.offset, statement.text,
+               "wrong operand count for '" + name + "': expected " + std::to_string(count) +
+                   ", got " + std::to_string(operands.size()));
       }
     };
     if (name == "id") {
@@ -252,7 +357,7 @@ Circuit fromQasm(const std::string& source) {
       need(2);
       circuit.controlled(GateKind::Phase, operands[1], {{operands[0], true}}, angle);
     } else {
-      throw std::invalid_argument("qasm: unsupported gate '" + name + "'");
+      failAt(source, statement.offset, name, "unsupported gate");
     }
   }
   return circuit;

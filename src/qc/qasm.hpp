@@ -8,14 +8,37 @@
 
 #include "qc/circuit.hpp"
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 namespace qadd::qc {
 
+/// Parse failure with source coordinates: the 1-based line and column of the
+/// offending construct plus the token itself, so an embedding layer (the
+/// qadd_serve daemon in particular) can return actionable errors instead of a
+/// bare message.  Derives from std::invalid_argument, so callers that only
+/// catch the old type keep working; what() renders
+/// "qasm:<line>:<column>: <message> (near '<token>')".
+class ParseError : public std::invalid_argument {
+public:
+  ParseError(std::size_t line, std::size_t column, std::string token, const std::string& message);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+  [[nodiscard]] const std::string& token() const { return token_; }
+
+private:
+  std::size_t line_;
+  std::size_t column_;
+  std::string token_;
+};
+
 /// Parse OpenQASM 2.0 source.  Multiple qreg declarations are concatenated
 /// in declaration order; q[i] of the first register maps to qubit i.
-/// \throws std::invalid_argument on unsupported or malformed constructs.
+/// \throws ParseError (an std::invalid_argument) on unsupported or malformed
+/// constructs, carrying the line/column and the offending token.
 [[nodiscard]] Circuit fromQasm(const std::string& source);
 
 /// Emit OpenQASM 2.0 with a single register q[n].  Multi-controlled gates

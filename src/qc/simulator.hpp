@@ -86,12 +86,48 @@ public:
 
   explicit Simulator(Circuit circuit, typename System::Config config = {}, Options options = {})
       : circuit_(std::move(circuit)),
-        package_(std::make_unique<Package>(circuit_.qubits(), config)), options_(options) {
+        package_(std::make_shared<Package>(circuit_.qubits(), config)), options_(options) {
     // GC is the package's job now: it auto-collects from decRef once the
     // live node count crosses the watermark; the simulator only records the
     // events (see step()).
     package_->setGcWatermark(options_.gcNodeThreshold);
     reset();
+  }
+
+  /// Run on an existing package instead of building a private one: the
+  /// serving layer keeps one package per session so the weight tables,
+  /// unique tables and operation caches persist across jobs (cross-request
+  /// table reuse is where DD packages win).  The package's width must match
+  /// the circuit.
+  /// (Package-first parameter order keeps overload resolution away from the
+  /// config ctor: `Simulator(circuit, {}, options)` must stay unambiguous.)
+  Simulator(std::shared_ptr<Package> package, Circuit circuit, Options options = {})
+      : circuit_(std::move(circuit)), package_(std::move(package)), options_(options) {
+    if (package_ == nullptr || package_->qubits() != circuit_.qubits()) {
+      throw std::invalid_argument("Simulator: package width does not match the circuit");
+    }
+    package_->setGcWatermark(options_.gcNodeThreshold);
+    reset();
+  }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  /// Movable; the moved-from simulator releases its claim on the state.
+  Simulator(Simulator&& other) noexcept
+      : circuit_(std::move(other.circuit_)), package_(std::move(other.package_)),
+        options_(other.options_), state_(other.state_), hasState_(other.hasState_),
+        next_(other.next_), gcEvents_(std::move(other.gcEvents_)) {
+    other.hasState_ = false;
+  }
+  Simulator& operator=(Simulator&&) = delete;
+
+  /// Drop the external reference on the current state.  With a private
+  /// package this is moot (the package dies with us); with a shared one it is
+  /// what lets the next job's garbage collection reclaim this state.
+  ~Simulator() {
+    if (hasState_) {
+      package_->decRef(state_);
+    }
   }
 
   /// Reset the state to |0...0> and rewind to the first gate.
@@ -222,9 +258,13 @@ public:
     resumeFrom(bytes);
   }
 
+  /// The shared package handle (serving layer: keep the package alive across
+  /// successive per-job simulators of one session).
+  [[nodiscard]] std::shared_ptr<Package> sharedPackage() const { return package_; }
+
 private:
   Circuit circuit_;
-  std::unique_ptr<Package> package_;
+  std::shared_ptr<Package> package_;
   Options options_;
   VEdge state_{};
   bool hasState_ = false;

@@ -1,0 +1,125 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace qadd::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : onEvent(std::move(other.onEvent)), fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+void Client::connect(const std::string& host, std::uint16_t port, double timeoutSeconds) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (timeoutSeconds > 0) {
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(timeoutSeconds);
+    timeout.tv_usec = static_cast<suseconds_t>((timeoutSeconds - std::floor(timeoutSeconds)) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const std::string message = std::strerror(errno);
+    close();
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) + ": " + message);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::sendRaw(const std::string& bytes) {
+  if (fd_ < 0) {
+    throw std::runtime_error("client is not connected");
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::readLine() {
+  if (fd_ < 0) {
+    throw std::runtime_error("client is not connected");
+  }
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return line;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      throw std::runtime_error("connection closed by server");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("receive timeout");
+    }
+    throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+json::Value Client::call(const json::Value& request) {
+  sendRaw(json::dump(request) + "\n");
+  while (true) {
+    const json::Value frame = json::parse(readLine());
+    if (frame.find("event") != nullptr) {
+      if (onEvent) {
+        onEvent(frame);
+      }
+      continue;
+    }
+    return frame;
+  }
+}
+
+} // namespace qadd::serve

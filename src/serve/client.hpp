@@ -1,0 +1,51 @@
+/// \file client.hpp
+/// Minimal blocking client for the qadd_serve protocol (docs/SERVE.md); the
+/// load bench and the protocol tests speak through this.  One TCP
+/// connection, line-delimited JSON frames, synchronous call/response with
+/// streamed "event" frames routed to an optional callback.
+#pragma once
+
+#include "serve/json.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace qadd::serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Connect with send/receive timeouts (seconds; 0 = OS default).
+  /// \throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port, double timeoutSeconds = 30.0);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Send one request frame and block for its response frame.  Interleaved
+  /// "event" frames (per-gate traces) are passed to `onEvent` (when set) and
+  /// skipped.  \throws std::runtime_error on I/O failure or timeout.
+  json::Value call(const json::Value& request);
+
+  /// Raw bytes straight onto the socket — the protocol-fuzzing tests use
+  /// this to send malformed and truncated frames.
+  void sendRaw(const std::string& bytes);
+
+  /// Read one newline-terminated frame (without the newline).
+  std::string readLine();
+
+  /// Frames carrying an "event" member, delivered from within call().
+  std::function<void(const json::Value&)> onEvent;
+
+private:
+  int fd_ = -1;
+  std::string buffer_; ///< bytes read past the last returned line
+};
+
+} // namespace qadd::serve

@@ -1,0 +1,53 @@
+#include "serve/job_queue.hpp"
+
+#include "exec/thread_pool.hpp"
+
+namespace qadd::serve {
+
+bool JobQueue::tryEnqueue(int priority, std::function<void()> work) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || (maxDepth_ != 0 && depth_.load(std::memory_order_relaxed) >= maxDepth_)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    depth_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    pending_.emplace(std::make_pair(priority, nextSeq_++), std::move(work));
+  }
+  // One dispatch ticket per admitted job: the pool task pops whatever is the
+  // best pending job at run time, so a late high-priority arrival overtakes
+  // earlier low-priority ones even though their tickets were queued first.
+  pool_.submitDetached([this] { runNext(); });
+  return true;
+}
+
+void JobQueue::runNext() {
+  std::function<void()> work;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) {
+      return; // a concurrent ticket already ran it
+    }
+    work = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+  }
+  work(); // job closures catch their own exceptions and answer 500
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (depth_.fetch_sub(1, std::memory_order_relaxed) == 1 || pending_.empty()) {
+    drained_.notify_all();
+  }
+}
+
+void JobQueue::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+}
+
+void JobQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return depth_.load(std::memory_order_relaxed) == 0; });
+}
+
+} // namespace qadd::serve

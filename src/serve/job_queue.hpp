@@ -1,0 +1,69 @@
+/// \file job_queue.hpp
+/// Admission-controlled priority job queue of the qadd_serve daemon.  Jobs
+/// (closures that run a simulation and write the response) are admitted up to
+/// a configurable depth — beyond it tryEnqueue refuses and the server answers
+/// 429, which is what keeps tail latency bounded under overload instead of
+/// letting the queue grow without limit (the SLO methodology in
+/// docs/SERVE.md).  Admitted jobs run on the shared exec::ThreadPool in
+/// (priority, arrival) order; lower priority values run sooner.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace qadd::exec {
+class ThreadPool;
+}
+
+namespace qadd::serve {
+
+class JobQueue {
+public:
+  /// `maxDepth` caps pending + in-flight jobs (0 = unlimited).
+  JobQueue(exec::ThreadPool& pool, std::size_t maxDepth) : pool_(pool), maxDepth_(maxDepth) {}
+
+  /// Admit a job, or return false when the queue is at capacity (the caller
+  /// answers 429).  Lower `priority` values are dispatched sooner; equal
+  /// priorities run in arrival order.  After close(), all jobs are refused.
+  bool tryEnqueue(int priority, std::function<void()> work);
+
+  /// Refuse new admissions (running/queued jobs are unaffected).
+  void close();
+
+  /// Block until every admitted job has completed.  Call after close() for a
+  /// graceful drain; with admissions still open this is a momentary barrier.
+  void drain();
+
+  [[nodiscard]] std::size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::size_t maxDepth() const { return maxDepth_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+private:
+  void runNext();
+
+  exec::ThreadPool& pool_;
+  std::size_t maxDepth_;
+
+  std::mutex mutex_;
+  std::condition_variable drained_;
+  /// Pending jobs keyed (priority, arrival seq): begin() is the next to run.
+  std::map<std::pair<int, std::uint64_t>, std::function<void()>> pending_;
+  std::uint64_t nextSeq_ = 0;
+  bool closed_ = false;
+
+  std::atomic<std::size_t> depth_{0}; ///< pending + in-flight
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+} // namespace qadd::serve

@@ -1,0 +1,302 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace qadd::serve::json {
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view text, std::size_t maxDepth) : text_(text), maxDepth_(maxDepth) {}
+
+  Value run() {
+    Value value = parseValue(0);
+    skipSpace();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+    }
+    return value;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& message) const { throw Error(pos_, message); }
+
+  void skipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') {
+        return out;
+      }
+      if (c < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) {
+          fail("truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            fail("bad hex digit in \\u escape");
+          }
+        }
+        // UTF-8 encode (surrogate pairs are passed through individually; the
+        // protocol never emits them, and replacing is better than rejecting).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default: fail("unknown escape character");
+      }
+    }
+  }
+
+  Value parseValue(std::size_t depth) {
+    if (depth > maxDepth_) {
+      fail("nesting exceeds the depth limit");
+    }
+    skipSpace();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      Value object = Value::object();
+      skipSpace();
+      if (peek() == '}') {
+        ++pos_;
+        return object;
+      }
+      while (true) {
+        skipSpace();
+        std::string key = parseString();
+        skipSpace();
+        expect(':');
+        object.set(std::move(key), parseValue(depth + 1));
+        skipSpace();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return object;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      Value array = Value::array();
+      skipSpace();
+      if (peek() == ']') {
+        ++pos_;
+        return array;
+      }
+      while (true) {
+        array.push(parseValue(depth + 1));
+        skipSpace();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return array;
+      }
+    }
+    if (c == '"') {
+      return Value(parseString());
+    }
+    if (consumeLiteral("true")) {
+      return Value(true);
+    }
+    if (consumeLiteral("false")) {
+      return Value(false);
+    }
+    if (consumeLiteral("null")) {
+      return Value();
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+    }
+    double number = 0.0;
+    const auto [end, errc] = std::from_chars(text_.data() + start, text_.data() + pos_, number);
+    if (errc != std::errc{} || end != text_.data() + pos_) {
+      fail("bad number");
+    }
+    return Value(number);
+  }
+
+  std::string_view text_;
+  std::size_t maxDepth_;
+  mutable std::size_t pos_ = 0;
+};
+
+void writeNumber(std::ostream& os, double number) {
+  if (!std::isfinite(number)) {
+    os << "null"; // JSON has no NaN/Inf; null is the conventional stand-in
+    return;
+  }
+  // Integers (the common case: counts, indices) print without an exponent.
+  if (number == std::floor(number) && std::abs(number) < 9.007199254740992e15) {
+    os << static_cast<long long>(number);
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  os << buffer;
+}
+
+} // namespace
+
+Value parse(std::string_view text, std::size_t maxDepth) {
+  return Parser(text, maxDepth).run();
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (u < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+        out += buffer;
+      } else {
+        out += c;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void write(std::ostream& os, const Value& value) {
+  switch (value.kind()) {
+  case Value::Kind::Null: os << "null"; break;
+  case Value::Kind::Bool: os << (value.asBool() ? "true" : "false"); break;
+  case Value::Kind::Number: writeNumber(os, value.asNumber()); break;
+  case Value::Kind::String: os << '"' << escape(value.asString()) << '"'; break;
+  case Value::Kind::Array: {
+    os << '[';
+    bool first = true;
+    for (const Value& item : value.items()) {
+      if (!first) {
+        os << ',';
+      }
+      first = false;
+      write(os, item);
+    }
+    os << ']';
+    break;
+  }
+  case Value::Kind::Object: {
+    os << '{';
+    bool first = true;
+    for (const Value::Member& member : value.members()) {
+      if (!first) {
+        os << ',';
+      }
+      first = false;
+      os << '"' << escape(member.first) << "\":";
+      write(os, member.second);
+    }
+    os << '}';
+    break;
+  }
+  }
+}
+
+std::string dump(const Value& value) {
+  std::ostringstream os;
+  write(os, value);
+  return os.str();
+}
+
+} // namespace qadd::serve::json

@@ -1,0 +1,145 @@
+/// \file json.hpp
+/// Minimal JSON document model for the qadd_serve wire protocol
+/// (docs/SERVE.md): parse one line-delimited frame into a Value tree, build
+/// response frames, and serialize them compactly (single line, no raw
+/// newlines — the framing invariant).  Deliberately small: objects keep
+/// insertion order, numbers are doubles (the protocol's integers fit 2^53),
+/// \uXXXX escapes decode to UTF-8.  Parsing is bounded by an explicit depth
+/// limit so hostile frames cannot recurse the stack away.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace qadd::serve::json {
+
+/// Parse failure: byte offset + message ("json:<offset>: <message>").
+class Error : public std::invalid_argument {
+public:
+  Error(std::size_t offset, const std::string& message)
+      : std::invalid_argument("json:" + std::to_string(offset) + ": " + message),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+private:
+  std::size_t offset_;
+};
+
+class Value {
+public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;
+  /* implicit */ Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  /* implicit */ Value(double n) : kind_(Kind::Number), number_(n) {}
+  /// Any non-bool integer (the protocol's integers all fit 2^53 exactly).
+  template <class T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  /* implicit */ Value(T n) : Value(static_cast<double>(n)) {}
+  /* implicit */ Value(const char* s) : kind_(Kind::String), string_(s) {}
+  /* implicit */ Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool isNumber() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool isString() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool asBool(bool fallback = false) const {
+    return isBool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double asNumber(double fallback = 0.0) const {
+    return isNumber() ? number_ : fallback;
+  }
+  [[nodiscard]] const std::string& asString() const { return string_; }
+  [[nodiscard]] std::string asString(const std::string& fallback) const {
+    return isString() ? string_ : fallback;
+  }
+
+  [[nodiscard]] std::vector<Value>& items() { return array_; }
+  [[nodiscard]] const std::vector<Value>& items() const { return array_; }
+  [[nodiscard]] std::vector<Member>& members() { return object_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return object_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    for (const Member& member : object_) {
+      if (member.first == key) {
+        return &member.second;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Append an object member (no duplicate check; the writers don't repeat).
+  Value& set(std::string key, Value value) {
+    kind_ = Kind::Object;
+    object_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  /// Append an array element.
+  Value& push(Value value) {
+    kind_ = Kind::Array;
+    array_.push_back(std::move(value));
+    return *this;
+  }
+
+  // -- convenience getters over find() --------------------------------------------
+
+  [[nodiscard]] std::string getString(std::string_view key, const std::string& fallback = {}) const {
+    const Value* v = find(key);
+    return v != nullptr && v->isString() ? v->asString() : fallback;
+  }
+  [[nodiscard]] double getNumber(std::string_view key, double fallback = 0.0) const {
+    const Value* v = find(key);
+    return v != nullptr && v->isNumber() ? v->asNumber() : fallback;
+  }
+  [[nodiscard]] bool getBool(std::string_view key, bool fallback = false) const {
+    const Value* v = find(key);
+    return v != nullptr && v->isBool() ? v->asBool() : fallback;
+  }
+
+private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> object_;
+};
+
+/// Parse a complete JSON document.  \throws Error on malformed input or when
+/// nesting exceeds `maxDepth`.
+[[nodiscard]] Value parse(std::string_view text, std::size_t maxDepth = 64);
+
+/// Escape a string for embedding in a JSON document (quotes not included).
+/// Control characters, quote and backslash are escaped, so the output never
+/// contains a raw newline.
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Serialize compactly onto one line (no whitespace, no raw newlines).
+void write(std::ostream& os, const Value& value);
+
+/// write() into a string.
+[[nodiscard]] std::string dump(const Value& value);
+
+} // namespace qadd::serve::json

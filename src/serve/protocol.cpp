@@ -1,0 +1,114 @@
+#include "serve/protocol.hpp"
+
+#include <array>
+
+namespace qadd::serve {
+
+json::Value makeOk(const json::Value& id) {
+  json::Value response = json::Value::object();
+  response.set("id", id);
+  response.set("ok", true);
+  return response;
+}
+
+json::Value makeError(const json::Value& id, int code, const std::string& message,
+                      json::Value detail) {
+  json::Value error = json::Value::object();
+  error.set("code", code);
+  error.set("message", message);
+  for (auto& member : detail.members()) {
+    error.set(member.first, std::move(member.second));
+  }
+  json::Value response = json::Value::object();
+  response.set("id", id);
+  response.set("ok", false);
+  response.set("error", std::move(error));
+  return response;
+}
+
+namespace {
+constexpr std::string_view kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> decodeTable() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+} // namespace
+
+std::string encodeBase64(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t chunk = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                                (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                                static_cast<std::uint32_t>(bytes[i + 2]);
+    out += kAlphabet[(chunk >> 18) & 63];
+    out += kAlphabet[(chunk >> 12) & 63];
+    out += kAlphabet[(chunk >> 6) & 63];
+    out += kAlphabet[chunk & 63];
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out += kAlphabet[(chunk >> 18) & 63];
+    out += kAlphabet[(chunk >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t chunk = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                                (static_cast<std::uint32_t>(bytes[i + 1]) << 8);
+    out += kAlphabet[(chunk >> 18) & 63];
+    out += kAlphabet[(chunk >> 12) & 63];
+    out += kAlphabet[(chunk >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decodeBase64(std::string_view text) {
+  static const std::array<std::int8_t, 256> kDecode = decodeTable();
+  if (text.size() % 4 != 0) {
+    throw ServeError(kBadRequest, "base64 payload length is not a multiple of 4");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int padding = 0;
+    std::uint32_t chunk = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last group's final two positions.
+        if (i + 4 != text.size() || j < 2) {
+          throw ServeError(kBadRequest, "misplaced base64 padding");
+        }
+        ++padding;
+        chunk <<= 6;
+        continue;
+      }
+      if (padding != 0) {
+        throw ServeError(kBadRequest, "base64 data after padding");
+      }
+      const std::int8_t decoded = kDecode[static_cast<unsigned char>(c)];
+      if (decoded < 0) {
+        throw ServeError(kBadRequest, "invalid base64 character");
+      }
+      chunk = (chunk << 6) | static_cast<std::uint32_t>(decoded);
+    }
+    out.push_back(static_cast<std::uint8_t>((chunk >> 16) & 0xFF));
+    if (padding < 2) {
+      out.push_back(static_cast<std::uint8_t>((chunk >> 8) & 0xFF));
+    }
+    if (padding < 1) {
+      out.push_back(static_cast<std::uint8_t>(chunk & 0xFF));
+    }
+  }
+  return out;
+}
+
+} // namespace qadd::serve

@@ -1,0 +1,62 @@
+/// \file protocol.hpp
+/// Wire-protocol vocabulary of the qadd_serve daemon (docs/SERVE.md): one
+/// JSON object per newline-terminated frame in each direction.  Requests
+/// carry an "op" plus op-specific fields; responses echo the request "id" and
+/// carry "ok" plus either the result fields or an "error" object with an
+/// HTTP-style status code.  Binary payloads (QDDS snapshots, QCKP
+/// checkpoints) travel base64-encoded, keeping the framing purely textual.
+#pragma once
+
+#include "serve/json.hpp"
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qadd::serve {
+
+/// Protocol version answered by the "hello" op; bump on breaking changes.
+inline constexpr int kProtocolVersion = 1;
+
+/// HTTP-style status codes carried by error responses.
+enum Status : int {
+  kBadRequest = 400,       ///< malformed frame / unparsable circuit / bad field
+  kNotFound = 404,         ///< unknown session
+  kConflict = 409,         ///< session name already open / state mismatch
+  kPayloadTooLarge = 413,  ///< frame exceeded the configured limit
+  kTooManyRequests = 429,  ///< admission control rejected the job (queue full)
+  kInternalError = 500,    ///< unexpected server-side failure
+  kUnavailable = 503,      ///< server is shutting down
+};
+
+/// Server-side failure that maps onto an error response.  Ops throw this (or
+/// qc::ParseError, which the dispatcher enriches with line/column/token).
+class ServeError : public std::runtime_error {
+public:
+  ServeError(int code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] int code() const { return code_; }
+
+private:
+  int code_;
+};
+
+/// Start a success response: {"id":<id>,"ok":true}.  `id` is the request's
+/// "id" member, echoed verbatim (null when the request carried none).
+[[nodiscard]] json::Value makeOk(const json::Value& id);
+
+/// Error response: {"id":<id>,"ok":false,"error":{"code":C,"message":M}}.
+/// `detail` members (e.g. qasm line/column/token) are merged into "error".
+[[nodiscard]] json::Value makeError(const json::Value& id, int code, const std::string& message,
+                                    json::Value detail = json::Value::object());
+
+// -- base64 -----------------------------------------------------------------------
+
+[[nodiscard]] std::string encodeBase64(std::span<const std::uint8_t> bytes);
+
+/// \throws ServeError(kBadRequest) on any non-base64 character or bad length.
+[[nodiscard]] std::vector<std::uint8_t> decodeBase64(std::string_view text);
+
+} // namespace qadd::serve

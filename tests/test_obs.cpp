@@ -540,6 +540,28 @@ TEST(Exposition, PrometheusTextHasTypedFamilies) {
   }
 }
 
+TEST(Exposition, LabelValuesEscapePerSpec) {
+  // Backslash, double-quote and newline are the three characters the
+  // exposition spec requires escaping inside label values — exactly what an
+  // untrusted qadd_serve session name can smuggle in.
+  EXPECT_EQ(obs::promEscapeLabel("plain-name_42"), "plain-name_42");
+  EXPECT_EQ(obs::promEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::promEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::promEscapeLabel("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(obs::promEscapeLabel("evil\"} 1\nqadd_fake_metric{x=\""),
+            "evil\\\"} 1\\nqadd_fake_metric{x=\\\"");
+  // An escaped value never contains a raw newline or an unescaped quote, so
+  // one label value can never terminate its own line or sample.
+  const std::string escaped = obs::promEscapeLabel("inject\"} 9\nbogus 1");
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '"') {
+      ASSERT_GT(i, 0U);
+      EXPECT_EQ(escaped[i - 1], '\\');
+    }
+  }
+}
+
 TEST(Exposition, TimelineOverloadAddsSamplerFamilies) {
   if constexpr (!obs::kEnabled) {
     GTEST_SKIP() << "built with QADD_OBS=0";

@@ -61,12 +61,75 @@ TEST(Qasm, SwapAndControlledPhase) {
 }
 
 TEST(Qasm, RejectsMalformedInput) {
+  // ParseError derives from std::invalid_argument, so the legacy catch type
+  // still works for every malformed construct.
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; h q[0];"), std::invalid_argument); // no qreg
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; bogus q[0];"), std::invalid_argument);
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h q[0]"), std::invalid_argument); // missing ;
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; cx q[0];"), std::invalid_argument);
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h r[0];"), std::invalid_argument);
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[1]; rz(pi/) q[0];"), std::invalid_argument);
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h q[7];"), ParseError); // out of range
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[x];"), ParseError); // bad width
+}
+
+/// Catch `body`'s ParseError and return it (fails the test if none is thrown).
+template <class Body> ParseError capture(Body&& body) {
+  try {
+    body();
+  } catch (const ParseError& error) {
+    return error;
+  }
+  ADD_FAILURE() << "expected a qasm ParseError";
+  return ParseError(0, 0, "", "no error thrown");
+}
+
+TEST(Qasm, ParseErrorCarriesPositionAndToken) {
+  // Line 3, the "bogus" statement starts at column 1.
+  const auto unsupported = capture([] {
+    (void)fromQasm("OPENQASM 2.0;\nqreg q[2];\nbogus q[0];\n");
+  });
+  EXPECT_EQ(unsupported.line(), 3U);
+  EXPECT_EQ(unsupported.column(), 1U);
+  EXPECT_EQ(unsupported.token(), "bogus");
+  EXPECT_NE(std::string(unsupported.what()).find("qasm:3:1"), std::string::npos);
+  EXPECT_NE(std::string(unsupported.what()).find("unsupported gate"), std::string::npos);
+
+  // Unknown register: the token is the register name, at its own column.
+  const auto unknown = capture([] {
+    (void)fromQasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0], r[1];\n");
+  });
+  EXPECT_EQ(unknown.line(), 3U);
+  EXPECT_EQ(unknown.column(), 10U);
+  EXPECT_EQ(unknown.token(), "r");
+
+  // Expression errors point into the argument list.
+  const auto expression = capture([] {
+    (void)fromQasm("OPENQASM 2.0;\nqreg q[1];\nrz(pi/#) q[0];\n");
+  });
+  EXPECT_EQ(expression.line(), 3U);
+  EXPECT_GE(expression.column(), 4U);
+
+  // Comments are blanked, not deleted, so positions survive comment lines.
+  const auto afterComment = capture([] {
+    (void)fromQasm("OPENQASM 2.0; // header comment\nqreg q[1];\n// another\n  h q[3];\n");
+  });
+  EXPECT_EQ(afterComment.line(), 4U);
+  EXPECT_EQ(afterComment.column(), 5U);
+  EXPECT_EQ(afterComment.token(), "q[3]");
+
+  // Missing terminator reports the position of the dangling statement.
+  const auto missingSemicolon = capture([] {
+    (void)fromQasm("OPENQASM 2.0;\nqreg q[2];\nh q[0]");
+  });
+  EXPECT_EQ(missingSemicolon.line(), 3U);
+  EXPECT_EQ(missingSemicolon.token(), "h q[0]");
+
+  // Wrong operand count names the gate and the counts.
+  const auto operands = capture([] {
+    (void)fromQasm("OPENQASM 2.0; qreg q[2]; cx q[0];");
+  });
+  EXPECT_NE(std::string(operands.what()).find("expected 2, got 1"), std::string::npos);
 }
 
 TEST(Qasm, RoundTripPreservesSemantics) {

@@ -228,6 +228,10 @@ bool isHardKey(const std::string& path) {
       "baselineAllocsPerOp",               "spillAllocsPerOp",
       "nodesWritten",    "nodesRead",      "weightsWritten",
       "weightsRead",     "snapshotsSaved", "snapshotsLoaded",
+      // serve_load structural gates (BENCH_serve.json).
+      "clients",         "perClient",      "completed",
+      "errors",          "droppedConnections",
+      "identicalResults", "workloads",
   };
   const std::size_t dot = path.rfind('.');
   std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
