@@ -138,7 +138,12 @@ private:
     if (position_ == start) {
       fail(start, std::string{text_}, "expected number in expression");
     }
-    return std::stod(std::string{text_.substr(start, position_ - start)});
+    const std::string token{text_.substr(start, position_ - start)};
+    try {
+      return std::stod(token);
+    } catch (const std::out_of_range&) {
+      fail(start, token, "number out of range in expression");
+    }
   }
 
   std::string_view source_;
@@ -154,6 +159,11 @@ struct Statement {
   std::size_t offset = 0;
 };
 
+/// Registers wider (and indices larger) than this are rejected outright: a
+/// 2^20-qubit DD is far past anything simulable, and the bound keeps huge
+/// literals from wrapping through the narrower Qubit cast at the call sites.
+constexpr std::size_t kMaxQasmIndex = 1U << 20U;
+
 /// Parse a decimal unsigned integer; the whole token must be digits.
 std::size_t parseIndex(std::string_view source, std::string_view digits, std::size_t offset,
                        const std::string& what) {
@@ -162,7 +172,15 @@ std::size_t parseIndex(std::string_view source, std::string_view digits, std::si
                    [](unsigned char c) { return std::isdigit(c) != 0; })) {
     failAt(source, offset, std::string{digits}, "expected an unsigned integer " + what);
   }
-  return std::stoul(std::string{digits});
+  std::size_t value = kMaxQasmIndex + 1; // stoul overflow counts as too large
+  try {
+    value = std::stoul(std::string{digits});
+  } catch (const std::out_of_range&) {
+  }
+  if (value > kMaxQasmIndex) {
+    failAt(source, offset, std::string{digits}, "integer too large " + what);
+  }
+  return value;
 }
 
 } // namespace

@@ -2,7 +2,6 @@
 
 #include "eval/report.hpp"
 #include "exec/thread_pool.hpp"
-#include "io/codec.hpp"
 #include "io/snapshot.hpp"
 #include "obs/exposition.hpp"
 #include "qc/qasm.hpp"
@@ -17,6 +16,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +27,11 @@ namespace qadd::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Lingering close: after a 413 the peer may still be mid-burst; keep
+/// draining (and discarding) its bytes this long so close() sends FIN rather
+/// than RST and the error response actually reaches the client.
+constexpr double kLingerSeconds = 1.0;
 
 void setNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -46,6 +51,28 @@ json::Value statsToJson(const obs::PackageStats& stats) {
   return json::parse(os.str());
 }
 
+/// Integer-valued request field, validated BEFORE any cast: the double must
+/// be finite, integral, and within [min, max] — a static_cast of a hostile
+/// value (1e30, NaN, a negative into an unsigned) is undefined behavior.
+double checkedInteger(const json::Value& request, std::string_view key, double fallback,
+                      double min, double max) {
+  const json::Value* value = request.find(key);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const std::string name{key};
+  if (!value->isNumber()) {
+    throw ServeError(kBadRequest, "\"" + name + "\" must be a number");
+  }
+  const double number = value->asNumber();
+  if (!std::isfinite(number) || number != std::floor(number) || number < min || number > max) {
+    std::ostringstream os;
+    os << '"' << name << "\" must be an integer in [" << min << ", " << max << ']';
+    throw ServeError(kBadRequest, os.str());
+  }
+  return number;
+}
+
 } // namespace
 
 // -- connection state -------------------------------------------------------------
@@ -63,7 +90,9 @@ struct Server::Connection {
   // Loop-thread-only bookkeeping.
   Clock::time_point lastActivity{};
   Clock::time_point writeStallSince{}; ///< epoch value = not stalled
+  Clock::time_point lingerSince{};     ///< when the lingering drain started
   bool closing = false; ///< stop reading; close once flushed and jobs drained
+  bool discarding = false; ///< read-and-discard while closing (lingering close)
 
   [[nodiscard]] bool hasOutput() {
     const std::lock_guard<std::mutex> lock(outMutex);
@@ -257,7 +286,7 @@ void Server::eventLoop() {
     }
     for (const auto& [fd, connection] : connections_) {
       short events = 0;
-      if (!connection->closing) {
+      if (!connection->closing || connection->discarding) {
         events |= POLLIN;
       }
       if (connection->hasOutput()) {
@@ -289,7 +318,8 @@ void Server::eventLoop() {
           continue;
         }
       }
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !connection->closing) {
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          (!connection->closing || connection->discarding)) {
         handleReadable(connection);
       }
       // Opportunistic flush: responses produced inline by handleFrame go out
@@ -318,7 +348,10 @@ void Server::eventLoop() {
         continue;
       }
       const bool quiescent = outEmpty && connection->pendingJobs.load() == 0;
-      if (connection->closing && quiescent) {
+      const bool lingering =
+          connection->discarding &&
+          std::chrono::duration<double>(now - connection->lingerSince).count() < kLingerSeconds;
+      if (connection->closing && quiescent && !lingering) {
         closures.emplace_back(fd, false);
         continue;
       }
@@ -374,11 +407,20 @@ void Server::acceptPending() {
 
 void Server::handleReadable(const std::shared_ptr<Connection>& connection) {
   char buffer[65536];
-  while (true) {
+  while (!connection->closing || connection->discarding) {
     const ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
-      connection->inBuffer.append(buffer, static_cast<std::size_t>(n));
       connection->lastActivity = Clock::now();
+      if (connection->discarding) {
+        // Lingering close: the peer is mid-burst past a rejection; swallow
+        // the rest so close() ends in FIN (RST would discard the response).
+        continue;
+      }
+      connection->inBuffer.append(buffer, static_cast<std::size_t>(n));
+      // Process after every chunk, so the frame-size limit is enforced no
+      // matter how an over-limit frame is spread across a readable burst,
+      // and inBuffer never grows past the cap plus one recv chunk.
+      processFrames(connection);
       if (static_cast<std::size_t>(n) < sizeof(buffer)) {
         break;
       }
@@ -388,6 +430,7 @@ void Server::handleReadable(const std::shared_ptr<Connection>& connection) {
       // Peer half-closed: stop reading, but finish in-flight jobs and flush
       // their responses before tearing the connection down.
       connection->closing = true;
+      connection->discarding = false;
       break;
     }
     if (errno == EINTR) {
@@ -395,9 +438,24 @@ void Server::handleReadable(const std::shared_ptr<Connection>& connection) {
     }
     if (errno != EAGAIN && errno != EWOULDBLOCK) {
       connection->closing = true;
+      connection->discarding = false;
     }
     break;
   }
+}
+
+void Server::processFrames(const std::shared_ptr<Connection>& connection) {
+  const auto rejectOversized = [&] {
+    counters_.oversizedFrames.fetch_add(1, std::memory_order_relaxed);
+    send(connection, makeError(json::Value(), kPayloadTooLarge,
+                               "frame exceeds " + std::to_string(config_.maxFrameBytes) +
+                                   " bytes"));
+    connection->closing = true;
+    connection->discarding = true;
+    connection->lingerSince = Clock::now();
+    connection->inBuffer.clear();
+    connection->inBuffer.shrink_to_fit();
+  };
   std::size_t start = 0;
   while (true) {
     const std::size_t newline = connection->inBuffer.find('\n', start);
@@ -408,6 +466,10 @@ void Server::handleReadable(const std::shared_ptr<Connection>& connection) {
     if (!line.empty() && line.back() == '\r') {
       line.remove_suffix(1);
     }
+    if (line.size() > config_.maxFrameBytes) {
+      rejectOversized(); // before parsing, let alone executing
+      return;
+    }
     if (!line.empty()) {
       handleFrame(connection, line);
     }
@@ -415,11 +477,7 @@ void Server::handleReadable(const std::shared_ptr<Connection>& connection) {
   }
   connection->inBuffer.erase(0, start);
   if (connection->inBuffer.size() > config_.maxFrameBytes) {
-    counters_.oversizedFrames.fetch_add(1, std::memory_order_relaxed);
-    send(connection, makeError(json::Value(), kPayloadTooLarge,
-                               "frame exceeds " + std::to_string(config_.maxFrameBytes) +
-                                   " bytes"));
-    connection->closing = true;
+    rejectOversized(); // a partial frame already over the limit cannot complete
   }
 }
 
@@ -544,9 +602,10 @@ json::Value Server::opOpen(const json::Value& id, const json::Value& request) {
   sessionConfig.name = request.getString("session");
   sessionConfig.system = request.getString("system", "alg");
   sessionConfig.epsilon = request.getNumber("eps", 0.0);
-  sessionConfig.qubits = static_cast<qc::Qubit>(request.getNumber("qubits", 0.0));
-  sessionConfig.gcWatermark =
-      static_cast<std::size_t>(request.getNumber("gc_watermark", 200'000.0));
+  sessionConfig.qubits =
+      static_cast<qc::Qubit>(checkedInteger(request, "qubits", 0.0, 0.0, 64.0));
+  sessionConfig.gcWatermark = static_cast<std::size_t>(
+      checkedInteger(request, "gc_watermark", 200'000.0, 0.0, 9.0e15));
   sessionConfig.maxMagnitudeNormalization = request.getBool("max_magnitude");
   const auto session = sessions_->open(sessionConfig);
   json::Value response = makeOk(id);
@@ -573,7 +632,8 @@ void Server::runJob(const std::shared_ptr<Connection>& connection, const json::V
   const std::string sessionName = request.getString("session");
   // Resolve the session inline: a 404 should not consume queue capacity.
   [[maybe_unused]] const auto session = sessions_->find(sessionName); // throws ServeError(404)
-  const int priority = static_cast<int>(request.getNumber("priority", 0.0));
+  const int priority =
+      static_cast<int>(checkedInteger(request, "priority", 0.0, -1.0e9, 1.0e9));
   connection->pendingJobs.fetch_add(1, std::memory_order_relaxed);
   std::weak_ptr<Connection> weak = connection;
   const bool admitted = queue_->tryEnqueue(priority, [this, weak, request, id] {
@@ -664,11 +724,8 @@ json::Value Server::opRun(const std::shared_ptr<Connection>& connection, const j
   job.wantAmplitudes = request.getBool("amplitudes");
   job.wantSnapshot = request.getBool("snapshot");
   job.wantCheckpoint = request.getBool("checkpoint");
-  const double traceEvery = request.getNumber("trace_every", 0.0);
-  if (traceEvery < 0) {
-    throw ServeError(kBadRequest, "trace_every must be non-negative");
-  }
-  job.traceEvery = static_cast<std::size_t>(traceEvery);
+  job.traceEvery =
+      static_cast<std::size_t>(checkedInteger(request, "trace_every", 0.0, 0.0, 9.0e15));
   if (const json::Value* resume = request.find("resume"); resume != nullptr) {
     if (!resume->isString()) {
       throw ServeError(kBadRequest, "resume must be a base64 string");
@@ -684,11 +741,16 @@ json::Value Server::opRun(const std::shared_ptr<Connection>& connection, const j
 
   // Identical algebraic jobs coalesce: exactness makes the cached answer THE
   // answer, independent of which session computed it or what ran before
-  // (order-independence, docs/SERVE.md).  Cached hits do NOT advance the
-  // serving session's state.
+  // (order-independence, docs/SERVE.md).  The key is the full canonical
+  // circuit text — already computed for free via toText(), and immune to the
+  // collisions a short hash would invite on a service whose contract is
+  // exactness.  Leaders always capture a final-state snapshot so cache hits
+  // can restore it into the serving session (run-then-state behaves the same
+  // cached or not); the client-visible snapshot stays opt-in.
   const bool cacheable = cache_ != nullptr && sessionConfig.system == "alg" &&
                          job.resumeCheckpoint.empty() && !job.wantCheckpoint &&
                          job.traceEvery == 0 && !wantStats;
+  const bool wantSnapshotResponse = job.wantSnapshot;
   std::string cacheKey;
   std::shared_ptr<CacheEntry> entry;
   bool leader = true;
@@ -696,13 +758,9 @@ json::Value Server::opRun(const std::shared_ptr<Connection>& connection, const j
   obs::PackageStats statsSnapshot;
   bool served = false;
   if (cacheable) {
-    const std::string circuitText = job.circuit.toText();
+    job.wantSnapshot = true;
     cacheKey = sessionConfig.system + '|' + std::to_string(sessionConfig.qubits) + '|' +
-               std::to_string(io::Crc32::of(std::span<const std::uint8_t>(
-                   reinterpret_cast<const std::uint8_t*>(circuitText.data()),
-                   circuitText.size()))) +
-               '|' + std::to_string(circuitText.size()) + '|' +
-               (job.wantAmplitudes ? 'A' : '-') + (job.wantSnapshot ? 'S' : '-');
+               (job.wantAmplitudes ? 'A' : '-') + '|' + job.circuit.toText();
     std::tie(entry, leader) = cache_->lookupOrInsert(cacheKey);
     if (!leader) {
       std::unique_lock<std::mutex> lock(entry->mutex);
@@ -719,6 +777,14 @@ json::Value Server::opRun(const std::shared_ptr<Connection>& connection, const j
       result = entry->result;
       result.fromCache = true;
       served = true;
+    }
+    if (served) {
+      // Adopt the cached final state as the session state, exactly as an
+      // uncached run would have (the QDDS snapshot is exact, so this is a
+      // byte-identical restore; the session's circuit position resets).
+      sessions_->withBackend(*session, [&](SessionBackend& backend) {
+        backend.loadState(result.snapshot);
+      });
     }
   }
 
@@ -789,7 +855,7 @@ json::Value Server::opRun(const std::shared_ptr<Connection>& connection, const j
     }
     response.set("amplitudes", std::move(amplitudes));
   }
-  if (job.wantSnapshot) {
+  if (wantSnapshotResponse) {
     response.set("snapshot_b64", encodeBase64(result.snapshot));
   }
   if (job.wantCheckpoint) {

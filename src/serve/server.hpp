@@ -96,6 +96,7 @@ private:
   void wake();
   void acceptPending();
   void handleReadable(const std::shared_ptr<Connection>& connection);
+  void processFrames(const std::shared_ptr<Connection>& connection);
   bool flushWrites(const std::shared_ptr<Connection>& connection);
   void closeConnection(int fd, bool dropped);
   void handleFrame(const std::shared_ptr<Connection>& connection, std::string_view line);

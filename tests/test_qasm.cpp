@@ -71,6 +71,12 @@ TEST(Qasm, RejectsMalformedInput) {
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[1]; rz(pi/) q[0];"), std::invalid_argument);
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h q[7];"), ParseError); // out of range
   EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[x];"), ParseError); // bad width
+  // Huge literals must surface as ParseError, not escape as the bare
+  // std::out_of_range that stoul/stod throw (nor wrap through the Qubit cast).
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[99999999999999999999];"), ParseError);
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[4294967299];"), ParseError); // 2^32 + 3
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[2]; h q[18446744073709551617];"), ParseError);
+  EXPECT_THROW((void)fromQasm("OPENQASM 2.0; qreg q[1]; rz(1e999) q[0];"), ParseError);
 }
 
 /// Catch `body`'s ParseError and return it (fails the test if none is thrown).

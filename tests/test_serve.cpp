@@ -247,6 +247,13 @@ TEST(ServeServer, SurvivesMalformedFrameFuzzing) {
       "{\"op\":\"open\",\"session\":\"x\",\"system\":\"num\",\"qubits\":3,\"eps\":-1}",
       std::string("{\"op\":\"") + std::string(200, 'z') + "\"}",
       "{\"op\":\"loadstate\",\"session\":\"ghost\",\"qdds_b64\":\"!!!\"}",
+      // Hostile numbers must be rejected with 400 before any integer cast
+      // (a static_cast from 1e30 or a negative into an unsigned is UB).
+      "{\"op\":\"open\",\"session\":\"n1\",\"qubits\":1e30}",
+      "{\"op\":\"open\",\"session\":\"n2\",\"qubits\":-3}",
+      "{\"op\":\"open\",\"session\":\"n3\",\"qubits\":2.5}",
+      "{\"op\":\"open\",\"session\":\"n4\",\"qubits\":3,\"gc_watermark\":-1}",
+      "{\"op\":\"open\",\"session\":\"n5\",\"qubits\":\"three\"}",
   };
   std::mt19937 rng(1234);
   for (int i = 0; i < 40; ++i) {
@@ -431,6 +438,36 @@ TEST(ServeServer, CoalescesIdenticalAlgebraicJobs) {
   EXPECT_EQ(second.getString("snapshot_b64"), first.getString("snapshot_b64"))
       << "cached snapshot must be byte-identical";
   EXPECT_EQ(server.counters().resultCacheHits.load(), 1U);
+  // A cached run restores the final state into the serving session, so a
+  // follow-up "state" behaves exactly as after an uncached run.
+  serve::json::Value state = makeRequest("state");
+  state.set("session", "b");
+  const serve::json::Value stateReply = client.call(state);
+  ASSERT_TRUE(stateReply.getBool("ok"));
+  EXPECT_EQ(stateReply.getString("snapshot_b64"), first.getString("snapshot_b64"))
+      << "cached run must leave the session in the run's final state";
+  // Even when the client did not ask for a snapshot payload.
+  ASSERT_TRUE(openSession(client, "c", "alg", circuit.qubits()).getBool("ok"));
+  serve::json::Value bare = makeRequest("run");
+  bare.set("session", "c");
+  bare.set("circuit", circuit.toText());
+  const serve::json::Value third = client.call(bare);
+  ASSERT_TRUE(third.getBool("ok"));
+  EXPECT_TRUE(third.getString("snapshot_b64").empty()) << "snapshot payload stays opt-in";
+  serve::json::Value stateC = makeRequest("state");
+  stateC.set("session", "c");
+  EXPECT_EQ(client.call(stateC).getString("snapshot_b64"), first.getString("snapshot_b64"));
+  // Job-level numeric fields draw 400, not UB, on hostile values.
+  serve::json::Value hostile = makeRequest("run");
+  hostile.set("session", "a");
+  hostile.set("circuit", circuit.toText());
+  hostile.set("priority", 1e300);
+  EXPECT_EQ(errorCode(client.call(hostile)), serve::kBadRequest);
+  serve::json::Value negativeTrace = makeRequest("run");
+  negativeTrace.set("session", "a");
+  negativeTrace.set("circuit", circuit.toText());
+  negativeTrace.set("trace_every", -1.0);
+  EXPECT_EQ(errorCode(client.call(negativeTrace)), serve::kBadRequest);
   server.stop();
 }
 
