@@ -31,12 +31,30 @@ using Qubit = std::uint32_t;
 
 /// Weighted edge into a DD.  node == nullptr means the edge goes to the
 /// terminal.
+///
+/// Skip-level edges: `var` is the level the edge *enters* (the variable the
+/// edge's context expects next).  For vector edges and for materialized
+/// matrix edges, var equals node->var.  A *matrix* edge whose var lies above
+/// its node's variable (var < node->var; level 0 is the top) denotes an
+/// implicit identity on every skipped level: the represented operator is
+/// I ⊗ ... ⊗ I ⊗ M over [var, node->var) ⊗ [node->var, ...).  Two canonical
+/// special cases close the invariant:
+///  - a zero edge is always {nullptr, 0, var = 0};
+///  - a non-zero *terminal* matrix edge {nullptr, w, var = 0} denotes w times
+///    the identity on every level remaining in its context (a plain scalar
+///    when the context has already reached the bottom) — its var is
+///    meaningless and canonically 0.
+/// Package::makeNode enforces the canonical var on every stored child edge
+/// (entering level of a child of a level-k node is k+1 by definition), so the
+/// skip information itself lives in the *difference* between the edge's
+/// entering level and its node's variable.
 template <class NodeT, class WeightT> struct Edge {
   using Node = NodeT;
   using Weight = WeightT;
 
   NodeT* node = nullptr;
   WeightT w{};
+  Qubit var = 0; ///< entering level (== node->var unless the edge skips)
 
   [[nodiscard]] bool isTerminal() const { return node == nullptr; }
   friend bool operator==(const Edge&, const Edge&) = default;
@@ -95,13 +113,17 @@ struct WeightPairKey {
 };
 
 /// Content hash of a prospective node: its variable plus each child's
-/// (pointer, weight) pair.  Weights must be integral handles (both weight
-/// systems intern their values to std::uint32_t refs).
+/// (pointer, weight, entering level) triple.  Weights must be integral
+/// handles (both weight systems intern their values to std::uint32_t refs).
+/// The child var is folded into the pointer word (arena addresses never
+/// reach the high bits) so skip-level edges hash as the canonical content
+/// the unique table's operator== compares — at zero extra mixing cost.
 template <class EdgeT, std::size_t N>
 [[nodiscard]] std::uint64_t hashNodeContents(Qubit var, const std::array<EdgeT, N>& children) noexcept {
   std::uint64_t h = detail::mix64(var);
   for (const EdgeT& child : children) {
-    h = detail::hashCombine(h, detail::pointerBits(child.node));
+    h = detail::hashCombine(h, detail::pointerBits(child.node) ^
+                                   (static_cast<std::uint64_t>(child.var) << 48U));
     h = detail::hashCombine(h, static_cast<std::uint64_t>(child.w));
   }
   return h;

@@ -41,6 +41,11 @@ void dotNodes(const Package<System>& package, const Node* node,
     } else {
       weight << z.real() << (z.imag() < 0 ? "" : "+") << z.imag() << "i";
     }
+    // Skip-level edge: implicit identity on the levels between parent and
+    // child (matrix DDs only; vector DDs are quasi-reduced so skip == 0).
+    if (child.node != nullptr && child.node->var > node->var + 1) {
+      weight << " I^" << (child.node->var - node->var - 1);
+    }
     if (child.node == nullptr) {
       os << "  t [shape=box,label=\"1\"];\n";
       os << "  n" << id << " -> t [label=\"" << i << " " << weight.str() << "\"];\n";
@@ -64,7 +69,12 @@ template <class System, class Edge>
   std::unordered_map<const std::remove_pointer_t<decltype(root.node)>*, std::size_t> ids;
   detail::dotNodes(package, root.node, ids, os);
   if (root.node != nullptr) {
-    os << "  root -> n" << ids.at(root.node) << ";\n";
+    if (root.node->var > root.var) {
+      os << "  root -> n" << ids.at(root.node) << " [label=\"I^" << (root.node->var - root.var)
+         << "\"];\n";
+    } else {
+      os << "  root -> n" << ids.at(root.node) << ";\n";
+    }
   } else {
     os << "  t [shape=box,label=\"1\"];\n  root -> t;\n";
   }
@@ -84,19 +94,38 @@ template <class System>
 template <class System>
 [[nodiscard]] la::Matrix toDenseMatrix(const Package<System>& package,
                                        const typename Package<System>::MEdge& root) {
-  const std::size_t dimension = std::size_t{1} << package.qubits();
+  const Qubit nqubits = package.qubits();
+  const std::size_t dimension = std::size_t{1} << nqubits;
   la::Matrix result(dimension);
+  // Level-aware walk: `level` is the variable the current context enters, so
+  // a node whose var lies below it (or the terminal reached early) is an
+  // implicit identity on the skipped levels — expanded here as a diagonal
+  // block of copies.
   const std::function<void(const typename Package<System>::MNode*, std::complex<double>,
-                           std::size_t, std::size_t, std::size_t)>
+                           std::size_t, std::size_t, Qubit)>
       walk = [&](const auto* node, std::complex<double> acc, std::size_t row, std::size_t col,
-                 std::size_t half) {
+                 Qubit level) {
         if (acc == std::complex<double>{}) {
           return;
         }
         if (node == nullptr) {
-          result.at(row, col) += acc;
+          // w · identity over the remaining levels (a plain scalar at the
+          // bottom).
+          const std::size_t size = std::size_t{1} << (nqubits - level);
+          for (std::size_t k = 0; k < size; ++k) {
+            result.at(row + k, col + k) += acc;
+          }
           return;
         }
+        if (node->var > level) {
+          // Skipped level: identity ⊗ (rest) — recurse into both diagonal
+          // quadrants.
+          const std::size_t half = std::size_t{1} << (nqubits - level - 1);
+          walk(node, acc, row, col, level + 1);
+          walk(node, acc, row + half, col + half, level + 1);
+          return;
+        }
+        const std::size_t half = std::size_t{1} << (nqubits - level - 1);
         for (std::size_t i = 0; i < 4; ++i) {
           const auto& child = node->e[i];
           if (package.system().isZero(child.w)) {
@@ -104,10 +133,10 @@ template <class System>
           }
           const std::size_t r = row + ((i >> 1) != 0 ? half : 0);
           const std::size_t c = col + ((i & 1) != 0 ? half : 0);
-          walk(child.node, acc * package.system().toComplex(child.w), r, c, half / 2);
+          walk(child.node, acc * package.system().toComplex(child.w), r, c, level + 1);
         }
       };
-  walk(root.node, package.system().toComplex(root.w), 0, 0, dimension / 2);
+  walk(root.node, package.system().toComplex(root.w), 0, 0, root.var);
   return result;
 }
 

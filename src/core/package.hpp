@@ -7,9 +7,16 @@
 /// (the normalization policy lives in the weight system), stored in unique
 /// tables for canonicity, and manipulated through cached recursive algorithms
 /// (addition, matrix-vector / matrix-matrix multiplication, Kronecker
-/// product, conjugate transpose, inner product).  Diagrams are
-/// quasi-reduced: every root-to-terminal path visits every variable, which
-/// keeps the algorithms uniform (no level-skipping case analysis).
+/// product, conjugate transpose, inner product).  Vector diagrams are
+/// quasi-reduced: every root-to-terminal path visits every variable.  Matrix
+/// diagrams use *skip-level edges* (see core/dd_node.hpp and
+/// docs/CORE_STORAGE.md): an edge entering above its node's variable denotes
+/// an implicit identity on the skipped levels, so a single-qubit gate on an
+/// n-qubit register is one node instead of an O(n) identity tower and the
+/// multiply recursion touches only the active levels.  makeNode collapses
+/// the diag(c, 0, 0, c) pattern unconditionally (Config::skipIdentities,
+/// default on), which makes the skip form canonical: an explicit identity
+/// level can never coexist with its skipped representation.
 ///
 /// Storage architecture (see docs/CORE_STORAGE.md):
 ///  - nodes live in chunked arenas (core/memory_manager.hpp) with stable
@@ -122,7 +129,7 @@ public:
 
   explicit Package(Qubit nqubits, typename System::Config config = {})
       : nqubits_(nqubits), system_(config), gcWatermark_(config.gcWatermark),
-        configParallelDepth_(config.parallelDepth) {
+        configParallelDepth_(config.parallelDepth), skipIdentities_(config.skipIdentities) {
     if (system_.memoizationOrderDependent()) {
       // A recomputed result could differ from the cached one (tolerance-mode
       // interning): keep every memoized result so nothing is ever recomputed.
@@ -177,8 +184,17 @@ public:
   [[nodiscard]] exec::ThreadPool* executor() const { return executor_; }
   /// True iff the kernels currently run the forked, striped, seqlocked paths.
   [[nodiscard]] bool concurrentKernels() const { return concurrent_; }
-  /// Recursion depth down to which kernels fork (0 in serial mode).
+  /// *Effective* recursion depth down to which kernels fork (0 in serial
+  /// mode).  The budget decrements once per recursion step, and with
+  /// skip-level edges a step descends to the next *materialized* level of
+  /// the operands — identity levels skipped by an edge cost no budget (and
+  /// spawn no tasks), so the cutoff compares against the remaining
+  /// materialized depth, not the raw qubit count.  See Config::parallelDepth.
   [[nodiscard]] std::size_t parallelDepth() const { return parallelDepth_; }
+  /// True iff identity levels are kept implicit (skip-level matrix edges,
+  /// Config::skipIdentities).  False reproduces the legacy fully-materialized
+  /// representation (identity towers) — the before-side of bench/gate_apply.
+  [[nodiscard]] bool skipIdentities() const { return skipIdentities_; }
 
   // -- canonical edges ---------------------------------------------------------
 
@@ -367,9 +383,15 @@ public:
     return e;
   }
 
-  /// Identity on all qubits.
+  /// Identity on all qubits.  With skip-level edges this is the canonical
+  /// terminal edge {nullptr, 1, 0} — identity on every level of the context
+  /// — built in O(1); the legacy representation materializes the O(n) tower
+  /// (which makeNode would otherwise collapse right back).
   [[nodiscard]] MEdge makeIdentity() {
     MEdge e{nullptr, system_.one()};
+    if (skipIdentities_) {
+      return e;
+    }
     for (Qubit var = nqubits_; var-- > 0;) {
       e = makeMNode(var, {e, zeroMatrix(), zeroMatrix(), e});
     }
@@ -395,8 +417,15 @@ public:
                                std::span<const std::pair<Qubit, Control>> controls = {}) {
     assert(target < nqubits_);
     if (controls.empty()) {
-      // Plain chain: identity above and below, U at the target level.
+      // One node at the target level; the identity above and below stays
+      // implicit (the below-identity is the terminal children, the
+      // above-identity is the root edge's skip span).  The legacy path
+      // materializes the identity tower level by level instead.
       MEdge e{nullptr, system_.one()};
+      if (skipIdentities_) {
+        e = makeMNode(target, {scale(e, u[0]), scale(e, u[1]), scale(e, u[2]), scale(e, u[3])});
+        return enteringAt(e, 0);
+      }
       for (Qubit var = nqubits_; var-- > 0;) {
         if (var == target) {
           e = makeMNode(var, {scale(e, u[0]), scale(e, u[1]), scale(e, u[2]), scale(e, u[3])});
@@ -407,7 +436,11 @@ public:
       return e;
     }
     // Controlled: G = I + C where C applies (U - I) on the target restricted
-    // to the subspace selected by the controls.
+    // to the subspace selected by the controls.  C acts as the identity on
+    // every level that is neither the target nor a control, so with
+    // skip-level edges only the active levels materialize a node — the cost
+    // is O(active qubits), independent of the register width and of the
+    // gaps between the active qubits.
     const GateMatrix uMinusI{system_.sub(u[0], system_.one()), u[1], u[2],
                              system_.sub(u[3], system_.one())};
     MEdge c{nullptr, system_.one()};
@@ -431,11 +464,12 @@ public:
         } else {
           c = makeMNode(var, {c, zeroMatrix(), zeroMatrix(), zeroMatrix()});
         }
-      } else {
+      } else if (!skipIdentities_) {
         c = makeMNode(var, {c, zeroMatrix(), zeroMatrix(), c});
       }
+      // else: inactive level — the identity stays implicit in the edge.
     }
-    return add(makeIdentity(), c);
+    return add(makeIdentity(), enteringAt(c, 0));
   }
 
   // -- arithmetic ---------------------------------------------------------------
@@ -471,7 +505,9 @@ public:
     return kroneckerImpl(top, bottom, parallelDepth_);
   }
 
-  /// Conjugate transpose (adjoint) of a matrix DD.
+  /// Conjugate transpose (adjoint) of a matrix DD.  Skip spans transpose to
+  /// themselves (identity is self-adjoint), so the result re-enters at the
+  /// input's level; the cache stores the node-level adjoint.
   [[nodiscard]] MEdge conjugateTranspose(const MEdge& a) {
     if (system_.isZero(a.w)) {
       return zeroMatrix();
@@ -484,7 +520,7 @@ public:
     MEdge hit;
     if (transposeCache_.lookup(key, hit)) {
       stats_.transpose.hits.inc();
-      return weighted(hit, w);
+      return enteringAt(weighted(hit, w), a.var);
     }
     stats_.transpose.misses.inc();
     std::array<MEdge, 4> children{
@@ -494,7 +530,7 @@ public:
     if (transposeCache_.insert(key, result)) {
       stats_.transpose.evictions.inc();
     }
-    return weighted(result, w);
+    return enteringAt(weighted(result, w), a.var);
   }
 
   /// True iff the two matrix DDs represent the same unitary up to a global
@@ -502,7 +538,9 @@ public:
   /// magnitude check on the root-weight ratio.  (Useful when comparing
   /// against Solovay-Kitaev output, which is projective.)
   [[nodiscard]] bool equalUpToGlobalPhase(const MEdge& a, const MEdge& b) {
-    if (a.node != b.node) {
+    if (a.node != b.node || a.var != b.var) {
+      // Same node entered at different levels = different identity padding:
+      // different operators, phase notwithstanding.
       return false;
     }
     if (a.w == b.w) {
@@ -532,29 +570,7 @@ public:
 
   /// Matrix trace tr(A) as a weight (sum of the 2^n diagonal entries,
   /// computed in O(|DD|) with memoization).
-  [[nodiscard]] Weight trace(const MEdge& a) {
-    if (system_.isZero(a.w)) {
-      return system_.zero();
-    }
-    if (a.isTerminal()) {
-      // Terminal 1x1 "matrix" scaled by the identity chain below: the
-      // caller's variable bookkeeping guarantees terminals only occur at
-      // the bottom, so the contribution is just the weight.
-      return a.w;
-    }
-    Weight per = system_.zero();
-    const NodeKey key{a.node};
-    if (traceCache_.lookup(key, per)) {
-      stats_.trace.hits.inc();
-    } else {
-      stats_.trace.misses.inc();
-      per = system_.add(trace(a.node->e[0]), trace(a.node->e[3]));
-      if (traceCache_.insert(key, per)) {
-        stats_.trace.evictions.inc();
-      }
-    }
-    return system_.mul(a.w, per);
-  }
+  [[nodiscard]] Weight trace(const MEdge& a) { return traceImpl(a, 0); }
 
   /// Process fidelity |tr(A^dagger B)| / 2^n — the standard "equal up to
   /// global phase" metric of DD-based equivalence checkers.  1.0 iff the
@@ -785,7 +801,20 @@ private:
   /// subproblems are split across exec::forkJoin (one half enqueued as a
   /// stealable pool task, the other half run inline); at zero — and always in
   /// serial mode, where parallelDepth_ is 0 — the loop below is the exact
-  /// pre-concurrency recursion.
+  /// pre-concurrency recursion.  The budget is spent per *materialized*
+  /// recursion step: a skip prefix shared by both operands is handled O(1)
+  /// here (never recursed into), so the cutoff measures effective depth.
+  ///
+  /// Skip-level edges (matrix arity only): operands may be implicit
+  /// identities — terminal, or skipping past the level where the other
+  /// operand has its node.  The recursion descends to the highest
+  /// *materialized* level (`core`, the minimum of the operand node
+  /// variables), synthesizing the skipping side's diag(x, 0, 0, x) children
+  /// on the fly; the result is cached at core level and the shared identity
+  /// prefix [entering, core) is re-attached by patching the returned edge's
+  /// var — which is also why the computed-table key needs no level field:
+  /// for a given (node, weight) operand pair the core level is determined,
+  /// and the cached entry is always the core-level result.
   template <class EdgeT>
   [[nodiscard]] EdgeT addImpl(const EdgeT& a, const EdgeT& b, std::size_t depth = 0) {
     if (system_.isZero(a.w)) {
@@ -795,10 +824,21 @@ private:
       return a;
     }
     if (a.isTerminal() && b.isTerminal()) {
+      // Scalars at the bottom, or (matrix) two implicit identities over the
+      // same span: either way the sum is (a.w + b.w) times that structure.
       return {nullptr, system_.add(a.w, b.w)};
     }
-    assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
-    const bool ordered = orderForAdd(a, b);
+    constexpr std::size_t N = EdgeT::Node::kBranching;
+    if constexpr (N == 2) {
+      assert(!a.isTerminal() && !b.isTerminal() && a.node->var == b.node->var);
+    } else {
+      assert((a.isTerminal() || b.isTerminal() || a.var == b.var) &&
+             "matrix add operands must enter at the same level");
+    }
+    // Entering level of the result; for vectors always the shared node var.
+    const Qubit entering = a.isTerminal() ? b.var : a.var;
+    const Qubit core = std::min(levelOf(a), levelOf(b));
+    const bool ordered = a.isTerminal() || (!b.isTerminal() && orderForAdd(a, b));
     const EdgeT& x = ordered ? a : b;
     const EdgeT& y = ordered ? b : a;
     const EdgeKey key{x.node, x.w, y.node, y.w};
@@ -807,14 +847,25 @@ private:
     EdgeT hit;
     if (cache.lookup(key, hit)) {
       cacheStats.hits.inc();
-      return hit;
+      return enteringAt(hit, entering);
     }
     cacheStats.misses.inc();
-    constexpr std::size_t N = EdgeT::Node::kBranching;
+    // Child i of operand z at the core level: the stored successor when z is
+    // materialized there, otherwise the implicit identity's diagonal
+    // (z itself, entering one level lower) or zero off-diagonal.
+    const auto childOf = [&](const EdgeT& z, std::size_t i) -> EdgeT {
+      if (z.node != nullptr && z.node->var == core) {
+        return weighted(z.node->e[i], z.w);
+      }
+      if (i == 0 || i == N - 1) {
+        return EdgeT{z.node, z.w, z.node != nullptr ? core + 1 : 0};
+      }
+      return EdgeT{nullptr, system_.zero()};
+    };
     std::array<EdgeT, N> children;
     const auto computeRange = [&](std::size_t begin, std::size_t end, std::size_t d) {
       for (std::size_t i = begin; i < end; ++i) {
-        children[i] = addImpl(weighted(x.node->e[i], x.w), weighted(y.node->e[i], y.w), d);
+        children[i] = addImpl(childOf(x, i), childOf(y, i), d);
       }
     };
     if (depth != 0) {
@@ -824,43 +875,86 @@ private:
     } else {
       computeRange(0, N, 0);
     }
-    const EdgeT result = makeNode<EdgeT, N>(x.node->var, children);
+    const EdgeT result = makeNode<EdgeT, N>(core, children);
     if (cache.insert(key, result)) {
       cacheStats.evictions.inc();
     }
-    return result;
+    return enteringAt(result, entering);
   }
 
   /// Matrix-vector (result arity 2) and matrix-matrix (result arity 4)
   /// product through one recursion: the result has 2 rows and
   /// N/2 columns, each entry a sum of two partial products.  Forks split the
-  /// two result rows (each row's products + additions form one task).
+  /// two result rows (each row's products + additions form one task); the
+  /// fork budget decrements per materialized level only (skip prefixes are
+  /// fast-forwarded below), so the cutoff is an effective depth.
+  ///
+  /// Skip-level handling — the heart of the O(active qubits) gate apply:
+  ///  - a terminal matrix operand is w·I over every remaining level, so
+  ///    M·v = w·v without touching v's subgraph at all (O(1));
+  ///  - a terminal right operand (matrix-matrix) symmetrically yields w·A;
+  ///  - when both operands skip a shared prefix, the product over that
+  ///    prefix is again the identity: recursion jumps straight to the
+  ///    highest materialized level (`core`) and the prefix is re-attached by
+  ///    patching the result's entering var — one O(1) step per product, not
+  ///    one recursion level per skipped qubit;
+  ///  - at core, the side not materialized there contributes its implicit
+  ///    diag(z, 0, 0, z) children.
+  /// The cache key stays the (m.node, v.node) pair: at least one of the two
+  /// is materialized at core, so the cached entry is always the
+  /// core-entering result for that pair (prefixes of any length share it).
   template <class REdge>
   [[nodiscard]] REdge multiplyImpl(const MEdge& m, const REdge& v, std::size_t depth = 0) {
     if (system_.isZero(m.w) || system_.isZero(v.w)) {
       return REdge{nullptr, system_.zero()};
     }
     const Weight w = system_.mul(m.w, v.w);
-    if (m.isTerminal() && v.isTerminal()) {
-      return {nullptr, w};
+    if (m.isTerminal()) {
+      // m is w·identity over every level it spans (or a bare scalar at the
+      // bottom): the product is w times the other operand either way.
+      return REdge{v.node, w, v.var};
     }
-    assert(!m.isTerminal() && !v.isTerminal() && m.node->var == v.node->var);
+    constexpr std::size_t N = REdge::Node::kBranching;
+    if constexpr (N == 4) {
+      if (v.isTerminal()) {
+        return REdge{m.node, w, m.var};
+      }
+    } else {
+      assert(!v.isTerminal() && v.node->var == v.var);
+    }
+    assert(m.var == v.var && "multiply operands must enter at the same level");
+    const Qubit entering = v.var;
+    const Qubit core = std::min(m.node->var, levelOf(v));
     const NodePairKey key{m.node, v.node};
     auto& cache = mulCacheFor<REdge>();
     obs::CacheStats& cacheStats = mulStatsFor<REdge>();
     REdge hit;
     if (cache.lookup(key, hit)) {
       cacheStats.hits.inc();
-      return weighted(hit, w);
+      return enteringAt(weighted(hit, w), entering);
     }
     cacheStats.misses.inc();
-    constexpr std::size_t N = REdge::Node::kBranching;
     constexpr std::size_t cols = N / 2;
+    // Operand children at the core level; the stripped weights stay factored
+    // out (the cache stores the weight-free product).
+    const auto mChild = [&](std::size_t i) -> MEdge {
+      if (m.node->var == core) {
+        return m.node->e[i];
+      }
+      return (i == 0 || i == 3) ? MEdge{m.node, system_.one(), core + 1} : zeroMatrix();
+    };
+    const auto vChild = [&](std::size_t i) -> REdge {
+      if (v.node->var == core) {
+        return v.node->e[i];
+      }
+      return (i == 0 || i == N - 1) ? REdge{v.node, system_.one(), core + 1}
+                                    : REdge{nullptr, system_.zero()};
+    };
     std::array<REdge, N> children;
     const auto computeRow = [&](std::size_t row, std::size_t d) {
       for (std::size_t col = 0; col < cols; ++col) {
-        const REdge p0 = multiplyImpl(m.node->e[2 * row], v.node->e[col], d);
-        const REdge p1 = multiplyImpl(m.node->e[2 * row + 1], v.node->e[cols + col], d);
+        const REdge p0 = multiplyImpl(mChild(2 * row), vChild(col), d);
+        const REdge p1 = multiplyImpl(mChild(2 * row + 1), vChild(cols + col), d);
         children[cols * row + col] = addImpl(p0, p1, d);
       }
     };
@@ -872,21 +966,34 @@ private:
       computeRow(0, 0);
       computeRow(1, 0);
     }
-    const REdge result = makeNode<REdge, N>(m.node->var, children);
+    const REdge result = makeNode<REdge, N>(core, children);
     if (cache.insert(key, result)) {
       cacheStats.evictions.inc();
     }
-    return weighted(result, w);
+    return enteringAt(weighted(result, w), entering);
   }
 
+  /// Kronecker product.  Matrix edges keep their skips: grafting `bottom`
+  /// under a skip edge or a terminal (identity) edge needs no new nodes at
+  /// all — the result is the same node entered higher up.  Inside the
+  /// recursion, terminal children of `top` are re-entered with their actual
+  /// context level so the graft point is known (their canonical var of 0
+  /// carries no position).
   template <class EdgeT>
   [[nodiscard]] EdgeT kroneckerImpl(const EdgeT& top, const EdgeT& bottom, std::size_t depth = 0) {
+    constexpr std::size_t N = EdgeT::Node::kBranching;
     if (system_.isZero(top.w) || system_.isZero(bottom.w)) {
       return EdgeT{nullptr, system_.zero()};
     }
     const Weight w = system_.mul(top.w, bottom.w);
     if (top.isTerminal()) {
-      return weighted(EdgeT{bottom.node, system_.one()}, w);
+      if constexpr (N == 2) {
+        return EdgeT{bottom.node, w, bottom.var};
+      } else {
+        // top = identity over [top.var, bottom's levels): graft bottom under
+        // the skip.  bottom terminal folds into one identity span.
+        return EdgeT{bottom.node, w, bottom.node != nullptr ? top.var : 0};
+      }
     }
     const NodePairKey key{top.node, bottom.node};
     auto& cache = kronCacheFor<EdgeT>();
@@ -894,15 +1001,18 @@ private:
     EdgeT hit;
     if (cache.lookup(key, hit)) {
       cacheStats.hits.inc();
-      return weighted(hit, w);
+      return enteringAt(weighted(hit, w), top.var);
     }
     cacheStats.misses.inc();
-    const EdgeT stripBottom{bottom.node, system_.one()};
-    constexpr std::size_t N = EdgeT::Node::kBranching;
+    const EdgeT stripBottom{bottom.node, system_.one(), bottom.var};
     std::array<EdgeT, N> children;
     const auto computeRange = [&](std::size_t begin, std::size_t end, std::size_t d) {
       for (std::size_t i = begin; i < end; ++i) {
-        children[i] = kroneckerImpl(top.node->e[i], stripBottom, d);
+        EdgeT child = top.node->e[i];
+        if (child.isTerminal()) {
+          child.var = top.node->var + 1; // actual context of this terminal
+        }
+        children[i] = kroneckerImpl(child, stripBottom, d);
       }
     };
     if (depth != 0) {
@@ -916,23 +1026,81 @@ private:
     if (cache.insert(key, result)) {
       cacheStats.evictions.inc();
     }
-    return weighted(result, w);
+    return enteringAt(weighted(result, w), top.var);
   }
 
   template <class EdgeT> [[nodiscard]] EdgeT weighted(const EdgeT& e, Weight w) {
     if (system_.isZero(e.w) || system_.isZero(w)) {
       return EdgeT{nullptr, system_.zero()};
     }
-    return {e.node, system_.mul(w, e.w)};
+    return {e.node, system_.mul(w, e.w), e.var};
   }
   [[nodiscard]] MEdge scale(const MEdge& e, Weight w) { return weighted(e, w); }
+
+  /// The edge's node level, with the terminal counting as the bottom of the
+  /// register — the natural extent bound for implicit-identity spans.
+  template <class EdgeT> [[nodiscard]] Qubit levelOf(const EdgeT& e) const {
+    return e.node != nullptr ? e.node->var : nqubits_;
+  }
+
+  /// Re-enter `e` at `var` (prefix patch for skip-level edges); terminal and
+  /// zero edges keep their canonical var of 0.
+  template <class EdgeT> [[nodiscard]] static EdgeT enteringAt(EdgeT e, Qubit var) {
+    e.var = e.node != nullptr ? var : 0;
+    return e;
+  }
+
+  /// The weight 2^k (trace of a k-level identity span), built by exact
+  /// repeated doubling — exact in both weight systems.
+  [[nodiscard]] Weight pow2Weight(Qubit k) {
+    Weight result = system_.one();
+    for (Qubit i = 0; i < k; ++i) {
+      result = system_.add(result, result);
+    }
+    return result;
+  }
+
+  /// trace() body with the entering level made explicit: a skipped or
+  /// terminal identity span over s levels multiplies the subdiagram's trace
+  /// by 2^s (each implicit level doubles the diagonal).  The cache keeps the
+  /// per-node trace computed at the node's own level, so entries are shared
+  /// across entering levels.
+  [[nodiscard]] Weight traceImpl(const MEdge& a, Qubit level) {
+    if (system_.isZero(a.w)) {
+      return system_.zero();
+    }
+    if (a.isTerminal()) {
+      // w·I over [level, n): 2^(n - level) diagonal entries of w.
+      return system_.mul(a.w, pow2Weight(nqubits_ - level));
+    }
+    Weight per = system_.zero();
+    const NodeKey key{a.node};
+    if (traceCache_.lookup(key, per)) {
+      stats_.trace.hits.inc();
+    } else {
+      stats_.trace.misses.inc();
+      per = system_.add(traceImpl(a.node->e[0], a.node->var + 1),
+                        traceImpl(a.node->e[3], a.node->var + 1));
+      if (traceCache_.insert(key, per)) {
+        stats_.trace.evictions.inc();
+      }
+    }
+    Weight contribution = system_.mul(a.w, per);
+    if (a.node->var > level) {
+      contribution = system_.mul(contribution, pow2Weight(a.node->var - level));
+    }
+    return contribution;
+  }
 
   // -- node construction ---------------------------------------------------------
 
   template <class EdgeT, std::size_t N>
   [[nodiscard]] EdgeT makeNode(Qubit var, std::array<EdgeT, N> children) {
     assert(var < nqubits_);
-    // Zero-weight edges point to the terminal canonically.
+    // Zero-weight edges point to the terminal canonically; non-zero child
+    // edges get their canonical entering level stamped here (a child of a
+    // level-`var` node enters at var + 1 by definition — callers may pass
+    // edges carried over from other levels, e.g. the snapshot loader).
     bool allZero = true;
     std::array<Weight, N> weights;
     for (std::size_t i = 0; i < N; ++i) {
@@ -942,6 +1110,8 @@ private:
       } else {
         allZero = false;
         weights[i] = children[i].w;
+        children[i].var = children[i].node != nullptr ? var + 1 : 0;
+        assert(children[i].node == nullptr || children[i].node->var > var);
       }
     }
     if (allZero) {
@@ -956,6 +1126,23 @@ private:
         weights[i] = system_.zero();
       } else {
         children[i].w = weights[i];
+      }
+    }
+    if constexpr (N == 4) {
+      // Canonical identity collapse: diag(c, c) ≡ I ⊗ c is never
+      // materialized — the child re-enters one level higher instead.
+      // Checking *after* normalization (which may unify nearly-equal
+      // tolerance-mode weights) guarantees no identity-pattern node can
+      // slip into the unique table, so the skipped and materialized forms
+      // of one operator can never coexist.
+      if (skipIdentities_ && children[1].isTerminal() && system_.isZero(children[1].w) &&
+          children[2].isTerminal() && system_.isZero(children[2].w) &&
+          !system_.isZero(children[0].w) && children[0].node == children[3].node &&
+          children[0].w == children[3].w) {
+        EdgeT e = children[0];
+        e.w = system_.mul(factor, e.w);
+        e.var = e.node != nullptr ? var : 0;
+        return e;
       }
     }
 
@@ -1124,6 +1311,7 @@ private:
   std::size_t parallelDepth_ = 0;            ///< active fork cutoff (0 = serial)
   bool concurrent_ = false;                  ///< kernels run the parallel paths
   int activeKernels_ = 0;                    ///< KernelScope nesting depth
+  bool skipIdentities_ = true;               ///< Config::skipIdentities (matrix skip edges)
 
   mutable std::uint64_t visitEpoch_ = 0; ///< current traversal generation
 

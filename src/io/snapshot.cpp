@@ -43,9 +43,10 @@ ParsedSnapshot parseEnvelope(std::span<const std::uint8_t> bytes) {
     throw SnapshotError("bad magic bytes (not a QDDS snapshot)");
   }
   const std::uint16_t version = reader.u16();
-  if (version != kQddsVersion) {
+  if (version < kQddsMinVersion || version > kQddsVersion) {
     throw SnapshotError("unsupported QDDS version " + std::to_string(version) +
-                        " (this build reads version " + std::to_string(kQddsVersion) + ")");
+                        " (this build reads versions " + std::to_string(kQddsMinVersion) +
+                        ".." + std::to_string(kQddsVersion) + ")");
   }
   const std::uint8_t kind = reader.u8();
   if (kind != static_cast<std::uint8_t>(DdKind::Vector) &&
@@ -71,7 +72,7 @@ ParsedSnapshot parseEnvelope(std::span<const std::uint8_t> bytes) {
        << "): snapshot is corrupted";
     throw SnapshotError(os.str());
   }
-  return {static_cast<DdKind>(kind), static_cast<SystemTag>(system), qubits,
+  return {static_cast<DdKind>(kind), static_cast<SystemTag>(system), version, qubits,
           bytes.subspan(kQddsHeaderBytes, static_cast<std::size_t>(payloadLength))};
 }
 
@@ -82,6 +83,7 @@ SnapshotInfo readInfo(std::span<const std::uint8_t> bytes) {
   SnapshotInfo info;
   info.kind = parsed.kind;
   info.system = parsed.system;
+  info.version = parsed.version;
   info.qubits = parsed.qubits;
   info.payloadBytes = parsed.payload.size();
   info.totalBytes = bytes.size();
@@ -100,7 +102,8 @@ SnapshotInfo readInfo(std::span<const std::uint8_t> bytes) {
 
 std::string SnapshotInfo::describe() const {
   std::ostringstream os;
-  os << toString(kind) << " DD, " << qubits << " qubits, " << toString(system) << " weights";
+  os << toString(kind) << " DD (QDDS v" << version << "), " << qubits << " qubits, "
+     << toString(system) << " weights";
   if (system == SystemTag::Numeric) {
     os << " (eps=" << epsilon << ", " << static_cast<int>(floatDigits) << "-bit mantissa)";
   }

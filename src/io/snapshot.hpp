@@ -44,7 +44,14 @@
 namespace qadd::io {
 
 inline constexpr std::array<std::uint8_t, 4> kQddsMagic{'Q', 'D', 'D', 'S'};
-inline constexpr std::uint16_t kQddsVersion = 1;
+/// Current write version.  v2 (skip-level edges) appends an entering-level
+/// varint to every child edge record and to the root edge record; v1
+/// snapshots (no edge levels, identity structure fully materialized) still
+/// load — the rebuild path re-canonicalizes them, collapsing identity
+/// patterns into skip edges when the target package has skipping enabled.
+inline constexpr std::uint16_t kQddsVersion = 2;
+/// Oldest version parseEnvelope accepts.
+inline constexpr std::uint16_t kQddsMinVersion = 1;
 /// Fixed header: magic(4) version(2) kind(1) system(1) qubits(4) payload(8)
 /// reserved(4).
 inline constexpr std::size_t kQddsHeaderBytes = 24;
@@ -62,6 +69,7 @@ enum class SystemTag : std::uint8_t { Algebraic = 1, Numeric = 2 };
 struct SnapshotInfo {
   DdKind kind = DdKind::Vector;
   SystemTag system = SystemTag::Algebraic;
+  std::uint16_t version = kQddsVersion;
   std::uint32_t qubits = 0;
   std::uint64_t nodeCount = 0;
   std::uint64_t weightCount = 0;
@@ -261,6 +269,7 @@ namespace detail {
 struct ParsedSnapshot {
   DdKind kind;
   SystemTag system;
+  std::uint16_t version;
   std::uint32_t qubits;
   std::span<const std::uint8_t> payload;
 };
@@ -336,10 +345,18 @@ template <class System, class EdgeT>
     for (const auto& child : node->e) {
       payload.varint(child.node == nullptr ? 0 : ids.at(child.node) + 1);
       payload.varint(weightIndex.at(child.w));
+      // v2: the edge's entering level.  Canonical (makeNode enforces
+      // node->var + 1 for stored non-terminal children, 0 for terminal
+      // edges), so this is self-description + load-time validation; the
+      // skip itself shows as child.node->var jumping past it.
+      payload.varint(child.var);
     }
   }
   payload.varint(root.node == nullptr ? 0 : ids.at(root.node) + 1);
   payload.varint(weightIndex.at(root.w));
+  // v2: the root edge's entering level — the only edge var that is not
+  // derivable from node records (a root may skip from above its node).
+  payload.varint(root.var);
 
   ByteWriter out;
   out.raw(kQddsMagic);
@@ -410,7 +427,10 @@ template <class System, class EdgeT>
   // rebuilt edge is {node, one}; if re-normalization does extract a factor
   // (cross-normalization algebraic load, or dedup against a live tolerance
   // table), it is folded into the parent edges, keeping the represented
-  // function intact.
+  // function intact.  The rebuilt sub-edge keeps the entering level makeNode
+  // assigned for the *stored* node's variable: when identity structure in a
+  // v1 snapshot collapses into skip edges during rebuild, that level is
+  // exactly where the vanished structure used to begin.
   const std::size_t liveBefore = package.allocatedNodes();
   std::vector<EdgeT> built;
   built.reserve(static_cast<std::size_t>(nodeCount));
@@ -426,8 +446,9 @@ template <class System, class EdgeT>
     if (package.system().isZero(w) || package.system().isZero(sub.w)) {
       return EdgeT{nullptr, package.system().zero()};
     }
-    return EdgeT{sub.node, package.system().mul(w, sub.w)};
+    return EdgeT{sub.node, package.system().mul(w, sub.w), sub.var};
   };
+  const bool hasEdgeVars = parsed.version >= 2;
   for (std::uint64_t i = 0; i < nodeCount; ++i) {
     const std::uint64_t var = reader.varint();
     if (var >= package.qubits()) {
@@ -438,6 +459,14 @@ template <class System, class EdgeT>
       const std::uint64_t nodeRef = reader.varint();
       const Weight w = weightAt(reader.varint());
       children[c] = edgeTo(nodeRef, w);
+      if (hasEdgeVars) {
+        // Stored child edge vars are canonical by construction; reject
+        // anything else rather than silently re-canonicalize corrupt input.
+        const std::uint64_t childVar = reader.varint();
+        if (childVar != (nodeRef == 0 ? 0 : var + 1)) {
+          throw SnapshotError("non-canonical child edge level in snapshot");
+        }
+      }
     }
     if constexpr (N == 2) {
       built.push_back(package.makeVNode(static_cast<dd::Qubit>(var), children));
@@ -447,7 +476,22 @@ template <class System, class EdgeT>
   }
   const std::uint64_t rootRef = reader.varint();
   const Weight rootW = weightAt(reader.varint());
-  const EdgeT root = edgeTo(rootRef, rootW);
+  EdgeT root = edgeTo(rootRef, rootW);
+  if (hasEdgeVars) {
+    // v2 stores the root's entering level explicitly (the root may skip
+    // from above its node); v1 roots enter at the stored top node's level.
+    const std::uint64_t rootVar = reader.varint();
+    if (root.node == nullptr) {
+      if (rootVar != 0) {
+        throw SnapshotError("non-canonical root edge level in snapshot");
+      }
+    } else {
+      if (rootVar > root.var || rootVar >= package.qubits()) {
+        throw SnapshotError("root edge level out of range in snapshot");
+      }
+      root.var = static_cast<dd::Qubit>(rootVar);
+    }
+  }
   if (!reader.atEnd()) {
     throw SnapshotError("trailing bytes in snapshot payload");
   }

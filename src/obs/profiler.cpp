@@ -92,8 +92,8 @@ void writeProfileJson(std::ostream& os, const DdProfile& profile) {
     os << (k == 0 ? "" : ",") << "\n{\"level\":" << k << ",\"nodes\":" << level.nodes
        << ",\"edges\":" << level.edges << ",\"edgesToTerminal\":" << level.edgesToTerminal
        << ",\"zeroEdges\":" << level.zeroEdges << ",\"incomingEdges\":" << level.incomingEdges
-       << ",\"fanOut\":" << level.fanOut() << ",\"sharing\":" << level.sharing()
-       << ",\"weightHistogram\":";
+       << ",\"skippedBy\":" << level.skippedBy << ",\"fanOut\":" << level.fanOut()
+       << ",\"sharing\":" << level.sharing() << ",\"weightHistogram\":";
     writeHistogram(os, level.weightHistogram);
     os << "}";
   }
@@ -107,15 +107,16 @@ void printProfileTable(std::ostream& os, const DdProfile& profile) {
      << profile.distinctEdgeWeights << " distinct edge weights\n";
   os << std::left << std::setw(7) << "level" << std::right << std::setw(8) << "nodes"
      << std::setw(8) << "edges" << std::setw(8) << "->term" << std::setw(8) << "zero"
-     << std::setw(9) << "fan-out" << std::setw(9) << "sharing" << "  "
+     << std::setw(9) << "skipped" << std::setw(9) << "fan-out" << std::setw(9) << "sharing"
+     << "  "
      << (profile.weightHistogramKind == "bits" ? "weight bits" : "weight magnitude bands")
      << "\n";
   for (std::size_t k = 0; k < profile.levels.size(); ++k) {
     const LevelProfile& level = profile.levels[k];
     os << std::left << std::setw(7) << k << std::right << std::setw(8) << level.nodes
        << std::setw(8) << level.edges << std::setw(8) << level.edgesToTerminal << std::setw(8)
-       << level.zeroEdges << std::setw(9) << std::fixed << std::setprecision(2) << level.fanOut()
-       << std::setw(9) << level.sharing() << "  ";
+       << level.zeroEdges << std::setw(9) << level.skippedBy << std::setw(9) << std::fixed
+       << std::setprecision(2) << level.fanOut() << std::setw(9) << level.sharing() << "  ";
     os.unsetf(std::ios::floatfield);
     bool any = false;
     for (std::size_t b = 0; b < level.weightHistogram.size(); ++b) {

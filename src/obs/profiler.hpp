@@ -34,6 +34,11 @@ struct LevelProfile {
   std::size_t edgesToTerminal = 0; ///< subset of `edges` that end at the terminal
   std::size_t zeroEdges = 0;       ///< zero-weight (absent) successors
   std::size_t incomingEdges = 0;   ///< parent edges into this level (root edge included)
+  /// Non-zero edges whose implicit-identity span covers this level: skip
+  /// edges passing over it plus non-zero terminal matrix edges whose
+  /// identity tail includes it.  Always 0 for vector DDs (quasi-reduced)
+  /// and for packages with identity skipping disabled.
+  std::size_t skippedBy = 0;
   /// weightHistogram[b] = outgoing non-zero edges whose weight falls in
   /// complexity class b; see DdProfile::weightHistogramKind.
   std::vector<std::uint64_t> weightHistogram;
@@ -121,6 +126,18 @@ template <class System, class EdgeT>
   std::unordered_set<typename System::Weight> weights;
   std::vector<const NodeT*> stack;
 
+  // Levels an edge passes over implicitly (skip-level edges; matrix DDs
+  // only in practice).  `from` is the level below the edge's origin, `to`
+  // the level its node materializes at — qubits (context end) for non-zero
+  // terminal edges, whose tail is an implicit identity.
+  const auto countSkips = [&](dd::Qubit from, const EdgeT& edge) {
+    const std::size_t to =
+        edge.node != nullptr ? edge.node->var : (NodeT::kBranching == 4 ? profile.qubits : from);
+    for (std::size_t k = from; k < to; ++k) {
+      ++profile.levels[k].skippedBy;
+    }
+  };
+
   const auto countEdge = [&](const NodeT* parent, const EdgeT& edge) {
     LevelProfile& level = profile.levels[parent->var];
     if (package.system().isZero(edge.w)) {
@@ -131,6 +148,7 @@ template <class System, class EdgeT>
     ++profile.totalEdges;
     weights.insert(edge.w);
     detail::bumpHistogram(level.weightHistogram, detail::weightClass(package.system(), edge.w));
+    countSkips(parent->var + 1, edge);
     if (edge.node == nullptr) {
       ++level.edgesToTerminal;
       return;
@@ -146,6 +164,7 @@ template <class System, class EdgeT>
     // has no parent node, so it joins no level's outgoing-weight histogram.
     ++profile.totalEdges;
     weights.insert(root.w);
+    countSkips(root.var, root);
     if (root.node != nullptr) {
       ++profile.levels[root.node->var].incomingEdges;
       if (visited.insert(root.node).second) {

@@ -481,12 +481,13 @@ TEST(Fig3Regression, ToleranceModeReloadMatchesRecompute) {
 
 // -- golden snapshot regression ---------------------------------------------------
 
-/// Byte-level format pin: a QDDS file written by an earlier release (PR 3
-/// seed build: 5-qubit random Clifford+T state, 31 nodes, 83-bit worst-case
-/// coefficients) must still load, and re-serializing the loaded state must
-/// reproduce the file byte for byte.  This locks the on-disk encoding —
-/// BigInt::toBytes headers included — against representation changes such as
-/// the small-size-optimized BigInt storage.
+/// Old-format load-compat pin: a QDDS v1 file written by an earlier release
+/// (PR 3 seed build: 5-qubit random Clifford+T state, 31 nodes, 83-bit
+/// worst-case coefficients) must still load through the v2 reader.  The
+/// rebuilt diagram re-canonicalizes through makeNode (vector DDs have no
+/// identity patterns to collapse, so the node count is unchanged), and
+/// writing it back now produces v2 bytes — which must themselves be a fixed
+/// point of a further load/save round trip.
 TEST(IoGolden, Pr3SnapshotLoadsAndResavesByteIdentical) {
   const std::string path = std::string(QADD_TESTDATA_DIR) + "/golden_pr3.qdds";
   std::ifstream file(path, std::ios::binary);
@@ -494,11 +495,20 @@ TEST(IoGolden, Pr3SnapshotLoadsAndResavesByteIdentical) {
   const std::vector<std::uint8_t> golden{std::istreambuf_iterator<char>(file),
                                          std::istreambuf_iterator<char>()};
   ASSERT_EQ(golden.size(), 1973U) << "golden file changed on disk";
+  EXPECT_EQ(io::readInfo(golden).version, 1U);
 
   dd::Package<AlgebraicSystem> package(5);
   const auto state = io::loadVector(package, golden);
   EXPECT_EQ(package.countNodes(state), 31U);
-  EXPECT_EQ(io::saveVector(package, state), golden);
+
+  // Re-serializing upgrades the envelope to the current version and appends
+  // one entering-level varint per edge record: 31 nodes * 2 children + root.
+  const auto resaved = io::saveVector(package, state);
+  EXPECT_EQ(io::readInfo(resaved).version, io::kQddsVersion);
+  EXPECT_EQ(resaved.size(), golden.size() + 31U * 2U + 1U);
+  const auto reloaded = io::loadVector(package, resaved);
+  EXPECT_TRUE(reloaded == state);
+  EXPECT_EQ(io::saveVector(package, reloaded), resaved) << "v2 bytes are a fixed point";
 
   // The state is a unit vector (the generator applied only unitary gates).
   EXPECT_TRUE(package.system().isOne(package.innerProduct(state, state)));

@@ -60,7 +60,8 @@ TEST(NumericNormalization, BothSchemesYieldSameCanonicalDiagrams) {
         p.system().fromComplex(m[0]), p.system().fromComplex(m[1]),
         p.system().fromComplex(m[2]), p.system().fromComplex(m[3])};
     const auto u = p.makeGate(h, 0);
-    EXPECT_EQ(p.countNodes(u), 2U);
+    // One H node; the identity on the untouched qubit is a skip edge.
+    EXPECT_EQ(p.countNodes(u), 1U);
     const auto dense = toDenseMatrix(p, u);
     EXPECT_NEAR(dense.at(0, 0).real(), 1.0 / std::sqrt(2.0), 1e-14);
   }

@@ -53,10 +53,12 @@ TEST(AlgebraicPackage, VSquaredIsX) {
 }
 
 TEST(AlgebraicPackage, PaperFig1QmddShape) {
-  // U = H (x) I_2: one q0 node, one shared q1 node, root weight 1/sqrt2.
+  // U = H (x) I_2: classically one q0 node plus one shared q1 identity
+  // node; with skip-level edges the q1 identity is implicit, leaving just
+  // the H node.  Root weight stays 1/sqrt2.
   Pkg p(2);
   const auto u = p.makeGate(gateOf(p, qc::GateKind::H), 0);
-  EXPECT_EQ(p.countNodes(u), 2U);
+  EXPECT_EQ(p.countNodes(u), 1U);
   EXPECT_EQ(p.system().value(u.w), QOmega::invSqrt2());
 }
 

@@ -245,12 +245,17 @@ TEST(PackageApi, CountNodesVisitsSharedSubgraphsOnce) {
   // prior traversal's marks cannot leak into the next count.
   EXPECT_EQ(p.countNodes(state), 10U);
   // Sharing across two roots: counting one diagram then another that reuses
-  // its nodes still counts the second one fully.
+  // its nodes still counts the second one fully.  (The identity itself is
+  // node-free under skip-level edges; a single-qubit gate makes a one-node
+  // matrix diagram to interleave with the vector counts.)
   const auto identity = p.makeIdentity();
-  const std::size_t identityNodes = p.countNodes(identity);
-  EXPECT_EQ(identityNodes, 10U) << "identity is a diagonal chain";
+  EXPECT_EQ(p.countNodes(identity), 0U) << "identity is an implicit skip edge";
+  const auto x = p.makeGate({p.system().zero(), p.system().one(), p.system().one(),
+                             p.system().zero()},
+                            4);
+  EXPECT_EQ(p.countNodes(x), 1U);
   EXPECT_EQ(p.countNodes(state), 10U);
-  EXPECT_EQ(p.countNodes(identity), identityNodes);
+  EXPECT_EQ(p.countNodes(x), 1U);
 }
 
 } // namespace

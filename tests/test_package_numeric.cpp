@@ -46,8 +46,21 @@ TEST(NumericPackage, BasisStateIndexConvention) {
   EXPECT_EQ(p.amplitude(state, bits), std::complex<double>(1.0, 0.0));
 }
 
-TEST(NumericPackage, IdentityIsDiagonalChain) {
+TEST(NumericPackage, IdentityIsTerminalSkipEdge) {
+  // With skip-level edges the identity needs no nodes at all: it is the
+  // non-zero terminal edge (implicit identity over the whole context).
   Pkg p(4, exactConfig());
+  const auto identity = p.makeIdentity();
+  EXPECT_TRUE(identity.isTerminal());
+  EXPECT_EQ(p.countNodes(identity), 0U);
+  const la::Matrix dense = toDenseMatrix(p, identity);
+  EXPECT_LE(la::Matrix::maxAbsDifference(dense, la::Matrix::identity(16)), 1e-14);
+}
+
+TEST(NumericPackage, IdentityIsDiagonalChainWhenSkippingDisabled) {
+  auto config = exactConfig();
+  config.skipIdentities = false;
+  Pkg p(4, config);
   const auto identity = p.makeIdentity();
   EXPECT_EQ(p.countNodes(identity), 4U);
   const la::Matrix dense = toDenseMatrix(p, identity);
@@ -55,11 +68,13 @@ TEST(NumericPackage, IdentityIsDiagonalChain) {
 }
 
 TEST(NumericPackage, PaperFig1HadamardKronIdentity) {
-  // U = H (x) I_2: the worked example of the paper (Fig. 1).  Its QMDD has
-  // exactly two nodes: one q0 node and one shared q1 node.
+  // U = H (x) I_2: the worked example of the paper (Fig. 1).  The classic
+  // QMDD has two nodes (one q0 node, one shared q1 identity node); with
+  // skip-level edges the identity on q1 is implicit and only the H node
+  // remains.
   Pkg p(2, exactConfig());
   const auto u = p.makeGate(gateOf(p, qc::GateKind::H), 0);
-  EXPECT_EQ(p.countNodes(u), 2U);
+  EXPECT_EQ(p.countNodes(u), 1U);
   const la::Matrix dense = toDenseMatrix(p, u);
   const double s = 1.0 / std::sqrt(2.0);
   la::Matrix expected(4);

@@ -232,6 +232,9 @@ bool isHardKey(const std::string& path) {
       "clients",         "perClient",      "completed",
       "errors",          "droppedConnections",
       "identicalResults", "workloads",
+      // gate_apply structural gates (BENCH_skip.json).
+      "gateQubits",      "skipMatrixNodes", "materializedMatrixNodes",
+      "speedupGatePassed", "nodeGatePassed",
   };
   const std::size_t dot = path.rfind('.');
   std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
