@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   cli.obs.applyTo(sweep.options);
   sweep.reference = eval::ReferencePolicy::None;
   sweep.addEpsilons({0.0, 1e-10, 1e-6, 1e-4, 1e-3});
+  sweep.applyApprox(cli.approx);
 
   const auto pool = cli.makePool();
   const eval::SweepResult result = eval::runSweep(sweep, pool.get());

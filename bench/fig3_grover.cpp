@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   sweep.referenceCachePath = "fig3_reference.qref";
   sweep.refreshReference = cli.obs.refreshReference;
   sweep.addEpsilons({0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3});
+  sweep.applyApprox(cli.approx); // --approx-fidelity adds the third axis per point
 
   const auto pool = cli.makePool();
   const eval::SweepResult result = eval::runSweep(sweep, pool.get());

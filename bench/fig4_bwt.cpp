@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   cli.obs.applyTo(sweep.options);
   sweep.reference = eval::ReferencePolicy::Inline;
   sweep.addEpsilons({0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3});
+  sweep.applyApprox(cli.approx);
 
   const auto pool = cli.makePool();
   const eval::SweepResult result = eval::runSweep(sweep, pool.get());

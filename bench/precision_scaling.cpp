@@ -40,8 +40,9 @@ int main(int argc, char** argv) {
   sweep.options.sampleEvery = std::max<std::size_t>(1, circuit.size());
   cli.obs.applyTo(sweep.options);
   sweep.reference = eval::ReferencePolicy::Inline;
-  sweep.points.push_back({0.0, false}); // IEEE-754 double
-  sweep.points.push_back({0.0, true});  // x87 long double
+  sweep.addRun({.epsilon = 0.0, .extendedPrecision = false}); // IEEE-754 double
+  sweep.addRun({.epsilon = 0.0, .extendedPrecision = true});  // x87 long double
+  sweep.applyApprox(cli.approx);
 
   const auto pool = cli.makePool();
   const eval::SweepResult result = eval::runSweep(sweep, pool.get());

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   cli.obs.applyTo(sweep.options);
   sweep.reference = eval::ReferencePolicy::Inline;
   sweep.addEpsilons({0.0, 1e-15, 1e-10, 1e-5, 1e-2});
+  sweep.applyApprox(cli.approx);
 
   const auto pool = cli.makePool();
   const eval::SweepResult result = eval::runSweep(sweep, pool.get());

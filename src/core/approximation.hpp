@@ -1,0 +1,69 @@
+/// \file approximation.hpp
+/// Vocabulary of fidelity-bounded DD state approximation (per *Approximation
+/// of Quantum States Using Decision Diagrams*, arXiv 2002.04904): an
+/// ApproxSpec pairs a fidelity budget — the total |amplitude|^2 mass the
+/// pruner may remove — with a policy saying when Package::prune runs.  The
+/// spec is the one approximation knob every layer speaks: eval::RunSpec
+/// embeds it per sweep point, qc::Simulator executes it, the figure drivers
+/// map --approx-fidelity/--approx-policy onto it, and qadd_serve fixes it per
+/// session at open time (docs/APPROXIMATION.md).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace qadd::dd {
+
+/// When the simulator prunes the state.
+enum class ApproxPolicy {
+  /// No approximation: the run is exact in structure (the pre-RunSpec
+  /// behaviour of every sweep point).
+  None,
+  /// One prune after the final gate, spending the whole budget at once.
+  OneShot,
+  /// Prune after every gate, each time spending an equal share of whatever
+  /// budget is still left over the remaining gates (unspent share rolls
+  /// forward), with cumulative fidelity tracked on the fly.
+  PerGate,
+};
+
+/// Fidelity-bounded approximation request.  `budget` is 1 - targetFidelity:
+/// pruning removes subtrees whose summed contribution stays <= budget, so the
+/// state after pruning satisfies fidelity >= 1 - budget against the state
+/// before (the removed mass is an upper bound on the fidelity loss).
+struct ApproxSpec {
+  double budget = 0.0;
+  ApproxPolicy policy = ApproxPolicy::None;
+
+  [[nodiscard]] bool active() const { return policy != ApproxPolicy::None && budget > 0.0; }
+  friend bool operator==(const ApproxSpec&, const ApproxSpec&) = default;
+};
+
+/// Wire/CLI name of a policy ("none", "oneshot", "pergate").
+[[nodiscard]] constexpr const char* approxPolicyName(ApproxPolicy policy) {
+  switch (policy) {
+  case ApproxPolicy::None:
+    return "none";
+  case ApproxPolicy::OneShot:
+    return "oneshot";
+  case ApproxPolicy::PerGate:
+    return "pergate";
+  }
+  return "none";
+}
+
+/// Inverse of approxPolicyName; nullopt on anything else.
+[[nodiscard]] constexpr std::optional<ApproxPolicy> parseApproxPolicy(std::string_view name) {
+  if (name == "none") {
+    return ApproxPolicy::None;
+  }
+  if (name == "oneshot") {
+    return ApproxPolicy::OneShot;
+  }
+  if (name == "pergate") {
+    return ApproxPolicy::PerGate;
+  }
+  return std::nullopt;
+}
+
+} // namespace qadd::dd

@@ -57,16 +57,21 @@
 #include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <complex>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
+#include <stdexcept>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 namespace qadd::dd {
@@ -349,6 +354,7 @@ public:
     sample.smallPathHits = system_.smallPathHits();
     sample.smallPathSpills = system_.smallPathSpills();
     sample.weightEntries = system_.distinctValues();
+    sample.prunedNodes = stats_.approx.nodesRemoved.value();
   }
 
   /// Zero all counters (gauges are derived, so they are unaffected).
@@ -606,6 +612,272 @@ public:
       stats_.inner.evictions.inc();
     }
     return system_.mul(w, sum);
+  }
+
+  // -- approximation (fidelity-bounded pruning, arXiv 2002.04904) ---------------
+
+  /// Outcome of one prune() run.  When nothing was pruned (budget too small
+  /// for even the lightest subtree, zero/terminal input, or pruning would
+  /// have removed all remaining mass) `edge` is the input edge unchanged —
+  /// same node pointer, same weight — and achievedFidelity stays 1.
+  struct PruneResult {
+    VEdge edge;                    ///< pruned + renormalized state (or the input)
+    double achievedFidelity = 1.0; ///< |<pruned|input>|^2, measured in raw doubles
+    double budgetSpent = 0.0;      ///< contribution mass of the removed edges
+    std::size_t edgesPruned = 0;   ///< child edges redirected to the zero vector
+    std::size_t nodesBefore = 0;   ///< countNodes(input)
+    std::size_t nodesAfter = 0;    ///< countNodes(edge)
+  };
+
+  /// Remove the lowest-contribution subtrees of a state DD until the removed
+  /// |amplitude|^2 mass would exceed `fidelityBudget`, then renormalize.
+  ///
+  /// The contribution of edge (v, i) is the total squared amplitude mass the
+  /// state routes through it: in(v) * |w_i|^2 * norm2(child_i), where norm2
+  /// is the squared subtree norm (one upward pass) and in(v) is the squared
+  /// product of edge weights over all root-to-v paths (one downward pass in
+  /// variable order, seeded with |w_root|^2).  Contributions across any cut
+  /// sum to the squared state norm, so greedily removing edges while the
+  /// running sum stays <= budget guarantees fidelity >= 1 - budget against
+  /// the input state (for a normalized input).  Ties are broken by a DFS
+  /// preorder ordinal of the owning node — a structural order, so the result
+  /// is identical no matter how many worker threads built the diagram.
+  ///
+  /// The surviving diagram is rebuilt bottom-up through makeVNode (pruned
+  /// edges become the zero vector), which keeps it canonical: snapshots of a
+  /// pruned state round-trip byte-identically.  Numeric systems only — the
+  /// algebraic system is exact by contract and throws std::logic_error.
+  [[nodiscard]] PruneResult prune(const VEdge& root, double fidelityBudget) {
+    if constexpr (System::kExact) {
+      (void)root;
+      (void)fidelityBudget;
+      throw std::logic_error("Package::prune: the algebraic system is exact; "
+                             "fidelity-bounded approximation is numeric-only");
+    } else {
+      PruneResult result;
+      result.edge = root;
+      result.nodesBefore = countNodes(root);
+      result.nodesAfter = result.nodesBefore;
+      if (fidelityBudget <= 0.0 || root.isTerminal() || system_.isZero(root.w)) {
+        return result;
+      }
+
+      const auto weightNorm2 = [this](Weight w) { return std::norm(system_.toComplex(w)); };
+
+      // Upward pass: squared subtree norms, plus a DFS preorder ordinal per
+      // node (the deterministic tie-break; Node::seq is allocation-order and
+      // therefore scheduling-dependent under the parallel kernels).
+      std::unordered_map<const VNode*, double> norm2;
+      std::unordered_map<const VNode*, std::size_t> ordinal;
+      std::vector<const VNode*> preorder;
+      const std::function<double(const VNode*)> subtreeNorm2 =
+          [&](const VNode* node) -> double {
+        if (node == nullptr) {
+          return 1.0; // terminal
+        }
+        if (const auto it = norm2.find(node); it != norm2.end()) {
+          return it->second;
+        }
+        ordinal.emplace(node, preorder.size());
+        preorder.push_back(node);
+        double sum = 0.0;
+        for (const VEdge& child : node->e) {
+          if (!system_.isZero(child.w)) {
+            sum += weightNorm2(child.w) * subtreeNorm2(child.node);
+          }
+        }
+        norm2.emplace(node, sum);
+        return sum;
+      };
+      subtreeNorm2(root.node);
+
+      // Downward pass in variable order (vector DDs are quasi-reduced, so
+      // var-ascending is topological): accumulate the in-mass of every node
+      // and emit one candidate per non-zero child edge.
+      std::vector<const VNode*> topo = preorder;
+      std::stable_sort(topo.begin(), topo.end(),
+                       [](const VNode* a, const VNode* b) { return a->var < b->var; });
+      struct Candidate {
+        double contribution;
+        std::size_t ordinal;
+        std::size_t slot;
+        const VNode* node;
+      };
+      std::unordered_map<const VNode*, double> inMass;
+      inMass.reserve(topo.size());
+      inMass.emplace(root.node, weightNorm2(root.w));
+      std::vector<Candidate> candidates;
+      candidates.reserve(2 * topo.size());
+      for (const VNode* node : topo) {
+        const double in = inMass[node];
+        for (std::size_t slot = 0; slot < 2; ++slot) {
+          const VEdge& child = node->e[slot];
+          if (system_.isZero(child.w)) {
+            continue;
+          }
+          const double share = in * weightNorm2(child.w);
+          const double childNorm2 = child.isTerminal() ? 1.0 : norm2[child.node];
+          candidates.push_back({share * childNorm2, ordinal[node], slot, node});
+          if (!child.isTerminal()) {
+            inMass[child.node] += share;
+          }
+        }
+      }
+
+      // Greedy selection, cheapest contributions first.  Candidates ascend,
+      // so the first one that no longer fits ends the scan.  Overlap (an
+      // edge inside an already-selected subtree) only double-counts spent
+      // mass, which errs on the conservative side of the fidelity bound.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.contribution != b.contribution) {
+                    return a.contribution < b.contribution;
+                  }
+                  if (a.ordinal != b.ordinal) {
+                    return a.ordinal < b.ordinal;
+                  }
+                  return a.slot < b.slot;
+                });
+      double spent = 0.0;
+      std::unordered_map<const VNode*, unsigned> prunedSlots;
+      std::size_t edgesPruned = 0;
+      for (const Candidate& candidate : candidates) {
+        if (candidate.contribution > fidelityBudget - spent) {
+          break;
+        }
+        spent += candidate.contribution;
+        prunedSlots[candidate.node] |= 1U << candidate.slot;
+        ++edgesPruned;
+      }
+      if (edgesPruned == 0) {
+        return result;
+      }
+
+      // Rebuild the surviving diagram bottom-up through makeVNode, memoized
+      // per original node, so the pruned state is canonical like any other.
+      // The peak-node gauge samples once when the guard leaves scope: inUse
+      // is not monotone during the rebuild (normalization dedup returns
+      // fresh nodes to the free list), so per-insert samples would give the
+      // serial gauge finer resolution than the concurrent one and break the
+      // serial-vs-parallel byte-identity of the peaknodes column.
+      struct PeakGuard {
+        Package& pkg;
+        explicit PeakGuard(Package& p) : pkg(p) { pkg.peakSampleSuppressed_ = true; }
+        ~PeakGuard() {
+          pkg.peakSampleSuppressed_ = false;
+          pkg.peakNodes_ = std::max(pkg.peakNodes_, pkg.allocatedNodes());
+        }
+      } peakGuard{*this};
+      const auto isZeroEdge = [this](const VEdge& e) {
+        return e.node == nullptr && system_.isZero(e.w);
+      };
+      std::unordered_map<const VNode*, VEdge> rebuiltCache;
+      const std::function<VEdge(const VNode*)> rebuild = [&](const VNode* node) -> VEdge {
+        if (const auto it = rebuiltCache.find(node); it != rebuiltCache.end()) {
+          return it->second;
+        }
+        unsigned mask = 0;
+        if (const auto it = prunedSlots.find(node); it != prunedSlots.end()) {
+          mask = it->second;
+        }
+        std::array<VEdge, 2> children;
+        for (std::size_t slot = 0; slot < 2; ++slot) {
+          const VEdge& child = node->e[slot];
+          if (((mask >> slot) & 1U) != 0 || system_.isZero(child.w)) {
+            children[slot] = zeroVector();
+          } else if (child.isTerminal()) {
+            children[slot] = child;
+          } else {
+            const VEdge sub = rebuild(child.node);
+            children[slot] = {sub.node, system_.mul(child.w, sub.w), sub.var};
+          }
+        }
+        const VEdge replacement = isZeroEdge(children[0]) && isZeroEdge(children[1])
+                                      ? zeroVector()
+                                      : makeVNode(node->var, children);
+        rebuiltCache.emplace(node, replacement);
+        return replacement;
+      };
+      const VEdge rebuiltRoot = rebuild(root.node);
+      VEdge pruned{rebuiltRoot.node, system_.mul(root.w, rebuiltRoot.w), rebuiltRoot.var};
+      if (isZeroEdge(pruned)) {
+        return result; // budget covered the whole state — nothing to renormalize
+      }
+
+      // Measure the remaining mass and the overlap with the input in raw
+      // double arithmetic, NOT through innerProduct: under an ε-unified
+      // weight system every mul/add result snaps to a table entry within ε,
+      // which distorts exactly the O(budget)-sized quantities measured here
+      // and (observed on Grover at ε = 1e-5) doubles the reported loss.
+      std::unordered_map<const VNode*, double> rawNorm2;
+      const std::function<double(const VNode*)> rawSubtreeNorm2 =
+          [&](const VNode* node) -> double {
+        if (node == nullptr) {
+          return 1.0;
+        }
+        if (const auto it = rawNorm2.find(node); it != rawNorm2.end()) {
+          return it->second;
+        }
+        double sum = 0.0;
+        for (const VEdge& child : node->e) {
+          if (!system_.isZero(child.w)) {
+            sum += weightNorm2(child.w) * rawSubtreeNorm2(child.node);
+          }
+        }
+        rawNorm2.emplace(node, sum);
+        return sum;
+      };
+      const double remaining = weightNorm2(pruned.w) * rawSubtreeNorm2(pruned.node);
+      if (!(remaining > 0.0)) {
+        return result;
+      }
+      using Float = typename System::Float;
+      const auto rootValue = system_.valueOf(pruned.w);
+      const Float scale =
+          static_cast<Float>(1) / static_cast<Float>(std::sqrt(remaining));
+      pruned.w = system_.fromValue({rootValue.re * scale, rootValue.im * scale});
+
+      // Raw-double overlap <pruned|root>, memoized over node pairs (lockstep
+      // recursion is valid: both diagrams are quasi-reduced over the same
+      // variables).
+      std::map<std::pair<const VNode*, const VNode*>, std::complex<double>> overlapCache;
+      const std::function<std::complex<double>(const VNode*, const VNode*)> nodeOverlap =
+          [&](const VNode* a, const VNode* b) -> std::complex<double> {
+        if (a == nullptr || b == nullptr) {
+          return 1.0;
+        }
+        const auto key = std::make_pair(a, b);
+        if (const auto it = overlapCache.find(key); it != overlapCache.end()) {
+          return it->second;
+        }
+        std::complex<double> sum = 0.0;
+        for (std::size_t i = 0; i < 2; ++i) {
+          const VEdge& ae = a->e[i];
+          const VEdge& be = b->e[i];
+          if (system_.isZero(ae.w) || system_.isZero(be.w)) {
+            continue;
+          }
+          sum += std::conj(system_.toComplex(ae.w)) * system_.toComplex(be.w) *
+                 nodeOverlap(ae.node, be.node);
+        }
+        overlapCache.emplace(key, sum);
+        return sum;
+      };
+      const std::complex<double> overlap = std::conj(system_.toComplex(pruned.w)) *
+                                           system_.toComplex(root.w) *
+                                           nodeOverlap(pruned.node, root.node);
+
+      result.edge = pruned;
+      result.budgetSpent = spent;
+      result.edgesPruned = edgesPruned;
+      result.nodesAfter = countNodes(pruned);
+      result.achievedFidelity = std::min(1.0, std::norm(overlap));
+      stats_.approx.pruneRuns.inc();
+      stats_.approx.edgesPruned.inc(edgesPruned);
+      stats_.approx.nodesRemoved.inc(
+          result.nodesBefore >= result.nodesAfter ? result.nodesBefore - result.nodesAfter : 0);
+      return result;
+    }
   }
 
   // -- inspection ----------------------------------------------------------------
@@ -1193,7 +1465,7 @@ private:
       }
     }
     unique.insert(node, contentHash);
-    if (!concurrent_) {
+    if (!concurrent_ && !peakSampleSuppressed_) {
       // Concurrent mode samples the peak once per outermost kernel exit
       // (KernelScope) instead of per insert — the gauge is monotone, so the
       // only loss is intra-kernel resolution.
@@ -1300,6 +1572,10 @@ private:
   UniqueTable<VNode> vUnique_;
   UniqueTable<MNode> mUnique_;
   std::size_t peakNodes_ = 0;
+  /// True while prune() rebuilds: per-insert peak samples are suppressed so
+  /// the gauge keeps the same (end-of-rebuild) resolution in serial and
+  /// concurrent mode — the byte-identity contract covers the peak column.
+  bool peakSampleSuppressed_ = false;
   std::uint64_t nodeSeq_ = 0; ///< next insert serial (atomic_ref'd when concurrent)
 
   std::size_t gcWatermark_ = 0;

@@ -10,8 +10,9 @@
 
 namespace qadd::eval {
 
-/// ||v_num/||v_num|| - v_alg||_2; if v_num is the zero vector the error is
-/// reported as ||v_alg||_2 (= 1 for a unit reference) instead.
+/// ||v_num/||v_num|| - v_alg/||v_alg|| ||_2; a reference already within
+/// round-off of unit norm is used verbatim.  If v_num is the zero vector the
+/// error is reported as the normalized reference norm (= 1) instead.
 [[nodiscard]] double accuracyError(const std::vector<std::complex<double>>& numeric,
                                    const std::vector<std::complex<double>>& algebraicReference);
 

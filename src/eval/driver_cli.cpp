@@ -45,7 +45,14 @@ void printUsage(std::ostream& os, const DriverSpec& spec) {
         "  --checkpoint-every K   write a QCKP checkpoint every K gates\n"
         "  --checkpoint-prefix P  checkpoint path prefix (default\n"
         "                         \"checkpoint_g\"; numeric point k writes\n"
-        "                         <P>p<k>_<gate>.qckp)\n";
+        "                         <P>p<k>_<gate>.qckp)\n"
+        "  --approx-fidelity F    prune the state DDs of every numeric point\n"
+        "                         under fidelity budget 1-F, F in (0, 1]\n"
+        "                         (default policy pergate; see\n"
+        "                         docs/APPROXIMATION.md)\n"
+        "  --approx-policy P      when to prune: 'pergate' (rebudgeted after\n"
+        "                         every gate) or 'oneshot' (once after the\n"
+        "                         last gate); requires --approx-fidelity\n";
   if (spec.referenceFlags) {
     os << "  --refresh-reference    recompute the algebraic reference even\n"
           "                         when a valid .qref cache exists\n";
@@ -64,6 +71,15 @@ void printUsage(std::ostream& os, const DriverSpec& spec) {
   const long value = std::strtol(text, &end, 10);
   if (end == text || *end != '\0') {
     usageError(spec, std::string(what) + ": expected an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+[[nodiscard]] double parseDouble(const DriverSpec& spec, const char* what, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    usageError(spec, std::string(what) + ": expected a number, got '" + text + "'");
   }
   return value;
 }
@@ -89,6 +105,8 @@ DriverCli parseDriverCli(int argc, char** argv, const DriverSpec& spec) {
   for (const DriverPositional& positional : spec.positionals) {
     cli.positionals.push_back(positional.defaultValue);
   }
+  bool haveFidelity = false;
+  bool havePolicy = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
@@ -99,6 +117,28 @@ DriverCli parseDriverCli(int argc, char** argv, const DriverSpec& spec) {
         usageError(spec, "--jobs must be >= 1");
       }
       cli.jobs = static_cast<std::size_t>(jobs);
+    } else if (std::strcmp(argv[i], "--approx-fidelity") == 0) {
+      if (i + 1 >= argc) {
+        usageError(spec, "--approx-fidelity requires an argument");
+      }
+      const double fidelity = parseDouble(spec, "--approx-fidelity", argv[++i]);
+      if (!(fidelity > 0.0) || fidelity > 1.0) {
+        usageError(spec, "--approx-fidelity must be in (0, 1]");
+      }
+      cli.approx.budget = 1.0 - fidelity;
+      haveFidelity = true;
+    } else if (std::strcmp(argv[i], "--approx-policy") == 0) {
+      if (i + 1 >= argc) {
+        usageError(spec, "--approx-policy requires an argument");
+      }
+      const auto policy = dd::parseApproxPolicy(argv[++i]);
+      if (!policy.has_value()) {
+        usageError(spec, std::string("--approx-policy: expected 'pergate', 'oneshot' or "
+                                     "'none', got '") +
+                             argv[i] + "'");
+      }
+      cli.approx.policy = *policy;
+      havePolicy = true;
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       usageError(spec, std::string("unknown flag '") + argv[i] + "'");
     } else {
@@ -109,6 +149,12 @@ DriverCli parseDriverCli(int argc, char** argv, const DriverSpec& spec) {
           parseLong(spec, spec.positionals[positionalIndex].name, argv[i]);
       ++positionalIndex;
     }
+  }
+  if (havePolicy && !haveFidelity && cli.approx.policy != dd::ApproxPolicy::None) {
+    usageError(spec, "--approx-policy requires --approx-fidelity");
+  }
+  if (haveFidelity && !havePolicy) {
+    cli.approx.policy = dd::ApproxPolicy::PerGate; // the paper's default mode
   }
   return cli;
 }

@@ -13,6 +13,7 @@
 ///   --help                 per-driver usage text generated from the spec
 #pragma once
 
+#include "core/approximation.hpp"
 #include "eval/report.hpp"
 #include "eval/sweep.hpp"
 #include "exec/thread_pool.hpp"
@@ -49,6 +50,10 @@ struct DriverCli {
   std::size_t jobs = 1;
   /// One value per DriverSpec positional (defaults filled in).
   std::vector<long> positionals;
+  /// Fidelity-bounded approximation from --approx-fidelity/--approx-policy
+  /// (policy None when neither flag is given); drivers install it on their
+  /// sweep via SweepSpec::applyApprox.
+  dd::ApproxSpec approx{};
 
   /// Thread pool for runSweep(), or nullptr for the serial --jobs 1 path.
   [[nodiscard]] std::unique_ptr<exec::ThreadPool> makePool() const {

@@ -39,14 +39,15 @@ void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces) {
   // column (sensitive to pointer-hash layout) are written as 0, so two runs
   // produce byte-identical CSVs.
   const bool deterministic = obs::deterministic();
-  os << "series,gate,nodes,seconds,error,maxbits,peaknodes,cachehitrate,tablefill\n";
+  os << "series,gate,nodes,seconds,error,maxbits,peaknodes,cachehitrate,tablefill,fidelity,"
+        "prunednodes\n";
   os << std::setprecision(12);
   for (const SimulationTrace& trace : traces) {
     for (const TracePoint& point : trace.points) {
       os << trace.label << "," << point.gateIndex << "," << point.nodes << ","
          << (deterministic ? 0.0 : point.seconds) << "," << point.error << "," << point.maxBits
          << "," << point.peakNodes << "," << (deterministic ? 0.0 : point.cacheHitRate) << ","
-         << point.tableFill << "\n";
+         << point.tableFill << "," << point.fidelity << "," << point.prunedNodes << "\n";
     }
   }
 }
@@ -54,12 +55,13 @@ void writeCsv(std::ostream& os, const std::vector<SimulationTrace>& traces) {
 void printSummaryTable(std::ostream& os, const std::vector<SimulationTrace>& traces) {
   os << std::left << std::setw(28) << "series" << std::right << std::setw(12) << "final nodes"
      << std::setw(12) << "peak nodes" << std::setw(12) << "time [s]" << std::setw(14)
-     << "final error" << std::setw(8) << "zero?" << "\n";
+     << "final error" << std::setw(10) << "fidelity" << std::setw(8) << "zero?" << "\n";
   for (const SimulationTrace& trace : traces) {
     os << std::left << std::setw(28) << trace.label << std::right << std::setw(12)
        << trace.finalNodes << std::setw(12) << trace.peakNodes << std::setw(12) << std::fixed
        << std::setprecision(3) << trace.totalSeconds << std::setw(14) << std::scientific
-       << std::setprecision(2) << trace.finalError << std::setw(8)
+       << std::setprecision(2) << trace.finalError << std::setw(10) << std::fixed
+       << std::setprecision(4) << trace.finalFidelity << std::setw(8)
        << (trace.collapsedToZero ? "YES" : "no") << "\n";
     os.unsetf(std::ios::floatfield);
   }
@@ -224,6 +226,11 @@ void printStatsTable(std::ostream& os, const obs::PackageStats& stats) {
        << " nodes, " << stats.io.loadDedupNodes.value() << " deduped, "
        << stats.io.bytesRead.value() << " B)\n";
   }
+  if (stats.approx.any()) {
+    os << "approx      " << stats.approx.pruneRuns.value() << " prune runs, "
+       << stats.approx.edgesPruned.value() << " edges pruned, "
+       << stats.approx.nodesRemoved.value() << " nodes removed\n";
+  }
 }
 
 void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
@@ -274,7 +281,10 @@ void writeStatsJson(std::ostream& os, const obs::PackageStats& stats) {
      << ",\"weightsRead\":" << stats.io.weightsRead.value()
      << ",\"bytesWritten\":" << stats.io.bytesWritten.value()
      << ",\"bytesRead\":" << stats.io.bytesRead.value()
-     << ",\"loadDedupNodes\":" << stats.io.loadDedupNodes.value() << "}}";
+     << ",\"loadDedupNodes\":" << stats.io.loadDedupNodes.value() << "}";
+  os << ",\"approx\":{\"pruneRuns\":" << stats.approx.pruneRuns.value()
+     << ",\"edgesPruned\":" << stats.approx.edgesPruned.value()
+     << ",\"nodesRemoved\":" << stats.approx.nodesRemoved.value() << "}}";
 }
 
 void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
@@ -319,6 +329,9 @@ void writeStatsCsv(std::ostream& os, const obs::PackageStats& stats) {
   os << "io.bytesWritten," << stats.io.bytesWritten.value() << "\n";
   os << "io.bytesRead," << stats.io.bytesRead.value() << "\n";
   os << "io.loadDedupNodes," << stats.io.loadDedupNodes.value() << "\n";
+  os << "approx.pruneRuns," << stats.approx.pruneRuns.value() << "\n";
+  os << "approx.edgesPruned," << stats.approx.edgesPruned.value() << "\n";
+  os << "approx.nodesRemoved," << stats.approx.nodesRemoved.value() << "\n";
 }
 
 ObsCliOptions parseObsCli(int& argc, char** argv) {

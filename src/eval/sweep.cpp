@@ -85,13 +85,9 @@ SweepResult runSweep(const SweepSpec& spec, exec::ThreadPool* pool) {
   result.traces.resize(base + spec.points.size());
   const auto numericStart = Clock::now();
   exec::parallelFor(pool, spec.points.size(), [&](std::size_t i) {
-    const SweepPoint& point = spec.points[i];
+    const RunSpec& point = spec.points[i];
     const TraceOptions options = pointOptions(spec, i, pool);
-    result.traces[base + i] =
-        point.extendedPrecision
-            ? traceNumericExtended(spec.circuit, point.epsilon, trajectory, options,
-                                   spec.normalization)
-            : traceNumeric(spec.circuit, point.epsilon, trajectory, options, spec.normalization);
+    result.traces[base + i] = traceRun(spec.circuit, point, trajectory, options, spec.normalization);
   });
   result.numericSweepSeconds = secondsSince(numericStart);
 

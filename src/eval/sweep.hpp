@@ -28,13 +28,10 @@
 
 namespace qadd::eval {
 
-/// One numeric run of the sweep.
-struct SweepPoint {
-  double epsilon = 0.0;
-  /// Simulate on the long-double numeric system instead of the double one
-  /// (Section V-A's mantissa-scaling experiment; precision_scaling uses it).
-  bool extendedPrecision = false;
-};
+/// Deprecated alias, kept for one release: the sweep's unit of work is now
+/// eval::RunSpec (eval/trace.hpp), which adds the approximation axis.
+/// `{epsilon, extendedPrecision}` initializers keep compiling unchanged.
+using SweepPoint = RunSpec;
 
 /// How runSweep() obtains the exact algebraic run of the sweep.
 enum class ReferencePolicy {
@@ -55,7 +52,7 @@ struct SweepSpec {
   explicit SweepSpec(qc::Circuit sweepCircuit) : circuit(std::move(sweepCircuit)) {}
 
   qc::Circuit circuit;
-  std::vector<SweepPoint> points;
+  std::vector<RunSpec> points;
   TraceOptions options;
 
   ReferencePolicy reference = ReferencePolicy::Inline;
@@ -70,10 +67,29 @@ struct SweepSpec {
   dd::NumericSystem::Normalization normalization =
       dd::NumericSystem::Normalization::LeftmostNonzero;
 
-  /// Convenience: append a plain (double-precision) point per ε.
+  /// Convenience: append a plain (double-precision, exact-structure) point
+  /// per ε.
   SweepSpec& addEpsilons(std::initializer_list<double> epsilons) {
     for (const double epsilon : epsilons) {
       points.push_back({epsilon, false});
+    }
+    return *this;
+  }
+
+  /// Append one fully specified run.
+  SweepSpec& addRun(const RunSpec& run) {
+    points.push_back(run);
+    return *this;
+  }
+
+  /// Install one approximation spec on every point declared so far — how the
+  /// drivers map a single `--approx-fidelity`/`--approx-policy` pair onto a
+  /// whole ε-sweep.  A policy of None leaves the points untouched.
+  SweepSpec& applyApprox(const dd::ApproxSpec& approx) {
+    if (approx.policy != dd::ApproxPolicy::None) {
+      for (RunSpec& point : points) {
+        point.approx = approx;
+      }
     }
     return *this;
   }
@@ -82,7 +98,7 @@ struct SweepSpec {
 /// Everything a figure driver needs from one executed sweep.
 struct SweepResult {
   /// Traces in deterministic spec order: the algebraic trace first (when the
-  /// spec includes one), then one per SweepPoint in declaration order —
+  /// spec includes one), then one per RunSpec point in declaration order —
   /// regardless of which worker finished first.
   std::vector<SimulationTrace> traces;
   /// Exact amplitude trajectory of the reference (empty under

@@ -121,14 +121,15 @@ SimulationTrace traceAlgebraic(const qc::Circuit& circuit, const TraceOptions& o
 
 namespace {
 
-/// Shared body of traceNumeric/traceNumericExtended, generic over the
-/// numeric system's float width.
+/// Shared body of traceNumeric/traceNumericExtended/traceRun, generic over
+/// the numeric system's float width.
 template <class System>
 SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
                               const ReferenceTrajectory* reference, const TraceOptions& options,
                               typename System::Normalization normalization,
-                              const char* labelPrefix) {
+                              const char* labelPrefix, const dd::ApproxSpec& approx = {}) {
   qc::Simulator<System> simulator(circuit, {epsilon, normalization});
+  simulator.setApproximation(approx);
   if (options.kernelPool != nullptr) {
     // The package decides: exact-mode interning engages the parallel
     // kernels, tolerance mode silently keeps the serial (order-preserving,
@@ -139,6 +140,11 @@ SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
   {
     std::ostringstream label;
     label << labelPrefix << epsilon;
+    if (approx.active()) {
+      // No commas (labels are CSV cells); target fidelity reads better than
+      // the budget in plots.
+      label << " approx=" << dd::approxPolicyName(approx.policy) << ":f" << 1.0 - approx.budget;
+    }
     trace.label = label.str();
   }
   const auto traceSpan = obs::Tracer::global().span("traceNumeric", "eval");
@@ -171,6 +177,8 @@ SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
       point.peakNodes = simulator.package().peakNodes();
       point.cacheHitRate = simulator.package().counters().combinedCacheHitRate();
       point.tableFill = simulator.package().system().distinctValues();
+      point.fidelity = simulator.approxFidelity();
+      point.prunedNodes = simulator.approxPrunedNodes();
       point.error = std::numeric_limits<double>::quiet_NaN();
       if (reference != nullptr && amplitudesFeasible &&
           sampleOrdinal < reference->samples.size()) {
@@ -186,6 +194,8 @@ SimulationTrace traceNumericT(const qc::Circuit& circuit, double epsilon,
   accumulated += secondsSince(start);
   trace.totalSeconds = accumulated;
   trace.finalError = lastError;
+  trace.finalFidelity = simulator.approxFidelity();
+  trace.prunedNodes = simulator.approxPrunedNodes();
   if (options.captureFinalState) {
     trace.finalStateSnapshot = io::saveVector(simulator.package(), simulator.state());
   }
@@ -211,6 +221,19 @@ SimulationTrace traceNumericExtended(const qc::Circuit& circuit, double epsilon,
       circuit, epsilon, reference, options,
       static_cast<dd::ExtendedNumericSystem::Normalization>(static_cast<int>(normalization)),
       "numeric-ext eps=");
+}
+
+SimulationTrace traceRun(const qc::Circuit& circuit, const RunSpec& spec,
+                         const ReferenceTrajectory* reference, const TraceOptions& options,
+                         dd::NumericSystem::Normalization normalization) {
+  if (spec.extendedPrecision) {
+    return traceNumericT<dd::ExtendedNumericSystem>(
+        circuit, spec.epsilon, reference, options,
+        static_cast<dd::ExtendedNumericSystem::Normalization>(static_cast<int>(normalization)),
+        "numeric-ext eps=", spec.approx);
+  }
+  return traceNumericT<dd::NumericSystem>(circuit, spec.epsilon, reference, options,
+                                          normalization, "numeric eps=", spec.approx);
 }
 
 } // namespace qadd::eval

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/algebraic_system.hpp"
+#include "core/approximation.hpp"
 #include "core/numeric_system.hpp"
 #include "obs/stats.hpp"
 #include "qc/circuit.hpp"
@@ -29,6 +30,25 @@ struct TracePoint {
   std::size_t peakNodes = 0; ///< peak allocated nodes so far (transient multiply blow-up)
   double cacheHitRate = 0.0; ///< combined add/mv/mm cache hit rate so far
   std::size_t tableFill = 0; ///< distinct interned weights so far
+  double fidelity = 1.0;     ///< cumulative approximation fidelity so far (1 = no pruning)
+  std::size_t prunedNodes = 0; ///< state nodes removed by approximation so far
+};
+
+/// One run configuration — the sweep's unit of work.  The three axes of the
+/// evaluation in one value: ε (the numeric tolerance knob), the mantissa
+/// width (double vs long double), and the fidelity-bounded approximation
+/// spec (dd::ApproxSpec — {} means exact-structure simulation, the historic
+/// behaviour).  Field order keeps `{epsilon, extendedPrecision}` aggregate
+/// initializers source-compatible with the deprecated SweepPoint.
+struct RunSpec {
+  /// Numeric-table tolerance (0 = bit-exact interning).
+  double epsilon = 0.0;
+  /// Run on the extended-precision (long double) numeric system.
+  bool extendedPrecision = false;
+  /// Fidelity-bounded state approximation (policy None = off).
+  dd::ApproxSpec approx{};
+
+  friend bool operator==(const RunSpec&, const RunSpec&) = default;
 };
 
 /// One garbage-collection run observed mid-simulation.
@@ -52,6 +72,11 @@ struct SimulationTrace {
   /// QDDS snapshot of the final state DD (filled iff
   /// TraceOptions::captureFinalState; excluded from the timed sections).
   std::vector<std::uint8_t> finalStateSnapshot;
+  /// Cumulative approximation fidelity of the whole run (product of per-prune
+  /// achieved fidelities; 1.0 when nothing was pruned / no approx spec).
+  double finalFidelity = 1.0;
+  /// Total state node-count decrease from approximation over the run.
+  std::size_t prunedNodes = 0;
 };
 
 /// Exact per-gate amplitude snapshots from the algebraic simulation, used as
@@ -105,5 +130,17 @@ traceNumericExtended(const qc::Circuit& circuit, double epsilon,
                      const ReferenceTrajectory* reference, const TraceOptions& options = {},
                      dd::NumericSystem::Normalization normalization =
                          dd::NumericSystem::Normalization::LeftmostNonzero);
+
+/// Trace one RunSpec: dispatches on the precision axis and installs the
+/// spec's approximation policy on the simulator.  The one entry point the
+/// sweep executor and all drivers use; traceNumeric/traceNumericExtended
+/// remain as the spec-free shims.  Labels stay byte-identical to the
+/// historic ones for non-approximated specs ("numeric eps=<ε>"); an active
+/// approx spec appends " approx=<policy>:f<target>".
+[[nodiscard]] SimulationTrace
+traceRun(const qc::Circuit& circuit, const RunSpec& spec, const ReferenceTrajectory* reference,
+         const TraceOptions& options = {},
+         dd::NumericSystem::Normalization normalization =
+             dd::NumericSystem::Normalization::LeftmostNonzero);
 
 } // namespace qadd::eval

@@ -228,6 +228,27 @@ struct IoStats {
   }
 };
 
+/// Fidelity-bounded approximation statistics (dd::Package::prune): how often
+/// the pruner ran, how many edges it redirected to the zero vector and how
+/// many nodes left the state as a result.  Zero on exact (algebraic) runs and
+/// whenever no ApproxSpec is active.
+struct ApproxStats {
+  Counter pruneRuns;    ///< prune() invocations that removed at least one edge
+  Counter edgesPruned;  ///< child edges redirected to the zero vector
+  Counter nodesRemoved; ///< state node-count decrease summed over prune runs
+
+  [[nodiscard]] bool any() const {
+    return pruneRuns.value() + edgesPruned.value() + nodesRemoved.value() != 0;
+  }
+
+  ApproxStats& operator+=(const ApproxStats& other) {
+    pruneRuns += other.pruneRuns;
+    edgesPruned += other.edgesPruned;
+    nodesRemoved += other.nodesRemoved;
+    return *this;
+  }
+};
+
 /// The full counter block of one dd::Package.  Counters are maintained
 /// inline by the package; gauges (live/peak nodes, weight-table view) are
 /// filled when a snapshot is taken via Package::stats().
@@ -251,6 +272,7 @@ struct PackageStats {
 
   GcStats gc;
   IoStats io;
+  ApproxStats approx;
 
   // Gauges (snapshot time).
   std::size_t liveNodes = 0;
@@ -304,6 +326,7 @@ struct PackageStats {
     nodeReuses += other.nodeReuses;
     gc += other.gc;
     io += other.io;
+    approx += other.approx;
     liveNodes = std::max(liveNodes, other.liveNodes);
     peakNodes = std::max(peakNodes, other.peakNodes);
     arenaBytes = std::max(arenaBytes, other.arenaBytes);

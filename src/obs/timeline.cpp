@@ -156,6 +156,7 @@ void Timeline::writeJson(std::ostream& os) const {
        << ",\"gcRuns\":" << sample.gcRuns << ",\"smallPathHits\":" << sample.smallPathHits
        << ",\"smallPathSpills\":" << sample.smallPathSpills
        << ",\"weightEntries\":" << sample.weightEntries
+       << ",\"prunedNodes\":" << sample.prunedNodes
        << ",\"seconds\":" << (det ? 0.0 : sample.seconds) << "}";
     first = false;
   }
@@ -176,7 +177,7 @@ void Timeline::writeCsv(std::ostream& os) const {
   const bool det = deterministic();
   os << "series,kind,tid,gate,epsilon,livenodes,peaknodes,arenabytes,uniqueentries,"
         "uniquebuckets,uniquecollisions,cachehitrate,gcruns,smallpathhits,smallpathspills,"
-        "weightentries,seconds\n";
+        "weightentries,prunednodes,seconds\n";
   os << std::setprecision(12);
   for (const Sample& sample : samples) {
     os << sample.series << "," << kindName(sample.kind) << "," << sample.tid << ","
@@ -185,7 +186,7 @@ void Timeline::writeCsv(std::ostream& os) const {
        << sample.uniqueBuckets << "," << sample.uniqueCollisions << ","
        << (det ? 0.0 : sample.cacheHitRate) << "," << sample.gcRuns << ","
        << sample.smallPathHits << "," << sample.smallPathSpills << "," << sample.weightEntries
-       << "," << (det ? 0.0 : sample.seconds) << "\n";
+       << "," << sample.prunedNodes << "," << (det ? 0.0 : sample.seconds) << "\n";
   }
 }
 

@@ -57,6 +57,7 @@ public:
     std::uint64_t smallPathHits = 0;   ///< algebraic word-kernel fast-path hits
     std::uint64_t smallPathSpills = 0; ///< fast-path probes that fell back to BigInt
     std::size_t weightEntries = 0;     ///< distinct interned weights
+    std::uint64_t prunedNodes = 0;     ///< nodes removed by approximation so far
     double seconds = 0.0;         ///< stamped by record(); zeroed in deterministic output
   };
 
@@ -117,7 +118,7 @@ public:
   /// One row per sample:
   /// series,kind,tid,gate,epsilon,livenodes,peaknodes,arenabytes,
   /// uniqueentries,uniquebuckets,uniquecollisions,cachehitrate,gcruns,
-  /// smallpathhits,smallpathspills,weightentries,seconds.
+  /// smallpathhits,smallpathspills,weightentries,prunednodes,seconds.
   void writeCsv(std::ostream& os) const;
   bool writeCsv(const std::string& path) const;
 

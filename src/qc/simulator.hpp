@@ -7,6 +7,7 @@
 #pragma once
 
 #include "core/algebraic_system.hpp"
+#include "core/approximation.hpp"
 #include "core/numeric_system.hpp"
 #include "core/package.hpp"
 #include "io/checkpoint.hpp"
@@ -116,7 +117,9 @@ public:
   Simulator(Simulator&& other) noexcept
       : circuit_(std::move(other.circuit_)), package_(std::move(other.package_)),
         options_(other.options_), state_(other.state_), hasState_(other.hasState_),
-        next_(other.next_), gcEvents_(std::move(other.gcEvents_)) {
+        next_(other.next_), gcEvents_(std::move(other.gcEvents_)), approx_(other.approx_),
+        approxBudgetLeft_(other.approxBudgetLeft_), approxFidelity_(other.approxFidelity_),
+        approxPrunedNodes_(other.approxPrunedNodes_) {
     other.hasState_ = false;
   }
   Simulator& operator=(Simulator&&) = delete;
@@ -140,6 +143,32 @@ public:
     hasState_ = true;
     next_ = 0;
     gcEvents_.clear();
+    approxBudgetLeft_ = approx_.budget;
+    approxFidelity_ = 1.0;
+    approxPrunedNodes_ = 0;
+  }
+
+  /// Install a fidelity-bounded approximation policy (see
+  /// docs/APPROXIMATION.md): after gate applications, the state is pruned
+  /// under the spec's budget — all at once after the last gate (OneShot) or
+  /// rebudgeted over the remaining gates after every gate (PerGate).
+  /// Resets the cumulative fidelity/budget tracking.  \throws
+  /// std::invalid_argument on an exact (algebraic) system with an active
+  /// policy, or a budget outside [0, 1).
+  void setApproximation(const dd::ApproxSpec& approx) {
+    if constexpr (System::kExact) {
+      if (approx.policy != dd::ApproxPolicy::None) {
+        throw std::invalid_argument("Simulator: the algebraic system is exact; "
+                                    "approximation requires a numeric system");
+      }
+    }
+    if (approx.budget < 0.0 || approx.budget >= 1.0) {
+      throw std::invalid_argument("Simulator: approximation budget must be in [0, 1)");
+    }
+    approx_ = approx;
+    approxBudgetLeft_ = approx.budget;
+    approxFidelity_ = 1.0;
+    approxPrunedNodes_ = 0;
   }
 
   /// Apply the next gate; false when the circuit is exhausted.
@@ -166,6 +195,7 @@ public:
     if (package_->gcRuns() != gcRunsBefore) {
       gcEvents_.push_back({next_, package_->lastGcReport()});
     }
+    maybeApproximate();
     if (auto& timeline = obs::Timeline::global(); timeline.enabled()) {
       obs::Timeline::Sample sample;
       sample.kind = obs::Timeline::Kind::Gate;
@@ -202,6 +232,15 @@ public:
 
   /// Garbage-collection runs triggered so far (cleared by reset()).
   [[nodiscard]] const std::vector<GcEvent>& gcEvents() const { return gcEvents_; }
+
+  /// The installed approximation spec ({} when exact).
+  [[nodiscard]] const dd::ApproxSpec& approximation() const { return approx_; }
+  /// Cumulative fidelity of all prune runs so far: the product of per-run
+  /// achieved fidelities, a lower bound on |<state|exact state>|^2.  1.0
+  /// while nothing has been pruned.
+  [[nodiscard]] double approxFidelity() const { return approxFidelity_; }
+  /// State node-count decrease summed over all prune runs so far.
+  [[nodiscard]] std::size_t approxPrunedNodes() const { return approxPrunedNodes_; }
 
   /// Number of nodes of the current state DD (the paper's compactness
   /// metric).
@@ -263,6 +302,46 @@ public:
   [[nodiscard]] std::shared_ptr<Package> sharedPackage() const { return package_; }
 
 private:
+  /// Prune the state per the installed policy.  Runs after every gate for
+  /// PerGate (spending an equal share of the remaining budget over the
+  /// remaining gates, so unspent budget rolls forward) and only after the
+  /// final gate for OneShot.  No-op on exact systems and inactive specs.
+  void maybeApproximate() {
+    if constexpr (!System::kExact) {
+      if (!approx_.active() || approxBudgetLeft_ <= 0.0) {
+        return;
+      }
+      double budget = 0.0;
+      if (approx_.policy == dd::ApproxPolicy::OneShot) {
+        if (next_ < circuit_.size()) {
+          return;
+        }
+        budget = approxBudgetLeft_;
+      } else {
+        const std::size_t remainingGates = circuit_.size() - next_;
+        budget = approxBudgetLeft_ / static_cast<double>(remainingGates + 1);
+      }
+      const auto pruned = package_->prune(state_, budget);
+      if (pruned.edgesPruned == 0) {
+        return;
+      }
+      // Charge the ledger with whichever is larger: the contribution mass the
+      // greedy selection accounted for, or the loss actually measured on the
+      // stored result (ε-unification can perturb the renormalized root weight
+      // by up to ε, so the two can differ).  Charging the max keeps the
+      // cumulative invariant  prod(achieved_i) >= 1 - budget  sound.
+      const double lost = std::max(pruned.budgetSpent, 1.0 - pruned.achievedFidelity);
+      approxBudgetLeft_ -= lost;
+      approxFidelity_ *= pruned.achievedFidelity;
+      approxPrunedNodes_ += pruned.nodesBefore >= pruned.nodesAfter
+                                ? pruned.nodesBefore - pruned.nodesAfter
+                                : 0;
+      package_->incRef(pruned.edge);
+      package_->decRef(state_); // may auto-GC; the new state holds its ref
+      state_ = pruned.edge;
+    }
+  }
+
   Circuit circuit_;
   std::shared_ptr<Package> package_;
   Options options_;
@@ -270,6 +349,10 @@ private:
   bool hasState_ = false;
   std::size_t next_ = 0;
   std::vector<GcEvent> gcEvents_;
+  dd::ApproxSpec approx_{};
+  double approxBudgetLeft_ = 0.0;
+  double approxFidelity_ = 1.0;
+  std::size_t approxPrunedNodes_ = 0;
 };
 
 /// Accumulate the full-circuit unitary U = G_m ... G_2 G_1 as a matrix DD.

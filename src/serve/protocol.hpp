@@ -18,7 +18,9 @@
 namespace qadd::serve {
 
 /// Protocol version answered by the "hello" op; bump on breaking changes.
-inline constexpr int kProtocolVersion = 1;
+/// v2: "open" accepts approx_fidelity / approx_policy (numeric sessions
+/// only), "run" responses carry fidelity / pruned_nodes on such sessions.
+inline constexpr int kProtocolVersion = 2;
 
 /// HTTP-style status codes carried by error responses.
 enum Status : int {

@@ -607,12 +607,41 @@ json::Value Server::opOpen(const json::Value& id, const json::Value& request) {
   sessionConfig.gcWatermark = static_cast<std::size_t>(
       checkedInteger(request, "gc_watermark", 200'000.0, 0.0, 9.0e15));
   sessionConfig.maxMagnitudeNormalization = request.getBool("max_magnitude");
+  // Protocol v2: fidelity-bounded approximation knobs.  approx_fidelity F in
+  // (0, 1] becomes a pruning budget of 1-F per docs/APPROXIMATION.md; the
+  // policy defaults to "pergate" when only the fidelity is given.
+  // makeSessionBackend rejects the combination with an algebraic session.
+  const double approxFidelity = request.getNumber("approx_fidelity", 1.0);
+  if (!(approxFidelity > 0.0) || approxFidelity > 1.0) {
+    throw ServeError(kBadRequest, "approx_fidelity must be in (0, 1]");
+  }
+  const std::string policyText = request.getString("approx_policy", "");
+  if (!policyText.empty()) {
+    const auto policy = dd::parseApproxPolicy(policyText);
+    if (!policy.has_value()) {
+      throw ServeError(kBadRequest, "unknown approx_policy '" + policyText +
+                                        "' (expected \"pergate\", \"oneshot\" or \"none\")");
+    }
+    sessionConfig.approx.policy = *policy;
+  }
+  if (approxFidelity < 1.0) {
+    sessionConfig.approx.budget = 1.0 - approxFidelity;
+    if (sessionConfig.approx.policy == dd::ApproxPolicy::None && policyText.empty()) {
+      sessionConfig.approx.policy = dd::ApproxPolicy::PerGate;
+    }
+  } else if (sessionConfig.approx.policy != dd::ApproxPolicy::None) {
+    throw ServeError(kBadRequest, "approx_policy requires approx_fidelity < 1");
+  }
   const auto session = sessions_->open(sessionConfig);
   json::Value response = makeOk(id);
   response.set("session", session->config().name);
   response.set("system", session->config().system);
   response.set("eps", session->config().epsilon);
   response.set("qubits", static_cast<std::size_t>(session->config().qubits));
+  if (session->config().approx.active()) {
+    response.set("approx_fidelity", 1.0 - session->config().approx.budget);
+    response.set("approx_policy", dd::approxPolicyName(session->config().approx.policy));
+  }
   return response;
 }
 
@@ -842,6 +871,10 @@ json::Value Server::opRun(const std::shared_ptr<Connection>& connection, const j
   response.set("gates", result.gatesApplied);
   response.set("nodes", result.finalNodes);
   response.set("seconds", result.seconds);
+  if (sessionConfig.approx.active()) {
+    response.set("fidelity", result.fidelity);
+    response.set("pruned_nodes", result.prunedNodes);
+  }
   if (result.fromCache) {
     response.set("cached", true);
   }

@@ -59,6 +59,10 @@ public:
     }
     result.gatesApplied = simulator.gateIndex() - resumedAt;
     result.finalNodes = simulator.stateNodes();
+    if constexpr (!System::kExact) {
+      result.fidelity = simulator.approxFidelity();
+      result.prunedNodes = simulator.approxPrunedNodes();
+    }
     if (request.wantAmplitudes) {
       result.amplitudes = package_->amplitudes(simulator.state());
     }
@@ -139,7 +143,13 @@ private:
   Simulator makeSimulator(qc::Circuit circuit) {
     typename Simulator::Options options;
     options.gcNodeThreshold = config_.gcWatermark;
-    return Simulator(package_, std::move(circuit), options);
+    Simulator simulator(package_, std::move(circuit), options);
+    if constexpr (!System::kExact) {
+      if (config_.approx.policy != dd::ApproxPolicy::None) {
+        simulator.setApproximation(config_.approx);
+      }
+    }
+    return simulator;
   }
 
   Simulator& requireState() {
@@ -164,9 +174,18 @@ std::unique_ptr<SessionBackend> makeSessionBackend(const SessionConfig& config,
   if (config.epsilon < 0.0) {
     throw ServeError(kBadRequest, "epsilon must be non-negative");
   }
+  if (config.approx.policy != dd::ApproxPolicy::None &&
+      (!(config.approx.budget > 0.0) || config.approx.budget >= 1.0)) {
+    throw ServeError(kBadRequest, "approx_fidelity must be in (0, 1)");
+  }
   if (config.system == "alg") {
     if (config.epsilon != 0.0) {
       throw ServeError(kBadRequest, "the algebraic system is exact: epsilon must be 0");
+    }
+    if (config.approx.policy != dd::ApproxPolicy::None) {
+      throw ServeError(kBadRequest,
+                       "the algebraic system is exact: fidelity-bounded approximation "
+                       "(approx_fidelity/approx_policy) is not supported on \"alg\" sessions");
     }
     dd::AlgebraicSystem::Config systemConfig;
     systemConfig.gcWatermark = config.gcWatermark;

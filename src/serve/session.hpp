@@ -14,6 +14,7 @@
 /// are exact (docs/SNAPSHOT_FORMAT.md).
 #pragma once
 
+#include "core/approximation.hpp"
 #include "obs/stats.hpp"
 #include "qc/circuit.hpp"
 #include "serve/protocol.hpp"
@@ -43,6 +44,10 @@ struct SessionConfig {
   qc::Qubit qubits = 0;       ///< register width of every job in this session
   std::size_t gcWatermark = 200'000; ///< per-package auto-GC threshold (nodes)
   bool maxMagnitudeNormalization = false; ///< num only: [29]'s normalization flavor
+  /// Fidelity-bounded state pruning applied to every job (num only; protocol
+  /// v2).  Rejected with 400 on algebraic sessions: approximated results must
+  /// never enter the exact result cache.
+  dd::ApproxSpec approx{};
 };
 
 /// One job: a circuit to simulate from |0...0> (or to continue from an
@@ -60,6 +65,8 @@ struct JobResult {
   std::size_t gatesApplied = 0;
   std::size_t finalNodes = 0;
   double seconds = 0.0;
+  double fidelity = 1.0;        ///< lower bound on |<approx|exact>|^2 (1 when exact)
+  std::size_t prunedNodes = 0;  ///< nodes removed by approximation during the job
   std::vector<std::complex<double>> amplitudes;
   std::vector<std::uint8_t> snapshot;
   std::vector<std::uint8_t> checkpoint;

@@ -235,6 +235,10 @@ bool isHardKey(const std::string& path) {
       // gate_apply structural gates (BENCH_skip.json).
       "gateQubits",      "skipMatrixNodes", "materializedMatrixNodes",
       "speedupGatePassed", "nodeGatePassed",
+      // approx_tradeoff structural gates (BENCH_approx.json).
+      "exactNodes",      "exactFinalNodes", "approxNodes",
+      "approxFinalNodes", "nodeReduction",  "prunedNodes",
+      "achievedFidelity", "fidelityTarget", "fidelityGatePassed",
   };
   const std::size_t dot = path.rfind('.');
   std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
